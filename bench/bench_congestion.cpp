@@ -1,0 +1,49 @@
+// Experiment E2: Proposition 4.6 in practice — number of lanes and
+// embedding congestion, measured against the closed-form bounds f(k) and
+// h(k).  The theoretical bounds explode combinatorially; the measured
+// values stay tiny, which is why the scheme is practical at all.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "lane/bounds.hpp"
+#include "lane/embedding.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+void BM_LanePlan(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  int maxLanes = 0;
+  int maxCong = 0;
+  int width = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(static_cast<std::uint64_t>(state.iterations()) * 31 + 5);
+    const auto bp = randomBoundedPathwidth(n, k, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    state.ResumeTiming();
+    const LanePlan plan = buildLanePlan(bp.graph, rep);
+    benchmark::DoNotOptimize(plan.embeddings);
+    maxLanes = std::max(maxLanes, plan.lanes.numLanes());
+    maxCong = std::max(maxCong, plan.maxCongestion);
+    width = std::max(width, plan.width);
+  }
+  state.counters["measuredLanes"] = maxLanes;
+  state.counters["boundLanes_f"] = static_cast<double>(fLanes(width));
+  state.counters["measuredCongestion"] = maxCong;
+  state.counters["boundCongestion_h"] = static_cast<double>(hCongestion(width));
+  state.counters["width"] = width;
+}
+BENCHMARK(BM_LanePlan)
+    ->ArgsProduct({{1, 2, 3, 4}, {200, 2000}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Experiment E3: hierarchical-decomposition depth (Observation 5.5).
+// The measured depth must stay <= 2w for every instance and — crucially —
+// be INDEPENDENT of n (contrast with tree decompositions, whose depth is
+// necessarily Ω(log n); Section 3 explains why this matters).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "klane/hierarchy.hpp"
+#include "lane/embedding.hpp"
+#include "lanewidth/lanewidth.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+void BM_HierarchyDepth(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  int maxDepth = 0;
+  int lanes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(static_cast<std::uint64_t>(state.iterations()) * 17 + 3);
+    const auto bp = randomBoundedPathwidth(n, k, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const LanePlan plan = buildLanePlan(bp.graph, rep);
+    const ConstructionSequence seq = buildConstruction(bp.graph, rep, plan.lanes);
+    state.ResumeTiming();
+    const HierarchyResult hier = buildHierarchy(seq);
+    benchmark::DoNotOptimize(hier.edgeOwner);
+    maxDepth = std::max(maxDepth, hier.hierarchy.depth());
+    lanes = std::max(lanes, seq.numLanes());
+  }
+  state.counters["depth"] = maxDepth;
+  state.counters["bound_2w"] = 2 * lanes;
+  state.counters["lanes"] = lanes;
+}
+BENCHMARK(BM_HierarchyDepth)
+    ->ArgsProduct({{1, 2, 3}, {100, 1000, 10000}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

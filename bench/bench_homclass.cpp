@@ -1,0 +1,59 @@
+// Experiment E5: homomorphism classes are constant-size (Prop 2.4 / 6.1).
+// For each bundled property we push an ever-longer graph through the
+// algebra at a fixed boundary and report the max encoded state size —
+// which must not grow with the number of composed vertices.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "mso/properties.hpp"
+#include "mso/property.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+PropertyPtr propertyByIndex(int idx) {
+  switch (idx) {
+    case 0: return makeColorability(2);
+    case 1: return makeColorability(3);
+    case 2: return makeForest();
+    case 3: return makeConnectivity();
+    case 4: return makePathProperty();
+    case 5: return makeCycleProperty();
+    case 6: return makePerfectMatching();
+    case 7: return makeVertexCover(3);
+    case 8: return makeHamiltonianPath();
+    case 9: return makeTriangleFree();
+    case 10: return makeMaxDegree(3);
+    default: return makeEdgeParity(7, 0);
+  }
+}
+
+void BM_HomClassSize(benchmark::State& state) {
+  const PropertyPtr prop = propertyByIndex(static_cast<int>(state.range(0)));
+  const int steps = static_cast<int>(state.range(1));
+  std::size_t maxBits = 0;
+  for (auto _ : state) {
+    // Boundary of 3 slots, sliding along a "ladder rail" pattern.
+    HomState s = prop->addVertex(prop->addVertex(prop->empty()));
+    s = prop->addEdge(s, 0, 1, kRealEdge);
+    for (int i = 0; i < steps; ++i) {
+      s = prop->addVertex(s);
+      s = prop->addEdge(s, 1, 2, kRealEdge);
+      if (i % 3 == 0) s = prop->addEdge(s, 0, 2, kRealEdge);
+      s = prop->forget(s, 0);
+      maxBits = std::max(maxBits, s.encodedBits());
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel(prop->name());
+  state.counters["maxStateBits"] = static_cast<double>(maxBits);
+}
+BENCHMARK(BM_HomClassSize)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, {100, 10000}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Experiment E1: certificate size vs n — the paper's headline.
+//
+// Compares, on random connected pathwidth-<=k graphs:
+//   * core    — this paper's scheme, Θ(log n) bits      (Theorem 1)
+//   * fmrt    — the [FMR+24]-style baseline, Θ(log² n)  (prior work)
+//   * trivial — ship-the-graph, Θ(n log n)
+// Reported counters are MAX label bits.  Shapes to observe: `trivial`
+// explodes linearly, `fmrt` grows with log²(n), `core` stays essentially
+// flat (its constant — the paper's f/g/h — dominates at these sizes).
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/fmrt.hpp"
+#include "core/scheme.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+#include "pls/classic.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+BoundedPathwidthGraph instance(int k, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  return randomBoundedPathwidth(n, k, 0.4, rng);
+}
+
+void BM_CoreLabelSize(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto bp = instance(k, n, 7);
+  const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+  const auto ids = IdAssignment::random(n, 9);
+  std::size_t maxBits = 0;
+  double totalBits = 0;
+  for (auto _ : state) {
+    const auto r = proveCore(bp.graph, ids, *makeConnectivity(), &rep);
+    maxBits = r.stats.maxLabelBits;
+    totalBits = static_cast<double>(r.stats.totalLabelBits);
+    benchmark::DoNotOptimize(r.labels);
+  }
+  state.counters["maxLabelBits"] = static_cast<double>(maxBits);
+  state.counters["avgLabelBits"] = totalBits / bp.graph.numEdges();
+}
+BENCHMARK(BM_CoreLabelSize)
+    ->ArgsProduct({{1, 2}, {64, 256, 1024, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+// Fixed-structure pathwidth-2 family (cycles): here the k-dependent
+// constants cannot drift with n, so the O(log n) claim shows as an
+// essentially flat row (only the identifier width grows).
+void BM_CoreLabelSizeCycles(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = cycleGraph(n);
+  const auto ids = IdAssignment::random(n, 9);
+  std::size_t maxBits = 0;
+  for (auto _ : state) {
+    const auto r = proveCore(g, ids, *makeCycleProperty());
+    maxBits = r.stats.maxLabelBits;
+    benchmark::DoNotOptimize(r.labels);
+  }
+  state.counters["maxLabelBits"] = static_cast<double>(maxBits);
+}
+BENCHMARK(BM_CoreLabelSizeCycles)
+    ->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FmrtLabelSize(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto bp = instance(k, n, 7);
+  const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+  const auto ids = IdAssignment::random(n, 9);
+  std::size_t maxBits = 0;
+  double totalBits = 0;
+  for (auto _ : state) {
+    const auto r = proveFmrt(bp.graph, ids, *makeConnectivity(), &rep);
+    maxBits = r.maxLabelBits;
+    totalBits = static_cast<double>(r.totalLabelBits);
+    benchmark::DoNotOptimize(r.labels);
+  }
+  state.counters["maxLabelBits"] = static_cast<double>(maxBits);
+  state.counters["avgLabelBits"] = totalBits / n;
+}
+BENCHMARK(BM_FmrtLabelSize)
+    ->ArgsProduct({{1, 2}, {64, 256, 1024, 4096}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrivialLabelSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto bp = instance(2, n, 7);
+  const auto ids = IdAssignment::random(n, 9);
+  std::size_t maxBits = 0;
+  for (auto _ : state) {
+    const auto labels = proveTrivial(bp.graph, ids);
+    maxBits = labels[0].size() * 8;
+    benchmark::DoNotOptimize(labels);
+  }
+  state.counters["maxLabelBits"] = static_cast<double>(maxBits);
+}
+BENCHMARK(BM_TrivialLabelSize)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

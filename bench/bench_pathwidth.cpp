@@ -1,0 +1,63 @@
+// Experiment E8: the pathwidth substrate — exact subset-DP solver runtime
+// vs n, and the greedy heuristic's width quality relative to the exact
+// optimum on small random graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "pathwidth/pathwidth.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+void BM_ExactSolver(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Graph g = randomConnected(static_cast<VertexId>(n), 0.25, rng);
+  int pw = -1;
+  for (auto _ : state) {
+    const auto layout = exactVertexSeparation(g, 24);
+    pw = layout->cost;
+    benchmark::DoNotOptimize(layout);
+  }
+  state.counters["pathwidth"] = pw;
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ExactSolver)->DenseRange(10, 20, 2)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_GreedyHeuristic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const Graph g = randomConnected(static_cast<VertexId>(n), 0.15, rng);
+  int cost = -1;
+  for (auto _ : state) {
+    const Layout l = greedyVertexSeparation(g);
+    cost = l.cost;
+    benchmark::DoNotOptimize(l);
+  }
+  state.counters["greedyWidth"] = cost;
+}
+BENCHMARK(BM_GreedyHeuristic)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_GreedyQualityGap(benchmark::State& state) {
+  // Average (greedy - exact) gap over random 14-vertex graphs.
+  int gap = 0;
+  int cases = 0;
+  for (auto _ : state) {
+    Rng rng(static_cast<std::uint64_t>(cases) * 7 + 1);
+    const Graph g = randomConnected(14, 0.22, rng);
+    const auto exact = exactVertexSeparation(g);
+    const Layout greedy = greedyVertexSeparation(g);
+    gap += greedy.cost - exact->cost;
+    ++cases;
+    benchmark::DoNotOptimize(greedy);
+  }
+  state.counters["avgGap"] = static_cast<double>(gap) / cases;
+}
+BENCHMARK(BM_GreedyQualityGap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

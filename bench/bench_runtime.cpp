@@ -1,0 +1,72 @@
+// Experiment E4: prover and verifier running time vs n at fixed k.
+// Both should scale near-linearly (the per-vertex verifier does constant
+// work for fixed k; the prover is dominated by the Prop 4.6/5.6 pipeline).
+
+#include <benchmark/benchmark.h>
+
+#include "core/scheme.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+struct Instance {
+  Graph g;
+  IntervalRepresentation rep;
+  IdAssignment ids;
+};
+
+Instance instance(int k, int n) {
+  Rng rng(41);
+  auto bp = randomBoundedPathwidth(n, k, 0.4, rng);
+  Instance out{std::move(bp.graph),
+               IntervalRepresentation::fromPairs(bp.intervals),
+               IdAssignment::random(n, 13)};
+  return out;
+}
+
+void BM_Prover(benchmark::State& state) {
+  const auto inst = instance(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto r = proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep);
+    benchmark::DoNotOptimize(r.labels);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Prover)->RangeMultiplier(4)->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_Verifier(benchmark::State& state) {
+  const auto inst = instance(2, static_cast<int>(state.range(0)));
+  const auto proved = proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep);
+  const auto verifier = makeCoreVerifier(makeConnectivity());
+  for (auto _ : state) {
+    const auto res = simulateEdgeScheme(inst.g, inst.ids, proved.labels, verifier);
+    benchmark::DoNotOptimize(res.allAccept);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Verifier)->RangeMultiplier(4)->Range(64, 4096)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_SingleVertexVerification(benchmark::State& state) {
+  // The cost of ONE vertex's local check (what a real processor pays).
+  const auto inst = instance(2, 1024);
+  const auto proved = proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep);
+  const auto verifier = makeCoreVerifier(makeConnectivity());
+  EdgeView view;
+  view.selfId = inst.ids.id(0);
+  for (const Arc& a : inst.g.arcs(0)) {
+    view.incidentLabels.push_back(proved.labels[static_cast<std::size_t>(a.edge)]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier(view));
+  }
+}
+BENCHMARK(BM_SingleVertexVerification)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

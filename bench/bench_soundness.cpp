@@ -1,0 +1,91 @@
+// Experiments E6 + E7: soundness measurements.
+//
+// E7 (the Ω(log n) lower-bound pair): the is-path verifier must reject
+// EVERY labeling of a cycle — we report the rejection rate over adversarial
+// labelings derived from honest path certificates (must be 100%).
+//
+// E6: corruption-detection rate of the verifier under each mutation kind on
+// TRUE instances (an accepted mutant would merely be an alternative valid
+// proof; the rate shows how brittle certificates are to tampering), plus
+// cross-property label transplants (must always be rejected).
+
+#include <benchmark/benchmark.h>
+
+#include "core/scheme.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+void BM_PathsVsCycles(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph cycle = cycleGraph(n);
+  const Graph path = pathGraph(n);
+  const auto ids = IdAssignment::random(n, 3);
+  const auto verifier = makeCoreVerifier(makePathProperty());
+  const auto honest = proveCore(path, ids, *makePathProperty());
+  Rng rng(9);
+  int rejected = 0;
+  int total = 0;
+  for (auto _ : state) {
+    auto labels = honest.labels;
+    labels.push_back(labels[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(labels.size()) - 1))]);
+    std::shuffle(labels.begin(), labels.end(), rng.engine());
+    (void)mutateLabels(labels, static_cast<Mutation>(total % 5), rng);
+    rejected += simulateEdgeScheme(cycle, ids, labels, verifier).allAccept ? 0 : 1;
+    ++total;
+  }
+  state.counters["rejectionRatePct"] = 100.0 * rejected / total;
+  state.counters["acceptedForgeries"] = total - rejected;  // must be 0
+}
+BENCHMARK(BM_PathsVsCycles)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_MutationDetection(benchmark::State& state) {
+  const auto kind = static_cast<Mutation>(state.range(0));
+  const Graph g = cycleGraph(24);
+  const auto ids = IdAssignment::random(24, 5);
+  const auto honest = proveCore(g, ids, *makeCycleProperty());
+  const auto verifier = makeCoreVerifier(makeCycleProperty());
+  Rng rng(7);
+  int rejected = 0;
+  int applied = 0;
+  for (auto _ : state) {
+    auto labels = honest.labels;
+    if (!mutateLabels(labels, kind, rng)) continue;
+    ++applied;
+    rejected += simulateEdgeScheme(g, ids, labels, verifier).allAccept ? 0 : 1;
+  }
+  static const char* names[] = {"flipBit", "swapPair", "truncate", "duplicate",
+                                "scramble"};
+  state.SetLabel(names[state.range(0)]);
+  state.counters["detectionRatePct"] =
+      applied == 0 ? 0 : 100.0 * rejected / applied;
+}
+BENCHMARK(BM_MutationDetection)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_CrossPropertyTransplant(benchmark::State& state) {
+  // Labels proving connectivity fed to verifiers of stronger properties on
+  // instances where those properties FAIL: must always be rejected.
+  const Graph g = cycleGraph(9);  // odd cycle: not bipartite, not a forest
+  const auto ids = IdAssignment::random(9, 11);
+  const auto honest = proveCore(g, ids, *makeConnectivity());
+  const auto bip = makeCoreVerifier(makeColorability(2));
+  const auto forest = makeCoreVerifier(makeForest());
+  int accepted = 0;
+  int total = 0;
+  for (auto _ : state) {
+    accepted += simulateEdgeScheme(g, ids, honest.labels, bip).allAccept;
+    accepted += simulateEdgeScheme(g, ids, honest.labels, forest).allAccept;
+    total += 2;
+  }
+  state.counters["acceptedForgeries"] = accepted;  // must be 0
+  state.counters["attempts"] = total;
+}
+BENCHMARK(BM_CrossPropertyTransplant)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

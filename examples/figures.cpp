@@ -1,0 +1,65 @@
+// Regenerates the paper's illustrative figures as text artifacts
+// (experiment F1 in DESIGN.md): Figure 1's 6-cycle path decomposition and
+// interval representation, the lane partition / completion of Section 4,
+// the V-insert/E-insert construction of Figure 7, and a hierarchical
+// decomposition dump in the style of Figure 10.
+
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "klane/hierarchy.hpp"
+#include "lane/embedding.hpp"
+#include "lanewidth/lanewidth.hpp"
+#include "pathwidth/pathwidth.hpp"
+
+using namespace lanecert;
+
+int main() {
+  // --- Figure 1: the 6-cycle a..f = 0..5 -------------------------------
+  std::printf("=== Figure 1: path decomposition of the 6-cycle ===\n");
+  const Graph c6 = cycleGraph(6);
+  const PathDecomposition pd({{0, 1, 2}, {0, 2, 3}, {0, 3, 4}, {0, 4, 5}});
+  std::printf("%s", pd.toString().c_str());
+  std::printf("valid: %s, width: %d (pathwidth 2)\n\n",
+              pd.isValidFor(c6) ? "yes" : "NO", pd.width());
+
+  const IntervalRepresentation rep = toIntervalRepresentation(pd, 6);
+  std::printf("interval representation (width %d):\n%s\n", rep.width(),
+              rep.toString().c_str());
+
+  // --- Section 4: lanes, weak completion, completion --------------------
+  std::printf("=== Figure 3 style: lane partition and completion ===\n");
+  const LanePlan plan = buildLanePlan(c6, rep);
+  std::printf("%s", plan.lanes.toString().c_str());
+  std::printf("max embedding congestion: %d\n", plan.maxCongestion);
+  for (const EmbeddedEdge& emb : plan.embeddings) {
+    std::printf("  %s edge {%d,%d} via path:",
+                emb.edge.kind == CompletionEdge::Kind::kLane ? "lane" : "init",
+                emb.edge.u, emb.edge.v);
+    for (VertexId v : emb.path) std::printf(" %d", v);
+    std::printf("\n");
+  }
+
+  // --- Figure 7: a lanewidth construction ------------------------------
+  std::printf("\n=== Figure 7 style: V-insert / E-insert construction ===\n");
+  const ConstructionSequence seq = buildConstruction(c6, rep, plan.lanes);
+  std::printf("initial path:");
+  for (VertexId v : seq.initialPath) std::printf(" %d", v);
+  std::printf("\n");
+  for (const ConstructionOp& op : seq.ops) {
+    if (op.kind == ConstructionOp::Kind::kVInsert) {
+      std::printf("  V-insert(lane %d) -> vertex %d\n", op.i, op.vertex);
+    } else {
+      std::printf("  E-insert(lane %d, lane %d)\n", op.i, op.j);
+    }
+  }
+
+  // --- Figure 10: the hierarchical decomposition -----------------------
+  std::printf("\n=== Figure 10 style: hierarchical decomposition ===\n");
+  const HierarchyResult hier = buildHierarchy(seq);
+  std::printf("%s", hier.hierarchy.toString().c_str());
+  std::printf("depth %d <= 2w = %d (Observation 5.5)\n",
+              hier.hierarchy.depth(), 2 * seq.numLanes());
+  return 0;
+}

@@ -1,0 +1,199 @@
+// lanecert_cli — command-line driver for the certification pipeline.
+//
+//   lanecert_cli info   <edgelist>                    structural report
+//   lanecert_cli prove  <edgelist> <property> <out>   write certificates
+//   lanecert_cli verify <edgelist> <property> <in>    run the local verifier
+//   lanecert_cli props                                list property names
+//
+// Edge-list format: first line "n m", then one "u v" line per edge
+// (see graph/io.hpp).  Certificates are stored one hex line per edge.
+// Vertex identifiers are derived deterministically from the file
+// (identity assignment) so prove/verify runs agree across invocations.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/scheme.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/io.hpp"
+#include "mso/properties.hpp"
+#include "pathwidth/pathwidth.hpp"
+
+using namespace lanecert;
+
+namespace {
+
+PropertyPtr parseProperty(const std::string& name) {
+  auto intSuffix = [&name](const char* prefix) -> int {
+    const std::size_t len = std::string(prefix).size();
+    if (name.rfind(prefix, 0) != 0) return -1;
+    return std::atoi(name.c_str() + len);
+  };
+  if (name == "forest") return makeForest();
+  if (name == "connectivity") return makeConnectivity();
+  if (name == "bipartite" || name == "2col") return makeColorability(2);
+  if (name == "3col") return makeColorability(3);
+  if (name == "is-path") return makePathProperty();
+  if (name == "is-cycle") return makeCycleProperty();
+  if (name == "matching") return makePerfectMatching();
+  if (name == "ham-cycle") return makeHamiltonianCycle();
+  if (name == "ham-path") return makeHamiltonianPath();
+  if (name == "triangle-free") return makeTriangleFree();
+  if (int c = intSuffix("vc:"); c >= 0) return makeVertexCover(c);
+  if (int c = intSuffix("dom:"); c >= 0) return makeDominatingSet(c);
+  if (int c = intSuffix("ind:"); c >= 0) return makeIndependentSet(c);
+  if (int d = intSuffix("maxdeg:"); d >= 0) return makeMaxDegree(d);
+  return nullptr;
+}
+
+void listProperties() {
+  std::printf(
+      "properties:\n"
+      "  forest connectivity bipartite 3col is-path is-cycle matching\n"
+      "  ham-cycle ham-path triangle-free vc:<c> dom:<c> ind:<c> maxdeg:<d>\n");
+}
+
+Graph loadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return fromEdgeList(buf.str());
+}
+
+std::string toHex(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  return out;
+}
+
+std::string fromHex(const std::string& hex) {
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw std::runtime_error("bad hex digit");
+  };
+  if (hex.size() % 2 != 0) throw std::runtime_error("odd hex length");
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+int cmdInfo(const std::string& file) {
+  const Graph g = loadGraph(file);
+  std::printf("%s, connected: %s\n", g.summary().c_str(),
+              isConnected(g) ? "yes" : "no");
+  const auto exact = exactPathwidth(g, 18);
+  if (exact) {
+    std::printf("pathwidth (exact): %d\n", *exact);
+  } else {
+    const Layout greedy = greedyVertexSeparation(g);
+    std::printf("pathwidth (greedy upper bound): %d\n", greedy.cost);
+  }
+  const auto d = degeneracyOrient(g);
+  std::printf("degeneracy: %d, max degree: %d\n", d.degeneracy, maxDegree(g));
+  return 0;
+}
+
+int cmdProve(const std::string& file, const std::string& propName,
+             const std::string& outFile) {
+  const Graph g = loadGraph(file);
+  const PropertyPtr prop = parseProperty(propName);
+  if (!prop) {
+    std::fprintf(stderr, "unknown property '%s'\n", propName.c_str());
+    listProperties();
+    return 2;
+  }
+  const IdAssignment ids = IdAssignment::identity(g.numVertices());
+  const CoreProveResult r = proveCore(g, ids, *prop);
+  if (!r.propertyHolds) {
+    std::printf("property '%s' does NOT hold; no certificates exist\n",
+                prop->name().c_str());
+    return 1;
+  }
+  std::ofstream out(outFile);
+  for (const std::string& l : r.labels) out << toHex(l) << '\n';
+  std::printf(
+      "certified '%s': %d labels, max %zu bits (lanes=%d depth=%d cong=%d)\n",
+      prop->name().c_str(), g.numEdges(), r.stats.maxLabelBits,
+      r.stats.numLanes, r.stats.hierarchyDepth, r.stats.maxCongestion);
+  std::printf("wrote %s\n", outFile.c_str());
+  return 0;
+}
+
+int cmdVerify(const std::string& file, const std::string& propName,
+              const std::string& labelFile) {
+  const Graph g = loadGraph(file);
+  const PropertyPtr prop = parseProperty(propName);
+  if (!prop) {
+    std::fprintf(stderr, "unknown property '%s'\n", propName.c_str());
+    return 2;
+  }
+  std::ifstream in(labelFile);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", labelFile.c_str());
+    return 2;
+  }
+  std::vector<std::string> labels;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) labels.push_back(fromHex(line));
+  }
+  if (labels.size() != static_cast<std::size_t>(g.numEdges())) {
+    std::fprintf(stderr, "expected %d labels, found %zu\n", g.numEdges(),
+                 labels.size());
+    return 2;
+  }
+  const IdAssignment ids = IdAssignment::identity(g.numVertices());
+  const auto res = simulateEdgeScheme(g, ids, labels, makeCoreVerifier(prop));
+  if (res.allAccept) {
+    std::printf("ACCEPT: all %d vertices verified '%s'\n", g.numVertices(),
+                prop->name().c_str());
+    return 0;
+  }
+  std::printf("REJECT: %zu vertex(es) raised alarms:", res.rejecting.size());
+  for (std::size_t i = 0; i < res.rejecting.size() && i < 10; ++i) {
+    std::printf(" %d", res.rejecting[i]);
+  }
+  std::printf("\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 1 && args[0] == "props") {
+      listProperties();
+      return 0;
+    }
+    if (args.size() == 2 && args[0] == "info") return cmdInfo(args[1]);
+    if (args.size() == 4 && args[0] == "prove") {
+      return cmdProve(args[1], args[2], args[3]);
+    }
+    if (args.size() == 4 && args[0] == "verify") {
+      return cmdVerify(args[1], args[2], args[3]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  lanecert_cli info   <edgelist>\n"
+               "  lanecert_cli prove  <edgelist> <property> <labels-out>\n"
+               "  lanecert_cli verify <edgelist> <property> <labels-in>\n"
+               "  lanecert_cli props\n");
+  return 2;
+}

@@ -1,0 +1,50 @@
+// Corollary 1.2 in action: certifying F-minor-free graph classes with
+// O(log n)-bit labels.
+//
+// The Excluding Forest Theorem (Robertson–Seymour) says every F-minor-free
+// class (F a forest) has bounded pathwidth, so Theorem 1 applies.  The
+// simplest instance is F = K3 ("triangle minor"): K3-minor-free == forest.
+// This example certifies forests of growing size and prints the label-size
+// column — the paper's headline O(log n) — next to log2(n) for comparison.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/scheme.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+
+using namespace lanecert;
+
+int main() {
+  std::printf("certifying K3-minor-freeness (forests) with Theorem 1\n\n");
+  std::printf("%8s %12s %14s %10s %8s\n", "n", "maxLabel(b)", "label/log2(n)",
+              "lanes", "depth");
+  for (int spine : {8, 32, 128, 512, 2048}) {
+    const Graph g = caterpillar(spine, 1);
+    const IdAssignment ids = IdAssignment::random(g.numVertices(), 11);
+    const CoreRunResult r = proveAndVerifyEdges(g, ids, makeForest());
+    if (!r.propertyHolds || !r.sim.allAccept) {
+      std::printf("unexpected failure at spine=%d\n", spine);
+      return 1;
+    }
+    const double logn = std::log2(static_cast<double>(g.numVertices()));
+    std::printf("%8d %12zu %14.0f %10d %8d\n", g.numVertices(),
+                r.sim.maxLabelBits,
+                static_cast<double>(r.sim.maxLabelBits) / logn,
+                r.stats.numLanes, r.stats.hierarchyDepth);
+  }
+  std::printf(
+      "\nthe label column is flat up to the O(log n) identifier growth —\n"
+      "the 16x-larger instance does NOT pay 16x larger certificates.\n");
+
+  // Negative control: a unicyclic graph is NOT K3-minor-free; the prover
+  // refuses, and (tested extensively in tests/) no labeling is accepted.
+  Graph cyclic = caterpillar(8, 1);
+  cyclic.addEdge(0, 7);
+  const IdAssignment ids = IdAssignment::random(cyclic.numVertices(), 3);
+  const CoreRunResult bad = proveAndVerifyEdges(cyclic, ids, makeForest());
+  std::printf("\nnegative control (graph with a cycle): prover says %s\n",
+              bad.propertyHolds ? "HOLDS?!" : "property violated — no certificate");
+  return bad.propertyHolds ? 1 : 0;
+}

@@ -1,0 +1,334 @@
+#include "baseline/fmrt.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+#include "pathwidth/pathwidth.hpp"
+#include "pls/codec.hpp"
+
+namespace lanecert {
+
+namespace {
+
+/// One decomposition-tree record carried in vertex labels.
+struct TreeRec {
+  int lo = 0;
+  int hi = 0;
+  int mid = -1;  ///< -1 for leaves
+  std::vector<std::uint64_t> boundary;  ///< slot order of `state`
+  std::string state;
+  std::vector<std::uint64_t> leftBoundary;
+  std::string leftState;
+  std::vector<std::uint64_t> rightBoundary;
+  std::string rightState;
+
+  void encodeTo(Encoder& enc) const {
+    enc.u64(static_cast<std::uint64_t>(lo));
+    enc.u64(static_cast<std::uint64_t>(hi));
+    enc.i64(mid);
+    auto ids = [&enc](const std::vector<std::uint64_t>& v) {
+      enc.u64(v.size());
+      for (std::uint64_t x : v) enc.u64(x);
+    };
+    ids(boundary);
+    enc.bytes(state);
+    ids(leftBoundary);
+    enc.bytes(leftState);
+    ids(rightBoundary);
+    enc.bytes(rightState);
+  }
+  static TreeRec decodeFrom(Decoder& dec) {
+    TreeRec r;
+    r.lo = static_cast<int>(dec.u64());
+    r.hi = static_cast<int>(dec.u64());
+    r.mid = static_cast<int>(dec.i64());
+    auto ids = [&dec] {
+      std::vector<std::uint64_t> v;
+      const std::uint64_t n = dec.u64();
+      if (n > (1u << 16)) throw DecodeError{};
+      for (std::uint64_t i = 0; i < n; ++i) v.push_back(dec.u64());
+      return v;
+    };
+    r.boundary = ids();
+    r.state = dec.bytes();
+    r.leftBoundary = ids();
+    r.leftState = dec.bytes();
+    r.rightBoundary = ids();
+    r.rightState = dec.bytes();
+    return r;
+  }
+  [[nodiscard]] std::string encoded() const {
+    Encoder enc;
+    encodeTo(enc);
+    return enc.take();
+  }
+};
+
+int slotIndexOf(const std::vector<std::uint64_t>& slots, std::uint64_t id) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == id) return static_cast<int>(i);
+  }
+  throw DecodeError{};
+}
+
+/// Replays the deterministic merge of two child summaries, keeping exactly
+/// the ids in `keep` (in derivation order).  Shared ids are identified.
+std::pair<std::vector<std::uint64_t>, HomState> mergeChildren(
+    const Property& prop, const std::vector<std::uint64_t>& leftB,
+    const HomState& left, const std::vector<std::uint64_t>& rightB,
+    const HomState& right, const std::set<std::uint64_t>& keep) {
+  std::vector<std::uint64_t> slots = leftB;
+  slots.insert(slots.end(), rightB.begin(), rightB.end());
+  HomState s = prop.join(left, right);
+  const std::set<std::uint64_t> leftSet(leftB.begin(), leftB.end());
+  for (std::uint64_t id : rightB) {
+    if (leftSet.count(id) == 0) continue;
+    // Identify the left copy with the right copy (positions recomputed
+    // because earlier identifications shift slots).
+    int first = -1;
+    int second = -1;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] == id) {
+        (first < 0 ? first : second) = static_cast<int>(i);
+      }
+    }
+    if (second < 0) throw DecodeError{};
+    s = prop.identify(s, first, second);
+    slots.erase(slots.begin() + second);
+  }
+  for (int i = static_cast<int>(slots.size()) - 1; i >= 0; --i) {
+    if (keep.count(slots[static_cast<std::size_t>(i)]) == 0) {
+      s = prop.forget(s, i);
+      slots.erase(slots.begin() + i);
+    }
+  }
+  return {std::move(slots), std::move(s)};
+}
+
+/// Prover-side builder over a balanced bag-interval tree.
+class FmrtBuilder {
+ public:
+  FmrtBuilder(const Graph& g, const IdAssignment& ids, const Property& prop,
+              const PathDecomposition& pd)
+      : g_(g), ids_(ids), prop_(prop), pd_(pd) {
+    const auto n = static_cast<std::size_t>(g.numVertices());
+    first_.assign(n, -1);
+    for (std::size_t i = 0; i < pd.numBags(); ++i) {
+      for (VertexId v : pd.bag(i)) {
+        if (first_[static_cast<std::size_t>(v)] == -1) {
+          first_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+        }
+      }
+    }
+    edgesOfBag_.resize(pd.numBags());
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+      const Edge& edge = g.edge(e);
+      const int bag = std::max(first_[static_cast<std::size_t>(edge.u)],
+                               first_[static_cast<std::size_t>(edge.v)]);
+      edgesOfBag_[static_cast<std::size_t>(bag)].push_back(e);
+    }
+  }
+
+  /// Builds the subtree over bags [lo, hi]; returns (boundary, state) and
+  /// records every node in records_.
+  std::pair<std::vector<std::uint64_t>, HomState> build(int lo, int hi);
+
+  [[nodiscard]] const TreeRec& record(int lo, int hi) const {
+    return records_.at({lo, hi});
+  }
+  [[nodiscard]] int firstBag(VertexId v) const {
+    return first_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  std::set<std::uint64_t> boundaryIdSet(int lo, int hi) const {
+    std::set<std::uint64_t> out;
+    for (VertexId v : pd_.bag(static_cast<std::size_t>(lo))) out.insert(ids_.id(v));
+    for (VertexId v : pd_.bag(static_cast<std::size_t>(hi))) out.insert(ids_.id(v));
+    return out;
+  }
+
+  const Graph& g_;
+  const IdAssignment& ids_;
+  const Property& prop_;
+  const PathDecomposition& pd_;
+  std::vector<int> first_;
+  std::vector<std::vector<EdgeId>> edgesOfBag_;
+  std::map<std::pair<int, int>, TreeRec> records_;
+};
+
+std::pair<std::vector<std::uint64_t>, HomState> FmrtBuilder::build(int lo, int hi) {
+  TreeRec rec;
+  rec.lo = lo;
+  rec.hi = hi;
+  std::vector<std::uint64_t> boundary;
+  HomState state;
+  if (lo == hi) {
+    // Leaf: the bag's vertices (sorted by id) plus its assigned edges.
+    std::vector<VertexId> bag = pd_.bag(static_cast<std::size_t>(lo));
+    std::sort(bag.begin(), bag.end(), [this](VertexId a, VertexId b) {
+      return ids_.id(a) < ids_.id(b);
+    });
+    state = prop_.empty();
+    for (VertexId v : bag) {
+      state = prop_.addVertex(state);
+      boundary.push_back(ids_.id(v));
+    }
+    for (EdgeId e : edgesOfBag_[static_cast<std::size_t>(lo)]) {
+      const Edge& edge = g_.edge(e);
+      state = prop_.addEdge(state, slotIndexOf(boundary, ids_.id(edge.u)),
+                            slotIndexOf(boundary, ids_.id(edge.v)), kRealEdge);
+    }
+  } else {
+    const int mid = lo + (hi - lo) / 2;
+    rec.mid = mid;
+    auto [leftB, leftS] = build(lo, mid);
+    auto [rightB, rightS] = build(mid + 1, hi);
+    std::tie(boundary, state) = mergeChildren(prop_, leftB, leftS, rightB,
+                                              rightS, boundaryIdSet(lo, hi));
+    rec.leftBoundary = std::move(leftB);
+    rec.leftState = leftS.encoding();
+    rec.rightBoundary = std::move(rightB);
+    rec.rightState = rightS.encoding();
+  }
+  rec.boundary = boundary;
+  rec.state = state.encoding();
+  records_.emplace(std::make_pair(lo, hi), std::move(rec));
+  return {std::move(boundary), std::move(state)};
+}
+
+}  // namespace
+
+FmrtResult proveFmrt(const Graph& g, const IdAssignment& ids,
+                     const Property& prop, const IntervalRepresentation* rep) {
+  if (!isConnected(g)) {
+    throw std::invalid_argument("proveFmrt: graph must be connected");
+  }
+  FmrtResult out;
+  if (g.numVertices() == 0) {
+    out.propertyHolds = prop.accepts(prop.empty());
+    return out;
+  }
+  const IntervalRepresentation localRep =
+      rep != nullptr ? *rep : bestIntervalRepresentation(g);
+  const PathDecomposition pd = toPathDecomposition(localRep);
+  FmrtBuilder builder(g, ids, prop, pd);
+  const int hiBag = static_cast<int>(pd.numBags()) - 1;
+  auto [rootB, rootS] = builder.build(0, hiBag);
+  (void)rootB;
+  if (!prop.accepts(rootS)) {
+    out.propertyHolds = false;
+    return out;
+  }
+  out.propertyHolds = true;
+
+  out.labels.resize(static_cast<std::size_t>(g.numVertices()));
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    // Root-to-leaf record stack of this vertex's first bag.
+    Encoder enc;
+    std::vector<const TreeRec*> stack;
+    int lo = 0;
+    int hi = hiBag;
+    const int target = builder.firstBag(v);
+    while (true) {
+      stack.push_back(&builder.record(lo, hi));
+      if (lo == hi) break;
+      const int mid = lo + (hi - lo) / 2;
+      if (target <= mid) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    out.treeDepth = std::max(out.treeDepth, static_cast<int>(stack.size()));
+    enc.u64(stack.size());
+    for (const TreeRec* r : stack) r->encodeTo(enc);
+    out.labels[static_cast<std::size_t>(v)] = enc.take();
+  }
+  for (const std::string& l : out.labels) {
+    out.maxLabelBits = std::max(out.maxLabelBits, l.size() * 8);
+    out.totalLabelBits += l.size() * 8;
+  }
+  return out;
+}
+
+VertexVerifier makeFmrtVerifier(PropertyPtr prop) {
+  return [prop = std::move(prop)](const VertexView& view) -> bool {
+    try {
+      auto parse = [](const std::string& bytes) {
+        Decoder dec(bytes);
+        const std::uint64_t n = dec.u64();
+        if (n == 0 || n > 64) throw DecodeError{};
+        std::vector<TreeRec> recs;
+        for (std::uint64_t i = 0; i < n; ++i) {
+          recs.push_back(TreeRec::decodeFrom(dec));
+        }
+        if (!dec.atEnd()) throw DecodeError{};
+        return recs;
+      };
+      const std::vector<TreeRec> own = parse(view.selfLabel);
+
+      // Chain shape and merge recomputation.
+      for (std::size_t i = 0; i < own.size(); ++i) {
+        const TreeRec& r = own[i];
+        if (r.lo > r.hi) return false;
+        if (i + 1 < own.size()) {
+          const TreeRec& child = own[i + 1];
+          if (r.mid < r.lo || r.mid >= r.hi) return false;
+          const bool isLeft = child.lo == r.lo && child.hi == r.mid;
+          const bool isRight = child.lo == r.mid + 1 && child.hi == r.hi;
+          if (!isLeft && !isRight) return false;
+          if (isLeft && (child.boundary != r.leftBoundary ||
+                         child.state != r.leftState)) {
+            return false;
+          }
+          if (isRight && (child.boundary != r.rightBoundary ||
+                          child.state != r.rightState)) {
+            return false;
+          }
+        } else {
+          if (r.lo != r.hi || r.mid != -1) return false;  // must end at a leaf
+        }
+        if (r.mid >= 0) {
+          const HomState left = prop->decodeState(r.leftState);
+          const HomState right = prop->decodeState(r.rightState);
+          if (prop->slotCount(left) != static_cast<int>(r.leftBoundary.size()) ||
+              prop->slotCount(right) != static_cast<int>(r.rightBoundary.size())) {
+            return false;
+          }
+          const std::set<std::uint64_t> keep(r.boundary.begin(), r.boundary.end());
+          auto [slots, state] = mergeChildren(*prop, r.leftBoundary, left,
+                                              r.rightBoundary, right, keep);
+          if (slots != r.boundary || state.encoding() != r.state) return false;
+        }
+      }
+      // My leaf must contain me.
+      const TreeRec& leaf = own.back();
+      if (std::find(leaf.boundary.begin(), leaf.boundary.end(), view.selfId) ==
+          leaf.boundary.end()) {
+        return false;
+      }
+      // Root acceptance.
+      if (own[0].lo != 0) return false;
+      if (!prop->accepts(prop->decodeState(own[0].state))) return false;
+
+      // Neighbor agreement on shared tree nodes.
+      std::map<std::pair<int, int>, std::string> seen;
+      for (const TreeRec& r : own) seen[{r.lo, r.hi}] = r.encoded();
+      for (const std::string& nl : view.neighborLabels) {
+        for (const TreeRec& r : parse(nl)) {
+          const auto it = seen.find({r.lo, r.hi});
+          if (it != seen.end() && it->second != r.encoded()) return false;
+        }
+      }
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+}
+
+}  // namespace lanecert

@@ -1,0 +1,217 @@
+#include "core/algebra.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace lanecert {
+
+namespace {
+
+int slotIndexOf(const std::vector<std::uint64_t>& slots, std::uint64_t id) {
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == id) return static_cast<int>(i);
+  }
+  throw DecodeError{};
+}
+
+void requireDistinct(const std::vector<std::uint64_t>& ids) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id : ids) {
+    if (!seen.insert(id).second) throw DecodeError{};
+  }
+}
+
+std::vector<int> mergedLanes(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> out;
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  if (std::adjacent_find(out.begin(), out.end()) != out.end()) {
+    throw DecodeError{};  // lane sets must be disjoint
+  }
+  return out;
+}
+
+}  // namespace
+
+NodeData LaneAlgebra::baseV(int lane, std::uint64_t vid) const {
+  NodeData d;
+  d.lanes = {lane};
+  d.inTerm.set(lane, vid);
+  d.outTerm.set(lane, vid);
+  d.slots = {vid};
+  d.state = prop_.addVertex(prop_.empty());
+  return d;
+}
+
+NodeData LaneAlgebra::baseE(int lane, std::uint64_t inId, std::uint64_t outId,
+                            bool real) const {
+  if (inId == outId) throw DecodeError{};
+  NodeData d;
+  d.lanes = {lane};
+  d.inTerm.set(lane, inId);
+  d.outTerm.set(lane, outId);
+  d.slots = {inId, outId};
+  HomState s = prop_.addVertex(prop_.addVertex(prop_.empty()));
+  d.state = prop_.addEdge(s, 0, 1, real ? kRealEdge : kVirtualEdge);
+  return d;
+}
+
+NodeData LaneAlgebra::baseP(const std::vector<int>& lanes,
+                            const std::vector<std::uint64_t>& pathIds,
+                            const std::vector<bool>& realFlags) const {
+  if (lanes.size() != pathIds.size() || pathIds.empty() ||
+      realFlags.size() + 1 != pathIds.size()) {
+    throw DecodeError{};
+  }
+  requireDistinct(pathIds);
+  NodeData d;
+  d.lanes = lanes;
+  if (!std::is_sorted(lanes.begin(), lanes.end())) throw DecodeError{};
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    d.inTerm.set(lanes[i], pathIds[i]);
+    d.outTerm.set(lanes[i], pathIds[i]);
+  }
+  d.slots = pathIds;
+  HomState s = prop_.empty();
+  for (std::size_t i = 0; i < pathIds.size(); ++i) s = prop_.addVertex(s);
+  for (std::size_t i = 0; i + 1 < pathIds.size(); ++i) {
+    s = prop_.addEdge(s, static_cast<int>(i), static_cast<int>(i + 1),
+                      realFlags[i] ? kRealEdge : kVirtualEdge);
+  }
+  d.state = std::move(s);
+  return d;
+}
+
+NodeData LaneAlgebra::bridge(const NodeData& a, const NodeData& b, int laneI,
+                             int laneJ, bool real) const {
+  NodeData d;
+  d.lanes = mergedLanes(a.lanes, b.lanes);
+  d.slots = a.slots;
+  d.slots.insert(d.slots.end(), b.slots.begin(), b.slots.end());
+  requireDistinct(d.slots);  // parts are vertex-disjoint
+  for (const auto& [l, id] : a.inTerm.entries) d.inTerm.set(l, id);
+  for (const auto& [l, id] : b.inTerm.entries) d.inTerm.set(l, id);
+  for (const auto& [l, id] : a.outTerm.entries) d.outTerm.set(l, id);
+  for (const auto& [l, id] : b.outTerm.entries) d.outTerm.set(l, id);
+  const int sa = slotIndexOf(a.slots, a.outTerm.at(laneI));
+  const int sb = static_cast<int>(a.slots.size()) +
+                 slotIndexOf(b.slots, b.outTerm.at(laneJ));
+  d.state = prop_.addEdge(prop_.join(a.state, b.state), sa, sb,
+                          real ? kRealEdge : kVirtualEdge);
+  return d;
+}
+
+NodeData LaneAlgebra::parentMerge(const NodeData& child,
+                                  const NodeData& parent) const {
+  if (!std::includes(parent.lanes.begin(), parent.lanes.end(),
+                     child.lanes.begin(), child.lanes.end())) {
+    throw DecodeError{};  // T(child) ⊆ T(parent)
+  }
+  // Gluing points: child's in-terminal IS the parent's out-terminal.
+  std::set<std::uint64_t> glueIds;
+  for (int lane : child.lanes) {
+    const std::uint64_t g = parent.outTerm.at(lane);
+    if (child.inTerm.at(lane) != g) throw DecodeError{};
+    if (!glueIds.insert(g).second) throw DecodeError{};
+  }
+  // The parts may share vertices ONLY at the gluing points.
+  {
+    std::set<std::uint64_t> parentIds(parent.slots.begin(), parent.slots.end());
+    for (std::uint64_t id : child.slots) {
+      if (parentIds.count(id) != 0 && glueIds.count(id) == 0) throw DecodeError{};
+    }
+  }
+
+  NodeData d;
+  d.lanes = parent.lanes;
+  d.inTerm = parent.inTerm;
+  for (int lane : parent.lanes) {
+    d.outTerm.set(lane, std::binary_search(child.lanes.begin(), child.lanes.end(), lane)
+                            ? child.outTerm.at(lane)
+                            : parent.outTerm.at(lane));
+  }
+
+  HomState s = prop_.join(parent.state, child.state);
+  std::vector<std::uint64_t> slots = parent.slots;
+  slots.insert(slots.end(), child.slots.begin(), child.slots.end());
+  // Glue lane by lane (ascending) — each identify removes the child-side
+  // occurrence of the shared identifier.
+  for (int lane : child.lanes) {
+    const std::uint64_t g = parent.outTerm.at(lane);
+    int first = -1;
+    int last = -1;
+    int count = 0;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] == g) {
+        if (first < 0) first = static_cast<int>(i);
+        last = static_cast<int>(i);
+        ++count;
+      }
+    }
+    if (count != 2) throw DecodeError{};
+    s = prop_.identify(s, first, last);
+    slots.erase(slots.begin() + last);
+  }
+  requireDistinct(slots);
+  // Demote everything that is no longer a terminal of the merged graph.
+  std::set<std::uint64_t> keep;
+  for (const auto& [l, id] : d.inTerm.entries) keep.insert(id);
+  for (const auto& [l, id] : d.outTerm.entries) keep.insert(id);
+  for (int i = static_cast<int>(slots.size()) - 1; i >= 0; --i) {
+    if (keep.count(slots[static_cast<std::size_t>(i)]) == 0) {
+      s = prop_.forget(s, i);
+      slots.erase(slots.begin() + i);
+    }
+  }
+  // Every terminal must survive as a slot.
+  for (std::uint64_t id : keep) (void)slotIndexOf(slots, id);
+  d.slots = std::move(slots);
+  d.state = std::move(s);
+  return d;
+}
+
+NodeData LaneAlgebra::fromSummary(const SummaryRec& rec) const {
+  NodeData d;
+  d.lanes = rec.lanes;
+  if (d.lanes.empty()) throw DecodeError{};
+  d.inTerm = rec.inTerm;
+  d.outTerm = rec.outTerm;
+  d.slots = rec.slotOrder;
+  requireDistinct(d.slots);
+  // Terminals defined exactly on the lane set; slots = terminal vertex set.
+  std::set<std::uint64_t> termIds;
+  for (const LaneTerms* t : {&rec.inTerm, &rec.outTerm}) {
+    if (t->entries.size() != rec.lanes.size()) throw DecodeError{};
+    for (const auto& [lane, id] : t->entries) {
+      if (!std::binary_search(rec.lanes.begin(), rec.lanes.end(), lane)) {
+        throw DecodeError{};
+      }
+      termIds.insert(id);
+    }
+  }
+  if (termIds != std::set<std::uint64_t>(d.slots.begin(), d.slots.end())) {
+    throw DecodeError{};
+  }
+  d.state = prop_.decodeState(rec.stateBytes);
+  // Canonicality: re-encoding must reproduce the bytes, and the state's
+  // internal slot count must match the layout.
+  if (d.state.encoding() != rec.stateBytes) throw DecodeError{};
+  if (prop_.slotCount(d.state) != static_cast<int>(d.slots.size())) {
+    throw DecodeError{};
+  }
+  return d;
+}
+
+SummaryRec LaneAlgebra::toSummary(const NodeData& d, std::int64_t nodeId,
+                                  std::uint8_t type) const {
+  SummaryRec rec;
+  rec.nodeId = nodeId;
+  rec.type = type;
+  rec.lanes = d.lanes;
+  rec.inTerm = d.inTerm;
+  rec.outTerm = d.outTerm;
+  rec.slotOrder = d.slots;
+  rec.stateBytes = d.state.encoding();
+  return rec;
+}
+
+}  // namespace lanecert

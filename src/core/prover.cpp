@@ -1,0 +1,308 @@
+#include "core/prover.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "core/algebra.hpp"
+#include "core/records.hpp"
+#include "graph/algorithms.hpp"
+#include "klane/hierarchy.hpp"
+#include "lane/embedding.hpp"
+#include "lanewidth/lanewidth.hpp"
+#include "pathwidth/pathwidth.hpp"
+#include "pls/pointer.hpp"
+
+namespace lanecert {
+
+namespace {
+
+/// Builds every NodeData / record needed for the certificates.
+class CertBuilder {
+ public:
+  CertBuilder(const Graph& g, const IdAssignment& ids, const Property& prop,
+              const HierarchyResult& hier)
+      : g_(g), ids_(ids), alg_(prop), hier_(hier) {}
+
+  /// Computes hom data bottom-up; returns the root NodeData.
+  const NodeData& computeStates();
+
+  /// Chain entry for a base (E/P) or bridge node.
+  ChainEntry entryForOwner(int nodeId) const;
+  /// Chain entry for T-node `tId` relative to child at position `pos`.
+  ChainEntry entryForTree(int tId, int pos) const;
+
+  [[nodiscard]] SummaryRec nodeSummary(int nodeId) const {
+    const HierNode& n = hier_.hierarchy.node(nodeId);
+    return alg_.toSummary(nodeData_[static_cast<std::size_t>(nodeId)], nodeId,
+                          static_cast<std::uint8_t>(n.type));
+  }
+
+  [[nodiscard]] bool edgeIsReal(VertexId u, VertexId v) const {
+    return g_.hasEdge(u, v);
+  }
+  [[nodiscard]] std::uint64_t id(VertexId v) const { return ids_.id(v); }
+  [[nodiscard]] const NodeData& data(int nodeId) const {
+    return nodeData_[static_cast<std::size_t>(nodeId)];
+  }
+
+ private:
+  /// Subtree-merged data TM(T_child) per (T-node, child position).
+  const NodeData& tmData(int tId, int pos) const {
+    return tmData_.at({tId, pos});
+  }
+  SummaryRec tmSummary(int tId, int pos) const {
+    const HierNode& t = hier_.hierarchy.node(tId);
+    const int childId = t.children[static_cast<std::size_t>(pos)];
+    const HierNode& c = hier_.hierarchy.node(childId);
+    return alg_.toSummary(tmData(tId, pos), childId,
+                          static_cast<std::uint8_t>(c.type));
+  }
+
+  const Graph& g_;
+  const IdAssignment& ids_;
+  LaneAlgebra alg_;
+  const HierarchyResult& hier_;
+  std::vector<NodeData> nodeData_;
+  std::map<std::pair<int, int>, NodeData> tmData_;
+};
+
+const NodeData& CertBuilder::computeStates() {
+  const Hierarchy& h = hier_.hierarchy;
+  nodeData_.resize(static_cast<std::size_t>(h.size()));
+  // Node ids are topological (children precede parents by construction).
+  for (int nid = 0; nid < h.size(); ++nid) {
+    const HierNode& n = h.node(nid);
+    NodeData& d = nodeData_[static_cast<std::size_t>(nid)];
+    switch (n.type) {
+      case HierNode::Type::kV:
+        d = alg_.baseV(n.lanes[0], id(n.u));
+        break;
+      case HierNode::Type::kE:
+        d = alg_.baseE(n.laneI, id(n.u), id(n.v), edgeIsReal(n.u, n.v));
+        break;
+      case HierNode::Type::kP: {
+        std::vector<std::uint64_t> pathIds;
+        for (VertexId v : n.pathVertices) pathIds.push_back(id(v));
+        std::vector<bool> flags;
+        for (std::size_t i = 0; i + 1 < n.pathVertices.size(); ++i) {
+          flags.push_back(edgeIsReal(n.pathVertices[i], n.pathVertices[i + 1]));
+        }
+        d = alg_.baseP(n.lanes, pathIds, flags);
+        break;
+      }
+      case HierNode::Type::kB:
+        d = alg_.bridge(data(n.children[0]), data(n.children[1]), n.laneI,
+                        n.laneJ, edgeIsReal(n.u, n.v));
+        break;
+      case HierNode::Type::kT: {
+        // Tree children positions, processed leaves-first (tree children
+        // always have larger node ids than their tree parents).
+        std::vector<int> order(n.children.size());
+        for (std::size_t p = 0; p < n.children.size(); ++p) {
+          order[p] = static_cast<int>(p);
+        }
+        std::sort(order.begin(), order.end(), [&n](int a, int b) {
+          return n.children[static_cast<std::size_t>(a)] >
+                 n.children[static_cast<std::size_t>(b)];
+        });
+        std::vector<std::vector<int>> treeKids(n.children.size());
+        for (std::size_t p = 0; p < n.children.size(); ++p) {
+          if (n.treeParentPos[p] >= 0) {
+            treeKids[static_cast<std::size_t>(n.treeParentPos[p])].push_back(
+                static_cast<int>(p));
+          }
+        }
+        for (int pos : order) {
+          NodeData cur = data(n.children[static_cast<std::size_t>(pos)]);
+          // Deterministic fold order: tree children by smallest lane.
+          std::vector<int> kids = treeKids[static_cast<std::size_t>(pos)];
+          std::sort(kids.begin(), kids.end(), [&](int a, int b) {
+            return h.node(n.children[static_cast<std::size_t>(a)]).lanes[0] <
+                   h.node(n.children[static_cast<std::size_t>(b)]).lanes[0];
+          });
+          for (int q : kids) {
+            cur = alg_.parentMerge(tmData(nid, q), cur);
+          }
+          tmData_.emplace(std::make_pair(nid, pos), std::move(cur));
+        }
+        d = tmData(nid, n.rootChildPos);
+        break;
+      }
+    }
+  }
+  return data(h.root());
+}
+
+ChainEntry CertBuilder::entryForOwner(int nodeId) const {
+  const HierNode& n = hier_.hierarchy.node(nodeId);
+  ChainEntry e;
+  e.self = nodeSummary(nodeId);
+  switch (n.type) {
+    case HierNode::Type::kE:
+      e.kind = ChainEntry::Kind::kBaseE;
+      e.eReal = edgeIsReal(n.u, n.v);
+      break;
+    case HierNode::Type::kP:
+      e.kind = ChainEntry::Kind::kBaseP;
+      for (std::size_t i = 0; i + 1 < n.pathVertices.size(); ++i) {
+        e.pReal.push_back(edgeIsReal(n.pathVertices[i], n.pathVertices[i + 1]));
+      }
+      break;
+    case HierNode::Type::kB:
+      e.kind = ChainEntry::Kind::kBridge;
+      e.laneI = n.laneI;
+      e.laneJ = n.laneJ;
+      e.bridgeReal = edgeIsReal(n.u, n.v);
+      e.part0 = nodeSummary(n.children[0]);
+      e.part1 = nodeSummary(n.children[1]);
+      break;
+    default:
+      throw std::logic_error("entryForOwner: V/T nodes own no edges");
+  }
+  return e;
+}
+
+ChainEntry CertBuilder::entryForTree(int tId, int pos) const {
+  const HierNode& t = hier_.hierarchy.node(tId);
+  ChainEntry e;
+  e.kind = ChainEntry::Kind::kTree;
+  e.self = nodeSummary(tId);
+  e.childId = t.children[static_cast<std::size_t>(pos)];
+  e.childIsRoot = pos == t.rootChildPos;
+  e.childSelf = nodeSummary(static_cast<int>(e.childId));
+  e.subtree = tmSummary(tId, pos);
+  std::vector<int> kids;
+  for (std::size_t q = 0; q < t.children.size(); ++q) {
+    if (t.treeParentPos[q] == pos) kids.push_back(static_cast<int>(q));
+  }
+  std::sort(kids.begin(), kids.end(), [&](int a, int b) {
+    return hier_.hierarchy.node(t.children[static_cast<std::size_t>(a)]).lanes[0] <
+           hier_.hierarchy.node(t.children[static_cast<std::size_t>(b)]).lanes[0];
+  });
+  for (int q : kids) e.treeChildren.push_back(tmSummary(tId, q));
+  return e;
+}
+
+}  // namespace
+
+CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
+                          const Property& prop,
+                          const IntervalRepresentation* rep) {
+  CoreProveResult out;
+  if (!isConnected(g)) {
+    throw std::invalid_argument("proveCore: graph must be connected");
+  }
+  if (g.numVertices() <= 1) {
+    // Degenerate single-vertex (or empty) network: no edges, no labels.
+    const LaneAlgebra alg(prop);
+    out.propertyHolds = g.numVertices() == 1 ? alg.acceptsSingleVertex()
+                                             : prop.accepts(prop.empty());
+    return out;
+  }
+
+  const IntervalRepresentation localRep =
+      rep != nullptr ? *rep : bestIntervalRepresentation(g);
+  const LanePlan plan = buildLanePlan(g, localRep);
+  const ConstructionSequence seq = buildConstruction(g, localRep, plan.lanes);
+  const HierarchyResult hier = buildHierarchy(seq);
+  const Hierarchy& h = hier.hierarchy;
+
+  out.stats.width = localRep.width();
+  out.stats.numLanes = plan.lanes.numLanes();
+  out.stats.hierarchyDepth = h.depth();
+  out.stats.maxCongestion = plan.maxCongestion;
+
+  CertBuilder builder(g, ids, prop, hier);
+  const NodeData& rootData = builder.computeStates();
+  const LaneAlgebra alg(prop);
+  if (!alg.accepts(rootData)) {
+    out.propertyHolds = false;
+    return out;
+  }
+  out.propertyHolds = true;
+
+  // Root metadata shared by every certificate.
+  const int rootId = h.root();
+  const HierNode& rootNode = h.node(rootId);
+  const std::int64_t rootChildId =
+      rootNode.children[static_cast<std::size_t>(rootNode.rootChildPos)];
+  const ChainEntry rootEntry = builder.entryForTree(rootId, rootNode.rootChildPos);
+
+  // Certificates for every completion edge.
+  const Graph& gc = hier.graph;
+  std::vector<EdgeCert> certs(static_cast<std::size_t>(gc.numEdges()));
+  for (EdgeId e = 0; e < gc.numEdges(); ++e) {
+    EdgeCert& cert = certs[static_cast<std::size_t>(e)];
+    const Edge& edge = gc.edge(e);
+    cert.real = g.hasEdge(edge.u, edge.v);
+    cert.endA = ids.id(edge.u);
+    cert.endB = ids.id(edge.v);
+    cert.rootTNode = rootId;
+    cert.rootChildNode = rootChildId;
+    // Only real edges ship the (large) root record; virtual-edge payloads
+    // rely on their endpoints' real edges for it.
+    cert.hasRootEntry = cert.real;
+    if (cert.real) cert.rootEntry = rootEntry;
+    int cur = hier.edgeOwner[static_cast<std::size_t>(e)];
+    cert.chain.push_back(builder.entryForOwner(cur));
+    while (h.node(cur).parent != -1) {
+      const int parent = h.node(cur).parent;
+      const HierNode& pn = h.node(parent);
+      if (pn.type == HierNode::Type::kT) {
+        int pos = -1;
+        for (std::size_t q = 0; q < pn.children.size(); ++q) {
+          if (pn.children[q] == cur) pos = static_cast<int>(q);
+        }
+        cert.chain.push_back(builder.entryForTree(parent, pos));
+      } else {
+        cert.chain.push_back(builder.entryForOwner(parent));
+      }
+      cur = parent;
+    }
+  }
+
+  // Virtual edges: distribute the cert along the embedding path (Thm 1).
+  std::vector<std::vector<PathThrough>> through(
+      static_cast<std::size_t>(g.numEdges()));
+  for (const EmbeddedEdge& emb : plan.embeddings) {
+    if (g.hasEdge(emb.edge.u, emb.edge.v)) continue;  // real: no simulation
+    const EdgeId gcEdge = gc.findEdge(emb.edge.u, emb.edge.v);
+    if (gcEdge == kNoEdge) throw std::logic_error("proveCore: lost virtual edge");
+    const std::string payload = certs[static_cast<std::size_t>(gcEdge)].encoded();
+    const std::uint64_t len = emb.path.size() - 1;
+    for (std::size_t i = 0; i + 1 < emb.path.size(); ++i) {
+      const EdgeId realEdge = g.findEdge(emb.path[i], emb.path[i + 1]);
+      PathThrough p;
+      p.uId = ids.id(emb.edge.u);
+      p.vId = ids.id(emb.edge.v);
+      p.fwdRank = i + 1;
+      p.bwdRank = len - i;
+      p.payload = payload;
+      through[static_cast<std::size_t>(realEdge)].push_back(std::move(p));
+    }
+  }
+
+  // Prop 2.2 pointer to the anchor (first initial-path vertex: the root
+  // child's in-terminal on the smallest lane).
+  const std::vector<PointerRecord> pointer =
+      provePointer(g, ids, seq.initialPath[0]);
+
+  out.labels.resize(static_cast<std::size_t>(g.numEdges()));
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const EdgeId gcEdge = gc.findEdge(edge.u, edge.v);
+    EdgeLabel label;
+    label.own = certs[static_cast<std::size_t>(gcEdge)];
+    label.pointer = pointer[static_cast<std::size_t>(e)];
+    label.through = std::move(through[static_cast<std::size_t>(e)]);
+    out.labels[static_cast<std::size_t>(e)] = label.encoded();
+  }
+  for (const std::string& l : out.labels) {
+    out.stats.maxLabelBits = std::max(out.stats.maxLabelBits, l.size() * 8);
+    out.stats.totalLabelBits += l.size() * 8;
+  }
+  return out;
+}
+
+}  // namespace lanecert

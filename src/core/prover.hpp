@@ -1,0 +1,48 @@
+#pragma once
+// The centralized prover of the core scheme (Theorem 1).
+//
+// Pipeline: interval representation (given or computed) -> Prop 4.6 lane
+// plan -> Prop 5.2 construction sequence -> Prop 5.6 hierarchical
+// decomposition -> bottom-up hom-state computation (Prop 6.1) -> per-edge
+// certificates (Lemmas 6.4/6.5) -> embedding simulation of virtual edges
+// (Theorem 1) -> Prop 2.2 pointer to the decomposition's anchor vertex.
+//
+// The prover refuses to label configurations that do not satisfy the
+// property (soundness makes honest labels impossible anyway); callers see
+// `propertyHolds == false` and an empty label vector.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "interval/interval.hpp"
+#include "mso/property.hpp"
+
+namespace lanecert {
+
+/// Prover-side diagnostics (feed benchmarks E1-E4).
+struct CoreProveStats {
+  int width = 0;            ///< interval representation width used
+  int numLanes = 0;         ///< lanes produced by Prop 4.6
+  int hierarchyDepth = 0;   ///< decomposition depth (<= 2 * numLanes)
+  int maxCongestion = 0;    ///< embedding congestion (<= h(width))
+  std::size_t maxLabelBits = 0;
+  std::size_t totalLabelBits = 0;
+};
+
+/// Result of proving: per-edge labels for G (empty when the property fails).
+struct CoreProveResult {
+  bool propertyHolds = false;
+  std::vector<std::string> labels;  ///< one per EdgeId of g
+  CoreProveStats stats;
+};
+
+/// Runs the full prover.  `rep` may supply a known interval representation
+/// (e.g. from a generator); otherwise one is computed (exact for small
+/// graphs, greedy otherwise).  Precondition: g connected; ids distinct.
+[[nodiscard]] CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
+                                        const Property& prop,
+                                        const IntervalRepresentation* rep = nullptr);
+
+}  // namespace lanecert

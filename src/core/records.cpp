@@ -1,0 +1,242 @@
+#include "core/records.hpp"
+
+#include <algorithm>
+
+namespace lanecert {
+
+namespace {
+
+constexpr std::uint64_t kMaxListLen = 1 << 16;  ///< decode sanity cap
+
+void checkLen(std::uint64_t n) {
+  if (n > kMaxListLen) throw DecodeError{};
+}
+
+}  // namespace
+
+std::uint64_t LaneTerms::at(int lane) const {
+  for (const auto& [l, id] : entries) {
+    if (l == lane) return id;
+  }
+  throw DecodeError{};
+}
+
+bool LaneTerms::has(int lane) const {
+  for (const auto& [l, id] : entries) {
+    if (l == lane) return true;
+  }
+  return false;
+}
+
+void LaneTerms::set(int lane, std::uint64_t id) {
+  for (auto& [l, v] : entries) {
+    if (l == lane) {
+      v = id;
+      return;
+    }
+  }
+  entries.emplace_back(lane, id);
+  std::sort(entries.begin(), entries.end());
+}
+
+void LaneTerms::encodeTo(Encoder& enc) const {
+  enc.u64(entries.size());
+  for (const auto& [lane, id] : entries) {
+    enc.u64(static_cast<std::uint64_t>(lane));
+    enc.u64(id);
+  }
+}
+
+LaneTerms LaneTerms::decodeFrom(Decoder& dec) {
+  LaneTerms t;
+  const std::uint64_t n = dec.u64();
+  checkLen(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int lane = static_cast<int>(dec.u64());
+    const std::uint64_t id = dec.u64();
+    t.entries.emplace_back(lane, id);
+  }
+  if (!std::is_sorted(t.entries.begin(), t.entries.end())) throw DecodeError{};
+  return t;
+}
+
+void SummaryRec::encodeTo(Encoder& enc) const {
+  enc.i64(nodeId);
+  enc.u64(type);
+  enc.u64(lanes.size());
+  for (int l : lanes) enc.u64(static_cast<std::uint64_t>(l));
+  inTerm.encodeTo(enc);
+  outTerm.encodeTo(enc);
+  enc.u64(slotOrder.size());
+  for (std::uint64_t v : slotOrder) enc.u64(v);
+  enc.bytes(stateBytes);
+}
+
+SummaryRec SummaryRec::decodeFrom(Decoder& dec) {
+  SummaryRec r;
+  r.nodeId = dec.i64();
+  r.type = static_cast<std::uint8_t>(dec.u64());
+  if (r.type > 4) throw DecodeError{};
+  const std::uint64_t nl = dec.u64();
+  checkLen(nl);
+  for (std::uint64_t i = 0; i < nl; ++i) {
+    r.lanes.push_back(static_cast<int>(dec.u64()));
+  }
+  if (!std::is_sorted(r.lanes.begin(), r.lanes.end()) ||
+      std::adjacent_find(r.lanes.begin(), r.lanes.end()) != r.lanes.end()) {
+    throw DecodeError{};
+  }
+  r.inTerm = LaneTerms::decodeFrom(dec);
+  r.outTerm = LaneTerms::decodeFrom(dec);
+  const std::uint64_t ns = dec.u64();
+  checkLen(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) r.slotOrder.push_back(dec.u64());
+  r.stateBytes = dec.bytes();
+  return r;
+}
+
+void ChainEntry::encodeTo(Encoder& enc) const {
+  enc.u64(static_cast<std::uint64_t>(kind));
+  self.encodeTo(enc);
+  switch (kind) {
+    case Kind::kBaseE:
+      enc.boolean(eReal);
+      break;
+    case Kind::kBaseP:
+      enc.u64(pReal.size());
+      for (bool b : pReal) enc.boolean(b);
+      break;
+    case Kind::kBridge:
+      enc.u64(static_cast<std::uint64_t>(laneI));
+      enc.u64(static_cast<std::uint64_t>(laneJ));
+      enc.boolean(bridgeReal);
+      part0.encodeTo(enc);
+      part1.encodeTo(enc);
+      break;
+    case Kind::kTree:
+      enc.i64(childId);
+      enc.boolean(childIsRoot);
+      childSelf.encodeTo(enc);
+      subtree.encodeTo(enc);
+      enc.u64(treeChildren.size());
+      for (const SummaryRec& r : treeChildren) r.encodeTo(enc);
+      break;
+  }
+}
+
+ChainEntry ChainEntry::decodeFrom(Decoder& dec) {
+  ChainEntry e;
+  const std::uint64_t k = dec.u64();
+  if (k > 3) throw DecodeError{};
+  e.kind = static_cast<Kind>(k);
+  e.self = SummaryRec::decodeFrom(dec);
+  switch (e.kind) {
+    case Kind::kBaseE:
+      e.eReal = dec.boolean();
+      break;
+    case Kind::kBaseP: {
+      const std::uint64_t n = dec.u64();
+      checkLen(n);
+      for (std::uint64_t i = 0; i < n; ++i) e.pReal.push_back(dec.boolean());
+      break;
+    }
+    case Kind::kBridge:
+      e.laneI = static_cast<int>(dec.u64());
+      e.laneJ = static_cast<int>(dec.u64());
+      e.bridgeReal = dec.boolean();
+      e.part0 = SummaryRec::decodeFrom(dec);
+      e.part1 = SummaryRec::decodeFrom(dec);
+      break;
+    case Kind::kTree: {
+      e.childId = dec.i64();
+      e.childIsRoot = dec.boolean();
+      e.childSelf = SummaryRec::decodeFrom(dec);
+      e.subtree = SummaryRec::decodeFrom(dec);
+      const std::uint64_t n = dec.u64();
+      checkLen(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        e.treeChildren.push_back(SummaryRec::decodeFrom(dec));
+      }
+      break;
+    }
+  }
+  return e;
+}
+
+void EdgeCert::encodeTo(Encoder& enc) const {
+  enc.boolean(real);
+  enc.u64(endA);
+  enc.u64(endB);
+  enc.i64(rootTNode);
+  enc.i64(rootChildNode);
+  enc.boolean(hasRootEntry);
+  if (hasRootEntry) rootEntry.encodeTo(enc);
+  enc.u64(chain.size());
+  for (const ChainEntry& e : chain) e.encodeTo(enc);
+}
+
+EdgeCert EdgeCert::decodeFrom(Decoder& dec) {
+  EdgeCert c;
+  c.real = dec.boolean();
+  c.endA = dec.u64();
+  c.endB = dec.u64();
+  c.rootTNode = dec.i64();
+  c.rootChildNode = dec.i64();
+  c.hasRootEntry = dec.boolean();
+  if (c.hasRootEntry) c.rootEntry = ChainEntry::decodeFrom(dec);
+  const std::uint64_t n = dec.u64();
+  checkLen(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    c.chain.push_back(ChainEntry::decodeFrom(dec));
+  }
+  return c;
+}
+
+std::string EdgeCert::encoded() const {
+  Encoder enc;
+  encodeTo(enc);
+  return enc.take();
+}
+
+void PathThrough::encodeTo(Encoder& enc) const {
+  enc.u64(uId);
+  enc.u64(vId);
+  enc.u64(fwdRank);
+  enc.u64(bwdRank);
+  enc.bytes(payload);
+}
+
+PathThrough PathThrough::decodeFrom(Decoder& dec) {
+  PathThrough p;
+  p.uId = dec.u64();
+  p.vId = dec.u64();
+  p.fwdRank = dec.u64();
+  p.bwdRank = dec.u64();
+  p.payload = dec.bytes();
+  return p;
+}
+
+std::string EdgeLabel::encoded() const {
+  Encoder enc;
+  own.encodeTo(enc);
+  pointer.encodeTo(enc);
+  enc.u64(through.size());
+  for (const PathThrough& p : through) p.encodeTo(enc);
+  return enc.take();
+}
+
+EdgeLabel EdgeLabel::decode(const std::string& bytes) {
+  Decoder dec(bytes);
+  EdgeLabel l;
+  l.own = EdgeCert::decodeFrom(dec);
+  l.pointer = PointerRecord::decodeFrom(dec);
+  const std::uint64_t n = dec.u64();
+  checkLen(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    l.through.push_back(PathThrough::decodeFrom(dec));
+  }
+  if (!dec.atEnd()) throw DecodeError{};
+  return l;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,132 @@
+#pragma once
+// Certificate record formats for the core scheme (Section 6.2 + Theorem 1).
+//
+// Every record lives in IDENTIFIER space (the O(log n)-bit vertex ids of
+// the PLS model), never in dense vertex indices: a verifier knows only ids.
+//
+// An edge of the completion G' carries an EdgeCert: its input flag (real
+// edge of G vs completion-only), its endpoints, and the chain of "basic
+// information" records B(X) for every hierarchy node X from the edge's
+// owner up to the root (Observation 5.5 bounds the chain by 2w entries).
+// T-node entries are self-contained Lemma 6.5 records: they carry B(X),
+// B(c) for the child c the edge lies in, the subtree summary
+// B(Tree-merge(T_c)), and the summaries B(Tree-merge(T_d)) of c's tree
+// children, so any holder can replay the Parent-merge fold locally.
+//
+// Real edges of G carry an EdgeLabel: their own EdgeCert, one spanning-tree
+// pointer record (Prop 2.2), and the PathThrough records of every virtual
+// edge whose embedding path (Prop 4.6) uses this edge — at most h(k+1) of
+// them, each with the virtual edge's full EdgeCert as payload (Theorem 1's
+// simulation).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pls/codec.hpp"
+#include "pls/pointer.hpp"
+
+namespace lanecert {
+
+/// lane -> vertex-identifier mapping (terminals in id space).
+struct LaneTerms {
+  std::vector<std::pair<int, std::uint64_t>> entries;  ///< sorted by lane
+
+  /// Identifier of `lane`'s terminal; throws DecodeError if absent.
+  [[nodiscard]] std::uint64_t at(int lane) const;
+  [[nodiscard]] bool has(int lane) const;
+  void set(int lane, std::uint64_t id);
+
+  void encodeTo(Encoder& enc) const;
+  static LaneTerms decodeFrom(Decoder& dec);
+  friend bool operator==(const LaneTerms&, const LaneTerms&) = default;
+};
+
+/// "Basic information" B(·) of a hierarchy node, or of a merged subtree
+/// Tree-merge(T_c): lane set, terminals, the slot layout of the state, and
+/// the canonical hom-state bytes.
+struct SummaryRec {
+  std::int64_t nodeId = -1;
+  std::uint8_t type = 0;  ///< HierNode::Type as integer
+  std::vector<int> lanes;
+  LaneTerms inTerm;
+  LaneTerms outTerm;
+  std::vector<std::uint64_t> slotOrder;  ///< state slot -> vertex id
+  std::string stateBytes;                ///< canonical hom-state encoding
+
+  void encodeTo(Encoder& enc) const;
+  static SummaryRec decodeFrom(Decoder& dec);
+  friend bool operator==(const SummaryRec&, const SummaryRec&) = default;
+};
+
+/// One chain entry.  `kind` selects which payload fields are meaningful.
+struct ChainEntry {
+  enum class Kind : std::uint8_t {
+    kBaseE = 0,  ///< owner E-node
+    kBaseP = 1,  ///< owner P-node
+    kBridge = 2, ///< B-node (owner of its bridge edge, or intermediate)
+    kTree = 3,   ///< T-node entry relative to the child the edge lies in
+  };
+  Kind kind = Kind::kBaseE;
+  SummaryRec self;  ///< B(X) of this node
+
+  // kBaseE:
+  bool eReal = false;  ///< input flag of the E-node's edge
+  // kBaseP:
+  std::vector<bool> pReal;  ///< input flags of the path's w-1 edges
+  // kBridge:
+  int laneI = -1;
+  int laneJ = -1;
+  bool bridgeReal = false;
+  SummaryRec part0;  ///< B(first part): V-node or T-node
+  SummaryRec part1;
+  // kTree:
+  std::int64_t childId = -1;
+  bool childIsRoot = false;      ///< c is the Tree-merge root of X
+  SummaryRec childSelf;          ///< B(c)
+  SummaryRec subtree;            ///< B(Tree-merge(T_c))
+  std::vector<SummaryRec> treeChildren;  ///< B(Tree-merge(T_d)) per tree child
+
+  void encodeTo(Encoder& enc) const;
+  static ChainEntry decodeFrom(Decoder& dec);
+};
+
+/// Certificate of one completion edge.
+struct EdgeCert {
+  bool real = false;           ///< input flag: edge of G vs completion-only
+  std::uint64_t endA = 0;      ///< identifier of one endpoint
+  std::uint64_t endB = 0;
+  std::int64_t rootTNode = -1;     ///< hierarchy root (outer T-node)
+  std::int64_t rootChildNode = -1; ///< Tree-merge root child of the root
+  bool hasRootEntry = false;       ///< virtual-edge certs omit the root record
+  ChainEntry rootEntry;            ///< self-contained (rootTNode, rootChild) record
+  std::vector<ChainEntry> chain;   ///< bottom-up, owner first, root T last
+
+  void encodeTo(Encoder& enc) const;
+  static EdgeCert decodeFrom(Decoder& dec);
+  [[nodiscard]] std::string encoded() const;
+};
+
+/// One virtual edge routed through a real edge (Theorem 1's simulation).
+struct PathThrough {
+  std::uint64_t uId = 0;      ///< virtual edge endpoint (path start)
+  std::uint64_t vId = 0;      ///< virtual edge endpoint (path end)
+  std::uint64_t fwdRank = 0;  ///< 1-based rank of this real edge from u
+  std::uint64_t bwdRank = 0;  ///< 1-based rank from v
+  std::string payload;        ///< the virtual edge's encoded EdgeCert
+
+  void encodeTo(Encoder& enc) const;
+  static PathThrough decodeFrom(Decoder& dec);
+};
+
+/// The full label of one real edge of G.
+struct EdgeLabel {
+  EdgeCert own;
+  PointerRecord pointer;
+  std::vector<PathThrough> through;
+
+  [[nodiscard]] std::string encoded() const;
+  static EdgeLabel decode(const std::string& bytes);
+};
+
+}  // namespace lanecert

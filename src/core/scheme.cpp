@@ -1,0 +1,37 @@
+#include "core/scheme.hpp"
+
+#include "pls/transform.hpp"
+
+namespace lanecert {
+
+CoreRunResult proveAndVerifyEdges(const Graph& g, const IdAssignment& ids,
+                                  PropertyPtr prop,
+                                  const IntervalRepresentation* rep,
+                                  CoreVerifierParams params) {
+  CoreRunResult out;
+  CoreProveResult proved = proveCore(g, ids, *prop, rep);
+  out.propertyHolds = proved.propertyHolds;
+  out.stats = proved.stats;
+  if (!proved.propertyHolds) return out;
+  out.sim = simulateEdgeScheme(g, ids, proved.labels,
+                               makeCoreVerifier(std::move(prop), params));
+  return out;
+}
+
+CoreRunResult proveAndVerifyVertices(const Graph& g, const IdAssignment& ids,
+                                     PropertyPtr prop,
+                                     const IntervalRepresentation* rep,
+                                     CoreVerifierParams params) {
+  CoreRunResult out;
+  CoreProveResult proved = proveCore(g, ids, *prop, rep);
+  out.propertyHolds = proved.propertyHolds;
+  out.stats = proved.stats;
+  if (!proved.propertyHolds) return out;
+  const auto vertexLabels = edgeLabelsToVertexLabels(g, ids, proved.labels);
+  out.sim = simulateVertexScheme(
+      g, ids, vertexLabels,
+      liftEdgeVerifier(makeCoreVerifier(std::move(prop), params)));
+  return out;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,35 @@
+#pragma once
+// High-level entry points for the core scheme: prove + simulate in one call,
+// in both the edge-labeling model (the native scheme) and the vertex-
+// labeling model obtained through the Prop 2.1 transformation.
+
+#include "core/prover.hpp"
+#include "core/verifier.hpp"
+#include "graph/graph.hpp"
+#include "interval/interval.hpp"
+#include "mso/property.hpp"
+#include "pls/scheme.hpp"
+
+namespace lanecert {
+
+/// Combined prover + verifier outcome.
+struct CoreRunResult {
+  bool propertyHolds = false;  ///< prover-side verdict (labels exist iff true)
+  SimulationResult sim;        ///< verifier simulation (valid iff propertyHolds)
+  CoreProveStats stats;
+};
+
+/// Proves and verifies with EDGE labels.  When the property fails, `sim` is
+/// left empty and `propertyHolds` is false (no labeling exists; soundness
+/// of that claim is exercised separately by the adversarial tests).
+[[nodiscard]] CoreRunResult proveAndVerifyEdges(
+    const Graph& g, const IdAssignment& ids, PropertyPtr prop,
+    const IntervalRepresentation* rep = nullptr, CoreVerifierParams params = {});
+
+/// Same, but labels are moved to vertices via the degeneracy orientation
+/// (Prop 2.1) and verified by the lifted vertex verifier.
+[[nodiscard]] CoreRunResult proveAndVerifyVertices(
+    const Graph& g, const IdAssignment& ids, PropertyPtr prop,
+    const IntervalRepresentation* rep = nullptr, CoreVerifierParams params = {});
+
+}  // namespace lanecert

@@ -1,0 +1,489 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/algebra.hpp"
+#include "core/records.hpp"
+#include "lane/bounds.hpp"
+#include "pls/pointer.hpp"
+
+namespace lanecert {
+
+namespace {
+
+constexpr std::uint8_t kTypeV = 0;
+constexpr std::uint8_t kTypeE = 1;
+constexpr std::uint8_t kTypeP = 2;
+constexpr std::uint8_t kTypeB = 3;
+constexpr std::uint8_t kTypeT = 4;
+
+std::string encodeSummary(const SummaryRec& r) {
+  Encoder enc;
+  r.encodeTo(enc);
+  return enc.take();
+}
+
+/// Reject helper: checks are expressed as `require(cond)`.
+void require(bool cond) {
+  if (!cond) throw DecodeError{};
+}
+
+/// Per-vertex verification context.
+class Checker {
+ public:
+  Checker(const Property& prop, const CoreVerifierParams& params,
+          const EdgeView& view)
+      : alg_(prop), params_(params), view_(view) {}
+
+  bool run();
+
+ private:
+  void validateSummaryCommon(const SummaryRec& s) const;
+  void validateEntry(const ChainEntry& e);
+  void validateCert(const EdgeCert& cert, bool isVirtual);
+  void reconstructVirtualEdges(const std::vector<EdgeLabel>& labels);
+  void recordNodeSummary(const SummaryRec& s);
+  void recordTmSummary(const SummaryRec& s);
+  void topologyChecks();
+
+  LaneAlgebra alg_;
+  const CoreVerifierParams& params_;
+  const EdgeView& view_;
+
+  std::vector<EdgeCert> certs_;           ///< own + reconstructed virtual
+  std::vector<bool> certIsVirtual_;
+  std::map<std::int64_t, std::string> nodeSum_;  ///< nodeId -> B(node) bytes
+  std::map<std::int64_t, std::string> tmSum_;    ///< nodeId -> B(TM(subtree)) bytes
+  /// Per T-node: childId -> one representative T entry (chain-derived).
+  std::map<std::int64_t, std::map<std::int64_t, const ChainEntry*>> heldChildren_;
+  /// Every T entry seen anywhere (chains + root entries), for gluing checks.
+  std::vector<const ChainEntry*> allTreeEntries_;
+  /// Per B-node id: the set of chain-lower node ids entering it.
+  std::map<std::int64_t, std::set<std::int64_t>> bridgeLowers_;
+  std::int64_t rootTNode_ = -1;
+  std::int64_t rootChildNode_ = -1;
+  std::string rootEntryBytes_;
+};
+
+void Checker::validateSummaryCommon(const SummaryRec& s) const {
+  require(!s.lanes.empty());
+  for (int lane : s.lanes) {
+    require(lane >= 0 && lane < params_.maxLanes);
+  }
+}
+
+void Checker::recordNodeSummary(const SummaryRec& s) {
+  validateSummaryCommon(s);
+  const auto [it, inserted] = nodeSum_.emplace(s.nodeId, encodeSummary(s));
+  if (!inserted) require(it->second == encodeSummary(s));
+}
+
+void Checker::recordTmSummary(const SummaryRec& s) {
+  validateSummaryCommon(s);
+  const auto [it, inserted] = tmSum_.emplace(s.nodeId, encodeSummary(s));
+  if (!inserted) require(it->second == encodeSummary(s));
+}
+
+void Checker::validateEntry(const ChainEntry& e) {
+  recordNodeSummary(e.self);
+  switch (e.kind) {
+    case ChainEntry::Kind::kBaseE: {
+      require(e.self.type == kTypeE);
+      require(e.self.lanes.size() == 1);
+      const int lane = e.self.lanes[0];
+      const NodeData d = alg_.baseE(lane, e.self.inTerm.at(lane),
+                                    e.self.outTerm.at(lane), e.eReal);
+      require(d.state.encoding() == e.self.stateBytes);
+      require(d.slots == e.self.slotOrder);
+      break;
+    }
+    case ChainEntry::Kind::kBaseP: {
+      require(e.self.type == kTypeP);
+      std::vector<std::uint64_t> pathIds;
+      for (int lane : e.self.lanes) {
+        const std::uint64_t id = e.self.inTerm.at(lane);
+        require(e.self.outTerm.at(lane) == id);
+        pathIds.push_back(id);
+      }
+      require(e.pReal.size() + 1 == pathIds.size());
+      const NodeData d = alg_.baseP(e.self.lanes, pathIds, e.pReal);
+      require(d.state.encoding() == e.self.stateBytes);
+      require(d.slots == e.self.slotOrder);
+      break;
+    }
+    case ChainEntry::Kind::kBridge: {
+      require(e.self.type == kTypeB);
+      recordNodeSummary(e.part0);
+      recordNodeSummary(e.part1);
+      for (const SummaryRec* part : {&e.part0, &e.part1}) {
+        require(part->type == kTypeV || part->type == kTypeT);
+        if (part->type == kTypeV) {
+          require(part->lanes.size() == 1);
+          const int lane = part->lanes[0];
+          const std::uint64_t vid = part->inTerm.at(lane);
+          require(part->outTerm.at(lane) == vid);
+          const NodeData d = alg_.baseV(lane, vid);
+          require(d.state.encoding() == part->stateBytes);
+          require(d.slots == part->slotOrder);
+        }
+      }
+      require(std::binary_search(e.part0.lanes.begin(), e.part0.lanes.end(),
+                                 e.laneI));
+      require(std::binary_search(e.part1.lanes.begin(), e.part1.lanes.end(),
+                                 e.laneJ));
+      const NodeData d =
+          alg_.bridge(alg_.fromSummary(e.part0), alg_.fromSummary(e.part1),
+                      e.laneI, e.laneJ, e.bridgeReal);
+      require(d.state.encoding() == e.self.stateBytes);
+      require(d.slots == e.self.slotOrder);
+      require(d.lanes == e.self.lanes);
+      require(d.inTerm == e.self.inTerm);
+      require(d.outTerm == e.self.outTerm);
+      break;
+    }
+    case ChainEntry::Kind::kTree: {
+      require(e.self.type == kTypeT);
+      require(e.childSelf.type == kTypeE || e.childSelf.type == kTypeP ||
+              e.childSelf.type == kTypeB);
+      require(e.childSelf.nodeId == e.childId);
+      recordNodeSummary(e.childSelf);
+      require(e.subtree.nodeId == e.childId);
+      require(e.subtree.type == e.childSelf.type);
+      require(e.subtree.lanes == e.childSelf.lanes);
+      require(e.subtree.inTerm == e.childSelf.inTerm);
+      recordTmSummary(e.subtree);
+      // Tree children: nested lanes, pairwise disjoint, glued onto the
+      // child's out-terminals; the fold replays the Parent-merges.
+      NodeData cur = alg_.fromSummary(e.childSelf);
+      int prevMinLane = -1;
+      std::set<int> used;
+      for (const SummaryRec& d : e.treeChildren) {
+        require(d.type == kTypeE || d.type == kTypeP || d.type == kTypeB);
+        recordTmSummary(d);
+        require(d.lanes[0] > prevMinLane);  // sorted fold order
+        prevMinLane = d.lanes[0];
+        for (int lane : d.lanes) {
+          require(used.insert(lane).second);  // siblings disjoint
+          require(std::binary_search(e.childSelf.lanes.begin(),
+                                     e.childSelf.lanes.end(), lane));
+          // Gluing: the child's in-terminal IS c's out-terminal.
+          require(d.inTerm.at(lane) == e.childSelf.outTerm.at(lane));
+        }
+        cur = alg_.parentMerge(alg_.fromSummary(d), cur);
+      }
+      require(cur.state.encoding() == e.subtree.stateBytes);
+      require(cur.slots == e.subtree.slotOrder);
+      require(cur.outTerm == e.subtree.outTerm);
+      if (e.childIsRoot) {
+        // B(X) = B(Tree-merge(T_rootchild)).
+        require(e.self.lanes == e.subtree.lanes);
+        require(e.self.inTerm == e.subtree.inTerm);
+        require(e.self.outTerm == e.subtree.outTerm);
+        require(e.self.slotOrder == e.subtree.slotOrder);
+        require(e.self.stateBytes == e.subtree.stateBytes);
+      }
+      allTreeEntries_.push_back(&e);
+      break;
+    }
+  }
+}
+
+void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
+  require(cert.endA != cert.endB);
+  require(cert.real == !isVirtual);
+  if (!isVirtual) {
+    require(cert.endA == view_.selfId || cert.endB == view_.selfId);
+  }
+  // Root metadata must agree across every certificate at this vertex.
+  // Every REAL edge carries the root record; virtual certificates only
+  // carry the root ids (their endpoints see the record on real edges).
+  require(cert.hasRootEntry == !isVirtual);
+  if (rootTNode_ == -1) {
+    require(!isVirtual);  // own certificates are validated first
+    rootTNode_ = cert.rootTNode;
+    rootChildNode_ = cert.rootChildNode;
+    Encoder enc;
+    cert.rootEntry.encodeTo(enc);
+    rootEntryBytes_ = enc.take();
+    require(cert.rootEntry.kind == ChainEntry::Kind::kTree);
+    require(cert.rootEntry.self.nodeId == rootTNode_);
+    require(cert.rootEntry.childId == rootChildNode_);
+    require(cert.rootEntry.childIsRoot);
+    validateEntry(cert.rootEntry);
+    // Acceptance: the whole graph's hom class must satisfy φ.
+    require(alg_.accepts(alg_.fromSummary(cert.rootEntry.self)));
+  } else {
+    require(cert.rootTNode == rootTNode_);
+    require(cert.rootChildNode == rootChildNode_);
+    if (cert.hasRootEntry) {
+      Encoder enc;
+      cert.rootEntry.encodeTo(enc);
+      require(enc.str() == rootEntryBytes_);
+    }
+  }
+
+  // Chain shape: owner entry, then alternating T, B, ..., ending at root T.
+  const std::size_t len = cert.chain.size();
+  require(len >= 2);
+  require(len <= static_cast<std::size_t>(2 * params_.maxLanes + 2));
+  for (std::size_t i = 0; i < len; ++i) {
+    const ChainEntry& e = cert.chain[i];
+    if (i == 0) {
+      require(e.kind == ChainEntry::Kind::kBaseE ||
+              e.kind == ChainEntry::Kind::kBaseP ||
+              e.kind == ChainEntry::Kind::kBridge);
+    } else if (i % 2 == 1) {
+      require(e.kind == ChainEntry::Kind::kTree);
+    } else {
+      require(e.kind == ChainEntry::Kind::kBridge);
+    }
+    validateEntry(e);
+  }
+  require(cert.chain.back().kind == ChainEntry::Kind::kTree);
+  require(cert.chain.back().self.nodeId == rootTNode_);
+
+  // Linkage between consecutive entries.
+  for (std::size_t i = 1; i < len; ++i) {
+    const ChainEntry& upper = cert.chain[i];
+    const ChainEntry& lower = cert.chain[i - 1];
+    if (upper.kind == ChainEntry::Kind::kTree) {
+      require(upper.childId == lower.self.nodeId);
+      require(encodeSummary(upper.childSelf) == encodeSummary(lower.self));
+      heldChildren_[upper.self.nodeId][upper.childId] = &upper;
+    } else {  // kBridge
+      const bool inPart0 = lower.self.nodeId == upper.part0.nodeId;
+      const bool inPart1 = lower.self.nodeId == upper.part1.nodeId;
+      require(inPart0 || inPart1);
+      const SummaryRec& part = inPart0 ? upper.part0 : upper.part1;
+      require(encodeSummary(part) == encodeSummary(lower.self));
+      bridgeLowers_[upper.self.nodeId].insert(lower.self.nodeId);
+    }
+  }
+
+  // Owner-entry binding to this physical/reconstructed edge.
+  const ChainEntry& owner = cert.chain[0];
+  const std::set<std::uint64_t> ends{cert.endA, cert.endB};
+  switch (owner.kind) {
+    case ChainEntry::Kind::kBaseE: {
+      const int lane = owner.self.lanes[0];
+      require(ends == std::set<std::uint64_t>{owner.self.inTerm.at(lane),
+                                              owner.self.outTerm.at(lane)});
+      require(owner.eReal == cert.real);
+      break;
+    }
+    case ChainEntry::Kind::kBaseP: {
+      bool found = false;
+      for (std::size_t i = 0; i + 1 < owner.self.slotOrder.size(); ++i) {
+        if (ends == std::set<std::uint64_t>{owner.self.slotOrder[i],
+                                            owner.self.slotOrder[i + 1]}) {
+          require(owner.pReal[i] == cert.real);
+          found = true;
+        }
+      }
+      require(found);
+      break;
+    }
+    case ChainEntry::Kind::kBridge: {
+      require(ends ==
+              std::set<std::uint64_t>{owner.part0.outTerm.at(owner.laneI),
+                                      owner.part1.outTerm.at(owner.laneJ)});
+      require(owner.bridgeReal == cert.real);
+      break;
+    }
+    default:
+      require(false);
+  }
+}
+
+void Checker::reconstructVirtualEdges(const std::vector<EdgeLabel>& labels) {
+  struct Rec {
+    std::size_t labelIdx;
+    const PathThrough* p;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Rec>> groups;
+  for (std::size_t li = 0; li < labels.size(); ++li) {
+    if (params_.maxThrough > 0) {
+      require(labels[li].through.size() <=
+              static_cast<std::size_t>(params_.maxThrough));
+    }
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seenHere;
+    for (const PathThrough& p : labels[li].through) {
+      require(seenHere.emplace(p.uId, p.vId).second);  // one per path per edge
+      groups[{p.uId, p.vId}].push_back(Rec{li, &p});
+    }
+  }
+  for (const auto& [key, recs] : groups) {
+    const auto& [uId, vId] = key;
+    require(uId != vId);
+    require(recs.size() <= 2);
+    const PathThrough& first = *recs[0].p;
+    require(first.fwdRank >= 1 && first.bwdRank >= 1);
+    require(first.fwdRank + first.bwdRank >= 3);  // path length >= 2 edges
+    if (recs.size() == 2) {
+      const PathThrough& second = *recs[1].p;
+      require(second.payload == first.payload);
+      require(second.fwdRank + second.bwdRank == first.fwdRank + first.bwdRank);
+      const std::uint64_t a = std::min(first.fwdRank, second.fwdRank);
+      const std::uint64_t b = std::max(first.fwdRank, second.fwdRank);
+      require(b == a + 1);
+      // An intermediate vertex of a simple path is not an endpoint.
+      require(view_.selfId != uId && view_.selfId != vId);
+      continue;
+    }
+    // Single record: this vertex must be one endpoint of the path.
+    const bool atU = first.fwdRank == 1;
+    const bool atV = first.bwdRank == 1;
+    require(atU != atV);
+    require((atU && view_.selfId == uId) || (atV && view_.selfId == vId));
+    Decoder dec(first.payload);
+    EdgeCert cert = EdgeCert::decodeFrom(dec);
+    require(dec.atEnd());
+    require(std::set<std::uint64_t>{cert.endA, cert.endB} ==
+            std::set<std::uint64_t>{uId, vId});
+    certs_.push_back(std::move(cert));
+    certIsVirtual_.push_back(true);
+  }
+}
+
+void Checker::topologyChecks() {
+  // B-node: all chains entering it at this vertex stay in one part.
+  for (const auto& [bId, lowers] : bridgeLowers_) {
+    require(lowers.size() <= 1);
+  }
+  // T-nodes: gluing structure of the held children.
+  // Collect held entries per T-node (including the root entry, which may
+  // list gluings at this vertex even when no chain passes through the root
+  // child — the w = 1 P-node case).
+  std::map<std::int64_t, std::vector<const ChainEntry*>> treeEntriesByNode;
+  for (const ChainEntry* e : allTreeEntries_) {
+    treeEntriesByNode[e->self.nodeId].push_back(e);
+  }
+  for (const auto& [xId, entries] : treeEntriesByNode) {
+    const auto held = heldChildren_.find(xId);
+    // (a) Declared gluings at this vertex must point to held children, and
+    //     they connect the held children.
+    std::map<std::int64_t, std::int64_t> unionFind;
+    auto findRep = [&unionFind](std::int64_t x) {
+      while (unionFind.at(x) != x) x = unionFind.at(x);
+      return x;
+    };
+    if (held != heldChildren_.end()) {
+      for (const auto& [cid, entry] : held->second) unionFind[cid] = cid;
+    }
+    for (const ChainEntry* e : entries) {
+      std::vector<std::int64_t> group;
+      if (held != heldChildren_.end() &&
+          held->second.count(e->childId) != 0) {
+        group.push_back(e->childId);
+      }
+      for (const SummaryRec& d : e->treeChildren) {
+        bool gluedHere = false;
+        for (const auto& [lane, id] : d.inTerm.entries) {
+          if (id == view_.selfId) gluedHere = true;
+        }
+        if (!gluedHere) continue;
+        // A declared gluing at this vertex: the child must be held here.
+        require(held != heldChildren_.end() &&
+                held->second.count(d.nodeId) != 0);
+        group.push_back(d.nodeId);
+      }
+      for (std::size_t i = 1; i < group.size(); ++i) {
+        const std::int64_t a = findRep(group[0]);
+        const std::int64_t b = findRep(group[i]);
+        if (a != b) unionFind[b] = a;
+      }
+    }
+    // (b) Held children must be pairwise glued (transitively) at this
+    //     vertex — the "no neighbor outside" check.
+    if (held != heldChildren_.end() && !held->second.empty()) {
+      const std::int64_t rep = findRep(held->second.begin()->first);
+      for (const auto& [cid, entry] : held->second) {
+        require(findRep(cid) == rep);
+      }
+      // (c) Non-root children whose in-terminal is this vertex must be
+      //     listed (with this gluing) by some held entry of X.
+      for (const auto& [cid, entry] : held->second) {
+        if (entry->childIsRoot) continue;
+        for (const auto& [lane, id] : entry->childSelf.inTerm.entries) {
+          if (id != view_.selfId) continue;
+          bool listed = false;
+          for (const ChainEntry* pe : entries) {
+            for (const SummaryRec& d : pe->treeChildren) {
+              if (d.nodeId == cid && d.inTerm.has(lane) &&
+                  d.inTerm.at(lane) == view_.selfId) {
+                listed = true;
+              }
+            }
+          }
+          require(listed);
+        }
+      }
+    }
+  }
+}
+
+bool Checker::run() {
+  // Degenerate single-vertex network: decide φ(K1) directly.
+  if (view_.incidentLabels.empty()) return alg_.acceptsSingleVertex();
+
+  std::vector<EdgeLabel> labels;
+  labels.reserve(view_.incidentLabels.size());
+  for (const std::string& bytes : view_.incidentLabels) {
+    labels.push_back(EdgeLabel::decode(bytes));
+  }
+
+  // Prop 2.2 pointer layer.
+  std::vector<PointerRecord> pointers;
+  for (const EdgeLabel& l : labels) pointers.push_back(l.pointer);
+  require(checkPointerAt(view_.selfId, pointers, std::nullopt));
+  const std::uint64_t anchorId = pointers[0].rootId;
+
+  // Own certificates (each physically incident edge must be real).
+  for (const EdgeLabel& l : labels) {
+    require(l.own.real);
+    certs_.push_back(l.own);
+    certIsVirtual_.push_back(false);
+  }
+  // Theorem 1 embedding reconstruction.
+  reconstructVirtualEdges(labels);
+
+  for (std::size_t i = 0; i < certs_.size(); ++i) {
+    validateCert(certs_[i], certIsVirtual_[i]);
+  }
+  topologyChecks();
+
+  // Anchor: the pointer target must be the root child's first in-terminal.
+  if (view_.selfId == anchorId) {
+    Decoder dec(rootEntryBytes_);
+    const ChainEntry root = ChainEntry::decodeFrom(dec);
+    const int minLane = root.childSelf.lanes[0];
+    require(root.childSelf.inTerm.at(minLane) == view_.selfId);
+  }
+  return true;
+}
+
+}  // namespace
+
+CoreVerifierParams theorem1Params(int k) {
+  CoreVerifierParams p;
+  // Clamp to practical limits; f/h explode combinatorially in k.
+  p.maxLanes = static_cast<int>(std::min<long long>(fLanes(k + 1), 1 << 20));
+  p.maxThrough = static_cast<int>(std::min<long long>(hCongestion(k + 1), 1 << 20));
+  return p;
+}
+
+EdgeVerifier makeCoreVerifier(PropertyPtr prop, CoreVerifierParams params) {
+  return [prop = std::move(prop), params](const EdgeView& view) -> bool {
+    try {
+      Checker checker(*prop, params, view);
+      return checker.run();
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+}
+
+}  // namespace lanecert

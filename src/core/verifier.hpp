@@ -1,0 +1,57 @@
+#pragma once
+// The distributed verifier of the core scheme (Section 6.2 + Theorem 1).
+//
+// `makeCoreVerifier` returns a strictly local EdgeVerifier: a pure function
+// of one vertex's identifier and the multiset of labels on its incident
+// (real) edges.  It performs, per vertex:
+//
+//   1. Prop 2.2 pointer checks (spanning tree to the decomposition anchor).
+//   2. Theorem 1 embedding checks: path records of virtual edges must form
+//      consistent simple paths; endpoints reconstruct their virtual edges.
+//   3. Input-flag checks: physically present edges must be certified as
+//      real; reconstructed virtual edges as virtual.
+//   4. Chain checks: shape (base/bridge, then alternating T/B up to the
+//      root), linkage (each entry names the one below it, byte-exact), and
+//      Observation 5.5's length bound.
+//   5. Per-entry recomputation: base states from physical endpoints and
+//      flags, Bridge-merge composition, and the Parent-merge fold of every
+//      T-node entry (Lemma 6.5), all via the Prop 6.1 algebra.
+//   6. Cross-certificate consistency: all records naming the same node (or
+//      the same merged subtree) must agree byte-for-byte.
+//   7. Gluing topology: held children of every T-node must be linked by
+//      declared gluings at this vertex (the paper's "no neighbor outside"
+//      checks), non-root children must be listed by a held parent entry,
+//      and chains entering a B-node must stay within one part.
+//   8. Root checks: all certificates agree on the root records and the
+//      property accepts the root hom state; the pointer's anchor vertex
+//      confirms it is the root child's first in-terminal.
+
+#include "mso/property.hpp"
+#include "pls/scheme.hpp"
+
+namespace lanecert {
+
+/// Verifier-side parameters (the constants of Theorem 1 for the target
+/// pathwidth bound).
+struct CoreVerifierParams {
+  /// Upper bound on lane indices; certifies lanewidth < maxLanes and hence
+  /// pathwidth <= maxLanes - 1 of the completion.  Chains longer than
+  /// 2 * maxLanes + 2 entries are rejected (Observation 5.5).
+  int maxLanes = 64;
+  /// Max embedding paths through one edge (0 = unlimited); h(k+1) bounds
+  /// honest labelings.
+  int maxThrough = 0;
+};
+
+/// Builds the local verifier for `prop`.
+[[nodiscard]] EdgeVerifier makeCoreVerifier(PropertyPtr prop,
+                                            CoreVerifierParams params = {});
+
+/// The exact constants of Theorem 1 for certifying φ ∧ (pathwidth <= k):
+/// maxLanes = f(k+1) (Prop 4.6 lane bound for width-(k+1) representations)
+/// and maxThrough = h(k+1) (the completion embedding congestion).  Honest
+/// labelings of pathwidth-<=k graphs always pass; any accepted labeling
+/// certifies that the real edges embed in a graph of lanewidth <= f(k+1).
+[[nodiscard]] CoreVerifierParams theorem1Params(int k);
+
+}  // namespace lanecert

@@ -1,0 +1,210 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace lanecert {
+
+Graph pathGraph(VertexId n) {
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.addEdge(v, v + 1);
+  return g;
+}
+
+Graph cycleGraph(VertexId n) {
+  if (n < 3) throw std::invalid_argument("cycleGraph: n >= 3 required");
+  Graph g = pathGraph(n);
+  g.addEdge(n - 1, 0);
+  return g;
+}
+
+Graph completeGraph(VertexId n) {
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.addEdge(u, v);
+  }
+  return g;
+}
+
+Graph starGraph(VertexId leaves) {
+  Graph g(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) g.addEdge(0, v);
+  return g;
+}
+
+Graph caterpillar(VertexId spine, int legs) {
+  Graph g(spine);
+  for (VertexId v = 0; v + 1 < spine; ++v) g.addEdge(v, v + 1);
+  for (VertexId v = 0; v < spine; ++v) {
+    for (int i = 0; i < legs; ++i) {
+      const VertexId leaf = g.addVertex();
+      g.addEdge(v, leaf);
+    }
+  }
+  return g;
+}
+
+Graph spiderGraph(int arms, int armLen) {
+  Graph g(1);
+  for (int a = 0; a < arms; ++a) {
+    VertexId prev = 0;
+    for (int i = 0; i < armLen; ++i) {
+      const VertexId v = g.addVertex();
+      g.addEdge(prev, v);
+      prev = v;
+    }
+  }
+  return g;
+}
+
+Graph completeBinaryTree(int levels) {
+  const VertexId n = static_cast<VertexId>((1 << levels) - 1);
+  Graph g(n);
+  for (VertexId v = 1; v < n; ++v) g.addEdge(v, (v - 1) / 2);
+  return g;
+}
+
+Graph randomTree(VertexId n, Rng& rng) {
+  if (n <= 0) return Graph{};
+  if (n == 1) return Graph{1};
+  if (n == 2) {
+    Graph g(2);
+    g.addEdge(0, 1);
+    return g;
+  }
+  // Prüfer decoding.
+  std::vector<VertexId> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) x = static_cast<VertexId>(rng.uniformInt(0, n - 1));
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (VertexId x : prufer) ++deg[static_cast<std::size_t>(x)];
+  Graph g(n);
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  // Min-leaf selection via a simple priority scan (n is small in tests).
+  auto popMinLeaf = [&]() {
+    for (VertexId v = 0; v < n; ++v) {
+      if (!used[static_cast<std::size_t>(v)] && deg[static_cast<std::size_t>(v)] == 1) {
+        return v;
+      }
+    }
+    return kNoVertex;
+  };
+  for (VertexId x : prufer) {
+    const VertexId leaf = popMinLeaf();
+    g.addEdge(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = 1;
+    --deg[static_cast<std::size_t>(x)];
+  }
+  // Two vertices of degree 1 remain.
+  VertexId a = kNoVertex;
+  VertexId b = kNoVertex;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!used[static_cast<std::size_t>(v)] && deg[static_cast<std::size_t>(v)] == 1) {
+      (a == kNoVertex ? a : b) = v;
+    }
+  }
+  g.addEdge(a, b);
+  return g;
+}
+
+Graph gridGraph(int w, int h) {
+  Graph g(static_cast<VertexId>(w * h));
+  auto at = [w](int x, int y) { return static_cast<VertexId>(y * w + x); };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) g.addEdge(at(x, y), at(x + 1, y));
+      if (y + 1 < h) g.addEdge(at(x, y), at(x, y + 1));
+    }
+  }
+  return g;
+}
+
+Graph randomConnected(VertexId n, double p, Rng& rng) {
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.flip(p)) g.addEdge(u, v);
+    }
+  }
+  // Stitch components together with random edges.
+  Components c = connectedComponents(g);
+  while (c.count > 1) {
+    std::vector<VertexId> reps(static_cast<std::size_t>(c.count), kNoVertex);
+    for (VertexId v = 0; v < n; ++v) {
+      auto& r = reps[static_cast<std::size_t>(c.label[static_cast<std::size_t>(v)])];
+      if (r == kNoVertex || rng.flip(0.3)) r = v;
+    }
+    for (int i = 1; i < c.count; ++i) {
+      g.addEdge(reps[0], reps[static_cast<std::size_t>(i)]);
+    }
+    c = connectedComponents(g);
+  }
+  return g;
+}
+
+BoundedPathwidthGraph randomBoundedPathwidth(VertexId n, int k, double density,
+                                             Rng& rng) {
+  if (n <= 0) throw std::invalid_argument("randomBoundedPathwidth: n >= 1");
+  if (k < 1) throw std::invalid_argument("randomBoundedPathwidth: k >= 1");
+  BoundedPathwidthGraph out;
+  out.graph = Graph(n);
+  out.intervals.assign(static_cast<std::size_t>(n), {0, 0});
+  const int capacity = k + 1;  // width <= k+1 <=> pathwidth <= k
+
+  std::vector<VertexId> active;
+  int clock = 0;
+  VertexId next = 0;
+
+  auto introduce = [&]() {
+    const VertexId v = next++;
+    out.intervals[static_cast<std::size_t>(v)].first = clock;
+    if (!active.empty()) {
+      // Always >= 1 edge to keep the graph connected; extra edges by density.
+      std::vector<int> idx(active.size());
+      std::iota(idx.begin(), idx.end(), 0);
+      std::shuffle(idx.begin(), idx.end(), rng.engine());
+      std::size_t extra = 0;
+      for (std::size_t i = 1; i < idx.size(); ++i) {
+        if (rng.flip(density)) ++extra;
+      }
+      for (std::size_t i = 0; i <= extra && i < idx.size(); ++i) {
+        out.graph.addEdge(v, active[static_cast<std::size_t>(idx[i])]);
+      }
+    }
+    active.push_back(v);
+    out.width = std::max(out.width, static_cast<int>(active.size()));
+  };
+  auto retire = [&]() {
+    const std::size_t i =
+        static_cast<std::size_t>(rng.uniformInt(0, static_cast<int>(active.size()) - 1));
+    const VertexId v = active[i];
+    out.intervals[static_cast<std::size_t>(v)].second = clock;
+    active[i] = active.back();
+    active.pop_back();
+  };
+
+  introduce();  // vertex 0 at clock 0
+  while (next < n) {
+    ++clock;
+    const bool full = static_cast<int>(active.size()) >= capacity;
+    // Never retire the last active vertex while more must be introduced,
+    // otherwise a later vertex would have no neighbor to attach to.
+    const bool canRetire = active.size() >= 2;
+    if (full || (canRetire && rng.flip(0.45))) {
+      retire();
+    } else {
+      introduce();
+    }
+  }
+  // Close the remaining intervals.
+  while (!active.empty()) {
+    ++clock;
+    retire();
+  }
+  return out;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,96 @@
+#pragma once
+// Graph families used by examples, tests, and benchmark workloads.
+//
+// The key generator for the paper's setting is `randomBoundedPathwidth`,
+// which produces a connected graph TOGETHER WITH an interval representation
+// (Definition 4.1) of width <= k+1 witnessing pathwidth <= k.  The intervals
+// are returned as plain (L, R) pairs so this module stays independent of the
+// interval library, which wraps them into an IntervalRepresentation.
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+/// Deterministic RNG wrapper used by all generators (seeded mt19937_64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+  /// Uniform real in [0, 1).
+  double uniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+  /// Bernoulli with success probability p.
+  bool flip(double p) { return uniformReal() < p; }
+  /// Underlying engine, for std::shuffle.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Path on n vertices: 0-1-2-...-(n-1).  Pathwidth 1 (n >= 2).
+[[nodiscard]] Graph pathGraph(VertexId n);
+
+/// Cycle on n >= 3 vertices.  Pathwidth 2.
+[[nodiscard]] Graph cycleGraph(VertexId n);
+
+/// Complete graph K_n.  Pathwidth n-1.
+[[nodiscard]] Graph completeGraph(VertexId n);
+
+/// Star with `leaves` leaves (center is vertex 0).  Pathwidth 1.
+[[nodiscard]] Graph starGraph(VertexId leaves);
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves.  Pathwidth 1 for legs >= 0, spine >= 2.
+[[nodiscard]] Graph caterpillar(VertexId spine, int legs);
+
+/// Spider: `arms` disjoint paths of `armLen` vertices, all attached to a
+/// central vertex 0.  Pathwidth 2 (for arms >= 3); the canonical adversary
+/// for naive completion-edge routing (everything funnels through vertex 0).
+[[nodiscard]] Graph spiderGraph(int arms, int armLen);
+
+/// Complete binary tree with `levels` levels (2^levels - 1 vertices).
+/// Pathwidth ceil(levels / 2) in general; used as a "tree but not path-like"
+/// family.
+[[nodiscard]] Graph completeBinaryTree(int levels);
+
+/// Uniform random labeled tree on n vertices (Prüfer sequence).
+[[nodiscard]] Graph randomTree(VertexId n, Rng& rng);
+
+/// w x h grid graph; pathwidth min(w, h).
+[[nodiscard]] Graph gridGraph(int w, int h);
+
+/// Erdos-Renyi G(n, p), then connected by adding random tree edges between
+/// components.  General-purpose "no structure" family for negative tests.
+[[nodiscard]] Graph randomConnected(VertexId n, double p, Rng& rng);
+
+/// A connected graph of pathwidth <= k with a witnessing interval
+/// representation of width <= k+1.
+struct BoundedPathwidthGraph {
+  Graph graph;
+  /// Per-vertex interval [L, R] over integer positions (Definition 4.1);
+  /// at most k+1 intervals share any point.
+  std::vector<std::pair<int, int>> intervals;
+  int width = 0;  ///< realized width (max point coverage), <= k+1
+};
+
+/// Random connected bounded-pathwidth graph via an interval sweep:
+/// maintain <= k+1 "active" vertices; each step either retires an active
+/// vertex or introduces a new one connected to `1 + Binomial(active)` random
+/// active vertices. `density` in [0,1] controls how many of the possible
+/// edges to active vertices a new vertex receives.
+[[nodiscard]] BoundedPathwidthGraph randomBoundedPathwidth(VertexId n, int k,
+                                                           double density,
+                                                           Rng& rng);
+
+}  // namespace lanecert

@@ -1,0 +1,89 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lanecert {
+
+EdgeId Graph::addEdge(VertexId u, VertexId v) {
+  if (u == v) throw std::invalid_argument("Graph::addEdge: self-loop");
+  if (u < 0 || v < 0 || u >= numVertices() || v >= numVertices()) {
+    throw std::out_of_range("Graph::addEdge: vertex out of range");
+  }
+  if (hasEdge(u, v)) {
+    throw std::invalid_argument("Graph::addEdge: parallel edge");
+  }
+  const EdgeId e = numEdges();
+  edges_.push_back(Edge{u, v});
+  adj_[static_cast<std::size_t>(u)].push_back(Arc{v, e});
+  adj_[static_cast<std::size_t>(v)].push_back(Arc{u, e});
+  return e;
+}
+
+EdgeId Graph::findEdge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= numVertices() || v >= numVertices()) {
+    return kNoEdge;
+  }
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  const auto& b = adj_[static_cast<std::size_t>(v)];
+  const auto& shorter = a.size() <= b.size() ? a : b;
+  const VertexId target = a.size() <= b.size() ? v : u;
+  for (const Arc& arc : shorter) {
+    if (arc.to == target) return arc.edge;
+  }
+  return kNoEdge;
+}
+
+bool Graph::sameEdgeSet(const Graph& other) const {
+  if (numVertices() != other.numVertices()) return false;
+  if (numEdges() != other.numEdges()) return false;
+  auto normalize = [](const std::vector<Edge>& es) {
+    std::vector<std::pair<VertexId, VertexId>> out;
+    out.reserve(es.size());
+    for (const Edge& e : es) {
+      out.emplace_back(std::min(e.u, e.v), std::max(e.u, e.v));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  return normalize(edges_) == normalize(other.edges_);
+}
+
+std::string Graph::summary() const {
+  return "Graph(n=" + std::to_string(numVertices()) +
+         ", m=" + std::to_string(numEdges()) + ")";
+}
+
+IdAssignment IdAssignment::identity(VertexId n) {
+  IdAssignment a;
+  a.ids_.resize(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) a.ids_[static_cast<std::size_t>(v)] = static_cast<std::uint64_t>(v);
+  return a;
+}
+
+IdAssignment IdAssignment::random(VertexId n, std::uint64_t seed) {
+  IdAssignment a;
+  a.ids_.resize(static_cast<std::size_t>(n));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(0, (std::uint64_t{1} << 62) - 1);
+  std::unordered_map<std::uint64_t, bool> used;
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t id = dist(rng);
+    while (used.count(id) != 0) id = dist(rng);
+    used[id] = true;
+    a.ids_[static_cast<std::size_t>(v)] = id;
+  }
+  return a;
+}
+
+VertexId IdAssignment::vertexOf(std::uint64_t id) const {
+  for (std::size_t v = 0; v < ids_.size(); ++v) {
+    if (ids_[v] == id) return static_cast<VertexId>(v);
+  }
+  return kNoVertex;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,147 @@
+#pragma once
+// Core undirected-graph data structure used throughout lanecert.
+//
+// Vertices are dense integers 0..n-1.  Edges are stored once and given dense
+// ids 0..m-1; the adjacency structure records (neighbor, edge id) pairs so
+// that per-edge data (certificates, congestion counters, input labels) can be
+// kept in plain vectors indexed by EdgeId.
+//
+// The graph model follows Section 1.1 of the paper: an n-vertex connected
+// undirected graph whose vertices carry O(log n)-bit distinct identifiers.
+// Identifiers are kept separate from the topology (see `IdAssignment`) so
+// that the same topology can be re-labeled in tests.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lanecert {
+
+/// Dense vertex index, 0-based. -1 denotes "no vertex".
+using VertexId = std::int32_t;
+/// Dense edge index, 0-based. -1 denotes "no edge".
+using EdgeId = std::int32_t;
+
+/// Sentinel for "no vertex" / "no edge".
+inline constexpr VertexId kNoVertex = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// An undirected edge; `u <= v` is NOT required, endpoints keep insertion
+/// order so callers can orient edges meaningfully.
+struct Edge {
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+
+  /// Returns the endpoint different from `w`; `w` must be an endpoint.
+  [[nodiscard]] VertexId other(VertexId w) const { return w == u ? v : u; }
+  /// True if `w` is one of the two endpoints.
+  [[nodiscard]] bool touches(VertexId w) const { return w == u || w == v; }
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// One adjacency entry: the neighbor reached and the id of the edge used.
+struct Arc {
+  VertexId to = kNoVertex;
+  EdgeId edge = kNoEdge;
+
+  friend bool operator==(const Arc&, const Arc&) = default;
+};
+
+/// Simple undirected graph (no self-loops, no parallel edges).
+///
+/// Mutation is append-only (addVertex/addEdge); algorithms treat the graph
+/// as immutable.  All queries are O(1) or O(deg).
+class Graph {
+ public:
+  Graph() = default;
+  /// Creates a graph with `n` isolated vertices.
+  explicit Graph(VertexId n) : adj_(static_cast<std::size_t>(n)) {}
+
+  /// Number of vertices.
+  [[nodiscard]] VertexId numVertices() const {
+    return static_cast<VertexId>(adj_.size());
+  }
+  /// Number of edges.
+  [[nodiscard]] EdgeId numEdges() const {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  /// Appends an isolated vertex and returns its id.
+  VertexId addVertex() {
+    adj_.emplace_back();
+    return numVertices() - 1;
+  }
+
+  /// Appends the undirected edge {u, v} and returns its id.
+  /// Precondition: u != v, both exist, and {u, v} is not already present.
+  EdgeId addEdge(VertexId u, VertexId v);
+
+  /// True if {u, v} is an edge (O(min deg)).
+  [[nodiscard]] bool hasEdge(VertexId u, VertexId v) const {
+    return findEdge(u, v) != kNoEdge;
+  }
+
+  /// Returns the id of edge {u, v}, or kNoEdge.
+  [[nodiscard]] EdgeId findEdge(VertexId u, VertexId v) const;
+
+  /// Endpoints of edge `e`.
+  [[nodiscard]] const Edge& edge(EdgeId e) const {
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// Adjacency list of `v` as (neighbor, edge id) pairs.
+  [[nodiscard]] std::span<const Arc> arcs(VertexId v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Degree of `v`.
+  [[nodiscard]] int degree(VertexId v) const {
+    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+  }
+
+  /// All edges, indexed by EdgeId.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// True if the two graphs have identical vertex counts and edge sets
+  /// (edge insertion order ignored).
+  [[nodiscard]] bool sameEdgeSet(const Graph& other) const;
+
+  /// Human-readable one-line summary, e.g. "Graph(n=6, m=6)".
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<Edge> edges_;
+};
+
+/// Distinct O(log n)-bit identifiers for the PLS model (Section 1.1).
+///
+/// `id(v)` is the identifier of dense vertex v.  Identifiers are arbitrary
+/// distinct 64-bit values; provers may look them up in either direction.
+class IdAssignment {
+ public:
+  IdAssignment() = default;
+  /// Identity assignment: id(v) = v.
+  static IdAssignment identity(VertexId n);
+  /// Random distinct ids drawn from [0, 2^62) with the given seed.
+  static IdAssignment random(VertexId n, std::uint64_t seed);
+
+  /// Identifier of vertex v.
+  [[nodiscard]] std::uint64_t id(VertexId v) const {
+    return ids_[static_cast<std::size_t>(v)];
+  }
+  /// Inverse lookup; returns kNoVertex if no vertex has this identifier.
+  [[nodiscard]] VertexId vertexOf(std::uint64_t id) const;
+
+  [[nodiscard]] VertexId numVertices() const {
+    return static_cast<VertexId>(ids_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> ids_;
+};
+
+}  // namespace lanecert

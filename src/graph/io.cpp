@@ -1,0 +1,49 @@
+#include "graph/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lanecert {
+
+std::string toDot(const Graph& g) {
+  std::ostringstream os;
+  os << "graph G {\n";
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    os << "  " << v << ";\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  " << e.u << " -- " << e.v << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string toEdgeList(const Graph& g) {
+  std::ostringstream os;
+  os << g.numVertices() << ' ' << g.numEdges() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << '\n';
+  }
+  return os.str();
+}
+
+Graph fromEdgeList(const std::string& text) {
+  std::istringstream is(text);
+  VertexId n = 0;
+  EdgeId m = 0;
+  if (!(is >> n >> m)) {
+    throw std::invalid_argument("fromEdgeList: missing header");
+  }
+  Graph g(n);
+  for (EdgeId i = 0; i < m; ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    if (!(is >> u >> v)) {
+      throw std::invalid_argument("fromEdgeList: truncated edge list");
+    }
+    g.addEdge(u, v);
+  }
+  return g;
+}
+
+}  // namespace lanecert

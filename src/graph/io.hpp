@@ -1,0 +1,21 @@
+#pragma once
+// Text import/export for graphs: GraphViz DOT output for figures and a
+// minimal edge-list format used by tests and examples.
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+/// GraphViz DOT rendering ("graph G { ... }").
+[[nodiscard]] std::string toDot(const Graph& g);
+
+/// Edge-list text: first line "n m", then one "u v" line per edge.
+[[nodiscard]] std::string toEdgeList(const Graph& g);
+
+/// Parses the `toEdgeList` format. Throws std::invalid_argument on
+/// malformed input.
+[[nodiscard]] Graph fromEdgeList(const std::string& text);
+
+}  // namespace lanecert

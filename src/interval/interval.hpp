@@ -1,0 +1,125 @@
+#pragma once
+// Interval representations (Definition 4.1) and path decompositions
+// (Definition 1.1), with validation and conversions in both directions.
+//
+// A graph has pathwidth k iff it has an interval representation of width
+// k+1, where the width is the maximum number of intervals sharing a point
+// (note the paper's off-by-one: decomposition width is max bag size minus
+// one, interval width is max coverage).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+/// Closed integer interval [l, r], non-empty (l <= r).
+struct Interval {
+  int l = 0;
+  int r = 0;
+
+  /// True if the two intervals share at least one point.
+  [[nodiscard]] bool overlaps(const Interval& o) const {
+    return l <= o.r && o.l <= r;
+  }
+  /// Strict precedence (the paper's `≺`): this ends before `o` begins.
+  [[nodiscard]] bool before(const Interval& o) const { return r < o.l; }
+  /// True if `x` lies inside the interval.
+  [[nodiscard]] bool contains(int x) const { return l <= x && x <= r; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// An interval representation: one non-empty interval per vertex such that
+/// the intervals of adjacent vertices overlap (Definition 4.1).
+class IntervalRepresentation {
+ public:
+  IntervalRepresentation() = default;
+  explicit IntervalRepresentation(std::vector<Interval> intervals)
+      : intervals_(std::move(intervals)) {}
+
+  /// Builds from plain (L, R) pairs (e.g. generator output).
+  static IntervalRepresentation fromPairs(
+      const std::vector<std::pair<int, int>>& pairs);
+
+  [[nodiscard]] VertexId numVertices() const {
+    return static_cast<VertexId>(intervals_.size());
+  }
+  [[nodiscard]] const Interval& interval(VertexId v) const {
+    return intervals_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    return intervals_;
+  }
+
+  /// Maximum number of intervals sharing a point (0 for empty).
+  [[nodiscard]] int width() const;
+
+  /// True if this is a valid representation OF `g`: one interval per vertex,
+  /// every interval non-empty, and endpoints of every edge overlap.
+  [[nodiscard]] bool isValidFor(const Graph& g) const;
+
+  struct Restriction;
+  /// Restriction to a vertex subset; `keep[v]` selects vertices.  Returns
+  /// the restricted representation plus the mapping new-index -> old vertex.
+  [[nodiscard]] Restriction restrictTo(const std::vector<char>& keep) const;
+
+  /// Rewrites coordinates to 0..D-1 preserving the overlap structure.
+  [[nodiscard]] IntervalRepresentation normalized() const;
+
+  /// Human-readable listing "v: [l, r]" per line.
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+/// Result of IntervalRepresentation::restrictTo.
+struct IntervalRepresentation::Restriction {
+  IntervalRepresentation rep;
+  std::vector<VertexId> toOriginal;  ///< new index -> original vertex id
+};
+
+/// A path decomposition: a sequence of bags satisfying (P1) every edge is
+/// inside some bag, and (P2) every vertex's occurrences are consecutive.
+class PathDecomposition {
+ public:
+  PathDecomposition() = default;
+  explicit PathDecomposition(std::vector<std::vector<VertexId>> bags)
+      : bags_(std::move(bags)) {}
+
+  [[nodiscard]] std::size_t numBags() const { return bags_.size(); }
+  [[nodiscard]] const std::vector<VertexId>& bag(std::size_t i) const {
+    return bags_[i];
+  }
+  [[nodiscard]] const std::vector<std::vector<VertexId>>& bags() const {
+    return bags_;
+  }
+
+  /// max |bag| - 1; -1 for the empty decomposition.
+  [[nodiscard]] int width() const;
+
+  /// Checks (P1), (P2), and that every vertex of `g` appears in some bag.
+  [[nodiscard]] bool isValidFor(const Graph& g) const;
+
+  /// Human-readable listing "X_i = {..}" per line.
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  std::vector<std::vector<VertexId>> bags_;
+};
+
+/// Converts a path decomposition into the equivalent interval representation
+/// (vertex v gets [first bag containing v, last bag containing v]).
+/// Precondition: the decomposition satisfies (P2) and covers all vertices.
+[[nodiscard]] IntervalRepresentation toIntervalRepresentation(
+    const PathDecomposition& pd, VertexId numVertices);
+
+/// Converts an interval representation into the equivalent path
+/// decomposition (one bag per distinct coordinate, after normalization).
+[[nodiscard]] PathDecomposition toPathDecomposition(
+    const IntervalRepresentation& rep);
+
+}  // namespace lanecert

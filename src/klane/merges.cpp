@@ -1,0 +1,261 @@
+#include "klane/merges.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace lanecert {
+
+namespace {
+
+void sortUnique(std::vector<VertexId>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+std::pair<VertexId, VertexId> normEdge(VertexId a, VertexId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+void requireDisjointLanes(const std::vector<int>& a, const std::vector<int>& b) {
+  std::vector<int> inter;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(inter));
+  if (!inter.empty()) {
+    throw std::invalid_argument("merge: lane sets must be disjoint");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validateKLane(const KLaneGraph& g) {
+  std::vector<std::string> errs;
+  if (g.lanes.empty()) errs.push_back("empty lane set");
+  if (!std::is_sorted(g.lanes.begin(), g.lanes.end()) ||
+      std::adjacent_find(g.lanes.begin(), g.lanes.end()) != g.lanes.end()) {
+    errs.push_back("lanes not sorted/unique");
+  }
+  if (!std::is_sorted(g.vertices.begin(), g.vertices.end()) ||
+      std::adjacent_find(g.vertices.begin(), g.vertices.end()) !=
+          g.vertices.end()) {
+    errs.push_back("vertices not sorted/unique");
+  }
+  for (const TerminalMap* tm : {&g.inTerm, &g.outTerm}) {
+    if (tm->entries().size() != g.lanes.size()) {
+      errs.push_back("terminal count != lane count");
+    }
+    for (const auto& [lane, v] : tm->entries()) {
+      if (!std::binary_search(g.lanes.begin(), g.lanes.end(), lane)) {
+        errs.push_back("terminal on foreign lane");
+      }
+      if (!std::binary_search(g.vertices.begin(), g.vertices.end(), v)) {
+        errs.push_back("terminal outside vertex set");
+      }
+    }
+  }
+  // Injectivity of φ_in and φ_out (Definition 5.3).
+  for (const TerminalMap* tm : {&g.inTerm, &g.outTerm}) {
+    std::set<VertexId> seen;
+    for (const auto& [lane, v] : tm->entries()) {
+      if (!seen.insert(v).second) errs.push_back("terminal map not injective");
+    }
+  }
+  for (const auto& [a, b] : g.edges) {
+    if (a >= b) errs.push_back("edge not normalized");
+    if (!std::binary_search(g.vertices.begin(), g.vertices.end(), a) ||
+        !std::binary_search(g.vertices.begin(), g.vertices.end(), b)) {
+      errs.push_back("edge endpoint outside vertex set");
+    }
+  }
+  return errs;
+}
+
+KLaneGraph kLaneVertex(int lane, VertexId v) {
+  KLaneGraph g;
+  g.vertices = {v};
+  g.lanes = {lane};
+  g.inTerm.set(lane, v);
+  g.outTerm.set(lane, v);
+  return g;
+}
+
+KLaneGraph kLaneEdge(int lane, VertexId in, VertexId out) {
+  if (in == out) throw std::invalid_argument("kLaneEdge: degenerate");
+  KLaneGraph g;
+  g.vertices = {std::min(in, out), std::max(in, out)};
+  g.edges = {normEdge(in, out)};
+  g.lanes = {lane};
+  g.inTerm.set(lane, in);
+  g.outTerm.set(lane, out);
+  return g;
+}
+
+KLaneGraph kLanePath(const std::vector<int>& lanes,
+                     const std::vector<VertexId>& pathVertices) {
+  if (lanes.size() != pathVertices.size() || lanes.empty()) {
+    throw std::invalid_argument("kLanePath: lanes/vertices mismatch");
+  }
+  KLaneGraph g;
+  g.vertices = pathVertices;
+  sortUnique(g.vertices);
+  if (g.vertices.size() != pathVertices.size()) {
+    throw std::invalid_argument("kLanePath: duplicate vertex");
+  }
+  for (std::size_t i = 0; i + 1 < pathVertices.size(); ++i) {
+    g.edges.push_back(normEdge(pathVertices[i], pathVertices[i + 1]));
+  }
+  std::sort(g.edges.begin(), g.edges.end());
+  g.lanes = lanes;
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    g.inTerm.set(lanes[i], pathVertices[i]);
+    g.outTerm.set(lanes[i], pathVertices[i]);
+  }
+  return g;
+}
+
+KLaneGraph bridgeMerge(const KLaneGraph& g1, const KLaneGraph& g2, int laneI,
+                       int laneJ) {
+  requireDisjointLanes(g1.lanes, g2.lanes);
+  {
+    std::vector<VertexId> inter;
+    std::set_intersection(g1.vertices.begin(), g1.vertices.end(),
+                          g2.vertices.begin(), g2.vertices.end(),
+                          std::back_inserter(inter));
+    if (!inter.empty()) {
+      throw std::invalid_argument("bridgeMerge: parts share vertices");
+    }
+  }
+  const VertexId u = g1.outTerm.at(laneI);
+  const VertexId v = g2.outTerm.at(laneJ);
+  if (u == kNoVertex || v == kNoVertex) {
+    throw std::invalid_argument("bridgeMerge: missing out-terminal");
+  }
+  KLaneGraph g;
+  std::merge(g1.vertices.begin(), g1.vertices.end(), g2.vertices.begin(),
+             g2.vertices.end(), std::back_inserter(g.vertices));
+  std::merge(g1.edges.begin(), g1.edges.end(), g2.edges.begin(),
+             g2.edges.end(), std::back_inserter(g.edges));
+  g.edges.push_back(normEdge(u, v));
+  std::sort(g.edges.begin(), g.edges.end());
+  std::merge(g1.lanes.begin(), g1.lanes.end(), g2.lanes.begin(),
+             g2.lanes.end(), std::back_inserter(g.lanes));
+  for (const KLaneGraph* part : {&g1, &g2}) {
+    for (const auto& [lane, w] : part->inTerm.entries()) g.inTerm.set(lane, w);
+    for (const auto& [lane, w] : part->outTerm.entries()) g.outTerm.set(lane, w);
+  }
+  return g;
+}
+
+KLaneGraph parentMergeGraphs(const KLaneGraph& child, const KLaneGraph& parent) {
+  if (!std::includes(parent.lanes.begin(), parent.lanes.end(),
+                     child.lanes.begin(), child.lanes.end())) {
+    throw std::invalid_argument("parentMergeGraphs: T(child) ⊄ T(parent)");
+  }
+  for (int lane : child.lanes) {
+    if (child.inTerm.at(lane) != parent.outTerm.at(lane)) {
+      throw std::invalid_argument(
+          "parentMergeGraphs: gluing terminals are different vertices");
+    }
+  }
+  // Definition requires E to be a DISJOINT union of the two edge sets.
+  {
+    std::vector<std::pair<VertexId, VertexId>> inter;
+    std::set_intersection(child.edges.begin(), child.edges.end(),
+                          parent.edges.begin(), parent.edges.end(),
+                          std::back_inserter(inter));
+    if (!inter.empty()) {
+      throw std::invalid_argument("parentMergeGraphs: edge sets overlap");
+    }
+  }
+  KLaneGraph g;
+  std::merge(parent.vertices.begin(), parent.vertices.end(),
+             child.vertices.begin(), child.vertices.end(),
+             std::back_inserter(g.vertices));
+  sortUnique(g.vertices);  // gluing points appear in both parts
+  std::merge(parent.edges.begin(), parent.edges.end(), child.edges.begin(),
+             child.edges.end(), std::back_inserter(g.edges));
+  g.lanes = parent.lanes;
+  g.inTerm = parent.inTerm;
+  for (int lane : parent.lanes) {
+    g.outTerm.set(lane,
+                  std::binary_search(child.lanes.begin(), child.lanes.end(), lane)
+                      ? child.outTerm.at(lane)
+                      : parent.outTerm.at(lane));
+  }
+  return g;
+}
+
+KLaneGraph treeMerge(const std::vector<KLaneGraph>& nodes,
+                     const std::vector<int>& parent) {
+  if (nodes.empty() || nodes.size() != parent.size()) {
+    throw std::invalid_argument("treeMerge: malformed tree");
+  }
+  int root = -1;
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] < 0) {
+      if (root >= 0) throw std::invalid_argument("treeMerge: two roots");
+      root = static_cast<int>(i);
+    }
+  }
+  if (root < 0) throw std::invalid_argument("treeMerge: no root");
+  // Tree-merge conditions: nesting + sibling disjointness.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (parent[i] < 0) continue;
+    const auto& p = nodes[static_cast<std::size_t>(parent[i])];
+    if (!std::includes(p.lanes.begin(), p.lanes.end(), nodes[i].lanes.begin(),
+                       nodes[i].lanes.end())) {
+      throw std::invalid_argument("treeMerge: child lanes ⊄ parent lanes");
+    }
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (parent[j] != parent[i]) continue;
+      requireDisjointLanes(nodes[i].lanes, nodes[j].lanes);
+    }
+  }
+  // Contract leaves upward (Parent-merge is associative, §5.3).
+  std::vector<KLaneGraph> work = nodes;
+  std::vector<int> par = parent;
+  std::vector<char> alive(nodes.size(), 1);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      if (!alive[i] || par[i] < 0) continue;
+      // A leaf: nobody alive points to it.
+      bool isLeaf = true;
+      for (std::size_t j = 0; j < work.size(); ++j) {
+        if (alive[j] && par[j] == static_cast<int>(i)) isLeaf = false;
+      }
+      if (!isLeaf) continue;
+      const auto p = static_cast<std::size_t>(par[i]);
+      work[p] = parentMergeGraphs(work[i], work[p]);
+      alive[i] = 0;
+      progress = true;
+    }
+  }
+  return work[static_cast<std::size_t>(root)];
+}
+
+KLaneGraph materializeByMerges(const Hierarchy& h, int id) {
+  const HierNode& n = h.node(id);
+  switch (n.type) {
+    case HierNode::Type::kV:
+      return kLaneVertex(n.lanes[0], n.u);
+    case HierNode::Type::kE:
+      return kLaneEdge(n.laneI, n.u, n.v);
+    case HierNode::Type::kP:
+      return kLanePath(n.lanes, n.pathVertices);
+    case HierNode::Type::kB:
+      return bridgeMerge(materializeByMerges(h, n.children[0]),
+                         materializeByMerges(h, n.children[1]), n.laneI,
+                         n.laneJ);
+    case HierNode::Type::kT: {
+      std::vector<KLaneGraph> nodes;
+      nodes.reserve(n.children.size());
+      for (int c : n.children) nodes.push_back(materializeByMerges(h, c));
+      return treeMerge(nodes, n.treeParentPos);
+    }
+  }
+  throw std::logic_error("materializeByMerges: unknown node type");
+}
+
+}  // namespace lanecert

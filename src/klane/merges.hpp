@@ -1,0 +1,64 @@
+#pragma once
+// Executable semantics of Definitions 5.3 and 5.4: materialized k-lane
+// graphs and the Bridge-merge / Parent-merge / Tree-merge operations as
+// standalone functions on explicit vertex/edge sets.
+//
+// The certification pipeline never materializes these (it works on the
+// compact Hierarchy); this module exists so the merge DEFINITIONS are
+// testable objects in their own right, and so tests can verify that every
+// hierarchy node materializes to exactly the graph its merge operations
+// define (see tests/test_merges.cpp).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "klane/hierarchy.hpp"
+
+namespace lanecert {
+
+/// A k-lane graph with explicit vertex and edge sets (global vertex ids).
+/// Invariants (checked by `validateKLane`): T(G) non-empty; in/out
+/// terminals defined exactly on T(G) and members of `vertices`.
+struct KLaneGraph {
+  std::vector<VertexId> vertices;  ///< sorted, unique
+  std::vector<std::pair<VertexId, VertexId>> edges;  ///< sorted, u < v
+  std::vector<int> lanes;          ///< T(G), sorted
+  TerminalMap inTerm;
+  TerminalMap outTerm;
+};
+
+/// Checks the Definition 5.3 invariants; returns problems (empty == valid).
+[[nodiscard]] std::vector<std::string> validateKLane(const KLaneGraph& g);
+
+/// Single-vertex / single-edge / path base graphs (the V/E/P node types).
+[[nodiscard]] KLaneGraph kLaneVertex(int lane, VertexId v);
+[[nodiscard]] KLaneGraph kLaneEdge(int lane, VertexId in, VertexId out);
+[[nodiscard]] KLaneGraph kLanePath(const std::vector<int>& lanes,
+                                   const std::vector<VertexId>& pathVertices);
+
+/// Bridge-merge(G1, G2, i, j) (Definition in §5.2): disjoint lane sets,
+/// adds the edge {τ_out_i(G1), τ_out_j(G2)}.  Throws std::invalid_argument
+/// if preconditions fail (overlapping lanes/vertices, missing terminals).
+[[nodiscard]] KLaneGraph bridgeMerge(const KLaneGraph& g1, const KLaneGraph& g2,
+                                     int laneI, int laneJ);
+
+/// Parent-merge(child, parent): T(child) ⊆ T(parent); identifies each
+/// in-terminal of the child with the parent's out-terminal in the same
+/// lane (they must be the SAME global vertex id — our hierarchies always
+/// name physical vertices).  Throws on violated preconditions, including
+/// the edge-disjointness requirement of the definition.
+[[nodiscard]] KLaneGraph parentMergeGraphs(const KLaneGraph& child,
+                                           const KLaneGraph& parent);
+
+/// Tree-merge over an explicit tree: nodes[i]'s tree parent is parent[i]
+/// (-1 for the root).  Applies Parent-merge bottom-up; validates the two
+/// Tree-merge conditions (child lanes ⊆ parent lanes; siblings disjoint).
+[[nodiscard]] KLaneGraph treeMerge(const std::vector<KLaneGraph>& nodes,
+                                   const std::vector<int>& parent);
+
+/// Materializes hierarchy node `id` into an explicit KLaneGraph by
+/// replaying its merge operations (NOT by unioning descendant edges) —
+/// tests compare this against Hierarchy::materialize*.
+[[nodiscard]] KLaneGraph materializeByMerges(const Hierarchy& h, int id);
+
+}  // namespace lanecert

@@ -1,0 +1,29 @@
+#include "lane/bounds.hpp"
+
+#include <stdexcept>
+
+namespace lanecert {
+
+long long fLanes(int k) {
+  if (k < 1) throw std::invalid_argument("fLanes: k >= 1 required");
+  long long f = 1;
+  for (int i = 2; i <= k; ++i) {
+    f = 2 + 2LL * (i - 1) * f;
+  }
+  return f;
+}
+
+long long gCongestion(int k) {
+  if (k < 1) throw std::invalid_argument("gCongestion: k >= 1 required");
+  long long f = 1;  // f(i-1) rolling value
+  long long g = 0;
+  for (int i = 2; i <= k; ++i) {
+    g = 2 + g + 2LL * i * f;
+    f = 2 + 2LL * (i - 1) * f;
+  }
+  return g;
+}
+
+long long hCongestion(int k) { return gCongestion(k) + fLanes(k) - 1; }
+
+}  // namespace lanecert

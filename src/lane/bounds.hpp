@@ -1,0 +1,22 @@
+#pragma once
+// Closed-form bounds of Proposition 4.6:
+//   f(1) = 1,  f(k) = 2 + 2(k-1) f(k-1)   (max number of lanes)
+//   g(1) = 0,  g(k) = 2 + g(k-1) + 2k f(k-1)  (weak-completion congestion)
+//   h(k) = g(k) + f(k) - 1                 (completion congestion)
+// These grow super-exponentially; they are exact reference values the
+// benchmarks compare measured quantities against.
+
+namespace lanecert {
+
+/// f(k): maximum number of lanes produced by the Prop 4.6 construction for
+/// an interval representation of width k.  Defined for k >= 1; overflows
+/// long long around k = 20.
+[[nodiscard]] long long fLanes(int k);
+
+/// g(k): congestion bound for embedding the weak completion.
+[[nodiscard]] long long gCongestion(int k);
+
+/// h(k) = g(k) + f(k) - 1: congestion bound for embedding the completion.
+[[nodiscard]] long long hCongestion(int k);
+
+}  // namespace lanecert

@@ -1,0 +1,441 @@
+#include "lane/embedding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+
+namespace lanecert {
+
+namespace {
+
+using VertexPair = std::pair<VertexId, VertexId>;
+
+VertexPair key(VertexId u, VertexId v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+/// Removes loops from a walk, producing a simple path whose edge set is a
+/// subset of the walk's edges (so congestion only decreases).  Theorem 1's
+/// embedding certificates require simple paths.
+std::vector<VertexId> simplifyWalk(const std::vector<VertexId>& walk) {
+  std::vector<VertexId> out;
+  std::map<VertexId, std::size_t> posOf;
+  for (VertexId v : walk) {
+    const auto it = posOf.find(v);
+    if (it != posOf.end()) {
+      // Revisit: drop the loop since the previous occurrence.
+      while (out.size() > it->second + 1) {
+        posOf.erase(out.back());
+        out.pop_back();
+      }
+    } else {
+      posOf[v] = out.size();
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// Recursive builder implementing the induction of Proposition 4.6.
+class PlanBuilder {
+ public:
+  PlanBuilder(const Graph& g, const IntervalRepresentation& rep)
+      : g_(g),
+        rep_(rep),
+        compEpochOf_(static_cast<std::size_t>(g.numVertices()), 0),
+        sEpochOf_(static_cast<std::size_t>(g.numVertices()), 0) {}
+
+  LanePlan build();
+
+ private:
+  const Interval& iv(VertexId v) const { return rep_.interval(v); }
+
+  /// Marks `verts` with a fresh epoch and returns it.
+  int markComponent(const std::vector<VertexId>& verts) {
+    const int e = ++epochCounter_;
+    for (VertexId v : verts) compEpochOf_[static_cast<std::size_t>(v)] = e;
+    return e;
+  }
+  bool inEpoch(VertexId v, int epoch) const {
+    return compEpochOf_[static_cast<std::size_t>(v)] == epoch;
+  }
+
+  /// BFS path s -> t restricted to vertices with the given epoch mark.
+  std::vector<VertexId> bfsPathWithin(VertexId s, VertexId t, int epoch) const;
+
+  /// Records the embedding path for completion edge {u, v}.
+  void emitPath(VertexId u, VertexId v, std::vector<VertexId> path);
+
+  /// The induction step: returns the lanes of the connected vertex set
+  /// `comp` (global ids) and emits embedding paths for all lane edges whose
+  /// both endpoints lie in `comp`.
+  std::vector<std::vector<VertexId>> recurse(const std::vector<VertexId>& comp);
+
+  const Graph& g_;
+  const IntervalRepresentation& rep_;
+  std::vector<int> compEpochOf_;
+  std::vector<int> sEpochOf_;
+  int epochCounter_ = 0;
+  std::map<VertexPair, std::vector<VertexId>> paths_;
+};
+
+std::vector<VertexId> PlanBuilder::bfsPathWithin(VertexId s, VertexId t,
+                                                 int epoch) const {
+  if (s == t) return {s};
+  std::map<VertexId, VertexId> parent;
+  std::queue<VertexId> q;
+  parent[s] = kNoVertex;
+  q.push(s);
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (const Arc& a : g_.arcs(u)) {
+      if (!inEpoch(a.to, epoch) || parent.count(a.to) != 0) continue;
+      parent[a.to] = u;
+      if (a.to == t) {
+        std::vector<VertexId> path;
+        for (VertexId w = t; w != kNoVertex; w = parent[w]) path.push_back(w);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      q.push(a.to);
+    }
+  }
+  throw std::logic_error("bfsPathWithin: target unreachable inside component");
+}
+
+void PlanBuilder::emitPath(VertexId u, VertexId v, std::vector<VertexId> path) {
+  // Prefer the direct edge when it exists: the completion edge is then a
+  // real edge of G and needs no embedding (zero congestion).
+  path = g_.hasEdge(u, v) ? std::vector<VertexId>{u, v} : simplifyWalk(path);
+  const auto [it, inserted] = paths_.emplace(key(u, v), std::move(path));
+  if (!inserted) {
+    throw std::logic_error("emitPath: duplicate completion edge");
+  }
+}
+
+std::vector<std::vector<VertexId>> PlanBuilder::recurse(
+    const std::vector<VertexId>& comp) {
+  if (comp.size() == 1) return {{comp[0]}};
+
+  // --- Choose vst (leftmost), ved (rightmost). ---
+  VertexId vst = comp[0];
+  VertexId ved = comp[0];
+  for (VertexId v : comp) {
+    if (iv(v).l < iv(vst).l || (iv(v).l == iv(vst).l && v < vst)) vst = v;
+    if (iv(v).r > iv(ved).r || (iv(v).r == iv(ved).r && v < ved)) ved = v;
+  }
+
+  const int compEpoch = markComponent(comp);
+
+  // --- Spine path P from vst to ved inside the component. ---
+  const std::vector<VertexId> P = bfsPathWithin(vst, ved, compEpoch);
+
+  // --- Skeleton S along P: s1 = vst; while R(s) < R(ved), jump to the
+  // position after s whose interval overlaps I(s) and has maximum R.
+  // Candidate validity (L <= R(s)) is monotone in R(s), so a lazy max-heap
+  // over positions keyed by R gives O(|P| log |P|). ---
+  std::vector<int> sortedByL(P.size());
+  for (std::size_t i = 0; i < P.size(); ++i) sortedByL[i] = static_cast<int>(i);
+  std::sort(sortedByL.begin(), sortedByL.end(), [&](int a, int b) {
+    return iv(P[static_cast<std::size_t>(a)]).l < iv(P[static_cast<std::size_t>(b)]).l;
+  });
+  std::vector<VertexId> S{P[0]};
+  std::vector<int> Spos{0};
+  {
+    std::priority_queue<std::pair<int, int>> heap;  // (R, position)
+    std::size_t ins = 0;
+    int curPos = 0;
+    while (iv(S.back()).r < iv(ved).r) {
+      const int bound = iv(S.back()).r;
+      while (ins < sortedByL.size() &&
+             iv(P[static_cast<std::size_t>(sortedByL[ins])]).l <= bound) {
+        const int pos = sortedByL[ins];
+        heap.emplace(iv(P[static_cast<std::size_t>(pos)]).r, pos);
+        ++ins;
+      }
+      while (!heap.empty() && heap.top().second <= curPos) heap.pop();
+      if (heap.empty()) {
+        throw std::logic_error("Prop 4.6: skeleton construction stuck (P disconnected?)");
+      }
+      const auto [r, pos] = heap.top();
+      heap.pop();
+      curPos = pos;
+      S.push_back(P[static_cast<std::size_t>(pos)]);
+      Spos.push_back(pos);
+      if (r <= iv(S[S.size() - 2]).r) {
+        throw std::logic_error("Prop 4.6: Observation 4.7 violated");
+      }
+    }
+  }
+
+  // Mark S membership and remember each skeleton vertex's position on P.
+  const int sEpoch = ++epochCounter_;
+  std::map<VertexId, int> posOnP;
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    sEpochOf_[static_cast<std::size_t>(S[i])] = sEpoch;
+    posOnP[S[i]] = Spos[i];
+  }
+  auto inS = [&](VertexId v) {
+    return sEpochOf_[static_cast<std::size_t>(v)] == sEpoch;
+  };
+  auto pSlice = [&](VertexId a, VertexId b) {
+    int pa = posOnP.at(a);
+    int pb = posOnP.at(b);
+    std::vector<VertexId> slice;
+    if (pa <= pb) {
+      for (int i = pa; i <= pb; ++i) slice.push_back(P[static_cast<std::size_t>(i)]);
+    } else {
+      for (int i = pa; i >= pb; --i) slice.push_back(P[static_cast<std::size_t>(i)]);
+    }
+    return slice;
+  };
+
+  // Lanes S1 (odd-index s1, s3, ...) and S2 (s2, s4, ...), plus their lane
+  // edges embedded along P (Case 1 of the proof).
+  std::vector<VertexId> S1;
+  std::vector<VertexId> S2;
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    (i % 2 == 0 ? S1 : S2).push_back(S[i]);
+  }
+  for (const auto& lane : {S1, S2}) {
+    for (std::size_t i = 0; i + 1 < lane.size(); ++i) {
+      emitPath(lane[i], lane[i + 1], pSlice(lane[i], lane[i + 1]));
+    }
+  }
+
+  // --- Connected components of comp \ S, with spans and anchors. ---
+  struct SubComp {
+    std::vector<VertexId> verts;
+    Interval span{0, 0};
+    VertexId uStar = kNoVertex;  ///< anchor inside the component
+    VertexId vStar = kNoVertex;  ///< anchor in S1 or S2
+    int side = 0;                ///< 1 if attached to S1, else 2
+    int cls = -1;                ///< interval-disjoint class (Lemma 4.10)
+    std::vector<std::vector<VertexId>> lanes;  ///< recursive lanes
+  };
+  std::vector<SubComp> comps;
+  {
+    std::vector<VertexId> stack;
+    std::map<VertexId, char> visited;
+    for (VertexId root : comp) {
+      if (inS(root) || visited.count(root) != 0) continue;
+      SubComp c;
+      stack.push_back(root);
+      visited[root] = 1;
+      while (!stack.empty()) {
+        const VertexId u = stack.back();
+        stack.pop_back();
+        c.verts.push_back(u);
+        for (const Arc& a : g_.arcs(u)) {
+          if (!inEpoch(a.to, compEpoch) || inS(a.to)) continue;
+          if (visited.count(a.to) != 0) continue;
+          visited[a.to] = 1;
+          stack.push_back(a.to);
+        }
+      }
+      comps.push_back(std::move(c));
+    }
+  }
+  // Spans and anchors. Prefer an edge to S1; otherwise S2 must work since
+  // the component is connected to the rest of comp only through S.
+  std::map<VertexId, int> sIndex;  // S vertex -> index in S (for parity)
+  for (std::size_t i = 0; i < S.size(); ++i) sIndex[S[i]] = static_cast<int>(i);
+  for (SubComp& c : comps) {
+    c.span = iv(c.verts[0]);
+    for (VertexId v : c.verts) {
+      c.span.l = std::min(c.span.l, iv(v).l);
+      c.span.r = std::max(c.span.r, iv(v).r);
+    }
+    VertexId u2 = kNoVertex;
+    VertexId v2 = kNoVertex;
+    for (VertexId v : c.verts) {
+      for (const Arc& a : g_.arcs(v)) {
+        if (!inEpoch(a.to, compEpoch) || !inS(a.to)) continue;
+        const bool odd = sIndex.at(a.to) % 2 == 0;  // S1 holds even indices
+        if (odd) {
+          c.uStar = v;
+          c.vStar = a.to;
+          c.side = 1;
+          break;
+        }
+        if (u2 == kNoVertex) {
+          u2 = v;
+          v2 = a.to;
+        }
+      }
+      if (c.side == 1) break;
+    }
+    if (c.side != 1) {
+      if (u2 == kNoVertex) {
+        throw std::logic_error("Prop 4.6: component not attached to S");
+      }
+      c.uStar = u2;
+      c.vStar = v2;
+      c.side = 2;
+    }
+  }
+
+  // --- Classes: first-fit interval coloring of component spans
+  // (Lemma 4.10 guarantees <= k-1 classes for width-k input). ---
+  std::vector<std::size_t> bySpan(comps.size());
+  for (std::size_t i = 0; i < comps.size(); ++i) bySpan[i] = i;
+  std::sort(bySpan.begin(), bySpan.end(), [&](std::size_t a, std::size_t b) {
+    if (comps[a].span.l != comps[b].span.l) return comps[a].span.l < comps[b].span.l;
+    return comps[a].span.r < comps[b].span.r;
+  });
+  std::vector<int> classEnd;
+  for (std::size_t idx : bySpan) {
+    SubComp& c = comps[idx];
+    bool placed = false;
+    for (std::size_t i = 0; i < classEnd.size(); ++i) {
+      if (classEnd[i] < c.span.l) {
+        c.cls = static_cast<int>(i);
+        classEnd[i] = c.span.r;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      c.cls = static_cast<int>(classEnd.size());
+      classEnd.push_back(c.span.r);
+    }
+  }
+
+  // --- Recurse on every component (this reuses the epoch machinery, so all
+  // queries that need comp/S marks are done above). ---
+  for (SubComp& c : comps) {
+    c.lanes = recurse(c.verts);
+  }
+
+  // --- Assemble lanes per (class, side, child-lane index) and emit the
+  // cross-component junction edges (Case 2.2 of the proof). ---
+  std::vector<std::vector<VertexId>> lanes;
+  lanes.push_back(S1);
+  if (!S2.empty()) lanes.push_back(S2);
+
+  const int numClasses = static_cast<int>(classEnd.size());
+  for (int cls = 0; cls < numClasses; ++cls) {
+    for (int side = 1; side <= 2; ++side) {
+      // Components of this group, ordered by span (bySpan is sorted).
+      std::vector<std::size_t> group;
+      std::size_t maxChildLanes = 0;
+      for (std::size_t idx : bySpan) {
+        if (comps[idx].cls == cls && comps[idx].side == side) {
+          group.push_back(idx);
+          maxChildLanes = std::max(maxChildLanes, comps[idx].lanes.size());
+        }
+      }
+      for (std::size_t lane = 0; lane < maxChildLanes; ++lane) {
+        std::vector<VertexId> assembled;
+        std::size_t prevIdx = comps.size();  // sentinel: none yet
+        for (std::size_t idx : group) {
+          if (lane >= comps[idx].lanes.size()) continue;
+          const auto& segment = comps[idx].lanes[lane];
+          if (!assembled.empty()) {
+            // Junction edge between the previous segment's last vertex and
+            // this segment's first vertex, routed through the anchors and P.
+            const SubComp& a = comps[prevIdx];
+            const SubComp& b = comps[idx];
+            const VertexId x = assembled.back();
+            const VertexId y = segment.front();
+            std::vector<VertexId> path;
+            {
+              const int ea = markComponent(a.verts);
+              path = bfsPathWithin(x, a.uStar, ea);
+            }
+            for (VertexId w : pSlice(a.vStar, b.vStar)) path.push_back(w);
+            {
+              const int eb = markComponent(b.verts);
+              const std::vector<VertexId> tail = bfsPathWithin(b.uStar, y, eb);
+              for (VertexId w : tail) path.push_back(w);
+            }
+            emitPath(x, y, std::move(path));
+          }
+          assembled.insert(assembled.end(), segment.begin(), segment.end());
+          prevIdx = idx;
+        }
+        if (!assembled.empty()) lanes.push_back(std::move(assembled));
+      }
+    }
+  }
+  return lanes;
+}
+
+LanePlan PlanBuilder::build() {
+  LanePlan plan;
+  plan.width = rep_.width();
+  std::vector<VertexId> all(static_cast<std::size_t>(g_.numVertices()));
+  for (VertexId v = 0; v < g_.numVertices(); ++v) all[static_cast<std::size_t>(v)] = v;
+  std::vector<std::vector<VertexId>> lanes = recurse(all);
+  plan.lanes = LanePartition(std::move(lanes));
+
+  // E2: the initial-vertex path, embedded along arbitrary shortest paths
+  // (the proof embeds <= f(k) - 1 arbitrary paths).
+  plan.congestion.assign(static_cast<std::size_t>(g_.numEdges()), 0);
+  for (const CompletionEdge& ce : completionEdges(plan.lanes, /*withInit=*/true)) {
+    EmbeddedEdge emb;
+    emb.edge = ce;
+    if (ce.kind == CompletionEdge::Kind::kInit) {
+      emb.path = g_.hasEdge(ce.u, ce.v) ? std::vector<VertexId>{ce.u, ce.v}
+                                        : shortestPath(g_, ce.u, ce.v);
+    } else {
+      emb.path = paths_.at(key(ce.u, ce.v));
+      if (emb.path.front() != ce.u) {
+        std::reverse(emb.path.begin(), emb.path.end());
+      }
+    }
+    if (!g_.hasEdge(ce.u, ce.v)) {
+      for (std::size_t i = 0; i + 1 < emb.path.size(); ++i) {
+        const EdgeId e = g_.findEdge(emb.path[i], emb.path[i + 1]);
+        if (e == kNoEdge) {
+          throw std::logic_error("LanePlan: embedding path uses a non-edge");
+        }
+        ++plan.congestion[static_cast<std::size_t>(e)];
+      }
+    }
+    plan.embeddings.push_back(std::move(emb));
+  }
+  for (int c : plan.congestion) plan.maxCongestion = std::max(plan.maxCongestion, c);
+  return plan;
+}
+
+}  // namespace
+
+LanePlan buildLanePlan(const Graph& g, const IntervalRepresentation& rep) {
+  if (!isConnected(g)) {
+    throw std::invalid_argument("buildLanePlan: graph must be connected");
+  }
+  if (!rep.isValidFor(g)) {
+    throw std::invalid_argument("buildLanePlan: invalid interval representation");
+  }
+  if (g.numVertices() == 0) return LanePlan{};
+  PlanBuilder builder(g, rep);
+  return builder.build();
+}
+
+bool validateLanePlan(const Graph& g, const LanePlan& plan) {
+  std::vector<int> congestion(static_cast<std::size_t>(g.numEdges()), 0);
+  for (const EmbeddedEdge& emb : plan.embeddings) {
+    if (emb.path.empty()) return false;
+    if (emb.path.front() != emb.edge.u || emb.path.back() != emb.edge.v) return false;
+    for (std::size_t i = 0; i + 1 < emb.path.size(); ++i) {
+      const EdgeId e = g.findEdge(emb.path[i], emb.path[i + 1]);
+      if (e == kNoEdge) return false;
+      if (!g.hasEdge(emb.edge.u, emb.edge.v)) {
+        ++congestion[static_cast<std::size_t>(e)];
+      }
+    }
+  }
+  if (congestion != plan.congestion) return false;
+  int maxC = 0;
+  for (int c : congestion) maxC = std::max(maxC, c);
+  return maxC == plan.maxCongestion;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,56 @@
+#pragma once
+// The low-congestion completion embedding of Proposition 4.6.
+//
+// Given a connected graph G with an interval representation of width k,
+// `buildLanePlan` produces a lane partition with at most f(k) lanes plus an
+// embedding of every completion edge (E1 ∪ E2, Definition 4.4) as a path in
+// G, such that each edge of G is used by at most h(k) embedding paths.
+//
+// The construction follows the paper's induction exactly: pick the spine
+// path P from the leftmost to the rightmost vertex, greedily extract the
+// skeleton sequence S along P, split S into two lanes S1/S2 by parity,
+// recurse on the components of G - S (whose restricted representations have
+// width <= k-1 by Lemma 4.11), group components into <= k-1 interval-
+// disjoint classes (Lemma 4.10) further split by whether they attach to S1
+// or S2, and concatenate the recursive lanes class-wise.  Lane edges inside
+// S1/S2 are embedded along P; cross-component lane edges are routed through
+// the components' anchor edges and P (Case 2.2 of the proof).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "interval/interval.hpp"
+#include "lane/lane_partition.hpp"
+
+namespace lanecert {
+
+/// A completion edge together with its embedding path in G.
+/// `path.front() == edge.u` and `path.back() == edge.v`.  If {u, v} is
+/// already an edge of G the path is just (u, v) and costs no congestion.
+struct EmbeddedEdge {
+  CompletionEdge edge;
+  std::vector<VertexId> path;
+};
+
+/// Output of the Proposition 4.6 construction.
+struct LanePlan {
+  LanePartition lanes;
+  std::vector<EmbeddedEdge> embeddings;  ///< one entry per completion edge
+  std::vector<int> congestion;           ///< per EdgeId of G: #paths through it
+  int maxCongestion = 0;
+  int width = 0;  ///< width of the input representation
+};
+
+/// Runs the full Proposition 4.6 construction (including the E2 initial-
+/// vertex path, i.e. the *completion*).  Preconditions: G connected,
+/// rep.isValidFor(g).  Postconditions (checked by tests, not asserted here):
+/// lanes.numLanes() <= f(width), maxCongestion <= h(width).
+[[nodiscard]] LanePlan buildLanePlan(const Graph& g,
+                                     const IntervalRepresentation& rep);
+
+/// Validates that every embedding path is a real path in `g` connecting its
+/// edge's endpoints, and recomputes congestion; returns false on any
+/// mismatch.  Used by tests and the benchmark harness.
+[[nodiscard]] bool validateLanePlan(const Graph& g, const LanePlan& plan);
+
+}  // namespace lanecert

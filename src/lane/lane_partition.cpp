@@ -1,0 +1,142 @@
+#include "lane/lane_partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace lanecert {
+
+LanePartition::LanePartition(std::vector<std::vector<VertexId>> lanes)
+    : lanes_(std::move(lanes)) {
+  rebuildIndex();
+}
+
+void LanePartition::rebuildIndex() {
+  VertexId maxV = -1;
+  for (const auto& lane : lanes_) {
+    for (VertexId v : lane) maxV = std::max(maxV, v);
+  }
+  laneOf_.assign(static_cast<std::size_t>(maxV + 1), -1);
+  indexOf_.assign(static_cast<std::size_t>(maxV + 1), -1);
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    for (std::size_t j = 0; j < lanes_[i].size(); ++j) {
+      const VertexId v = lanes_[i][j];
+      if (laneOf_[static_cast<std::size_t>(v)] != -1) {
+        throw std::invalid_argument("LanePartition: vertex in two lanes");
+      }
+      laneOf_[static_cast<std::size_t>(v)] = static_cast<int>(i);
+      indexOf_[static_cast<std::size_t>(v)] = static_cast<int>(j);
+    }
+  }
+}
+
+int LanePartition::laneOf(VertexId v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= laneOf_.size()) return -1;
+  return laneOf_[static_cast<std::size_t>(v)];
+}
+
+int LanePartition::indexInLane(VertexId v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= indexOf_.size()) return -1;
+  return indexOf_[static_cast<std::size_t>(v)];
+}
+
+bool LanePartition::isValidFor(const IntervalRepresentation& rep) const {
+  std::vector<char> seen(static_cast<std::size_t>(rep.numVertices()), 0);
+  for (const auto& lane : lanes_) {
+    if (lane.empty()) return false;
+    for (std::size_t j = 0; j < lane.size(); ++j) {
+      const VertexId v = lane[j];
+      if (v < 0 || v >= rep.numVertices()) return false;
+      if (seen[static_cast<std::size_t>(v)]) return false;
+      seen[static_cast<std::size_t>(v)] = 1;
+      if (j > 0 && !rep.interval(lane[j - 1]).before(rep.interval(v))) {
+        return false;
+      }
+    }
+  }
+  for (char s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+std::string LanePartition::toString() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    os << "P_" << i + 1 << " = (";
+    for (std::size_t j = 0; j < lanes_[i].size(); ++j) {
+      if (j > 0) os << ", ";
+      os << lanes_[i][j];
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+LanePartition greedyLanePartition(const IntervalRepresentation& rep) {
+  std::vector<VertexId> order(static_cast<std::size_t>(rep.numVertices()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&rep](VertexId a, VertexId b) {
+    const Interval& ia = rep.interval(a);
+    const Interval& ib = rep.interval(b);
+    if (ia.l != ib.l) return ia.l < ib.l;
+    if (ia.r != ib.r) return ia.r < ib.r;
+    return a < b;
+  });
+  std::vector<std::vector<VertexId>> lanes;
+  std::vector<int> laneEnd;  // right endpoint of the lane's last interval
+  for (VertexId v : order) {
+    const Interval& iv = rep.interval(v);
+    bool placed = false;
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      if (laneEnd[i] < iv.l) {
+        lanes[i].push_back(v);
+        laneEnd[i] = iv.r;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      lanes.push_back({v});
+      laneEnd.push_back(iv.r);
+    }
+  }
+  return LanePartition(std::move(lanes));
+}
+
+std::vector<CompletionEdge> completionEdges(const LanePartition& partition,
+                                            bool withInit) {
+  std::vector<CompletionEdge> out;
+  for (int i = 0; i < partition.numLanes(); ++i) {
+    const auto& lane = partition.lane(i);
+    for (std::size_t j = 0; j + 1 < lane.size(); ++j) {
+      out.push_back(CompletionEdge{lane[j], lane[j + 1],
+                                   CompletionEdge::Kind::kLane, i});
+    }
+  }
+  if (withInit) {
+    for (int i = 0; i + 1 < partition.numLanes(); ++i) {
+      out.push_back(CompletionEdge{partition.lane(i).front(),
+                                   partition.lane(i + 1).front(),
+                                   CompletionEdge::Kind::kInit, i});
+    }
+  }
+  return out;
+}
+
+CompletionResult buildCompletion(const Graph& g, const LanePartition& partition,
+                                 bool withInit) {
+  CompletionResult out;
+  out.graph = Graph(g.numVertices());
+  for (const Edge& e : g.edges()) out.graph.addEdge(e.u, e.v);
+  out.allEdges = completionEdges(partition, withInit);
+  for (const CompletionEdge& ce : out.allEdges) {
+    if (!out.graph.hasEdge(ce.u, ce.v)) {
+      out.newEdgeIds.push_back(out.graph.addEdge(ce.u, ce.v));
+    }
+  }
+  return out;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,85 @@
+#pragma once
+// k-lane partitions (Definition 4.2) and completions (Definition 4.4).
+//
+// A lane partition splits the vertices of an interval representation into
+// lanes of pairwise-disjoint intervals, each lane ordered by the strict
+// precedence `≺`.  The *weak completion* adds edges making each lane a path
+// (edge set E1); the *completion* additionally concatenates the lanes'
+// initial vertices into a path (edge set E2).
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "interval/interval.hpp"
+
+namespace lanecert {
+
+/// A partition of the vertex set into ordered lanes (Definition 4.2).
+class LanePartition {
+ public:
+  LanePartition() = default;
+  explicit LanePartition(std::vector<std::vector<VertexId>> lanes);
+
+  [[nodiscard]] int numLanes() const { return static_cast<int>(lanes_.size()); }
+  [[nodiscard]] const std::vector<VertexId>& lane(int i) const {
+    return lanes_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const std::vector<std::vector<VertexId>>& lanes() const {
+    return lanes_;
+  }
+
+  /// Lane index of vertex v (-1 if v does not appear).
+  [[nodiscard]] int laneOf(VertexId v) const;
+  /// Position of v inside its lane (-1 if absent).
+  [[nodiscard]] int indexInLane(VertexId v) const;
+
+  /// True if lanes are non-empty, every vertex of `rep` appears exactly
+  /// once, and every lane is strictly increasing under `≺`.
+  [[nodiscard]] bool isValidFor(const IntervalRepresentation& rep) const;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  void rebuildIndex();
+
+  std::vector<std::vector<VertexId>> lanes_;
+  std::vector<int> laneOf_;     // per vertex id (sized to max id + 1)
+  std::vector<int> indexOf_;
+};
+
+/// First-fit interval coloring (Observation 4.3): assigns each vertex,
+/// in order of left endpoint, to the first lane whose last interval ends
+/// before this one begins.  Uses at most rep.width() lanes.
+[[nodiscard]] LanePartition greedyLanePartition(const IntervalRepresentation& rep);
+
+/// One completion edge: connects `u` to `v`; `kind` records which rule
+/// produced it.
+struct CompletionEdge {
+  enum class Kind {
+    kLane,  ///< E1: consecutive vertices within a lane
+    kInit,  ///< E2: consecutive lanes' initial vertices
+  };
+  VertexId u = kNoVertex;
+  VertexId v = kNoVertex;
+  Kind kind = Kind::kLane;
+  int lane = -1;  ///< lane index (for kLane: the lane; for kInit: smaller lane)
+};
+
+/// Edge sets E1 (and E2 if `withInit`) of Definition 4.4.
+[[nodiscard]] std::vector<CompletionEdge> completionEdges(
+    const LanePartition& partition, bool withInit);
+
+/// The (weak) completion graph: `g` plus the completion edges that are not
+/// already present in `g`.  `addedEdgeKind[e]` is set for edges the
+/// completion added (others keep kNoEdge semantics via -1 entries).
+struct CompletionResult {
+  Graph graph;                            ///< V, E ∪ E1 (∪ E2)
+  std::vector<CompletionEdge> allEdges;   ///< every E1/E2 edge, incl. ones already in g
+  std::vector<EdgeId> newEdgeIds;         ///< ids (in `graph`) of edges not in g
+};
+[[nodiscard]] CompletionResult buildCompletion(const Graph& g,
+                                               const LanePartition& partition,
+                                               bool withInit);
+
+}  // namespace lanecert

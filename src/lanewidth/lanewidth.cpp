@@ -1,0 +1,157 @@
+#include "lanewidth/lanewidth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lanecert {
+
+ReplayResult replayConstruction(const ConstructionSequence& seq) {
+  ReplayResult out;
+  out.graph = Graph(seq.numVertices);
+  const int w = seq.numLanes();
+  if (w <= 0) throw std::invalid_argument("replay: empty initial path");
+  std::vector<char> present(static_cast<std::size_t>(seq.numVertices), 0);
+  out.designated = seq.initialPath;
+  for (VertexId v : seq.initialPath) {
+    if (v < 0 || v >= seq.numVertices) {
+      throw std::invalid_argument("replay: initial path vertex out of range");
+    }
+    if (present[static_cast<std::size_t>(v)]) {
+      throw std::invalid_argument("replay: duplicate initial path vertex");
+    }
+    present[static_cast<std::size_t>(v)] = 1;
+  }
+  for (int i = 0; i + 1 < w; ++i) {
+    out.initialPathEdges.push_back(
+        out.graph.addEdge(seq.initialPath[static_cast<std::size_t>(i)],
+                          seq.initialPath[static_cast<std::size_t>(i + 1)]));
+  }
+  for (const ConstructionOp& op : seq.ops) {
+    if (op.i < 0 || op.i >= w) throw std::invalid_argument("replay: bad lane i");
+    switch (op.kind) {
+      case ConstructionOp::Kind::kVInsert: {
+        const VertexId v = op.vertex;
+        if (v < 0 || v >= seq.numVertices) {
+          throw std::invalid_argument("replay: V-insert vertex out of range");
+        }
+        if (present[static_cast<std::size_t>(v)]) {
+          throw std::invalid_argument("replay: V-insert reuses a vertex");
+        }
+        present[static_cast<std::size_t>(v)] = 1;
+        out.vInsertEdges.push_back(
+            out.graph.addEdge(v, out.designated[static_cast<std::size_t>(op.i)]));
+        out.designated[static_cast<std::size_t>(op.i)] = v;
+        break;
+      }
+      case ConstructionOp::Kind::kEInsert: {
+        if (op.j < 0 || op.j >= w) throw std::invalid_argument("replay: bad lane j");
+        const VertexId u = out.designated[static_cast<std::size_t>(op.i)];
+        const VertexId v = out.designated[static_cast<std::size_t>(op.j)];
+        if (u == v) {
+          throw std::invalid_argument("replay: E-insert between one vertex");
+        }
+        out.eInsertEdges.push_back(out.graph.addEdge(u, v));
+        break;
+      }
+    }
+  }
+  for (char p : present) {
+    if (!p) throw std::invalid_argument("replay: unused vertex in universe");
+  }
+  return out;
+}
+
+ConstructionSequence buildConstruction(const Graph& g,
+                                       const IntervalRepresentation& rep,
+                                       const LanePartition& lanes) {
+  if (!rep.isValidFor(g)) {
+    throw std::invalid_argument("buildConstruction: rep invalid for g");
+  }
+  if (!lanes.isValidFor(rep)) {
+    throw std::invalid_argument("buildConstruction: lanes invalid for rep");
+  }
+  ConstructionSequence seq;
+  seq.numVertices = g.numVertices();
+  for (int i = 0; i < lanes.numLanes(); ++i) {
+    seq.initialPath.push_back(lanes.lane(i).front());
+  }
+
+  // Events: non-initial vertices valued by L, original edges valued by
+  // max(L_u, L_v); vertices are processed before edges on ties.
+  struct Event {
+    int value = 0;
+    bool isVertex = false;
+    VertexId vertex = kNoVertex;  // for vertex events
+    VertexId u = kNoVertex;       // for edge events
+    VertexId v = kNoVertex;
+  };
+  std::vector<Event> events;
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    if (lanes.indexInLane(v) == 0) continue;  // initial path vertex
+    events.push_back(Event{rep.interval(v).l, true, v, kNoVertex, kNoVertex});
+  }
+  for (const Edge& e : g.edges()) {
+    // Skip edges realized by the construction itself: lane edges (E1,
+    // consecutive within a lane -> V-insert) and initial path edges (E2,
+    // consecutive lane fronts).
+    const int lu = lanes.laneOf(e.u);
+    const int lv = lanes.laneOf(e.v);
+    const int iu = lanes.indexInLane(e.u);
+    const int iv = lanes.indexInLane(e.v);
+    if (lu == lv && std::abs(iu - iv) == 1) continue;           // E1 edge
+    if (iu == 0 && iv == 0 && std::abs(lu - lv) == 1) continue; // E2 edge
+    events.push_back(Event{
+        std::max(rep.interval(e.u).l, rep.interval(e.v).l), false, kNoVertex,
+        e.u, e.v});
+  }
+  std::stable_sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.isVertex && !b.isVertex;  // vertices first
+  });
+  for (const Event& ev : events) {
+    if (ev.isVertex) {
+      seq.ops.push_back(ConstructionOp{ConstructionOp::Kind::kVInsert,
+                                       lanes.laneOf(ev.vertex), -1, ev.vertex});
+    } else {
+      seq.ops.push_back(ConstructionOp{ConstructionOp::Kind::kEInsert,
+                                       lanes.laneOf(ev.u), lanes.laneOf(ev.v),
+                                       kNoVertex});
+    }
+  }
+  return seq;
+}
+
+LanewidthWitness constructionWitness(const ConstructionSequence& seq) {
+  const ReplayResult replay = replayConstruction(seq);  // validates seq
+  LanewidthWitness out;
+  const int X = static_cast<int>(seq.ops.size());
+  std::vector<Interval> iv(static_cast<std::size_t>(seq.numVertices),
+                           Interval{0, X});
+  std::vector<std::vector<VertexId>> laneSeq(
+      static_cast<std::size_t>(seq.numLanes()));
+  std::vector<VertexId> designated = seq.initialPath;
+  for (int i = 0; i < seq.numLanes(); ++i) {
+    laneSeq[static_cast<std::size_t>(i)].push_back(seq.initialPath[static_cast<std::size_t>(i)]);
+  }
+  out.gPrime = Graph(seq.numVertices);
+  int x = 0;
+  for (const ConstructionOp& op : seq.ops) {
+    ++x;  // ops are 1-indexed in the proof
+    if (op.kind == ConstructionOp::Kind::kVInsert) {
+      const VertexId old = designated[static_cast<std::size_t>(op.i)];
+      iv[static_cast<std::size_t>(old)].r = x - 1;
+      iv[static_cast<std::size_t>(op.vertex)].l = x;
+      iv[static_cast<std::size_t>(op.vertex)].r = X;
+      designated[static_cast<std::size_t>(op.i)] = op.vertex;
+      laneSeq[static_cast<std::size_t>(op.i)].push_back(op.vertex);
+    } else {
+      out.gPrime.addEdge(designated[static_cast<std::size_t>(op.i)],
+                         designated[static_cast<std::size_t>(op.j)]);
+    }
+  }
+  out.rep = IntervalRepresentation(std::move(iv));
+  out.lanes = LanePartition(std::move(laneSeq));
+  return out;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,82 @@
+#pragma once
+// Lanewidth (Definition 5.1) and Proposition 5.2.
+//
+// A graph has lanewidth <= w iff it can be built from a w-vertex path
+// (τ_1, ..., τ_w) of "designated" vertices using two operations:
+//   V-insert(i): add a vertex v with edge {v, τ_i} and set τ_i = v;
+//   E-insert(i, j): add the edge {τ_i, τ_j}.
+// Proposition 5.2 shows this is equivalent to being the completion of some
+// lane-partitioned interval representation; this module implements the
+// equivalence constructively in both directions:
+//   * `buildConstruction`: (G, I, P)  ->  construction sequence for the
+//     completion of (G, I, P)   (Item 2 => Item 1 of the proof);
+//   * `constructionWitness`: construction sequence -> (G', I', P') with the
+//     replayed graph equal to the completion of (G', I', P')
+//     (Item 1 => Item 2).
+// `replayConstruction` executes a sequence and is the ground truth both
+// directions are tested against.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "interval/interval.hpp"
+#include "lane/lane_partition.hpp"
+
+namespace lanecert {
+
+/// One construction step of Definition 5.1, on concrete vertex ids.
+struct ConstructionOp {
+  enum class Kind {
+    kVInsert,  ///< add `vertex` to lane `i` (edge to the old designated)
+    kEInsert,  ///< add edge between designated vertices of lanes `i` and `j`
+  };
+  Kind kind = Kind::kVInsert;
+  int i = -1;                  ///< lane index, 0-based
+  int j = -1;                  ///< second lane (E-insert only)
+  VertexId vertex = kNoVertex; ///< new vertex (V-insert only)
+};
+
+/// A full construction: the initial designated path plus the op sequence.
+/// All vertex ids refer to one fixed vertex universe [0, numVertices).
+struct ConstructionSequence {
+  VertexId numVertices = 0;
+  std::vector<VertexId> initialPath;  ///< τ_1..τ_w, distinct vertices
+  std::vector<ConstructionOp> ops;
+
+  [[nodiscard]] int numLanes() const {
+    return static_cast<int>(initialPath.size());
+  }
+};
+
+/// Result of executing a construction sequence.
+struct ReplayResult {
+  Graph graph;
+  std::vector<VertexId> designated;      ///< final designated vertex per lane
+  std::vector<EdgeId> vInsertEdges;      ///< edge ids created by V-inserts
+  std::vector<EdgeId> eInsertEdges;      ///< edge ids created by E-inserts
+  std::vector<EdgeId> initialPathEdges;  ///< the w-1 initial path edges
+};
+
+/// Executes a construction sequence, validating every step (throws
+/// std::invalid_argument on malformed sequences: bad lane index, reused
+/// vertex, duplicate edge, E-insert between identical designated vertices).
+[[nodiscard]] ReplayResult replayConstruction(const ConstructionSequence& seq);
+
+/// Proposition 5.2, Item 2 => Item 1: produces a construction sequence whose
+/// replay equals the completion of (g, rep, lanes).  Preconditions:
+/// rep.isValidFor(g) and lanes.isValidFor(rep).
+[[nodiscard]] ConstructionSequence buildConstruction(
+    const Graph& g, const IntervalRepresentation& rep,
+    const LanePartition& lanes);
+
+/// Proposition 5.2, Item 1 => Item 2: recovers (G', I', P') from a
+/// construction sequence such that the replayed graph is the completion of
+/// (G', I', P').  G' contains exactly the E-inserted edges.
+struct LanewidthWitness {
+  Graph gPrime;
+  IntervalRepresentation rep;
+  LanePartition lanes;
+};
+[[nodiscard]] LanewidthWitness constructionWitness(const ConstructionSequence& seq);
+
+}  // namespace lanecert

@@ -1,0 +1,33 @@
+#pragma once
+// Exponential-time reference implementations used to cross-validate the
+// compositional property algebra on small graphs (tests and benchmark E5).
+
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+/// Proper q-colorability by backtracking.
+[[nodiscard]] bool isQColorableBrute(const Graph& g, int q);
+
+/// Perfect matching by bitmask DP (n <= 24).
+[[nodiscard]] bool hasPerfectMatchingBrute(const Graph& g);
+
+/// Minimum vertex cover size by branching.
+[[nodiscard]] int minVertexCoverBrute(const Graph& g);
+
+/// Hamiltonian cycle by bitmask DP (n <= 20).
+[[nodiscard]] bool hasHamiltonianCycleBrute(const Graph& g);
+
+/// Hamiltonian path by bitmask DP (n <= 20).
+[[nodiscard]] bool hasHamiltonianPathBrute(const Graph& g);
+
+/// Minimum dominating set size by subset enumeration (n <= 20).
+[[nodiscard]] int minDominatingSetBrute(const Graph& g);
+
+/// Maximum independent set size by subset enumeration (n <= 20).
+[[nodiscard]] int maxIndependentSetBrute(const Graph& g);
+
+/// Girth (length of a shortest cycle) by BFS; INT_MAX for acyclic graphs.
+[[nodiscard]] int girthBrute(const Graph& g);
+
+}  // namespace lanecert

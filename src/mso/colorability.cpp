@@ -1,0 +1,157 @@
+// q-colorability: the state is the exact set of boundary colorings that
+// extend to a proper q-coloring of the summarized subgraph.  This is the
+// textbook Courcelle state for colorability; its size is bounded by q^s for
+// s boundary slots — constant in the graph size.
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+using Coloring = std::string;  // one char per slot, values 0..q-1
+
+struct ColorState {
+  int slots = 0;
+  std::set<Coloring> ok;  ///< extendable boundary colorings
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, slots);
+    for (const Coloring& c : ok) {
+      s += c;
+      s.push_back('\xff');
+    }
+    return s;
+  }
+};
+
+class ColorabilityProperty final : public Property {
+ public:
+  explicit ColorabilityProperty(int q) : q_(q) {
+    if (q < 1 || q > 6) {
+      throw std::invalid_argument("makeColorability: q must be in [1, 6]");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return std::to_string(q_) + "-colorability";
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    ColorState s;
+    s.ok.insert(Coloring{});
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    const ColorState& s = h.as<ColorState>();
+    ColorState t;
+    t.slots = s.slots + 1;
+    for (const Coloring& c : s.ok) {
+      for (int col = 0; col < q_; ++col) {
+        Coloring d = c;
+        d.push_back(static_cast<char>(col));
+        t.ok.insert(std::move(d));
+      }
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    const ColorState& s = h.as<ColorState>();
+    if (label != kRealEdge) return HomState::make(ColorState{s});
+    ColorState t;
+    t.slots = s.slots;
+    for (const Coloring& c : s.ok) {
+      if (c[static_cast<std::size_t>(a)] != c[static_cast<std::size_t>(b)]) {
+        t.ok.insert(c);
+      }
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    const ColorState& s = ha.as<ColorState>();
+    const ColorState& t = hb.as<ColorState>();
+    ColorState u;
+    u.slots = s.slots + t.slots;
+    for (const Coloring& c : s.ok) {
+      for (const Coloring& d : t.ok) u.ok.insert(c + d);
+    }
+    return HomState::make(std::move(u));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    const ColorState& s = h.as<ColorState>();
+    ColorState t;
+    t.slots = s.slots - 1;
+    for (const Coloring& c : s.ok) {
+      if (c[static_cast<std::size_t>(a)] != c[static_cast<std::size_t>(b)]) continue;
+      Coloring d = c;
+      d.erase(d.begin() + b);
+      t.ok.insert(std::move(d));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    const ColorState& s = h.as<ColorState>();
+    ColorState t;
+    t.slots = s.slots - 1;
+    for (const Coloring& c : s.ok) {
+      Coloring d = c;
+      d.erase(d.begin() + a);
+      t.ok.insert(std::move(d));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    return !h.as<ColorState>().ok.empty();
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.empty()) throw std::invalid_argument("colorability: empty encoding");
+    ColorState s;
+    s.slots = static_cast<unsigned char>(enc[0]);
+    std::size_t i = 1;
+    while (i < enc.size()) {
+      const std::size_t next = enc.find('\xff', i);
+      if (next == std::string::npos) {
+        throw std::invalid_argument("colorability: unterminated coloring");
+      }
+      Coloring c = enc.substr(i, next - i);
+      if (static_cast<int>(c.size()) != s.slots) {
+        throw std::invalid_argument("colorability: coloring length mismatch");
+      }
+      for (char ch : c) {
+        if (ch < 0 || ch >= q_) {
+          throw std::invalid_argument("colorability: bad color");
+        }
+      }
+      s.ok.insert(std::move(c));
+      i = next + 1;
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<ColorState>().slots;
+  }
+
+ private:
+  int q_;
+};
+
+}  // namespace
+
+PropertyPtr makeColorability(int q) {
+  return std::make_shared<ColorabilityProperty>(q);
+}
+
+}  // namespace lanecert

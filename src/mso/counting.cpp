@@ -1,0 +1,190 @@
+// Simple counting-style properties: edge-count residue and bounded maximum
+// degree.  Both have tiny deterministic states and serve as easy sanity
+// checks of the algebra (and of the label-size accounting).
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+// ---------------------------------------------------------------------------
+// |E| ≡ r (mod m)
+// ---------------------------------------------------------------------------
+
+struct ParityState {
+  int residue = 0;
+  int slots = 0;  ///< semantically unused; kept so layouts can be validated
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, residue);
+    mso_detail::put(s, slots);
+    return s;
+  }
+};
+
+class EdgeParityProperty final : public Property {
+ public:
+  EdgeParityProperty(int m, int r) : m_(m), r_(r) {
+    if (m < 1 || r < 0 || r >= m) {
+      throw std::invalid_argument("makeEdgeParity: need 0 <= r < m");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "edges=" + std::to_string(r_) + " (mod " + std::to_string(m_) + ")";
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    return HomState::make(ParityState{});
+  }
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    ParityState s = h.as<ParityState>();
+    ++s.slots;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState addEdge(const HomState& h, int, int, int label) const override {
+    ParityState s = h.as<ParityState>();
+    if (label == kRealEdge) s.residue = (s.residue + 1) % m_;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState join(const HomState& a, const HomState& b) const override {
+    ParityState s;
+    s.residue = (a.as<ParityState>().residue + b.as<ParityState>().residue) % m_;
+    s.slots = a.as<ParityState>().slots + b.as<ParityState>().slots;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState identify(const HomState& h, int, int) const override {
+    ParityState s = h.as<ParityState>();
+    --s.slots;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState forget(const HomState& h, int) const override {
+    ParityState s = h.as<ParityState>();
+    --s.slots;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    return h.as<ParityState>().residue == r_;
+  }
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.size() != 2) throw std::invalid_argument("parity: bad encoding");
+    ParityState s;
+    s.residue = static_cast<unsigned char>(enc[0]);
+    s.slots = static_cast<unsigned char>(enc[1]);
+    if (s.residue >= m_) throw std::invalid_argument("parity: residue >= m");
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<ParityState>().slots;
+  }
+
+ private:
+  int m_;
+  int r_;
+};
+
+// ---------------------------------------------------------------------------
+// max degree <= d
+// ---------------------------------------------------------------------------
+
+struct DegState {
+  std::vector<std::int8_t> deg;  ///< capped at d + 1
+  bool violated = false;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, violated ? 1 : 0);
+    for (auto d : deg) mso_detail::put(s, d);
+    return s;
+  }
+};
+
+class MaxDegreeProperty final : public Property {
+ public:
+  explicit MaxDegreeProperty(int d) : d_(d) {
+    if (d < 0) throw std::invalid_argument("makeMaxDegree: d >= 0");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "max-degree<=" + std::to_string(d_);
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    return HomState::make(DegState{});
+  }
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    DegState s = h.as<DegState>();
+    s.deg.push_back(0);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    DegState s = h.as<DegState>();
+    if (label == kRealEdge) {
+      for (int x : {a, b}) {
+        auto& d = s.deg[static_cast<std::size_t>(x)];
+        d = static_cast<std::int8_t>(std::min(d_ + 1, d + 1));
+        if (d > d_) s.violated = true;
+      }
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    DegState s = ha.as<DegState>();
+    const DegState& t = hb.as<DegState>();
+    s.deg.insert(s.deg.end(), t.deg.begin(), t.deg.end());
+    s.violated = s.violated || t.violated;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    DegState s = h.as<DegState>();
+    const int sum = s.deg[static_cast<std::size_t>(a)] + s.deg[static_cast<std::size_t>(b)];
+    s.deg[static_cast<std::size_t>(a)] =
+        static_cast<std::int8_t>(std::min(d_ + 1, sum));
+    if (sum > d_) s.violated = true;
+    s.deg.erase(s.deg.begin() + b);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    DegState s = h.as<DegState>();
+    s.deg.erase(s.deg.begin() + a);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    return !h.as<DegState>().violated;
+  }
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.empty()) throw std::invalid_argument("maxdeg: empty encoding");
+    DegState s;
+    s.violated = enc[0] != 0;
+    for (std::size_t i = 1; i < enc.size(); ++i) {
+      const auto d = static_cast<std::int8_t>(enc[i]);
+      if (d < 0 || d > d_ + 1) throw std::invalid_argument("maxdeg: bad degree");
+      s.deg.push_back(d);
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return static_cast<int>(h.as<DegState>().deg.size());
+  }
+
+ private:
+  int d_;
+};
+
+}  // namespace
+
+PropertyPtr makeEdgeParity(int m, int r) {
+  return std::make_shared<EdgeParityProperty>(m, r);
+}
+
+PropertyPtr makeMaxDegree(int d) {
+  return std::make_shared<MaxDegreeProperty>(d);
+}
+
+}  // namespace lanecert

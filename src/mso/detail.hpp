@@ -1,0 +1,36 @@
+#pragma once
+// Internal helpers shared by the bundled property implementations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lanecert::mso_detail {
+
+/// Renumbers a partition vector (slot -> block id) into canonical form:
+/// blocks are numbered by first occurrence, starting at 0.
+inline void canonicalizePartition(std::vector<std::int8_t>& part) {
+  std::vector<std::int8_t> remap(part.size() + 1, -1);
+  std::int8_t next = 0;
+  for (auto& b : part) {
+    if (b < 0) continue;  // -1 entries stay (no block)
+    if (remap[static_cast<std::size_t>(b)] < 0) {
+      remap[static_cast<std::size_t>(b)] = next++;
+    }
+    b = remap[static_cast<std::size_t>(b)];
+  }
+}
+
+/// Appends a small integer to an encoding string.
+inline void put(std::string& out, int x) {
+  out.push_back(static_cast<char>(x & 0xff));
+}
+
+/// Appends a 64-bit value to an encoding string.
+inline void put64(std::string& out, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((x >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace lanecert::mso_detail

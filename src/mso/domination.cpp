@@ -1,0 +1,377 @@
+// Domination-type properties:
+//   * dominating set of size <= c   ("X is a dominating set" is the
+//     paper's own example of an input-labeled MSO2 predicate, Section 2.2)
+//   * independent set of size >= c
+//
+// Dominating set state: a map from boundary STATUS VECTORS to the minimum
+// number of internal dominator vertices.  Each slot's status is one of
+//   kIn         — the vertex is in the dominating set,
+//   kCovered    — not in the set but already dominated by a neighbor,
+//   kUncovered  — not in the set and not yet dominated (must gain an
+//                 in-set neighbor before being forgotten).
+//
+// Independent set state: map from boundary subsets (slots in the set) to
+// the maximum number of internal set vertices (capped at c).
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dominating set <= c
+// ---------------------------------------------------------------------------
+
+constexpr char kIn = 0;
+constexpr char kCovered = 1;
+constexpr char kUncovered = 2;
+
+struct DomState {
+  int cap = 0;                       ///< c + 1
+  std::map<std::string, int> best;   ///< status vector -> min internal cost
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    for (const auto& [statuses, cost] : best) {
+      s += statuses;
+      mso_detail::put(s, cost);
+      s.push_back('\x7f');
+    }
+    return s;
+  }
+};
+
+void relax(std::map<std::string, int>& m, const std::string& key, int cost) {
+  const auto [it, inserted] = m.emplace(key, cost);
+  if (!inserted && cost < it->second) it->second = cost;
+}
+
+class DominatingSetProperty final : public Property {
+ public:
+  explicit DominatingSetProperty(int c) : c_(c) {
+    if (c < 0 || c > 100) {
+      throw std::invalid_argument("makeDominatingSet: need 0 <= c <= 100");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "dominating-set<=" + std::to_string(c_);
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    DomState s;
+    s.cap = c_ + 1;
+    s.best[""] = 0;
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    const DomState& s = h.as<DomState>();
+    DomState t;
+    t.cap = s.cap;
+    for (const auto& [key, cost] : s.best) {
+      relax(t.best, key + kIn, cost);
+      relax(t.best, key + kUncovered, cost);
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    const DomState& s = h.as<DomState>();
+    DomState t;
+    t.cap = s.cap;
+    for (const auto& [key, cost] : s.best) {
+      std::string k = key;
+      if (label == kRealEdge) {
+        // An in-set endpoint dominates the other.
+        if (k[static_cast<std::size_t>(a)] == kIn &&
+            k[static_cast<std::size_t>(b)] == kUncovered) {
+          k[static_cast<std::size_t>(b)] = kCovered;
+        }
+        if (k[static_cast<std::size_t>(b)] == kIn &&
+            k[static_cast<std::size_t>(a)] == kUncovered) {
+          k[static_cast<std::size_t>(a)] = kCovered;
+        }
+      }
+      relax(t.best, k, cost);
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    const DomState& s = ha.as<DomState>();
+    const DomState& t = hb.as<DomState>();
+    DomState u;
+    u.cap = s.cap;
+    for (const auto& [k1, c1] : s.best) {
+      for (const auto& [k2, c2] : t.best) {
+        relax(u.best, k1 + k2, std::min(u.cap, c1 + c2));
+      }
+    }
+    return HomState::make(std::move(u));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    const DomState& s = h.as<DomState>();
+    DomState t;
+    t.cap = s.cap;
+    for (const auto& [key, cost] : s.best) {
+      const char sa = key[static_cast<std::size_t>(a)];
+      const char sb = key[static_cast<std::size_t>(b)];
+      // Membership must agree; coverage merges (covered wins over
+      // uncovered, both-in stays in — it is ONE vertex counted per side?
+      // No: membership is a property of the vertex; both sides must agree
+      // on kIn vs not, and the vertex was counted at most once because
+      // in-set SLOTS are only tallied when forgotten (see forget()).
+      const bool inA = sa == kIn;
+      const bool inB = sb == kIn;
+      if (inA != inB) continue;
+      std::string k = key;
+      k[static_cast<std::size_t>(a)] =
+          inA ? kIn : (sa == kCovered || sb == kCovered ? kCovered : kUncovered);
+      k.erase(k.begin() + b);
+      relax(t.best, k, cost);
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    const DomState& s = h.as<DomState>();
+    DomState t;
+    t.cap = s.cap;
+    for (const auto& [key, cost] : s.best) {
+      const char st = key[static_cast<std::size_t>(a)];
+      if (st == kUncovered) continue;  // never dominated: dead branch
+      std::string k = key;
+      k.erase(k.begin() + a);
+      relax(t.best, k, std::min(s.cap, cost + (st == kIn ? 1 : 0)));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    const DomState& s = h.as<DomState>();
+    for (const auto& [key, cost] : s.best) {
+      if (key.find(kUncovered) != std::string::npos) continue;
+      int total = cost;
+      for (char c : key) total += c == kIn ? 1 : 0;
+      if (total <= c_) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    DomState s;
+    s.cap = c_ + 1;
+    std::size_t i = 0;
+    std::size_t expected = std::string::npos;
+    while (i < enc.size()) {
+      const std::size_t end = enc.find('\x7f', i);
+      if (end == std::string::npos || end - i < 1) {
+        throw std::invalid_argument("dominating-set: bad encoding");
+      }
+      std::string key = enc.substr(i, end - i - 1);
+      const int cost = static_cast<unsigned char>(enc[end - 1]);
+      if (expected == std::string::npos) expected = key.size();
+      if (key.size() != expected || cost > s.cap) {
+        throw std::invalid_argument("dominating-set: inconsistent entry");
+      }
+      for (char c : key) {
+        if (c != kIn && c != kCovered && c != kUncovered) {
+          throw std::invalid_argument("dominating-set: bad status");
+        }
+      }
+      s.best.emplace(std::move(key), cost);
+      i = end + 1;
+    }
+    if (s.best.empty()) throw std::invalid_argument("dominating-set: empty");
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    const DomState& s = h.as<DomState>();
+    return static_cast<int>(s.best.begin()->first.size());
+  }
+
+ private:
+  int c_;
+};
+
+// ---------------------------------------------------------------------------
+// Independent set >= c
+// ---------------------------------------------------------------------------
+
+struct IndState {
+  int cap = 0;                            ///< c
+  std::map<std::uint64_t, int> best;      ///< subset-in-set -> max internal count
+  int slots = 0;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, slots);
+    for (const auto& [mask, cnt] : best) {
+      mso_detail::put64(s, mask);
+      mso_detail::put(s, cnt);
+    }
+    return s;
+  }
+};
+
+std::uint64_t dropBit(std::uint64_t m, int b) {
+  const std::uint64_t low = m & ((std::uint64_t{1} << b) - 1);
+  return low | ((m >> (b + 1)) << b);
+}
+
+class IndependentSetProperty final : public Property {
+ public:
+  explicit IndependentSetProperty(int c) : c_(c) {
+    if (c < 0) throw std::invalid_argument("makeIndependentSet: c >= 0");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "independent-set>=" + std::to_string(c_);
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    IndState s;
+    s.cap = c_;
+    s.best[0] = 0;
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    const IndState& s = h.as<IndState>();
+    if (s.slots >= 63) throw std::invalid_argument("independent-set: too many slots");
+    IndState t;
+    t.cap = s.cap;
+    t.slots = s.slots + 1;
+    const std::uint64_t bit = std::uint64_t{1} << s.slots;
+    for (const auto& [m, cnt] : s.best) {
+      t.best[m] = std::max(t.best.count(m) ? t.best[m] : -1, cnt);
+      const auto withBit = m | bit;
+      const auto it = t.best.find(withBit);
+      if (it == t.best.end() || it->second < cnt) t.best[withBit] = cnt;
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    const IndState& s = h.as<IndState>();
+    IndState t;
+    t.cap = s.cap;
+    t.slots = s.slots;
+    const std::uint64_t ab =
+        (std::uint64_t{1} << a) | (std::uint64_t{1} << b);
+    for (const auto& [m, cnt] : s.best) {
+      if (label == kRealEdge && (m & ab) == ab) continue;  // both in: clash
+      const auto it = t.best.find(m);
+      if (it == t.best.end() || it->second < cnt) t.best[m] = cnt;
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    const IndState& s = ha.as<IndState>();
+    const IndState& t = hb.as<IndState>();
+    IndState u;
+    u.cap = s.cap;
+    u.slots = s.slots + t.slots;
+    for (const auto& [m1, c1] : s.best) {
+      for (const auto& [m2, c2] : t.best) {
+        const std::uint64_t m = m1 | (m2 << s.slots);
+        const int cnt = std::min(u.cap, c1 + c2);
+        const auto it = u.best.find(m);
+        if (it == u.best.end() || it->second < cnt) u.best[m] = cnt;
+      }
+    }
+    return HomState::make(std::move(u));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    const IndState& s = h.as<IndState>();
+    IndState t;
+    t.cap = s.cap;
+    t.slots = s.slots - 1;
+    for (const auto& [m, cnt] : s.best) {
+      const bool inA = (m >> a) & 1;
+      const bool inB = (m >> b) & 1;
+      if (inA != inB) continue;  // membership must agree
+      const std::uint64_t nm = dropBit(m, b);
+      const auto it = t.best.find(nm);
+      if (it == t.best.end() || it->second < cnt) t.best[nm] = cnt;
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    const IndState& s = h.as<IndState>();
+    IndState t;
+    t.cap = s.cap;
+    t.slots = s.slots - 1;
+    for (const auto& [m, cnt] : s.best) {
+      const int add = static_cast<int>((m >> a) & 1);
+      const std::uint64_t nm = dropBit(m, a);
+      const int ncnt = std::min(s.cap, cnt + add);
+      const auto it = t.best.find(nm);
+      if (it == t.best.end() || it->second < ncnt) t.best[nm] = ncnt;
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    const IndState& s = h.as<IndState>();
+    for (const auto& [m, cnt] : s.best) {
+      if (cnt + __builtin_popcountll(m) >= c_) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.empty() || (enc.size() - 1) % 9 != 0) {
+      throw std::invalid_argument("independent-set: bad encoding");
+    }
+    IndState s;
+    s.cap = c_;
+    s.slots = static_cast<unsigned char>(enc[0]);
+    if (s.slots > 63) throw std::invalid_argument("independent-set: slots");
+    for (std::size_t i = 1; i < enc.size(); i += 9) {
+      std::uint64_t m = 0;
+      for (int b = 0; b < 8; ++b) {
+        m |= static_cast<std::uint64_t>(static_cast<unsigned char>(enc[i + b]))
+             << (8 * b);
+      }
+      const int cnt = static_cast<unsigned char>(enc[i + 8]);
+      if (cnt > s.cap || (s.slots < 63 && (m >> s.slots) != 0)) {
+        throw std::invalid_argument("independent-set: bad entry");
+      }
+      s.best[m] = cnt;
+    }
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<IndState>().slots;
+  }
+
+ private:
+  int c_;
+};
+
+}  // namespace
+
+PropertyPtr makeDominatingSet(int c) {
+  return std::make_shared<DominatingSetProperty>(c);
+}
+
+PropertyPtr makeIndependentSet(int c) {
+  return std::make_shared<IndependentSetProperty>(c);
+}
+
+}  // namespace lanecert

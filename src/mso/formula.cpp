@@ -1,0 +1,381 @@
+#include "mso/formula.hpp"
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace lanecert {
+
+/// AST node.  Quantifiers use (sort, var, left); binary connectives use
+/// (left, right); atoms use (var, var2).
+class MsoFormula {
+ public:
+  enum class Op {
+    kExists,
+    kForall,
+    kAnd,
+    kOr,
+    kNot,
+    kImplies,
+    kIff,
+    kInVSet,
+    kInESet,
+    kInc,
+    kAdj,
+    kEqV,
+    kEqE,
+  };
+
+  Op op = Op::kAnd;
+  MsoSort sort = MsoSort::kVertex;
+  std::string var;
+  std::string var2;
+  MsoPtr left;
+  MsoPtr right;
+};
+
+namespace mso {
+
+namespace {
+
+MsoPtr node(MsoFormula f) { return std::make_shared<MsoFormula>(std::move(f)); }
+
+MsoPtr quant(MsoFormula::Op op, MsoSort sort, std::string var, MsoPtr body) {
+  MsoFormula f;
+  f.op = op;
+  f.sort = sort;
+  f.var = std::move(var);
+  f.left = std::move(body);
+  return node(std::move(f));
+}
+
+MsoPtr binary(MsoFormula::Op op, MsoPtr a, MsoPtr b) {
+  MsoFormula f;
+  f.op = op;
+  f.left = std::move(a);
+  f.right = std::move(b);
+  return node(std::move(f));
+}
+
+MsoPtr atom(MsoFormula::Op op, std::string a, std::string b) {
+  MsoFormula f;
+  f.op = op;
+  f.var = std::move(a);
+  f.var2 = std::move(b);
+  return node(std::move(f));
+}
+
+}  // namespace
+
+MsoPtr exists(MsoSort sort, std::string var, MsoPtr body) {
+  return quant(MsoFormula::Op::kExists, sort, std::move(var), std::move(body));
+}
+MsoPtr forall(MsoSort sort, std::string var, MsoPtr body) {
+  return quant(MsoFormula::Op::kForall, sort, std::move(var), std::move(body));
+}
+MsoPtr conj(MsoPtr a, MsoPtr b) {
+  return binary(MsoFormula::Op::kAnd, std::move(a), std::move(b));
+}
+MsoPtr disj(MsoPtr a, MsoPtr b) {
+  return binary(MsoFormula::Op::kOr, std::move(a), std::move(b));
+}
+MsoPtr neg(MsoPtr a) {
+  MsoFormula f;
+  f.op = MsoFormula::Op::kNot;
+  f.left = std::move(a);
+  return node(std::move(f));
+}
+MsoPtr implies(MsoPtr a, MsoPtr b) {
+  return binary(MsoFormula::Op::kImplies, std::move(a), std::move(b));
+}
+MsoPtr iff(MsoPtr a, MsoPtr b) {
+  return binary(MsoFormula::Op::kIff, std::move(a), std::move(b));
+}
+MsoPtr inVertexSet(std::string v, std::string set) {
+  return atom(MsoFormula::Op::kInVSet, std::move(v), std::move(set));
+}
+MsoPtr inEdgeSet(std::string e, std::string set) {
+  return atom(MsoFormula::Op::kInESet, std::move(e), std::move(set));
+}
+MsoPtr incident(std::string e, std::string v) {
+  return atom(MsoFormula::Op::kInc, std::move(e), std::move(v));
+}
+MsoPtr adjacent(std::string u, std::string v) {
+  return atom(MsoFormula::Op::kAdj, std::move(u), std::move(v));
+}
+MsoPtr equalVertices(std::string u, std::string v) {
+  return atom(MsoFormula::Op::kEqV, std::move(u), std::move(v));
+}
+MsoPtr equalEdges(std::string e, std::string f) {
+  return atom(MsoFormula::Op::kEqE, std::move(e), std::move(f));
+}
+
+}  // namespace mso
+
+namespace {
+
+struct Binding {
+  MsoSort sort = MsoSort::kVertex;
+  std::uint64_t value = 0;  ///< element index, or set bitmask
+};
+
+using Env = std::map<std::string, Binding>;
+
+std::uint64_t lookup(const Env& env, const std::string& name, MsoSort sort) {
+  const auto it = env.find(name);
+  if (it == env.end() || it->second.sort != sort) {
+    throw std::invalid_argument("msoEvaluate: free or ill-sorted variable " + name);
+  }
+  return it->second.value;
+}
+
+bool eval(const MsoFormula& f, const Graph& g, Env& env) {
+  using Op = MsoFormula::Op;
+  switch (f.op) {
+    case Op::kExists:
+    case Op::kForall: {
+      const bool isExists = f.op == Op::kExists;
+      std::uint64_t count = 0;
+      bool isSet = false;
+      switch (f.sort) {
+        case MsoSort::kVertex:
+          count = static_cast<std::uint64_t>(g.numVertices());
+          break;
+        case MsoSort::kEdge:
+          count = static_cast<std::uint64_t>(g.numEdges());
+          break;
+        case MsoSort::kVertexSet:
+          count = std::uint64_t{1} << g.numVertices();
+          isSet = true;
+          break;
+        case MsoSort::kEdgeSet:
+          count = std::uint64_t{1} << g.numEdges();
+          isSet = true;
+          break;
+      }
+      (void)isSet;
+      const auto saved = env.find(f.var) != env.end()
+                             ? std::optional<Binding>(env[f.var])
+                             : std::nullopt;
+      bool result = !isExists;
+      for (std::uint64_t x = 0; x < count; ++x) {
+        env[f.var] = Binding{f.sort, x};
+        const bool sub = eval(*f.left, g, env);
+        if (isExists && sub) {
+          result = true;
+          break;
+        }
+        if (!isExists && !sub) {
+          result = false;
+          break;
+        }
+      }
+      if (saved) {
+        env[f.var] = *saved;
+      } else {
+        env.erase(f.var);
+      }
+      return result;
+    }
+    case Op::kAnd:
+      return eval(*f.left, g, env) && eval(*f.right, g, env);
+    case Op::kOr:
+      return eval(*f.left, g, env) || eval(*f.right, g, env);
+    case Op::kNot:
+      return !eval(*f.left, g, env);
+    case Op::kImplies:
+      return !eval(*f.left, g, env) || eval(*f.right, g, env);
+    case Op::kIff:
+      return eval(*f.left, g, env) == eval(*f.right, g, env);
+    case Op::kInVSet: {
+      const std::uint64_t v = lookup(env, f.var, MsoSort::kVertex);
+      const std::uint64_t set = lookup(env, f.var2, MsoSort::kVertexSet);
+      return (set >> v) & 1;
+    }
+    case Op::kInESet: {
+      const std::uint64_t e = lookup(env, f.var, MsoSort::kEdge);
+      const std::uint64_t set = lookup(env, f.var2, MsoSort::kEdgeSet);
+      return (set >> e) & 1;
+    }
+    case Op::kInc: {
+      const auto e = static_cast<EdgeId>(lookup(env, f.var, MsoSort::kEdge));
+      const auto v = static_cast<VertexId>(lookup(env, f.var2, MsoSort::kVertex));
+      return g.edge(e).touches(v);
+    }
+    case Op::kAdj: {
+      const auto u = static_cast<VertexId>(lookup(env, f.var, MsoSort::kVertex));
+      const auto v = static_cast<VertexId>(lookup(env, f.var2, MsoSort::kVertex));
+      return g.hasEdge(u, v);
+    }
+    case Op::kEqV:
+      return lookup(env, f.var, MsoSort::kVertex) ==
+             lookup(env, f.var2, MsoSort::kVertex);
+    case Op::kEqE:
+      return lookup(env, f.var, MsoSort::kEdge) ==
+             lookup(env, f.var2, MsoSort::kEdge);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool msoEvaluate(const MsoPtr& formula, const Graph& g) {
+  if (!formula) throw std::invalid_argument("msoEvaluate: null formula");
+  if (g.numVertices() > 62 || g.numEdges() > 62) {
+    throw std::invalid_argument("msoEvaluate: graph too large for brute force");
+  }
+  Env env;
+  return eval(*formula, g, env);
+}
+
+std::string msoToString(const MsoPtr& formula) {
+  using Op = MsoFormula::Op;
+  if (!formula) return "?";
+  const MsoFormula& f = *formula;
+  static const char* sortNames[] = {"v", "e", "V", "E"};
+  std::ostringstream os;
+  switch (f.op) {
+    case Op::kExists:
+    case Op::kForall:
+      os << (f.op == Op::kExists ? "∃" : "∀") << f.var << ":"
+         << sortNames[static_cast<int>(f.sort)] << ". " << msoToString(f.left);
+      break;
+    case Op::kAnd:
+      os << "(" << msoToString(f.left) << " ∧ " << msoToString(f.right) << ")";
+      break;
+    case Op::kOr:
+      os << "(" << msoToString(f.left) << " ∨ " << msoToString(f.right) << ")";
+      break;
+    case Op::kNot:
+      os << "¬" << msoToString(f.left);
+      break;
+    case Op::kImplies:
+      os << "(" << msoToString(f.left) << " → " << msoToString(f.right) << ")";
+      break;
+    case Op::kIff:
+      os << "(" << msoToString(f.left) << " ↔ " << msoToString(f.right) << ")";
+      break;
+    case Op::kInVSet:
+    case Op::kInESet:
+      os << f.var << "∈" << f.var2;
+      break;
+    case Op::kInc:
+      os << "inc(" << f.var << "," << f.var2 << ")";
+      break;
+    case Op::kAdj:
+      os << "adj(" << f.var << "," << f.var2 << ")";
+      break;
+    case Op::kEqV:
+    case Op::kEqE:
+      os << f.var << "=" << f.var2;
+      break;
+  }
+  return os.str();
+}
+
+// --- Formula library ------------------------------------------------------
+
+namespace {
+
+using namespace mso;  // NOLINT(build/namespaces) — local builder DSL
+
+/// "v has exactly one incident edge in F": ∃e∈F inc(e,v) ∧ ∀f∈F inc(f,v)→f=e.
+MsoPtr exactlyOneIncidentIn(const std::string& v, const std::string& setF) {
+  return exists(
+      MsoSort::kEdge, "e1",
+      conj(conj(inEdgeSet("e1", setF), incident("e1", v)),
+           forall(MsoSort::kEdge, "e2",
+                  implies(conj(inEdgeSet("e2", setF), incident("e2", v)),
+                          equalEdges("e2", "e1")))));
+}
+
+/// "v has exactly two incident edges in F".
+MsoPtr exactlyTwoIncidentIn(const std::string& v, const std::string& setF) {
+  return exists(
+      MsoSort::kEdge, "e1",
+      exists(
+          MsoSort::kEdge, "e2",
+          conj(conj(conj(neg(equalEdges("e1", "e2")),
+                         conj(inEdgeSet("e1", setF), incident("e1", v))),
+                    conj(inEdgeSet("e2", setF), incident("e2", v))),
+               forall(MsoSort::kEdge, "e3",
+                      implies(conj(inEdgeSet("e3", setF), incident("e3", v)),
+                              disj(equalEdges("e3", "e1"),
+                                   equalEdges("e3", "e2")))))));
+}
+
+/// "some F-edge crosses the vertex bipartition (U, V \ U)".
+MsoPtr someEdgeCrosses(const std::string& setU, const std::string& setF,
+                       bool restrictToF) {
+  MsoPtr body = conj(conj(incident("e", "x"), incident("e", "y")),
+                     conj(inVertexSet("x", setU), neg(inVertexSet("y", setU))));
+  if (restrictToF) body = conj(inEdgeSet("e", setF), std::move(body));
+  return exists(MsoSort::kEdge, "e",
+                exists(MsoSort::kVertex, "x",
+                       exists(MsoSort::kVertex, "y", std::move(body))));
+}
+
+}  // namespace
+
+MsoPtr msoBipartite() {
+  return exists(
+      MsoSort::kVertexSet, "U",
+      forall(MsoSort::kVertex, "u",
+             forall(MsoSort::kVertex, "v",
+                    implies(adjacent("u", "v"),
+                            iff(inVertexSet("u", "U"),
+                                neg(inVertexSet("v", "U")))))));
+}
+
+MsoPtr msoForest() {
+  // Every nonempty edge set contains an edge with an endpoint of F-degree
+  // exactly one (a "leaf" of the subforest); cyclic edge sets have none.
+  return forall(
+      MsoSort::kEdgeSet, "F",
+      implies(exists(MsoSort::kEdge, "e0", inEdgeSet("e0", "F")),
+              exists(MsoSort::kVertex, "v",
+                     conj(exactlyOneIncidentIn("v", "F"),
+                          exists(MsoSort::kEdge, "e",
+                                 conj(inEdgeSet("e", "F"),
+                                      incident("e", "v")))))));
+}
+
+MsoPtr msoConnected() {
+  return forall(
+      MsoSort::kVertexSet, "U",
+      implies(conj(exists(MsoSort::kVertex, "u", inVertexSet("u", "U")),
+                   exists(MsoSort::kVertex, "w", neg(inVertexSet("w", "U")))),
+              someEdgeCrosses("U", "", /*restrictToF=*/false)));
+}
+
+MsoPtr msoPerfectMatching() {
+  return exists(MsoSort::kEdgeSet, "F",
+                forall(MsoSort::kVertex, "v", exactlyOneIncidentIn("v", "F")));
+}
+
+MsoPtr msoHamiltonianCycle() {
+  // F is 2-regular and, viewed as a spanning subgraph, connected: every
+  // proper nonempty vertex bipartition is crossed by an F-edge.
+  return exists(
+      MsoSort::kEdgeSet, "F",
+      conj(forall(MsoSort::kVertex, "v", exactlyTwoIncidentIn("v", "F")),
+           forall(MsoSort::kVertexSet, "U",
+                  implies(conj(exists(MsoSort::kVertex, "u",
+                                      inVertexSet("u", "U")),
+                               exists(MsoSort::kVertex, "w",
+                                      neg(inVertexSet("w", "U")))),
+                          someEdgeCrosses("U", "F", /*restrictToF=*/true)))));
+}
+
+MsoPtr msoTriangleFree() {
+  return neg(exists(
+      MsoSort::kVertex, "u",
+      exists(MsoSort::kVertex, "v",
+             exists(MsoSort::kVertex, "w",
+                    conj(conj(adjacent("u", "v"), adjacent("v", "w")),
+                         adjacent("u", "w"))))));
+}
+
+}  // namespace lanecert

@@ -1,0 +1,78 @@
+#pragma once
+// MSO2 formulas over graphs (Section 1.2) and a naive model checker.
+//
+// The logic has four variable sorts — vertices, edges, vertex sets, edge
+// sets — quantifiers over all of them, boolean connectives, and the atomic
+// predicates in(v, U), in(e, F), inc(e, v), adj(u, v), and equality.
+//
+// The evaluator enumerates assignments exhaustively (sets as bitmasks), so
+// it is usable only on small graphs (n, m <= 62); its purpose is to
+// cross-validate the compositional property algebra against the logical
+// definitions (tests) and to document each bundled property's MSO2
+// formulation (examples).  A full Courcelle compiler (formula -> hom-class
+// algebra) is out of scope; see DESIGN.md's substitution notes.
+
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+class MsoFormula;
+using MsoPtr = std::shared_ptr<const MsoFormula>;
+
+/// Variable sorts of MSO2.
+enum class MsoSort { kVertex, kEdge, kVertexSet, kEdgeSet };
+
+/// Formula constructors.  Variables are referenced by name; sorts must be
+/// used consistently (checked at evaluation time).
+namespace mso {
+
+// Quantifiers.
+[[nodiscard]] MsoPtr exists(MsoSort sort, std::string var, MsoPtr body);
+[[nodiscard]] MsoPtr forall(MsoSort sort, std::string var, MsoPtr body);
+
+// Connectives.
+[[nodiscard]] MsoPtr conj(MsoPtr a, MsoPtr b);
+[[nodiscard]] MsoPtr disj(MsoPtr a, MsoPtr b);
+[[nodiscard]] MsoPtr neg(MsoPtr a);
+[[nodiscard]] MsoPtr implies(MsoPtr a, MsoPtr b);
+[[nodiscard]] MsoPtr iff(MsoPtr a, MsoPtr b);
+
+// Atoms.
+[[nodiscard]] MsoPtr inVertexSet(std::string v, std::string set);   ///< v ∈ U
+[[nodiscard]] MsoPtr inEdgeSet(std::string e, std::string set);     ///< e ∈ F
+[[nodiscard]] MsoPtr incident(std::string e, std::string v);        ///< inc(e, v)
+[[nodiscard]] MsoPtr adjacent(std::string u, std::string v);        ///< adj(u, v)
+[[nodiscard]] MsoPtr equalVertices(std::string u, std::string v);
+[[nodiscard]] MsoPtr equalEdges(std::string e, std::string f);
+
+}  // namespace mso
+
+/// Evaluates a closed formula on a graph by brute force.
+/// Throws std::invalid_argument on free/ill-sorted variables or graphs with
+/// more than 62 vertices or edges.
+[[nodiscard]] bool msoEvaluate(const MsoPtr& formula, const Graph& g);
+
+/// Pretty-prints the formula (for examples and docs).
+[[nodiscard]] std::string msoToString(const MsoPtr& formula);
+
+// --- Formula library: the paper's Section 1.2 examples -------------------
+
+/// ∃U ∀u ∀v. adj(u,v) → (u ∈ U ↔ ¬(v ∈ U)).
+[[nodiscard]] MsoPtr msoBipartite();
+/// Every nonempty edge set has an edge with an endpoint of F-degree 1
+/// (acyclicity via "every nonempty subforest has a leaf").
+[[nodiscard]] MsoPtr msoForest();
+/// No vertex bipartition with nonempty sides and no crossing edge.
+[[nodiscard]] MsoPtr msoConnected();
+/// ∃F. every vertex is incident to exactly one edge of F.
+[[nodiscard]] MsoPtr msoPerfectMatching();
+/// ∃F. F spans all vertices, is connected (as a subgraph), and every vertex
+/// has F-degree exactly 2 — a Hamiltonian cycle.
+[[nodiscard]] MsoPtr msoHamiltonianCycle();
+/// No three mutually adjacent vertices.
+[[nodiscard]] MsoPtr msoTriangleFree();
+
+}  // namespace lanecert

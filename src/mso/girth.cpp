@@ -1,0 +1,211 @@
+// Girth >= g: the graph contains no cycle shorter than g.
+// Generalizes triangle-freeness (g = 4) toward the "forbidden short
+// cycles" family of minor-ish properties.
+//
+// State: the matrix of shortest path lengths between boundary slots
+// (through any mixture of live and forgotten vertices), capped at g, plus
+// a found flag.  Cycles are detected at the two moments they can close:
+//   * addEdge(a, b):   cycle length 1 + d[a][b];
+//   * identify(a, b):  the identified pair's shortest connection becomes a
+//     cycle of length d[a][b] (before the identification the two sides are
+//     joined only through previously glued vertices, so d[a][b] is exactly
+//     the length of the cycle being closed — see tests for the two-lane
+//     Parent-merge case).
+// The matrix is kept transitively closed after every update, so forgetting
+// a vertex loses no information.
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+struct GirthState {
+  int g = 0;  ///< the girth bound; doubles as the "infinity" cap
+  int slots = 0;
+  std::vector<std::int8_t> dist;  ///< row-major slots x slots, capped at g
+  bool found = false;             ///< a cycle shorter than g exists
+
+  [[nodiscard]] std::int8_t& at(int i, int j) {
+    return dist[static_cast<std::size_t>(i * slots + j)];
+  }
+  [[nodiscard]] std::int8_t at(int i, int j) const {
+    return dist[static_cast<std::size_t>(i * slots + j)];
+  }
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, slots);
+    mso_detail::put(s, found ? 1 : 0);
+    for (auto d : dist) mso_detail::put(s, d);
+    return s;
+  }
+};
+
+/// Re-closes the matrix through pivot slot k.
+void closeThrough(GirthState& s, int k) {
+  for (int i = 0; i < s.slots; ++i) {
+    for (int j = 0; j < s.slots; ++j) {
+      const int via = s.at(i, k) + s.at(k, j);
+      if (via < s.at(i, j)) {
+        s.at(i, j) = static_cast<std::int8_t>(std::min(via, s.g));
+      }
+    }
+  }
+}
+
+void removeSlot(GirthState& s, int a) {
+  GirthState t;
+  t.g = s.g;
+  t.slots = s.slots - 1;
+  t.found = s.found;
+  t.dist.resize(static_cast<std::size_t>(t.slots * t.slots));
+  for (int i = 0, ti = 0; i < s.slots; ++i) {
+    if (i == a) continue;
+    for (int j = 0, tj = 0; j < s.slots; ++j) {
+      if (j == a) continue;
+      t.at(ti, tj) = s.at(i, j);
+      ++tj;
+    }
+    ++ti;
+  }
+  s = std::move(t);
+}
+
+class GirthProperty final : public Property {
+ public:
+  explicit GirthProperty(int g) : g_(g) {
+    if (g < 3 || g > 100) {
+      throw std::invalid_argument("makeGirthAtLeast: need 3 <= g <= 100");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "girth>=" + std::to_string(g_);
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    GirthState s;
+    s.g = g_;
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    GirthState s = h.as<GirthState>();
+    GirthState t;
+    t.g = g_;
+    t.slots = s.slots + 1;
+    t.found = s.found;
+    t.dist.assign(static_cast<std::size_t>(t.slots * t.slots),
+                  static_cast<std::int8_t>(g_));
+    for (int i = 0; i < s.slots; ++i) {
+      for (int j = 0; j < s.slots; ++j) t.at(i, j) = s.at(i, j);
+    }
+    t.at(t.slots - 1, t.slots - 1) = 0;
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    GirthState s = h.as<GirthState>();
+    if (label == kRealEdge && !s.found) {
+      if (1 + s.at(a, b) < g_) s.found = true;
+      if (1 < s.at(a, b)) {
+        s.at(a, b) = 1;
+        s.at(b, a) = 1;
+        closeThrough(s, a);
+        closeThrough(s, b);
+      }
+    }
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    const GirthState& s = ha.as<GirthState>();
+    const GirthState& t = hb.as<GirthState>();
+    GirthState u;
+    u.g = g_;
+    u.slots = s.slots + t.slots;
+    u.found = s.found || t.found;
+    u.dist.assign(static_cast<std::size_t>(u.slots * u.slots),
+                  static_cast<std::int8_t>(g_));
+    for (int i = 0; i < s.slots; ++i) {
+      for (int j = 0; j < s.slots; ++j) u.at(i, j) = s.at(i, j);
+    }
+    for (int i = 0; i < t.slots; ++i) {
+      for (int j = 0; j < t.slots; ++j) {
+        u.at(s.slots + i, s.slots + j) = t.at(i, j);
+      }
+    }
+    return HomState::make(std::move(u));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    GirthState s = h.as<GirthState>();
+    // Identifying the endpoints of a shortest path closes a cycle of
+    // exactly that length (the two occurrences were connected only through
+    // earlier gluings).
+    if (!s.found && s.at(a, b) < g_ && s.at(a, b) >= 2) s.found = true;
+    for (int j = 0; j < s.slots; ++j) {
+      const auto m = static_cast<std::int8_t>(
+          std::min<int>(s.at(a, j), s.at(b, j)));
+      s.at(a, j) = m;
+      s.at(j, a) = m;
+    }
+    s.at(a, a) = 0;
+    removeSlot(s, b);
+    if (a > b) --a;
+    closeThrough(s, a);
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    GirthState s = h.as<GirthState>();
+    removeSlot(s, a);  // matrix is transitively closed: nothing is lost
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    return !h.as<GirthState>().found;
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.size() < 2) throw std::invalid_argument("girth: short encoding");
+    GirthState s;
+    s.g = g_;
+    s.slots = static_cast<unsigned char>(enc[0]);
+    s.found = enc[1] != 0;
+    const auto cells = static_cast<std::size_t>(s.slots) *
+                       static_cast<std::size_t>(s.slots);
+    if (enc.size() != 2 + cells || s.slots > 100) {
+      throw std::invalid_argument("girth: bad encoding size");
+    }
+    for (std::size_t i = 0; i < cells; ++i) {
+      const auto d = static_cast<std::int8_t>(enc[2 + i]);
+      if (d < 0 || d > g_) throw std::invalid_argument("girth: bad distance");
+      s.dist.push_back(d);
+    }
+    for (int i = 0; i < s.slots; ++i) {
+      if (s.at(i, i) != 0) throw std::invalid_argument("girth: bad diagonal");
+    }
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<GirthState>().slots;
+  }
+
+ private:
+  int g_;
+};
+
+}  // namespace
+
+PropertyPtr makeGirthAtLeast(int g) {
+  return std::make_shared<GirthProperty>(g);
+}
+
+}  // namespace lanecert

@@ -1,0 +1,345 @@
+// Hamiltonian cycle / path.
+//
+// The state is the set of "interface configurations" of partial structures:
+// each configuration describes a family of vertex-disjoint simple paths
+// (segments) covering every internal vertex, by recording for each boundary
+// slot its degree in the structure (0, 1, 2) and, for degree-1 slots, the
+// slot at the other end of its segment.  Internal vertices must reach
+// degree 2 before being forgotten — except, for the PATH variant, up to two
+// segment ends may be "sealed" at internal vertices (the path's endpoints).
+// A fully sealed segment (both ends internal) is recorded in a flag; at
+// most one may exist.  The CYCLE variant instead allows closing exactly one
+// cycle, recorded in a flag; the final structure must be that single cycle.
+
+#include <set>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+constexpr std::int8_t kInterior = -1;  ///< degree-2 slot (or on the cycle)
+constexpr std::int8_t kSealed = -2;    ///< other end of the segment is sealed
+
+struct Config {
+  std::vector<std::int8_t> deg;      ///< 0, 1, or 2 per slot
+  std::vector<std::int8_t> partner;  ///< deg0: self; deg1: other end; deg2: -1
+  bool closed = false;               ///< one cycle has been closed (cycle mode)
+  bool sealedSegment = false;        ///< a both-ends-sealed segment exists
+
+  friend auto operator<=>(const Config&, const Config&) = default;
+};
+
+struct HamState {
+  int slots = 0;
+  std::set<Config> configs;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, slots);
+    for (const Config& c : configs) {
+      mso_detail::put(s, (c.closed ? 1 : 0) | (c.sealedSegment ? 2 : 0));
+      for (auto d : c.deg) mso_detail::put(s, d);
+      for (auto p : c.partner) mso_detail::put(s, p + 2);
+      s.push_back('\xfe');
+    }
+    return s;
+  }
+};
+
+/// Links the two ends of a merged segment; returns false if the config dies
+/// (two fully sealed segments).
+bool linkEnds(Config& c, std::int8_t endA, std::int8_t endB) {
+  if (endA >= 0 && endB >= 0) {
+    c.partner[static_cast<std::size_t>(endA)] = endB;
+    c.partner[static_cast<std::size_t>(endB)] = endA;
+    return true;
+  }
+  if (endA >= 0) {  // endB sealed
+    c.partner[static_cast<std::size_t>(endA)] = kSealed;
+    return true;
+  }
+  if (endB >= 0) {
+    c.partner[static_cast<std::size_t>(endB)] = kSealed;
+    return true;
+  }
+  // Both ends sealed: a complete fixed path.
+  if (c.sealedSegment) return false;
+  c.sealedSegment = true;
+  return true;
+}
+
+/// The other end of the segment whose endpoint is slot x (deg 0 or 1).
+std::int8_t otherEnd(const Config& c, int x) {
+  return c.deg[static_cast<std::size_t>(x)] == 0
+             ? static_cast<std::int8_t>(x)
+             : c.partner[static_cast<std::size_t>(x)];
+}
+
+void eraseSlot(Config& c, int b) {
+  c.deg.erase(c.deg.begin() + b);
+  c.partner.erase(c.partner.begin() + b);
+  for (auto& p : c.partner) {
+    if (p > b) --p;
+  }
+}
+
+class HamiltonianProperty final : public Property {
+ public:
+  explicit HamiltonianProperty(bool cycle) : cycle_(cycle) {}
+
+  [[nodiscard]] std::string name() const override {
+    return cycle_ ? "hamiltonian-cycle" : "hamiltonian-path";
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    HamState s;
+    s.configs.insert(Config{});
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    const HamState& s = h.as<HamState>();
+    HamState t;
+    t.slots = s.slots + 1;
+    for (Config c : s.configs) {
+      c.deg.push_back(0);
+      c.partner.push_back(static_cast<std::int8_t>(s.slots));  // self
+      t.configs.insert(std::move(c));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    const HamState& s = h.as<HamState>();
+    HamState t{s};  // every config may skip the edge
+    if (label != kRealEdge) return HomState::make(std::move(t));
+    for (const Config& c : s.configs) {
+      if (c.deg[static_cast<std::size_t>(a)] >= 2 ||
+          c.deg[static_cast<std::size_t>(b)] >= 2) {
+        continue;
+      }
+      Config nc = c;
+      const bool sameSegment =
+          nc.deg[static_cast<std::size_t>(a)] == 1 &&
+          nc.partner[static_cast<std::size_t>(a)] == static_cast<std::int8_t>(b);
+      if (sameSegment) {
+        // The edge closes the segment into a cycle.
+        if (!cycle_ || nc.closed) continue;
+        nc.closed = true;
+        nc.deg[static_cast<std::size_t>(a)] = 2;
+        nc.deg[static_cast<std::size_t>(b)] = 2;
+        nc.partner[static_cast<std::size_t>(a)] = kInterior;
+        nc.partner[static_cast<std::size_t>(b)] = kInterior;
+      } else {
+        const std::int8_t endA = otherEnd(nc, a);
+        const std::int8_t endB = otherEnd(nc, b);
+        for (int x : {a, b}) {
+          auto& d = nc.deg[static_cast<std::size_t>(x)];
+          ++d;
+          if (d == 2) nc.partner[static_cast<std::size_t>(x)] = kInterior;
+        }
+        // A slot that just reached degree 1 is itself the segment end.
+        const std::int8_t ea =
+            nc.deg[static_cast<std::size_t>(a)] == 1 ? static_cast<std::int8_t>(a) : endA;
+        const std::int8_t eb =
+            nc.deg[static_cast<std::size_t>(b)] == 1 ? static_cast<std::int8_t>(b) : endB;
+        if (!linkEnds(nc, ea, eb)) continue;
+      }
+      t.configs.insert(std::move(nc));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    const HamState& s = ha.as<HamState>();
+    const HamState& t = hb.as<HamState>();
+    HamState u;
+    u.slots = s.slots + t.slots;
+    for (const Config& c1 : s.configs) {
+      for (const Config& c2 : t.configs) {
+        if (c1.closed && c2.closed) continue;
+        if (c1.sealedSegment && c2.sealedSegment) continue;
+        Config c = c1;
+        c.closed = c1.closed || c2.closed;
+        c.sealedSegment = c1.sealedSegment || c2.sealedSegment;
+        for (std::size_t i = 0; i < c2.deg.size(); ++i) {
+          c.deg.push_back(c2.deg[i]);
+          const std::int8_t p = c2.partner[i];
+          c.partner.push_back(p >= 0 ? static_cast<std::int8_t>(p + s.slots) : p);
+        }
+        u.configs.insert(std::move(c));
+      }
+    }
+    return HomState::make(std::move(u));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    const HamState& s = h.as<HamState>();
+    HamState t;
+    t.slots = s.slots - 1;
+    for (const Config& c : s.configs) {
+      const int da = c.deg[static_cast<std::size_t>(a)];
+      const int db = c.deg[static_cast<std::size_t>(b)];
+      if (da + db > 2) continue;
+      Config nc = c;
+      if (da == 1 && db == 1) {
+        if (nc.partner[static_cast<std::size_t>(a)] == static_cast<std::int8_t>(b)) {
+          // Gluing the two ends of one segment closes a cycle.
+          if (!cycle_ || nc.closed) continue;
+          nc.closed = true;
+          nc.deg[static_cast<std::size_t>(a)] = 2;
+          nc.partner[static_cast<std::size_t>(a)] = kInterior;
+        } else {
+          const std::int8_t ea = nc.partner[static_cast<std::size_t>(a)];
+          const std::int8_t eb = nc.partner[static_cast<std::size_t>(b)];
+          nc.deg[static_cast<std::size_t>(a)] = 2;
+          nc.partner[static_cast<std::size_t>(a)] = kInterior;
+          if (!linkEnds(nc, ea, eb)) continue;
+        }
+      } else if (da + db == 2) {
+        // One side is interior (2+0): the merged vertex is interior.
+        nc.deg[static_cast<std::size_t>(a)] = 2;
+        nc.partner[static_cast<std::size_t>(a)] = kInterior;
+      } else if (da + db == 1) {
+        // Merged vertex is a degree-1 endpoint; inherit the segment of the
+        // degree-1 side.
+        const int one = da == 1 ? a : b;
+        nc.deg[static_cast<std::size_t>(a)] = 1;
+        const std::int8_t p = c.partner[static_cast<std::size_t>(one)];
+        nc.partner[static_cast<std::size_t>(a)] = p;
+        if (p >= 0) nc.partner[static_cast<std::size_t>(p)] = static_cast<std::int8_t>(a);
+      } else {
+        // 0 + 0: merged isolated vertex (its own trivial segment).
+        nc.deg[static_cast<std::size_t>(a)] = 0;
+        nc.partner[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(a);
+      }
+      eraseSlot(nc, b);  // also shifts partner references past b
+      t.configs.insert(std::move(nc));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    const HamState& s = h.as<HamState>();
+    HamState t;
+    t.slots = s.slots - 1;
+    for (const Config& c : s.configs) {
+      const int d = c.deg[static_cast<std::size_t>(a)];
+      Config nc = c;
+      if (d == 2) {
+        // Covered interior vertex: nothing to do.
+      } else if (!cycle_ && d == 1) {
+        // Seal this end of the segment (one of the path's two endpoints).
+        const std::int8_t p = nc.partner[static_cast<std::size_t>(a)];
+        if (p >= 0) {
+          nc.partner[static_cast<std::size_t>(p)] = kSealed;
+        } else {  // p == kSealed: the segment becomes fully sealed
+          if (nc.sealedSegment) continue;
+          nc.sealedSegment = true;
+        }
+      } else if (!cycle_ && d == 0) {
+        // Isolated internal vertex: only valid as the whole (1-vertex) path.
+        if (nc.sealedSegment) continue;
+        nc.sealedSegment = true;
+      } else {
+        continue;  // cycle mode: internal vertices must have degree 2
+      }
+      eraseSlot(nc, a);
+      t.configs.insert(std::move(nc));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    const HamState& s = h.as<HamState>();
+    for (const Config& c : s.configs) {
+      if (cycle_) {
+        if (!c.closed || c.sealedSegment) continue;
+        bool allInterior = true;
+        for (std::size_t i = 0; i < c.deg.size(); ++i) {
+          if (c.deg[i] != 2) allInterior = false;
+        }
+        if (allInterior) return true;
+      } else {
+        if (c.closed) continue;
+        // Count maximal segments; the structure must be exactly one path
+        // covering everything.
+        int objects = c.sealedSegment ? 1 : 0;
+        bool bad = false;
+        for (std::size_t i = 0; i < c.deg.size(); ++i) {
+          if (c.deg[i] == 0) {
+            ++objects;
+          } else if (c.deg[i] == 1) {
+            const std::int8_t p = c.partner[i];
+            if (p == kSealed) {
+              ++objects;
+            } else if (p >= 0 && static_cast<std::size_t>(p) > i) {
+              ++objects;  // count each slot-slot pair once
+            } else if (p < 0 && p != kSealed) {
+              bad = true;
+            }
+          }
+        }
+        if (!bad && objects == 1) return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.empty()) throw std::invalid_argument("hamiltonian: empty encoding");
+    HamState s;
+    s.slots = static_cast<unsigned char>(enc[0]);
+    const auto slots = static_cast<std::size_t>(s.slots);
+    std::size_t i = 1;
+    const std::size_t stride = 1 + 2 * slots + 1;  // flags, degs, partners, 0xfe
+    while (i < enc.size()) {
+      if (enc.size() - i < stride) {
+        throw std::invalid_argument("hamiltonian: truncated config");
+      }
+      Config c;
+      c.closed = (enc[i] & 1) != 0;
+      c.sealedSegment = (enc[i] & 2) != 0;
+      for (std::size_t j = 0; j < slots; ++j) {
+        const auto d = static_cast<std::int8_t>(enc[i + 1 + j]);
+        if (d < 0 || d > 2) throw std::invalid_argument("hamiltonian: bad degree");
+        c.deg.push_back(d);
+      }
+      for (std::size_t j = 0; j < slots; ++j) {
+        const int p = static_cast<unsigned char>(enc[i + 1 + slots + j]) - 2;
+        if (p < kSealed || p >= static_cast<int>(slots)) {
+          throw std::invalid_argument("hamiltonian: bad partner");
+        }
+        c.partner.push_back(static_cast<std::int8_t>(p));
+      }
+      if (static_cast<unsigned char>(enc[i + stride - 1]) != 0xfe) {
+        throw std::invalid_argument("hamiltonian: missing config terminator");
+      }
+      s.configs.insert(std::move(c));
+      i += stride;
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<HamState>().slots;
+  }
+
+ private:
+  bool cycle_;
+};
+
+}  // namespace
+
+PropertyPtr makeHamiltonianCycle() {
+  return std::make_shared<HamiltonianProperty>(true);
+}
+
+PropertyPtr makeHamiltonianPath() {
+  return std::make_shared<HamiltonianProperty>(false);
+}
+
+}  // namespace lanecert

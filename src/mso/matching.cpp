@@ -1,0 +1,143 @@
+// Perfect matching: the state is the set of boundary subsets that can be
+// left EXPOSED (unmatched) by some matching covering every internal vertex.
+// Boundary subsets are bitmasks over slots (at most 63 slots supported,
+// far beyond any bounded-lanewidth pipeline's needs).
+
+#include <set>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+using Mask = std::uint64_t;
+
+struct MatchState {
+  int slots = 0;
+  std::set<Mask> exposable;  ///< bit set = slot exposed
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, slots);
+    for (Mask m : exposable) mso_detail::put64(s, m);
+    return s;
+  }
+};
+
+Mask removeBit(Mask m, int b) {
+  const Mask low = m & ((Mask{1} << b) - 1);
+  const Mask high = (m >> (b + 1)) << b;
+  return low | high;
+}
+
+class PerfectMatchingProperty final : public Property {
+ public:
+  [[nodiscard]] std::string name() const override { return "perfect-matching"; }
+
+  [[nodiscard]] HomState empty() const override {
+    MatchState s;
+    s.exposable.insert(0);
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    const MatchState& s = h.as<MatchState>();
+    if (s.slots >= 63) throw std::invalid_argument("matching: too many slots");
+    MatchState t;
+    t.slots = s.slots + 1;
+    const Mask newBit = Mask{1} << s.slots;
+    for (Mask m : s.exposable) t.exposable.insert(m | newBit);
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    const MatchState& s = h.as<MatchState>();
+    MatchState t{s};
+    if (label != kRealEdge) return HomState::make(std::move(t));
+    const Mask ab = (Mask{1} << a) | (Mask{1} << b);
+    for (Mask m : s.exposable) {
+      if ((m & ab) == ab) t.exposable.insert(m & ~ab);  // use the new edge
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    const MatchState& s = ha.as<MatchState>();
+    const MatchState& t = hb.as<MatchState>();
+    MatchState u;
+    u.slots = s.slots + t.slots;
+    for (Mask m : s.exposable) {
+      for (Mask m2 : t.exposable) u.exposable.insert(m | (m2 << s.slots));
+    }
+    return HomState::make(std::move(u));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    const MatchState& s = h.as<MatchState>();
+    MatchState t;
+    t.slots = s.slots - 1;
+    const Mask bitA = Mask{1} << a;
+    const Mask bitB = Mask{1} << b;
+    for (Mask m : s.exposable) {
+      const bool ea = (m & bitA) != 0;
+      const bool eb = (m & bitB) != 0;
+      if (!ea && !eb) continue;  // both covered: the glued vertex would have
+                                 // two matching edges
+      // The glued vertex is exposed iff exposed on both sides.
+      Mask nm = ea && eb ? (m | bitA) : (m & ~bitA);
+      t.exposable.insert(removeBit(nm, b));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    const MatchState& s = h.as<MatchState>();
+    MatchState t;
+    t.slots = s.slots - 1;
+    const Mask bitA = Mask{1} << a;
+    for (Mask m : s.exposable) {
+      if ((m & bitA) != 0) continue;  // internal vertices must be covered
+      t.exposable.insert(removeBit(m, a));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    // Every vertex — including remaining boundary slots — must be covered.
+    return h.as<MatchState>().exposable.count(0) != 0;
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.empty() || (enc.size() - 1) % 8 != 0) {
+      throw std::invalid_argument("matching: bad encoding");
+    }
+    MatchState s;
+    s.slots = static_cast<unsigned char>(enc[0]);
+    if (s.slots > 63) throw std::invalid_argument("matching: too many slots");
+    for (std::size_t i = 1; i < enc.size(); i += 8) {
+      Mask m = 0;
+      for (int b = 0; b < 8; ++b) {
+        m |= static_cast<Mask>(static_cast<unsigned char>(enc[i + b])) << (8 * b);
+      }
+      if (s.slots < 63 && (m >> s.slots) != 0) {
+        throw std::invalid_argument("matching: mask exceeds slots");
+      }
+      s.exposable.insert(m);
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<MatchState>().slots;
+  }
+};
+
+}  // namespace
+
+PropertyPtr makePerfectMatching() {
+  return std::make_shared<PerfectMatchingProperty>();
+}
+
+}  // namespace lanecert

@@ -1,0 +1,354 @@
+// Deterministic partition-based properties: forest (acyclicity),
+// connectivity, is-a-path, is-a-cycle.
+//
+// All four share the same skeleton: the state tracks the connectivity
+// partition of the boundary slots plus a constant amount of global
+// bookkeeping.  The path/cycle pair additionally uses the monotone "excess"
+// invariant  excess = m - n + c  (c = number of components), which is 0 for
+// forests, 0 for paths, 1 for cycles, and never decreases under any of the
+// algebra's operations — so it can be capped at 2 without losing exactness.
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+using mso_detail::canonicalizePartition;
+using mso_detail::put;
+
+int countBlocks(const std::vector<std::int8_t>& part) {
+  int mx = -1;
+  for (auto b : part) mx = std::max(mx, static_cast<int>(b));
+  return mx + 1;
+}
+
+/// Merges block of slot b into block of slot a; returns true if they were
+/// already in the same block.
+bool mergeBlocks(std::vector<std::int8_t>& part, int a, int b) {
+  const std::int8_t ba = part[static_cast<std::size_t>(a)];
+  const std::int8_t bb = part[static_cast<std::size_t>(b)];
+  if (ba == bb) return true;
+  for (auto& x : part) {
+    if (x == bb) x = ba;
+  }
+  canonicalizePartition(part);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Forest
+// ---------------------------------------------------------------------------
+
+struct ForestState {
+  std::vector<std::int8_t> part;
+  bool hasCycle = false;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    put(s, hasCycle ? 1 : 0);
+    for (auto b : part) put(s, b);
+    return s;
+  }
+};
+
+class ForestProperty final : public Property {
+ public:
+  [[nodiscard]] std::string name() const override { return "forest"; }
+
+  [[nodiscard]] HomState empty() const override {
+    return HomState::make(ForestState{});
+  }
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    ForestState s = h.as<ForestState>();
+    s.part.push_back(static_cast<std::int8_t>(countBlocks(s.part)));
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    ForestState s = h.as<ForestState>();
+    if (label == kRealEdge && mergeBlocks(s.part, a, b)) s.hasCycle = true;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    ForestState s = ha.as<ForestState>();
+    const ForestState& t = hb.as<ForestState>();
+    const auto off = static_cast<std::int8_t>(countBlocks(s.part));
+    for (auto b : t.part) s.part.push_back(static_cast<std::int8_t>(b + off));
+    s.hasCycle = s.hasCycle || t.hasCycle;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    ForestState s = h.as<ForestState>();
+    // Gluing two vertices already connected by a path creates a cycle.
+    if (mergeBlocks(s.part, a, b)) s.hasCycle = true;
+    s.part.erase(s.part.begin() + b);
+    canonicalizePartition(s.part);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    ForestState s = h.as<ForestState>();
+    s.part.erase(s.part.begin() + a);
+    canonicalizePartition(s.part);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    return !h.as<ForestState>().hasCycle;
+  }
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.empty()) throw std::invalid_argument("forest: empty encoding");
+    ForestState s;
+    s.hasCycle = enc[0] != 0;
+    for (std::size_t i = 1; i < enc.size(); ++i) {
+      const auto b = static_cast<std::int8_t>(enc[i]);
+      if (b < 0 || b >= static_cast<std::int8_t>(enc.size())) {
+        throw std::invalid_argument("forest: bad partition");
+      }
+      s.part.push_back(b);
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return static_cast<int>(h.as<ForestState>().part.size());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Connectivity
+// ---------------------------------------------------------------------------
+
+struct ConnState {
+  std::vector<std::int8_t> part;
+  std::int8_t lost = 0;  ///< fully forgotten components (capped at 2)
+  bool hasVertex = false;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    put(s, lost);
+    put(s, hasVertex ? 1 : 0);
+    for (auto b : part) put(s, b);
+    return s;
+  }
+};
+
+class ConnectivityProperty final : public Property {
+ public:
+  [[nodiscard]] std::string name() const override { return "connectivity"; }
+
+  [[nodiscard]] HomState empty() const override {
+    return HomState::make(ConnState{});
+  }
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    ConnState s = h.as<ConnState>();
+    s.part.push_back(static_cast<std::int8_t>(countBlocks(s.part)));
+    s.hasVertex = true;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    ConnState s = h.as<ConnState>();
+    if (label == kRealEdge) mergeBlocks(s.part, a, b);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    ConnState s = ha.as<ConnState>();
+    const ConnState& t = hb.as<ConnState>();
+    const auto off = static_cast<std::int8_t>(countBlocks(s.part));
+    for (auto b : t.part) s.part.push_back(static_cast<std::int8_t>(b + off));
+    s.lost = static_cast<std::int8_t>(std::min(2, s.lost + t.lost));
+    s.hasVertex = s.hasVertex || t.hasVertex;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    ConnState s = h.as<ConnState>();
+    mergeBlocks(s.part, a, b);
+    s.part.erase(s.part.begin() + b);
+    canonicalizePartition(s.part);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    ConnState s = h.as<ConnState>();
+    const std::int8_t block = s.part[static_cast<std::size_t>(a)];
+    int sharers = 0;
+    for (auto b : s.part) sharers += b == block;
+    if (sharers == 1) s.lost = static_cast<std::int8_t>(std::min(2, s.lost + 1));
+    s.part.erase(s.part.begin() + a);
+    canonicalizePartition(s.part);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    const ConnState& s = h.as<ConnState>();
+    if (!s.hasVertex) return true;  // the empty graph is vacuously connected
+    return countBlocks(s.part) + s.lost == 1;
+  }
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.size() < 2) throw std::invalid_argument("conn: short encoding");
+    ConnState s;
+    s.lost = static_cast<std::int8_t>(enc[0]);
+    s.hasVertex = enc[1] != 0;
+    if (s.lost < 0 || s.lost > 2) throw std::invalid_argument("conn: bad lost");
+    for (std::size_t i = 2; i < enc.size(); ++i) {
+      const auto b = static_cast<std::int8_t>(enc[i]);
+      if (b < 0 || b >= static_cast<std::int8_t>(enc.size())) {
+        throw std::invalid_argument("conn: bad partition");
+      }
+      s.part.push_back(b);
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return static_cast<int>(h.as<ConnState>().part.size());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Path / Cycle
+// ---------------------------------------------------------------------------
+
+struct PathCycleState {
+  std::vector<std::int8_t> part;
+  std::vector<std::int8_t> deg;  ///< capped at 3
+  std::int8_t lost = 0;          ///< capped at 2
+  std::int8_t excess = 0;        ///< m - n + c, monotone, capped at 2
+  bool overDeg = false;          ///< some vertex reached degree 3
+  bool hasVertex = false;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    put(s, lost);
+    put(s, excess);
+    put(s, (overDeg ? 1 : 0) | (hasVertex ? 2 : 0));
+    for (auto b : part) put(s, b);
+    for (auto d : deg) put(s, d);
+    return s;
+  }
+};
+
+class PathCycleProperty final : public Property {
+ public:
+  explicit PathCycleProperty(bool wantCycle) : wantCycle_(wantCycle) {}
+
+  [[nodiscard]] std::string name() const override {
+    return wantCycle_ ? "is-cycle" : "is-path";
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    return HomState::make(PathCycleState{});
+  }
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    PathCycleState s = h.as<PathCycleState>();
+    s.part.push_back(static_cast<std::int8_t>(countBlocks(s.part)));
+    s.deg.push_back(0);
+    s.hasVertex = true;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    PathCycleState s = h.as<PathCycleState>();
+    if (label != kRealEdge) return HomState::make(std::move(s));
+    for (int x : {a, b}) {
+      auto& d = s.deg[static_cast<std::size_t>(x)];
+      d = static_cast<std::int8_t>(std::min(3, d + 1));
+      if (d >= 3) s.overDeg = true;
+    }
+    if (mergeBlocks(s.part, a, b)) {
+      s.excess = static_cast<std::int8_t>(std::min(2, s.excess + 1));
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    PathCycleState s = ha.as<PathCycleState>();
+    const PathCycleState& t = hb.as<PathCycleState>();
+    const auto off = static_cast<std::int8_t>(countBlocks(s.part));
+    for (auto b : t.part) s.part.push_back(static_cast<std::int8_t>(b + off));
+    s.deg.insert(s.deg.end(), t.deg.begin(), t.deg.end());
+    s.lost = static_cast<std::int8_t>(std::min(2, s.lost + t.lost));
+    s.excess = static_cast<std::int8_t>(std::min(2, s.excess + t.excess));
+    s.overDeg = s.overDeg || t.overDeg;
+    s.hasVertex = s.hasVertex || t.hasVertex;
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    PathCycleState s = h.as<PathCycleState>();
+    const int d = s.deg[static_cast<std::size_t>(a)] + s.deg[static_cast<std::size_t>(b)];
+    s.deg[static_cast<std::size_t>(a)] = static_cast<std::int8_t>(std::min(3, d));
+    if (d >= 3) s.overDeg = true;
+    if (mergeBlocks(s.part, a, b)) {
+      s.excess = static_cast<std::int8_t>(std::min(2, s.excess + 1));
+    }
+    s.part.erase(s.part.begin() + b);
+    s.deg.erase(s.deg.begin() + b);
+    canonicalizePartition(s.part);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    PathCycleState s = h.as<PathCycleState>();
+    const std::int8_t block = s.part[static_cast<std::size_t>(a)];
+    int sharers = 0;
+    for (auto b : s.part) sharers += b == block;
+    if (sharers == 1) s.lost = static_cast<std::int8_t>(std::min(2, s.lost + 1));
+    s.part.erase(s.part.begin() + a);
+    s.deg.erase(s.deg.begin() + a);
+    canonicalizePartition(s.part);
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    const PathCycleState& s = h.as<PathCycleState>();
+    if (!s.hasVertex || s.overDeg) return false;
+    if (countBlocks(s.part) + s.lost != 1) return false;
+    // excess = m - n + 1 for a connected graph: 0 <=> tree, 1 <=> unicyclic;
+    // with max degree <= 2 these are exactly paths and cycles.
+    return s.excess == (wantCycle_ ? 1 : 0);
+  }
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.size() < 3 || (enc.size() - 3) % 2 != 0) {
+      throw std::invalid_argument("pathcycle: bad encoding");
+    }
+    PathCycleState s;
+    s.lost = static_cast<std::int8_t>(enc[0]);
+    s.excess = static_cast<std::int8_t>(enc[1]);
+    s.overDeg = (enc[2] & 1) != 0;
+    s.hasVertex = (enc[2] & 2) != 0;
+    if (s.lost < 0 || s.lost > 2 || s.excess < 0 || s.excess > 2) {
+      throw std::invalid_argument("pathcycle: bad counters");
+    }
+    const std::size_t slots = (enc.size() - 3) / 2;
+    for (std::size_t i = 0; i < slots; ++i) {
+      const auto b = static_cast<std::int8_t>(enc[3 + i]);
+      const auto d = static_cast<std::int8_t>(enc[3 + slots + i]);
+      if (b < 0 || b >= static_cast<std::int8_t>(slots + 1) || d < 0 || d > 3) {
+        throw std::invalid_argument("pathcycle: bad slot data");
+      }
+      s.part.push_back(b);
+      s.deg.push_back(d);
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return static_cast<int>(h.as<PathCycleState>().part.size());
+  }
+
+ private:
+  bool wantCycle_;
+};
+
+}  // namespace
+
+PropertyPtr makeForest() { return std::make_shared<ForestProperty>(); }
+
+PropertyPtr makeConnectivity() {
+  return std::make_shared<ConnectivityProperty>();
+}
+
+PropertyPtr makePathProperty() {
+  return std::make_shared<PathCycleProperty>(false);
+}
+
+PropertyPtr makeCycleProperty() {
+  return std::make_shared<PathCycleProperty>(true);
+}
+
+}  // namespace lanecert

@@ -1,0 +1,70 @@
+#include "mso/property.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pathwidth/pathwidth.hpp"
+
+namespace lanecert {
+
+bool evaluateOnGraph(const Property& prop, const Graph& g,
+                     const std::vector<VertexId>& order) {
+  const auto n = static_cast<std::size_t>(g.numVertices());
+  if (order.size() != n) {
+    throw std::invalid_argument("evaluateOnGraph: order must cover all vertices");
+  }
+  std::vector<int> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  // lastNeighborPos[v]: position after which v gains no more edges.
+  std::vector<int> lastNeighborPos(n);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    int last = pos[static_cast<std::size_t>(v)];
+    for (const Arc& a : g.arcs(v)) {
+      last = std::max(last, pos[static_cast<std::size_t>(a.to)]);
+    }
+    lastNeighborPos[static_cast<std::size_t>(v)] = last;
+  }
+
+  HomState state = prop.empty();
+  std::vector<VertexId> slots;  // slot index -> vertex
+  auto slotOf = [&slots](VertexId v) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    state = prop.addVertex(state);
+    slots.push_back(v);
+    const int sv = static_cast<int>(slots.size()) - 1;
+    for (const Arc& a : g.arcs(v)) {
+      const int su = slotOf(a.to);
+      if (su >= 0 && su != sv) {
+        state = prop.addEdge(state, su, sv, kRealEdge);
+      }
+    }
+    // Forget every live vertex whose neighborhood is now complete.
+    for (std::size_t s = 0; s < slots.size();) {
+      if (lastNeighborPos[static_cast<std::size_t>(slots[s])] <=
+          static_cast<int>(i)) {
+        state = prop.forget(state, static_cast<int>(s));
+        slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(s));
+      } else {
+        ++s;
+      }
+    }
+  }
+  return prop.accepts(state);
+}
+
+bool evaluateOnGraph(const Property& prop, const Graph& g) {
+  const auto layout = exactVertexSeparation(g, 22);
+  const std::vector<VertexId> order =
+      layout ? layout->order : greedyVertexSeparation(g).order;
+  return evaluateOnGraph(prop, g, order);
+}
+
+}  // namespace lanecert

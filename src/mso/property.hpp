@@ -1,0 +1,133 @@
+#pragma once
+// The homomorphism-class algebra of Propositions 2.4 / 6.1.
+//
+// The paper uses, as a black box, the fact that every MSO2 property φ has a
+// finite set C of homomorphism classes for k-terminal graphs, closed under
+// composition.  We realize that interface as a small algebra over
+// *boundaried graphs*: a `HomState` summarizes a graph with an ordered
+// boundary of "slots" (the terminals), and a `Property` provides the six
+// primitive operations every composition in the paper (Bridge-merge,
+// Parent-merge, base graphs) decomposes into:
+//
+//   empty           the graph with no vertices
+//   addVertex       append a new isolated boundary slot
+//   addEdge         connect two slots (with an input edge label)
+//   join            disjoint union (second operand's slots appended)
+//   identify        glue slot b onto slot a (b removed, slots shift down)
+//   forget          demote slot a to an internal vertex (slots shift down)
+//
+// Every concrete property implements these so that the state remains a
+// CONSTANT-size summary (w.r.t. the graph size) for a bounded number of
+// slots — exactly the finiteness that Courcelle-style theorems require.
+// Benchmark E5 measures this empirically.
+//
+// Edge labels: the certification pipeline runs properties on the completion
+// G' where real edges of G carry label 1 and virtual completion edges carry
+// label 0 (Section 6.2 applies Prop 2.4 to graphs with labeled edges).
+// All bundled properties evaluate φ on the label-1 subgraph.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+/// Edge label carried through the algebra.  kRealEdge marks edges of the
+/// original graph; kVirtualEdge marks completion-only edges.
+inline constexpr int kRealEdge = 1;
+inline constexpr int kVirtualEdge = 0;
+
+/// Immutable value-type handle to a property-specific state.
+///
+/// Equality and hashing go through the state's *canonical encoding*, which
+/// doubles as the bit representation stored in certificates (hom classes
+/// are constant-size, so this keeps labels at O(log n)).
+class HomState {
+ public:
+  HomState() = default;
+
+  /// Wraps a concrete state; `Encoded` must provide `std::string encode()`.
+  template <typename T>
+  static HomState make(T state) {
+    auto p = std::make_shared<T>(std::move(state));
+    HomState h;
+    h.encoding_ = p->encode();
+    h.data_ = std::move(p);
+    return h;
+  }
+
+  /// Downcast to the property's concrete state type.
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return *static_cast<const T*>(data_.get());
+  }
+
+  [[nodiscard]] bool valid() const { return data_ != nullptr; }
+  /// Canonical byte encoding (defines equality; measured by benchmarks).
+  [[nodiscard]] const std::string& encoding() const { return encoding_; }
+  [[nodiscard]] std::size_t encodedBits() const { return encoding_.size() * 8; }
+
+  friend bool operator==(const HomState& a, const HomState& b) {
+    return a.encoding_ == b.encoding_;
+  }
+
+ private:
+  std::shared_ptr<const void> data_;
+  std::string encoding_;
+};
+
+/// A graph property with a finite-state composition algebra (Prop 2.4).
+class Property {
+ public:
+  virtual ~Property() = default;
+
+  /// Human-readable name, e.g. "3-colorability".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// State of the empty graph.
+  [[nodiscard]] virtual HomState empty() const = 0;
+  /// Appends a fresh isolated boundary slot.
+  [[nodiscard]] virtual HomState addVertex(const HomState& s) const = 0;
+  /// Adds an edge between slots a and b carrying `label`.
+  [[nodiscard]] virtual HomState addEdge(const HomState& s, int a, int b,
+                                         int label) const = 0;
+  /// Disjoint union; b's slots are renumbered to follow a's.
+  [[nodiscard]] virtual HomState join(const HomState& a, const HomState& b) const = 0;
+  /// Glues slot b onto slot a; slot b disappears (higher slots shift down).
+  [[nodiscard]] virtual HomState identify(const HomState& s, int a, int b) const = 0;
+  /// Demotes slot a to an internal vertex (higher slots shift down).
+  [[nodiscard]] virtual HomState forget(const HomState& s, int a) const = 0;
+  /// Whether a graph in this class satisfies φ (remaining slots are treated
+  /// as ordinary vertices).
+  [[nodiscard]] virtual bool accepts(const HomState& s) const = 0;
+
+  /// Reconstructs a state from its canonical encoding.  Verifiers use this
+  /// to resume the composition from certified state bytes.  Must throw
+  /// std::exception (e.g. DecodeError) on malformed encodings; must be the
+  /// exact inverse of HomState::encoding() on valid ones.
+  [[nodiscard]] virtual HomState decodeState(const std::string& enc) const = 0;
+
+  /// Number of boundary slots of a state.  Verifiers check this against a
+  /// certificate's claimed slot layout before composing, so that slot
+  /// indices passed to the operations are always in range.
+  [[nodiscard]] virtual int slotCount(const HomState& s) const = 0;
+};
+
+using PropertyPtr = std::shared_ptr<const Property>;
+
+/// Evaluates `prop` on `g` by sequential elimination along `order` (vertices
+/// are introduced in order, edges added when both endpoints are live, and a
+/// vertex is forgotten once its last neighbor has been introduced).  The
+/// boundary stays within (vertex separation of `order`) + 1 slots, so this
+/// is exactly Courcelle's dynamic programming over a path decomposition.
+/// All edges carry kRealEdge.
+[[nodiscard]] bool evaluateOnGraph(const Property& prop, const Graph& g,
+                                   const std::vector<VertexId>& order);
+
+/// Convenience: evaluate with a solver-chosen elimination order.
+[[nodiscard]] bool evaluateOnGraph(const Property& prop, const Graph& g);
+
+}  // namespace lanecert

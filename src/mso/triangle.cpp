@@ -1,0 +1,178 @@
+// Triangle-freeness (no K3 subgraph).
+//
+// State: the real-edge adjacency among boundary slots, the set of slot
+// pairs that share a COMMON FORGOTTEN NEIGHBOR (a triangle through an
+// internal vertex needs only the closing boundary edge), and a found flag.
+// Whenever the state changes we recheck all slot pairs; a triangle always
+// has, at the moment its last edge appears / its first vertex is forgotten,
+// at least two of its vertices on the boundary, so this is exact.
+
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+using Row = std::uint64_t;
+
+struct TriState {
+  int slots = 0;
+  std::vector<Row> adj;     ///< real-edge adjacency between slots
+  std::vector<Row> common;  ///< pairs with a common forgotten neighbor
+  bool found = false;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, slots);
+    mso_detail::put(s, found ? 1 : 0);
+    for (Row r : adj) mso_detail::put64(s, r);
+    for (Row r : common) mso_detail::put64(s, r);
+    return s;
+  }
+};
+
+Row bit(int i) { return Row{1} << i; }
+
+/// Scans all pairs for a completed triangle.
+void recheck(TriState& s) {
+  if (s.found) return;
+  for (int x = 0; x < s.slots && !s.found; ++x) {
+    for (int y = x + 1; y < s.slots; ++y) {
+      if ((s.adj[static_cast<std::size_t>(x)] & bit(y)) == 0) continue;
+      // Edge x-y: triangle via a third slot or via a forgotten vertex.
+      if ((s.adj[static_cast<std::size_t>(x)] & s.adj[static_cast<std::size_t>(y)]) != 0 ||
+          (s.common[static_cast<std::size_t>(x)] & bit(y)) != 0) {
+        s.found = true;
+        break;
+      }
+    }
+  }
+}
+
+void removeSlot(TriState& s, int a) {
+  auto strip = [a](Row r) {
+    const Row low = r & (bit(a) - 1);
+    const Row high = (r >> (a + 1)) << a;
+    return low | high;
+  };
+  s.adj.erase(s.adj.begin() + a);
+  s.common.erase(s.common.begin() + a);
+  for (Row& r : s.adj) r = strip(r);
+  for (Row& r : s.common) r = strip(r);
+  --s.slots;
+}
+
+class TriangleFreeProperty final : public Property {
+ public:
+  [[nodiscard]] std::string name() const override { return "triangle-free"; }
+
+  [[nodiscard]] HomState empty() const override {
+    return HomState::make(TriState{});
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    TriState s = h.as<TriState>();
+    if (s.slots >= 63) throw std::invalid_argument("triangle-free: too many slots");
+    ++s.slots;
+    s.adj.push_back(0);
+    s.common.push_back(0);
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    TriState s = h.as<TriState>();
+    if (label == kRealEdge) {
+      s.adj[static_cast<std::size_t>(a)] |= bit(b);
+      s.adj[static_cast<std::size_t>(b)] |= bit(a);
+      recheck(s);
+    }
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    TriState s = ha.as<TriState>();
+    const TriState& t = hb.as<TriState>();
+    for (std::size_t i = 0; i < t.adj.size(); ++i) {
+      s.adj.push_back(t.adj[i] << s.slots);
+      s.common.push_back(t.common[i] << s.slots);
+    }
+    s.slots += t.slots;
+    s.found = s.found || t.found;
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    TriState s = h.as<TriState>();
+    s.adj[static_cast<std::size_t>(a)] |= s.adj[static_cast<std::size_t>(b)];
+    s.common[static_cast<std::size_t>(a)] |= s.common[static_cast<std::size_t>(b)];
+    for (int x = 0; x < s.slots; ++x) {
+      if ((s.adj[static_cast<std::size_t>(x)] & bit(b)) != 0) {
+        s.adj[static_cast<std::size_t>(x)] |= bit(a);
+      }
+      if ((s.common[static_cast<std::size_t>(x)] & bit(b)) != 0) {
+        s.common[static_cast<std::size_t>(x)] |= bit(a);
+      }
+    }
+    // No self-loops: clear the diagonal before removing slot b.
+    s.adj[static_cast<std::size_t>(a)] &= ~bit(a);
+    s.common[static_cast<std::size_t>(a)] &= ~bit(a);
+    removeSlot(s, b);
+    recheck(s);
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    TriState s = h.as<TriState>();
+    // Every pair of neighbors of the forgotten vertex gains a common
+    // (now internal) neighbor.
+    const Row nbrs = s.adj[static_cast<std::size_t>(a)];
+    for (int x = 0; x < s.slots; ++x) {
+      if ((nbrs & bit(x)) == 0) continue;
+      s.common[static_cast<std::size_t>(x)] |= nbrs & ~bit(x);
+    }
+    removeSlot(s, a);
+    recheck(s);
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    return !h.as<TriState>().found;
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.size() < 2) throw std::invalid_argument("triangle: short encoding");
+    TriState s;
+    s.slots = static_cast<unsigned char>(enc[0]);
+    s.found = enc[1] != 0;
+    const auto slots = static_cast<std::size_t>(s.slots);
+    if (s.slots > 63 || enc.size() != 2 + 16 * slots) {
+      throw std::invalid_argument("triangle: bad encoding size");
+    }
+    auto read64 = [&enc](std::size_t at) {
+      Row r = 0;
+      for (int b = 0; b < 8; ++b) {
+        r |= static_cast<Row>(static_cast<unsigned char>(enc[at + b])) << (8 * b);
+      }
+      return r;
+    };
+    for (std::size_t i = 0; i < slots; ++i) s.adj.push_back(read64(2 + 8 * i));
+    for (std::size_t i = 0; i < slots; ++i) {
+      s.common.push_back(read64(2 + 8 * (slots + i)));
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<TriState>().slots;
+  }
+};
+
+}  // namespace
+
+PropertyPtr makeTriangleFree() {
+  return std::make_shared<TriangleFreeProperty>();
+}
+
+}  // namespace lanecert

@@ -1,0 +1,174 @@
+// Vertex cover <= c: the state maps each boundary subset S ("slots inside
+// the cover") to the minimum number of INTERNAL cover vertices over all
+// covers consistent with S, capped at c + 1 (any value above c is
+// equivalent for the decision).
+
+#include <map>
+#include <stdexcept>
+
+#include "mso/detail.hpp"
+#include "mso/properties.hpp"
+
+namespace lanecert {
+namespace {
+
+using Mask = std::uint64_t;
+
+struct CoverState {
+  int slots = 0;
+  int cap = 0;                   ///< c + 1
+  std::map<Mask, int> minCost;   ///< boundary subset -> min internal cost
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    mso_detail::put(s, slots);
+    for (const auto& [m, cost] : minCost) {
+      mso_detail::put64(s, m);
+      mso_detail::put(s, cost);
+    }
+    return s;
+  }
+};
+
+Mask removeBit(Mask m, int b) {
+  const Mask low = m & ((Mask{1} << b) - 1);
+  const Mask high = (m >> (b + 1)) << b;
+  return low | high;
+}
+
+void relax(std::map<Mask, int>& mc, Mask m, int cost) {
+  const auto [it, inserted] = mc.emplace(m, cost);
+  if (!inserted && cost < it->second) it->second = cost;
+}
+
+class VertexCoverProperty final : public Property {
+ public:
+  explicit VertexCoverProperty(int c) : c_(c) {
+    if (c < 0) throw std::invalid_argument("makeVertexCover: c >= 0");
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "vertex-cover<=" + std::to_string(c_);
+  }
+
+  [[nodiscard]] HomState empty() const override {
+    CoverState s;
+    s.cap = c_ + 1;
+    s.minCost[0] = 0;
+    return HomState::make(std::move(s));
+  }
+
+  [[nodiscard]] HomState addVertex(const HomState& h) const override {
+    const CoverState& s = h.as<CoverState>();
+    if (s.slots >= 63) throw std::invalid_argument("vertex-cover: too many slots");
+    CoverState t;
+    t.slots = s.slots + 1;
+    t.cap = s.cap;
+    const Mask newBit = Mask{1} << s.slots;
+    for (const auto& [m, cost] : s.minCost) {
+      relax(t.minCost, m, cost);           // new vertex outside the cover
+      relax(t.minCost, m | newBit, cost);  // new vertex inside the cover
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState addEdge(const HomState& h, int a, int b,
+                                 int label) const override {
+    const CoverState& s = h.as<CoverState>();
+    CoverState t;
+    t.slots = s.slots;
+    t.cap = s.cap;
+    const Mask ab = (Mask{1} << a) | (Mask{1} << b);
+    for (const auto& [m, cost] : s.minCost) {
+      if (label == kRealEdge && (m & ab) == 0) continue;  // edge uncovered
+      relax(t.minCost, m, cost);
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState join(const HomState& ha, const HomState& hb) const override {
+    const CoverState& s = ha.as<CoverState>();
+    const CoverState& t = hb.as<CoverState>();
+    CoverState u;
+    u.slots = s.slots + t.slots;
+    u.cap = s.cap;
+    for (const auto& [m, cost] : s.minCost) {
+      for (const auto& [m2, cost2] : t.minCost) {
+        relax(u.minCost, m | (m2 << s.slots), std::min(u.cap, cost + cost2));
+      }
+    }
+    return HomState::make(std::move(u));
+  }
+
+  [[nodiscard]] HomState identify(const HomState& h, int a, int b) const override {
+    const CoverState& s = h.as<CoverState>();
+    CoverState t;
+    t.slots = s.slots - 1;
+    t.cap = s.cap;
+    const Mask bitA = Mask{1} << a;
+    const Mask bitB = Mask{1} << b;
+    for (const auto& [m, cost] : s.minCost) {
+      // The glued vertex is in the cover iff both sides agree.
+      if (((m & bitA) != 0) != ((m & bitB) != 0)) continue;
+      relax(t.minCost, removeBit(m, b), cost);
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] HomState forget(const HomState& h, int a) const override {
+    const CoverState& s = h.as<CoverState>();
+    CoverState t;
+    t.slots = s.slots - 1;
+    t.cap = s.cap;
+    const Mask bitA = Mask{1} << a;
+    for (const auto& [m, cost] : s.minCost) {
+      const int add = (m & bitA) != 0 ? 1 : 0;
+      relax(t.minCost, removeBit(m, a), std::min(s.cap, cost + add));
+    }
+    return HomState::make(std::move(t));
+  }
+
+  [[nodiscard]] bool accepts(const HomState& h) const override {
+    const CoverState& s = h.as<CoverState>();
+    for (const auto& [m, cost] : s.minCost) {
+      if (cost + __builtin_popcountll(m) <= c_) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+    if (enc.empty() || (enc.size() - 1) % 9 != 0) {
+      throw std::invalid_argument("vertex-cover: bad encoding");
+    }
+    CoverState s;
+    s.slots = static_cast<unsigned char>(enc[0]);
+    s.cap = c_ + 1;
+    if (s.slots > 63) throw std::invalid_argument("vertex-cover: too many slots");
+    for (std::size_t i = 1; i < enc.size(); i += 9) {
+      Mask m = 0;
+      for (int b = 0; b < 8; ++b) {
+        m |= static_cast<Mask>(static_cast<unsigned char>(enc[i + b])) << (8 * b);
+      }
+      const int cost = static_cast<unsigned char>(enc[i + 8]);
+      if (cost > s.cap || (s.slots < 63 && (m >> s.slots) != 0)) {
+        throw std::invalid_argument("vertex-cover: bad entry");
+      }
+      s.minCost[m] = cost;
+    }
+    return HomState::make(std::move(s));
+  }
+  [[nodiscard]] int slotCount(const HomState& h) const override {
+    return h.as<CoverState>().slots;
+  }
+
+ private:
+  int c_;
+};
+
+}  // namespace
+
+PropertyPtr makeVertexCover(int c) {
+  return std::make_shared<VertexCoverProperty>(c);
+}
+
+}  // namespace lanecert

@@ -1,0 +1,208 @@
+#include "pathwidth/pathwidth.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace lanecert {
+
+namespace {
+
+/// Neighbor bitmasks for graphs with <= 32 vertices.
+std::vector<std::uint32_t> neighborMasks(const Graph& g) {
+  std::vector<std::uint32_t> nbr(static_cast<std::size_t>(g.numVertices()), 0);
+  for (const Edge& e : g.edges()) {
+    nbr[static_cast<std::size_t>(e.u)] |= std::uint32_t{1} << e.v;
+    nbr[static_cast<std::size_t>(e.v)] |= std::uint32_t{1} << e.u;
+  }
+  return nbr;
+}
+
+/// Number of prefix vertices (bits of S) with a neighbor outside S.
+int boundarySize(std::uint32_t s, const std::vector<std::uint32_t>& nbr) {
+  int b = 0;
+  std::uint32_t rest = s;
+  while (rest != 0) {
+    const int v = std::countr_zero(rest);
+    rest &= rest - 1;
+    if ((nbr[static_cast<std::size_t>(v)] & ~s) != 0) ++b;
+  }
+  return b;
+}
+
+}  // namespace
+
+std::optional<Layout> exactVertexSeparation(const Graph& g, int maxN) {
+  const int n = g.numVertices();
+  if (n > maxN || n > 25) return std::nullopt;
+  if (n == 0) return Layout{};
+  const auto nbr = neighborMasks(g);
+  const std::size_t full = std::size_t{1} << n;
+  // f[S] = min over orderings of S of the max boundary over prefixes of S,
+  // where the boundary of a prefix P is measured against V (not just S):
+  // vertices of P with neighbors outside P.  Recurrence:
+  //   f(S) = max( boundary(S), min_{v in S} f(S \ {v}) ).
+  constexpr std::uint8_t kInf = std::numeric_limits<std::uint8_t>::max();
+  std::vector<std::uint8_t> f(full, kInf);
+  std::vector<std::int8_t> lastChoice(full, -1);
+  f[0] = 0;
+  for (std::uint32_t s = 1; s < full; ++s) {
+    const int b = boundarySize(s, nbr);
+    std::uint8_t best = kInf;
+    std::int8_t bestV = -1;
+    std::uint32_t rest = s;
+    while (rest != 0) {
+      const int v = std::countr_zero(rest);
+      rest &= rest - 1;
+      const std::uint8_t sub = f[s & ~(std::uint32_t{1} << v)];
+      if (sub < best) {
+        best = sub;
+        bestV = static_cast<std::int8_t>(v);
+      }
+    }
+    f[s] = std::max<std::uint8_t>(best, static_cast<std::uint8_t>(b));
+    lastChoice[s] = bestV;
+  }
+  Layout out;
+  out.cost = f[full - 1];
+  // Reconstruct the ordering back-to-front.
+  std::uint32_t s = static_cast<std::uint32_t>(full - 1);
+  std::vector<VertexId> rev;
+  while (s != 0) {
+    const int v = lastChoice[s];
+    rev.push_back(static_cast<VertexId>(v));
+    s &= ~(std::uint32_t{1} << v);
+  }
+  out.order.assign(rev.rbegin(), rev.rend());
+  // lastChoice minimizes f(S\{v}) which is the correct greedy for the
+  // recurrence, but the recorded cost is authoritative:
+  out.cost = layoutCost(g, out.order);
+  return out;
+}
+
+Layout greedyVertexSeparation(const Graph& g) {
+  const int n = g.numVertices();
+  Layout out;
+  std::vector<char> inPrefix(static_cast<std::size_t>(n), 0);
+  // outNbrs[x]: neighbors of x outside the prefix (defined for all x).
+  std::vector<int> outNbrs(static_cast<std::size_t>(n), 0);
+  for (VertexId v = 0; v < n; ++v) outNbrs[static_cast<std::size_t>(v)] = g.degree(v);
+  int boundary = 0;  // prefix vertices with outNbrs > 0
+
+  // Adding v changes the boundary by: +1 if v keeps outside neighbors,
+  // -1 for each boundary neighbor whose last outside neighbor was v.
+  auto deltaOfAdding = [&](VertexId v) {
+    int delta = outNbrs[static_cast<std::size_t>(v)] > 0 ? 1 : 0;
+    for (const Arc& a : g.arcs(v)) {
+      if (inPrefix[static_cast<std::size_t>(a.to)] &&
+          outNbrs[static_cast<std::size_t>(a.to)] == 1) {
+        --delta;
+      }
+    }
+    return delta;
+  };
+
+  for (int step = 0; step < n; ++step) {
+    VertexId best = kNoVertex;
+    int bestCost = std::numeric_limits<int>::max();
+    for (VertexId v = 0; v < n; ++v) {
+      if (inPrefix[static_cast<std::size_t>(v)]) continue;
+      const int cost = boundary + deltaOfAdding(v);
+      if (cost < bestCost) {
+        bestCost = cost;
+        best = v;
+      }
+    }
+    inPrefix[static_cast<std::size_t>(best)] = 1;
+    // `best` is no longer outside: every neighbor loses one outside
+    // neighbor; prefix neighbors dropping to zero leave the boundary.
+    for (const Arc& a : g.arcs(best)) {
+      --outNbrs[static_cast<std::size_t>(a.to)];
+      if (inPrefix[static_cast<std::size_t>(a.to)] &&
+          outNbrs[static_cast<std::size_t>(a.to)] == 0) {
+        --boundary;
+      }
+    }
+    if (outNbrs[static_cast<std::size_t>(best)] > 0) ++boundary;
+    out.order.push_back(best);
+  }
+  out.cost = layoutCost(g, out.order);
+  return out;
+}
+
+int layoutCost(const Graph& g, const std::vector<VertexId>& order) {
+  const auto n = static_cast<std::size_t>(g.numVertices());
+  if (order.size() != n) {
+    throw std::invalid_argument("layoutCost: order must be a permutation");
+  }
+  std::vector<int> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  int best = 0;
+  std::vector<int> outNbrs(n, 0);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    outNbrs[static_cast<std::size_t>(v)] = g.degree(v);
+  }
+  int boundary = 0;
+  std::vector<char> inPrefix(n, 0);
+  std::vector<char> onBoundary(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    inPrefix[static_cast<std::size_t>(v)] = 1;
+    for (const Arc& a : g.arcs(v)) {
+      if (inPrefix[static_cast<std::size_t>(a.to)]) {
+        --outNbrs[static_cast<std::size_t>(a.to)];
+        --outNbrs[static_cast<std::size_t>(v)];
+        if (onBoundary[static_cast<std::size_t>(a.to)] &&
+            outNbrs[static_cast<std::size_t>(a.to)] == 0) {
+          onBoundary[static_cast<std::size_t>(a.to)] = 0;
+          --boundary;
+        }
+      }
+    }
+    if (outNbrs[static_cast<std::size_t>(v)] > 0) {
+      onBoundary[static_cast<std::size_t>(v)] = 1;
+      ++boundary;
+    }
+    best = std::max(best, boundary);
+  }
+  return best;
+}
+
+IntervalRepresentation layoutToIntervalRep(const Graph& g,
+                                           const std::vector<VertexId>& order) {
+  const auto n = static_cast<std::size_t>(g.numVertices());
+  if (order.size() != n) {
+    throw std::invalid_argument("layoutToIntervalRep: order must be a permutation");
+  }
+  std::vector<int> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  std::vector<Interval> iv(n);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    int r = pos[static_cast<std::size_t>(v)];
+    for (const Arc& a : g.arcs(v)) {
+      r = std::max(r, pos[static_cast<std::size_t>(a.to)]);
+    }
+    iv[static_cast<std::size_t>(v)] = Interval{pos[static_cast<std::size_t>(v)], r};
+  }
+  return IntervalRepresentation(std::move(iv));
+}
+
+std::optional<int> exactPathwidth(const Graph& g, int maxN) {
+  auto layout = exactVertexSeparation(g, maxN);
+  if (!layout) return std::nullopt;
+  return layout->cost;
+}
+
+IntervalRepresentation bestIntervalRepresentation(const Graph& g, int exactMaxN) {
+  auto layout = exactVertexSeparation(g, exactMaxN);
+  if (!layout) layout = greedyVertexSeparation(g);
+  return layoutToIntervalRep(g, layout->order);
+}
+
+}  // namespace lanecert

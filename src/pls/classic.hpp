@@ -1,0 +1,34 @@
+#pragma once
+// Classic textbook proof labeling schemes used as baselines and examples:
+// the 1-bit bipartiteness scheme (Section 1.1's warm-up) and the trivial
+// "ship the whole graph" scheme that certifies any decidable property with
+// Θ(n log n)-bit labels.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pls/scheme.hpp"
+
+namespace lanecert {
+
+/// 1-bit bipartiteness labels (the 2-coloring).  Precondition: g bipartite.
+[[nodiscard]] std::vector<std::string> proveBipartite(const Graph& g);
+
+/// The matching verifier: my color differs from every neighbor's.
+[[nodiscard]] VertexVerifier bipartiteVerifier();
+
+/// Trivial scheme: every vertex receives the full edge list of G (as id
+/// pairs) plus its own position.  Certifies any property the verifier can
+/// decide centrally.  Θ(n log n)-bit labels; used as the upper baseline in
+/// benchmark E1.
+[[nodiscard]] std::vector<std::string> proveTrivial(const Graph& g,
+                                                    const IdAssignment& ids);
+
+/// Verifier for the trivial scheme: all labels equal, my id appears, my
+/// degree matches, and `decide` accepts the decoded graph.
+[[nodiscard]] VertexVerifier trivialVerifier(
+    std::function<bool(const Graph&)> decide);
+
+}  // namespace lanecert

@@ -1,0 +1,92 @@
+#pragma once
+// Compact binary serialization for certificate labels.
+//
+// Labels are byte strings; integers are LEB128 varints so that label sizes
+// genuinely scale as O(log n) with the magnitudes stored (benchmark E1
+// measures encoded label bits).  Reading past the end throws, which the
+// verifiers translate into rejection (a malformed certificate must never
+// crash the verifier).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace lanecert {
+
+/// Raised by Decoder on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  DecodeError() : std::runtime_error("malformed certificate") {}
+};
+
+/// Append-only varint/byte writer.
+class Encoder {
+ public:
+  /// Unsigned LEB128.
+  void u64(std::uint64_t x) {
+    while (x >= 0x80) {
+      out_.push_back(static_cast<char>((x & 0x7f) | 0x80));
+      x >>= 7;
+    }
+    out_.push_back(static_cast<char>(x));
+  }
+  /// Small signed values via zigzag.
+  void i64(std::int64_t x) {
+    u64((static_cast<std::uint64_t>(x) << 1) ^
+        static_cast<std::uint64_t>(x >> 63));
+  }
+  /// Length-prefixed byte string.
+  void bytes(const std::string& s) {
+    u64(s.size());
+    out_ += s;
+  }
+  void boolean(bool b) { out_.push_back(b ? '\1' : '\0'); }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Matching reader; throws DecodeError on malformed input.
+/// Owns a copy of the buffer so temporaries are safe to decode.
+class Decoder {
+ public:
+  explicit Decoder(std::string data) : data_(std::move(data)) {}
+
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t x = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size() || shift > 63) throw DecodeError{};
+      const auto byte = static_cast<unsigned char>(data_[pos_++]);
+      x |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return x;
+  }
+  [[nodiscard]] std::int64_t i64() {
+    const std::uint64_t z = u64();
+    return static_cast<std::int64_t>(z >> 1) ^ -static_cast<std::int64_t>(z & 1);
+  }
+  [[nodiscard]] std::string bytes() {
+    const std::uint64_t len = u64();
+    if (len > data_.size() - pos_) throw DecodeError{};
+    std::string s = data_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+  [[nodiscard]] bool boolean() {
+    if (pos_ >= data_.size()) throw DecodeError{};
+    return data_[pos_++] != '\0';
+  }
+  [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lanecert

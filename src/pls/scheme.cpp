@@ -1,0 +1,131 @@
+#include "pls/scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lanecert {
+
+namespace {
+
+SimulationResult finish(SimulationResult r) {
+  r.allAccept = r.rejecting.empty();
+  return r;
+}
+
+std::size_t tallyBits(const std::vector<std::string>& labels,
+                      SimulationResult& r) {
+  std::size_t mx = 0;
+  for (const std::string& l : labels) {
+    mx = std::max(mx, l.size() * 8);
+    r.totalLabelBits += l.size() * 8;
+  }
+  return mx;
+}
+
+}  // namespace
+
+SimulationResult simulateEdgeScheme(const Graph& g, const IdAssignment& ids,
+                                    const std::vector<std::string>& labels,
+                                    const EdgeVerifier& verify) {
+  if (labels.size() != static_cast<std::size_t>(g.numEdges())) {
+    throw std::invalid_argument("simulateEdgeScheme: one label per edge required");
+  }
+  SimulationResult r;
+  r.maxLabelBits = tallyBits(labels, r);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    EdgeView view;
+    view.selfId = ids.id(v);
+    for (const Arc& a : g.arcs(v)) {
+      view.incidentLabels.push_back(labels[static_cast<std::size_t>(a.edge)]);
+    }
+    // Views expose a multiset; sort to forbid order-based information.
+    std::sort(view.incidentLabels.begin(), view.incidentLabels.end());
+    bool ok = false;
+    try {
+      ok = verify(view);
+    } catch (...) {
+      ok = false;  // malformed certificates are rejections, never crashes
+    }
+    if (!ok) r.rejecting.push_back(v);
+  }
+  return finish(std::move(r));
+}
+
+SimulationResult simulateVertexScheme(const Graph& g, const IdAssignment& ids,
+                                      const std::vector<std::string>& labels,
+                                      const VertexVerifier& verify) {
+  if (labels.size() != static_cast<std::size_t>(g.numVertices())) {
+    throw std::invalid_argument("simulateVertexScheme: one label per vertex required");
+  }
+  SimulationResult r;
+  r.maxLabelBits = tallyBits(labels, r);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    VertexView view;
+    view.selfId = ids.id(v);
+    view.selfLabel = labels[static_cast<std::size_t>(v)];
+    for (const Arc& a : g.arcs(v)) {
+      view.neighborLabels.push_back(labels[static_cast<std::size_t>(a.to)]);
+    }
+    std::sort(view.neighborLabels.begin(), view.neighborLabels.end());
+    bool ok = false;
+    try {
+      ok = verify(view);
+    } catch (...) {
+      ok = false;
+    }
+    if (!ok) r.rejecting.push_back(v);
+  }
+  return finish(std::move(r));
+}
+
+bool mutateLabels(std::vector<std::string>& labels, Mutation m, Rng& rng) {
+  if (labels.empty()) return false;
+  const auto pick = [&rng, &labels] {
+    return static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(labels.size()) - 1));
+  };
+  switch (m) {
+    case Mutation::kFlipBit: {
+      const std::size_t i = pick();
+      if (labels[i].empty()) return false;
+      const int byte = rng.uniformInt(0, static_cast<int>(labels[i].size()) - 1);
+      const int bit = rng.uniformInt(0, 7);
+      labels[i][static_cast<std::size_t>(byte)] =
+          static_cast<char>(labels[i][static_cast<std::size_t>(byte)] ^ (1 << bit));
+      return true;
+    }
+    case Mutation::kSwapPair: {
+      const std::size_t i = pick();
+      const std::size_t j = pick();
+      if (i == j || labels[i] == labels[j]) return false;
+      std::swap(labels[i], labels[j]);
+      return true;
+    }
+    case Mutation::kTruncate: {
+      const std::size_t i = pick();
+      if (labels[i].empty()) return false;
+      const int keep = rng.uniformInt(0, static_cast<int>(labels[i].size()) - 1);
+      labels[i].resize(static_cast<std::size_t>(keep));
+      return true;
+    }
+    case Mutation::kDuplicate: {
+      const std::size_t i = pick();
+      const std::size_t j = pick();
+      if (i == j || labels[i] == labels[j]) return false;
+      labels[i] = labels[j];
+      return true;
+    }
+    case Mutation::kScramble: {
+      const std::size_t i = pick();
+      if (labels[i].empty()) return false;
+      std::string s = labels[i];
+      for (char& c : s) c = static_cast<char>(rng.uniformInt(0, 255));
+      if (s == labels[i]) return false;
+      labels[i] = std::move(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lanecert

@@ -1,0 +1,78 @@
+#pragma once
+// The proof-labeling-scheme framework (Section 1.1).
+//
+// A PLS is a pair (prover, verifier).  The prover is centralized and sees
+// everything; the verifier is a pure function of a vertex's LOCAL VIEW:
+// its identifier plus the multiset of labels on incident edges (edge
+// schemes, Section 2.1) or its own label plus the multiset of neighbor
+// labels (vertex schemes).  The simulator materializes the views — the only
+// channel between the global configuration and a verifier — so locality is
+// enforced by construction.
+//
+// `mutateLabels` implements the adversarial label corruptions used by the
+// soundness tests and benchmark E6.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+/// What a vertex sees in an EDGE-labeling scheme: its own identifier and
+/// the labels on its incident edges (in unspecified order = multiset).
+struct EdgeView {
+  std::uint64_t selfId = 0;
+  std::vector<std::string> incidentLabels;
+};
+
+/// What a vertex sees in a VERTEX-labeling scheme.
+struct VertexView {
+  std::uint64_t selfId = 0;
+  std::string selfLabel;
+  std::vector<std::string> neighborLabels;
+};
+
+/// A local verifier for edge schemes; must not throw (treat malformed
+/// labels as reject).
+using EdgeVerifier = std::function<bool(const EdgeView&)>;
+/// A local verifier for vertex schemes.
+using VertexVerifier = std::function<bool(const VertexView&)>;
+
+/// Outcome of running a verifier at every vertex.
+struct SimulationResult {
+  bool allAccept = false;
+  std::vector<VertexId> rejecting;   ///< vertices that rejected
+  std::size_t maxLabelBits = 0;      ///< max encoded label size
+  std::size_t totalLabelBits = 0;    ///< sum over all labels
+};
+
+/// Runs an edge-scheme verifier at every vertex.  `labels[e]` is the label
+/// of EdgeId e.
+[[nodiscard]] SimulationResult simulateEdgeScheme(
+    const Graph& g, const IdAssignment& ids,
+    const std::vector<std::string>& labels, const EdgeVerifier& verify);
+
+/// Runs a vertex-scheme verifier at every vertex.  `labels[v]` is the label
+/// of vertex v.
+[[nodiscard]] SimulationResult simulateVertexScheme(
+    const Graph& g, const IdAssignment& ids,
+    const std::vector<std::string>& labels, const VertexVerifier& verify);
+
+/// Kinds of adversarial label corruption used by soundness tests.
+enum class Mutation {
+  kFlipBit,    ///< flip one random bit of one label
+  kSwapPair,   ///< exchange the labels of two random positions
+  kTruncate,   ///< cut a random suffix off one label
+  kDuplicate,  ///< overwrite one label with another's content
+  kScramble,   ///< replace one label with random bytes of the same length
+};
+
+/// Applies one mutation; returns false when the mutation is a no-op on this
+/// input (e.g. swapping identical labels), so callers can retry.
+bool mutateLabels(std::vector<std::string>& labels, Mutation m, Rng& rng);
+
+}  // namespace lanecert

@@ -1,0 +1,71 @@
+#include "pls/transform.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "pls/codec.hpp"
+
+namespace lanecert {
+
+std::vector<std::string> edgeLabelsToVertexLabels(
+    const Graph& g, const IdAssignment& ids,
+    const std::vector<std::string>& edgeLabels) {
+  const DegeneracyOrientation orient = degeneracyOrient(g);
+  std::vector<Encoder> encoders(static_cast<std::size_t>(g.numVertices()));
+  std::vector<int> counts(static_cast<std::size_t>(g.numVertices()), 0);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const VertexId head = orient.headOf[static_cast<std::size_t>(e)];
+    const VertexId tail = g.edge(e).other(head);
+    ++counts[static_cast<std::size_t>(tail)];
+  }
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    encoders[static_cast<std::size_t>(v)].u64(
+        static_cast<std::uint64_t>(counts[static_cast<std::size_t>(v)]));
+  }
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const VertexId head = orient.headOf[static_cast<std::size_t>(e)];
+    const VertexId tail = g.edge(e).other(head);
+    Encoder& enc = encoders[static_cast<std::size_t>(tail)];
+    enc.u64(ids.id(tail));
+    enc.u64(ids.id(head));
+    enc.bytes(edgeLabels[static_cast<std::size_t>(e)]);
+  }
+  std::vector<std::string> out;
+  out.reserve(encoders.size());
+  for (Encoder& enc : encoders) out.push_back(enc.take());
+  return out;
+}
+
+VertexVerifier liftEdgeVerifier(EdgeVerifier inner) {
+  return [inner = std::move(inner)](const VertexView& view) -> bool {
+    EdgeView ev;
+    ev.selfId = view.selfId;
+    try {
+      // Gather every triple naming this vertex, from its own label and
+      // from each neighbor's label.
+      const std::string* sources[1] = {&view.selfLabel};
+      auto scan = [&](const std::string& label) {
+        Decoder dec(label);
+        const std::uint64_t count = dec.u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const std::uint64_t a = dec.u64();
+          const std::uint64_t b = dec.u64();
+          std::string payload = dec.bytes();
+          if (a == view.selfId || b == view.selfId) {
+            ev.incidentLabels.push_back(std::move(payload));
+          }
+        }
+      };
+      scan(*sources[0]);
+      for (const std::string& nl : view.neighborLabels) scan(nl);
+    } catch (const DecodeError&) {
+      return false;
+    }
+    // Exactly one reconstructed label per incident edge.
+    if (ev.incidentLabels.size() != view.neighborLabels.size()) return false;
+    std::sort(ev.incidentLabels.begin(), ev.incidentLabels.end());
+    return inner(ev);
+  };
+}
+
+}  // namespace lanecert

@@ -1,0 +1,28 @@
+#pragma once
+// Proposition 2.1: simulating an edge-labeling scheme with vertex labels on
+// d-degenerate graph classes.
+//
+// Each edge's label is moved to the tail of a degeneracy orientation as a
+// triple (ID(u), ID(v), label); a vertex recovers the multiset of labels of
+// its incident edges from its own label and its neighbors' labels (every
+// triple naming it), checks that their number equals its degree, and runs
+// the edge verifier on the reconstructed view.  The blow-up is a factor of
+// the degeneracy (O(1) for bounded pathwidth) plus the two identifiers.
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pls/scheme.hpp"
+
+namespace lanecert {
+
+/// Moves per-edge labels to vertex labels along a degeneracy orientation.
+[[nodiscard]] std::vector<std::string> edgeLabelsToVertexLabels(
+    const Graph& g, const IdAssignment& ids,
+    const std::vector<std::string>& edgeLabels);
+
+/// Wraps an edge verifier into a vertex verifier over transformed labels.
+[[nodiscard]] VertexVerifier liftEdgeVerifier(EdgeVerifier inner);
+
+}  // namespace lanecert

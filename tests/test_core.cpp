@@ -1,0 +1,301 @@
+// End-to-end tests of the core scheme (Theorem 1): completeness across
+// properties × graph families, prover refusal on false instances,
+// adversarial soundness, the vertex-label mode (Prop 2.1), and the
+// structural statistics (lanes, depth, congestion, label growth).
+
+#include <gtest/gtest.h>
+
+#include "core/scheme.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "lane/bounds.hpp"
+#include "mso/properties.hpp"
+#include "pathwidth/pathwidth.hpp"
+#include "pls/transform.hpp"
+
+namespace lanecert {
+namespace {
+
+void expectComplete(const Graph& g, PropertyPtr prop, const char* what,
+                    const IntervalRepresentation* rep = nullptr) {
+  const auto ids = IdAssignment::random(g.numVertices(), 12345);
+  const CoreRunResult r = proveAndVerifyEdges(g, ids, prop, rep);
+  ASSERT_TRUE(r.propertyHolds) << what << ": prover rejected a true instance";
+  EXPECT_TRUE(r.sim.allAccept)
+      << what << ": verifier rejected honest labels at vertex "
+      << (r.sim.rejecting.empty() ? -1 : r.sim.rejecting[0]);
+}
+
+TEST(CoreScheme, PathAcceptsIsPath) {
+  expectComplete(pathGraph(10), makePathProperty(), "path10/is-path");
+}
+
+TEST(CoreScheme, CycleAcceptsIsCycle) {
+  expectComplete(cycleGraph(9), makeCycleProperty(), "cycle9/is-cycle");
+}
+
+TEST(CoreScheme, BipartiteFamilies) {
+  expectComplete(pathGraph(12), makeColorability(2), "path12/2col");
+  expectComplete(cycleGraph(8), makeColorability(2), "cycle8/2col");
+  expectComplete(caterpillar(5, 2), makeColorability(2), "caterpillar/2col");
+  expectComplete(starGraph(6), makeColorability(2), "star6/2col");
+}
+
+TEST(CoreScheme, ForestFamilies) {
+  expectComplete(caterpillar(6, 1), makeForest(), "caterpillar/forest");
+  Rng rng(4);
+  expectComplete(randomTree(14, rng), makeForest(), "tree/forest");
+}
+
+TEST(CoreScheme, Connectivity) {
+  expectComplete(cycleGraph(7), makeConnectivity(), "cycle7/conn");
+  expectComplete(gridGraph(2, 5), makeConnectivity(), "grid/conn");
+}
+
+TEST(CoreScheme, PerfectMatching) {
+  expectComplete(pathGraph(8), makePerfectMatching(), "path8/pm");
+  expectComplete(cycleGraph(6), makePerfectMatching(), "cycle6/pm");
+}
+
+TEST(CoreScheme, VertexCover) {
+  expectComplete(starGraph(5), makeVertexCover(1), "star/vc1");
+  expectComplete(cycleGraph(6), makeVertexCover(3), "cycle6/vc3");
+}
+
+TEST(CoreScheme, Hamiltonian) {
+  expectComplete(pathGraph(7), makeHamiltonianPath(), "path7/hamp");
+  expectComplete(cycleGraph(7), makeHamiltonianCycle(), "cycle7/hamc");
+}
+
+TEST(CoreScheme, TriangleFreeAndCounting) {
+  expectComplete(cycleGraph(8), makeTriangleFree(), "cycle8/trifree");
+  expectComplete(pathGraph(6), makeEdgeParity(5, 0), "path6/parity");
+  expectComplete(cycleGraph(5), makeMaxDegree(2), "cycle5/maxdeg");
+}
+
+TEST(CoreScheme, ThreeColorabilityOnSmallWidth) {
+  expectComplete(cycleGraph(7), makeColorability(3), "cycle7/3col");
+}
+
+TEST(CoreScheme, RandomBoundedPathwidthSweep) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 2);
+    const auto bp = randomBoundedPathwidth(30, k, 0.4, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    expectComplete(bp.graph, makeConnectivity(),
+                   ("sweep-conn seed " + std::to_string(seed)).c_str(), &rep);
+    expectComplete(bp.graph, makeEdgeParity(3, bp.graph.numEdges() % 3),
+                   ("sweep-parity seed " + std::to_string(seed)).c_str(), &rep);
+  }
+}
+
+TEST(CoreScheme, SingleVertexGraph) {
+  const Graph g(1);
+  const auto ids = IdAssignment::identity(1);
+  const auto yes = proveAndVerifyEdges(g, ids, makePathProperty());
+  EXPECT_TRUE(yes.propertyHolds);
+  EXPECT_TRUE(yes.sim.allAccept);
+  const auto no = proveAndVerifyEdges(g, ids, makeCycleProperty());
+  EXPECT_FALSE(no.propertyHolds);
+}
+
+TEST(CoreScheme, ProverRefusesFalseInstances) {
+  const auto ids5 = IdAssignment::identity(5);
+  EXPECT_FALSE(proveAndVerifyEdges(cycleGraph(5), ids5, makeColorability(2))
+                   .propertyHolds);
+  EXPECT_FALSE(proveAndVerifyEdges(cycleGraph(5), ids5, makeForest())
+                   .propertyHolds);
+  EXPECT_FALSE(proveAndVerifyEdges(cycleGraph(5), ids5, makePathProperty())
+                   .propertyHolds);
+  const auto ids4 = IdAssignment::identity(4);
+  EXPECT_FALSE(proveAndVerifyEdges(starGraph(3), ids4, makeHamiltonianPath())
+                   .propertyHolds);
+}
+
+TEST(CoreScheme, StatsRespectTheoreticalBounds) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    const auto bp = randomBoundedPathwidth(40, 2, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const auto ids = IdAssignment::random(40, seed);
+    const auto r = proveAndVerifyEdges(bp.graph, ids, makeConnectivity(), &rep);
+    ASSERT_TRUE(r.propertyHolds);
+    EXPECT_TRUE(r.sim.allAccept);
+    EXPECT_LE(r.stats.numLanes, fLanes(r.stats.width));
+    EXPECT_LE(r.stats.hierarchyDepth, 2 * r.stats.numLanes);
+    EXPECT_LE(r.stats.maxCongestion, hCongestion(r.stats.width));
+  }
+}
+
+TEST(CoreScheme, LabelsGrowLogarithmically) {
+  // Pathwidth-1 family at two sizes: label bits must grow far slower than n.
+  const auto ids1 = IdAssignment::random(32, 1);
+  const auto small = proveAndVerifyEdges(caterpillar(15, 1), ids1, makeForest());
+  const auto ids2 = IdAssignment::random(512, 2);
+  const auto large =
+      proveAndVerifyEdges(caterpillar(255, 1), ids2, makeForest());
+  ASSERT_TRUE(small.propertyHolds && large.propertyHolds);
+  EXPECT_TRUE(small.sim.allAccept);
+  EXPECT_TRUE(large.sim.allAccept);
+  // 16x vertices; O(log n) labels should grow by far less than 4x.
+  EXPECT_LT(large.sim.maxLabelBits, 4 * small.sim.maxLabelBits);
+}
+
+TEST(CoreScheme, VertexModeCompleteness) {
+  const auto ids = IdAssignment::random(12, 99);
+  for (const auto& [g, prop] :
+       std::vector<std::pair<Graph, PropertyPtr>>{
+           {pathGraph(12), makePathProperty()},
+           {cycleGraph(12), makeCycleProperty()},
+           {caterpillar(4, 2), makeForest()},
+       }) {
+    const auto idsG = IdAssignment::random(g.numVertices(), 7);
+    const auto r = proveAndVerifyVertices(g, idsG, prop);
+    ASSERT_TRUE(r.propertyHolds);
+    EXPECT_TRUE(r.sim.allAccept) << prop->name();
+  }
+}
+
+// --- Adversarial soundness ---
+
+TEST(CoreSoundness, NoLabelingMakesCycleAPath) {
+  // The Ω(log n) lower-bound pair: is-path must reject every labeling of a
+  // cycle.  Try honest path labels stretched onto the cycle plus mutations.
+  const int n = 8;
+  const Graph cycle = cycleGraph(n);
+  const Graph path = pathGraph(n);
+  const auto ids = IdAssignment::identity(n);
+  const auto verifier = makeCoreVerifier(makePathProperty());
+
+  const auto honestPath = proveCore(path, ids, *makePathProperty());
+  ASSERT_TRUE(honestPath.propertyHolds);
+
+  Rng rng(31);
+  int trials = 0;
+  for (int t = 0; t < 300; ++t) {
+    std::vector<std::string> labels = honestPath.labels;
+    labels.push_back(labels[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<int>(labels.size()) - 1))]);
+    // Shuffle + mutate to explore the label space.
+    std::shuffle(labels.begin(), labels.end(), rng.engine());
+    if (t % 3 != 0) {
+      (void)mutateLabels(labels, static_cast<Mutation>(t % 5), rng);
+    }
+    const auto res = simulateEdgeScheme(cycle, ids, labels, verifier);
+    EXPECT_FALSE(res.allAccept) << "cycle accepted as path at trial " << t;
+    ++trials;
+  }
+  EXPECT_EQ(trials, 300);
+}
+
+TEST(CoreSoundness, RandomLabelsAlwaysRejected) {
+  const Graph g = cycleGraph(6);
+  const auto ids = IdAssignment::identity(6);
+  const auto verifier = makeCoreVerifier(makeForest());  // false: has a cycle
+  Rng rng(77);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<std::string> labels;
+    for (int e = 0; e < 6; ++e) {
+      std::string s(static_cast<std::size_t>(rng.uniformInt(1, 60)), '\0');
+      for (char& c : s) c = static_cast<char>(rng.uniformInt(0, 255));
+      labels.push_back(std::move(s));
+    }
+    EXPECT_FALSE(simulateEdgeScheme(g, ids, labels, verifier).allAccept);
+  }
+}
+
+TEST(CoreSoundness, WrongPropertyLabelsRejected) {
+  // Honest labels for connectivity fed to the bipartiteness verifier on an
+  // odd cycle: hom-state bytes cannot match and must be rejected.
+  const Graph g = cycleGraph(5);
+  const auto ids = IdAssignment::identity(5);
+  const auto honest = proveCore(g, ids, *makeConnectivity());
+  ASSERT_TRUE(honest.propertyHolds);
+  const auto res = simulateEdgeScheme(g, ids, honest.labels,
+                                      makeCoreVerifier(makeColorability(2)));
+  EXPECT_FALSE(res.allAccept);
+}
+
+TEST(CoreSoundness, MutationCampaign) {
+  // Mutating honest labels of a TRUE instance must never crash and is
+  // overwhelmingly rejected (acceptance would just mean another valid
+  // proof, but bit flips essentially never produce one).
+  const Graph g = cycleGraph(10);
+  const auto ids = IdAssignment::random(10, 5);
+  const auto honest = proveCore(g, ids, *makeCycleProperty());
+  ASSERT_TRUE(honest.propertyHolds);
+  const auto verifier = makeCoreVerifier(makeCycleProperty());
+  Rng rng(13);
+  int rejected = 0;
+  int applied = 0;
+  for (int t = 0; t < 250; ++t) {
+    auto labels = honest.labels;
+    if (!mutateLabels(labels, static_cast<Mutation>(t % 5), rng)) continue;
+    ++applied;
+    if (!simulateEdgeScheme(g, ids, labels, verifier).allAccept) ++rejected;
+  }
+  EXPECT_GT(applied, 180);
+  EXPECT_GT(rejected * 100, applied * 95) << rejected << "/" << applied;
+}
+
+TEST(CoreSoundness, EdgeCannotBeHiddenAsVirtual) {
+  // Take honest forest labels for a path, then attach them to a graph with
+  // one extra edge (making a cycle) while reusing an existing label for it:
+  // some vertex must reject.
+  const int n = 7;
+  const Graph path = pathGraph(n);
+  Graph cycle = pathGraph(n);
+  cycle.addEdge(n - 1, 0);
+  const auto ids = IdAssignment::identity(n);
+  const auto honest = proveCore(path, ids, *makeForest());
+  ASSERT_TRUE(honest.propertyHolds);
+  const auto verifier = makeCoreVerifier(makeForest());
+  for (std::size_t reuse = 0; reuse < honest.labels.size(); ++reuse) {
+    auto labels = honest.labels;
+    labels.push_back(labels[reuse]);
+    EXPECT_FALSE(simulateEdgeScheme(cycle, ids, labels, verifier).allAccept)
+        << "hidden-edge attack accepted with reuse " << reuse;
+  }
+}
+
+TEST(CoreSoundness, VertexModeMutationCampaign) {
+  const Graph g = caterpillar(4, 1);
+  const auto ids = IdAssignment::random(g.numVertices(), 8);
+  const auto honest = proveCore(g, ids, *makeForest());
+  ASSERT_TRUE(honest.propertyHolds);
+  const auto vlabels = edgeLabelsToVertexLabels(g, ids, honest.labels);
+  const auto verifier = liftEdgeVerifier(makeCoreVerifier(makeForest()));
+  Rng rng(21);
+  int rejected = 0;
+  int applied = 0;
+  for (int t = 0; t < 150; ++t) {
+    auto labels = vlabels;
+    if (!mutateLabels(labels, static_cast<Mutation>(t % 5), rng)) continue;
+    ++applied;
+    if (!simulateVertexScheme(g, ids, labels, verifier).allAccept) ++rejected;
+  }
+  EXPECT_GT(rejected * 100, applied * 90) << rejected << "/" << applied;
+}
+
+TEST(CoreScheme, MaxLanesBoundEnforced) {
+  // A pathwidth-2 instance needs more than one lane; a verifier configured
+  // for maxLanes = 1 must reject the honest labels.
+  const Graph g = cycleGraph(8);
+  const auto ids = IdAssignment::identity(8);
+  const auto honest = proveCore(g, ids, *makeConnectivity());
+  ASSERT_TRUE(honest.propertyHolds);
+  CoreVerifierParams tight;
+  tight.maxLanes = 1;
+  EXPECT_FALSE(simulateEdgeScheme(g, ids, honest.labels,
+                                  makeCoreVerifier(makeConnectivity(), tight))
+                   .allAccept);
+  CoreVerifierParams ample;
+  ample.maxLanes = 64;
+  EXPECT_TRUE(simulateEdgeScheme(g, ids, honest.labels,
+                                 makeCoreVerifier(makeConnectivity(), ample))
+                  .allAccept);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -1,0 +1,299 @@
+// Unit tests for the graph substrate: core structure, algorithms,
+// generators, and IO.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace lanecert {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.numVertices(), 0);
+  EXPECT_EQ(g.numEdges(), 0);
+}
+
+TEST(Graph, AddVerticesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.numVertices(), 3);
+  const EdgeId e = g.addEdge(0, 1);
+  EXPECT_EQ(e, 0);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.addVertex(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  EXPECT_THROW(g.addEdge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(1, 0), std::invalid_argument);
+  EXPECT_THROW(g.addEdge(0, 5), std::out_of_range);
+}
+
+TEST(Graph, EdgeOther) {
+  Graph g(2);
+  const EdgeId e = g.addEdge(0, 1);
+  EXPECT_EQ(g.edge(e).other(0), 1);
+  EXPECT_EQ(g.edge(e).other(1), 0);
+}
+
+TEST(Graph, ArcsReportEdgeIds) {
+  Graph g(3);
+  const EdgeId e01 = g.addEdge(0, 1);
+  const EdgeId e02 = g.addEdge(0, 2);
+  std::set<EdgeId> ids;
+  for (const Arc& a : g.arcs(0)) ids.insert(a.edge);
+  EXPECT_EQ(ids, (std::set<EdgeId>{e01, e02}));
+}
+
+TEST(Graph, SameEdgeSetIgnoresOrder) {
+  Graph a(3);
+  a.addEdge(0, 1);
+  a.addEdge(1, 2);
+  Graph b(3);
+  b.addEdge(2, 1);
+  b.addEdge(1, 0);
+  EXPECT_TRUE(a.sameEdgeSet(b));
+  b.addEdge(0, 2);
+  EXPECT_FALSE(a.sameEdgeSet(b));
+}
+
+TEST(IdAssignment, IdentityRoundTrip) {
+  const auto ids = IdAssignment::identity(5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(ids.id(v), static_cast<std::uint64_t>(v));
+    EXPECT_EQ(ids.vertexOf(ids.id(v)), v);
+  }
+}
+
+TEST(IdAssignment, RandomIdsDistinct) {
+  const auto ids = IdAssignment::random(64, 7);
+  std::set<std::uint64_t> seen;
+  for (VertexId v = 0; v < 64; ++v) seen.insert(ids.id(v));
+  EXPECT_EQ(seen.size(), 64u);
+  EXPECT_EQ(ids.vertexOf(ids.id(17)), 17);
+}
+
+TEST(Algorithms, BfsDistancesOnPath) {
+  const Graph g = pathGraph(5);
+  const auto d = bfsDistances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Algorithms, ComponentsAndConnectivity) {
+  Graph g(5);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  const Components c = connectedComponents(g);
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_FALSE(isConnected(g));
+  g.addEdge(1, 2);
+  g.addEdge(3, 4);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(Algorithms, BfsTreeProperties) {
+  const Graph g = cycleGraph(6);
+  const SpanningTree t = bfsTree(g, 2);
+  EXPECT_EQ(t.root, 2);
+  EXPECT_EQ(t.parentVertex[2], kNoVertex);
+  EXPECT_EQ(t.depth[2], 0);
+  int edges = 0;
+  for (VertexId v = 0; v < 6; ++v) {
+    if (t.parentEdge[v] != kNoEdge) ++edges;
+  }
+  EXPECT_EQ(edges, 5);  // spanning tree of 6 vertices
+  // Depths consistent with parents.
+  for (VertexId v = 0; v < 6; ++v) {
+    if (v == 2) continue;
+    EXPECT_EQ(t.depth[v], t.depth[t.parentVertex[v]] + 1);
+  }
+}
+
+TEST(Algorithms, ShortestPathEndpoints) {
+  const Graph g = cycleGraph(8);
+  const auto p = shortestPath(g, 0, 3);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.front(), 0);
+  EXPECT_EQ(p.back(), 3);
+  const auto es = pathEdges(g, p);
+  EXPECT_EQ(es.size(), 3u);
+}
+
+TEST(Algorithms, ShortestPathTrivialAndUnreachable) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  EXPECT_EQ(shortestPath(g, 1, 1), (std::vector<VertexId>{1}));
+  EXPECT_TRUE(shortestPath(g, 0, 2).empty());
+}
+
+TEST(Algorithms, BipartitionOnEvenCycle) {
+  const auto col = bipartition(cycleGraph(6));
+  ASSERT_TRUE(col.has_value());
+  const Graph g = cycleGraph(6);
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE((*col)[static_cast<std::size_t>(e.u)], (*col)[static_cast<std::size_t>(e.v)]);
+  }
+}
+
+TEST(Algorithms, BipartitionRejectsOddCycle) {
+  EXPECT_FALSE(bipartition(cycleGraph(5)).has_value());
+}
+
+TEST(Algorithms, DegeneracyOfTreeIsOne) {
+  Rng rng(11);
+  const Graph g = randomTree(40, rng);
+  const auto d = degeneracyOrient(g);
+  EXPECT_EQ(d.degeneracy, 1);
+  // Outdegree bound check.
+  std::vector<int> outdeg(40, 0);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const VertexId head = d.headOf[static_cast<std::size_t>(e)];
+    const VertexId tail = g.edge(e).other(head);
+    ++outdeg[static_cast<std::size_t>(tail)];
+  }
+  for (int od : outdeg) EXPECT_LE(od, 1);
+}
+
+TEST(Algorithms, DegeneracyOfCompleteGraph) {
+  const auto d = degeneracyOrient(completeGraph(6));
+  EXPECT_EQ(d.degeneracy, 5);
+}
+
+TEST(Algorithms, DegeneracyOrientationOutdegreeBound) {
+  Rng rng(5);
+  const Graph g = randomConnected(30, 0.2, rng);
+  const auto d = degeneracyOrient(g);
+  std::vector<int> outdeg(30, 0);
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    const VertexId head = d.headOf[static_cast<std::size_t>(e)];
+    ++outdeg[static_cast<std::size_t>(g.edge(e).other(head))];
+  }
+  for (int od : outdeg) EXPECT_LE(od, d.degeneracy);
+}
+
+TEST(Algorithms, ForestDetection) {
+  Rng rng(3);
+  EXPECT_TRUE(isForest(randomTree(25, rng)));
+  EXPECT_TRUE(isForest(pathGraph(10)));
+  EXPECT_FALSE(isForest(cycleGraph(4)));
+  Graph g(4);  // two disjoint edges: still a forest
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  EXPECT_TRUE(isForest(g));
+}
+
+TEST(Algorithms, TriangleCount) {
+  EXPECT_EQ(countTriangles(completeGraph(4)), 4);
+  EXPECT_EQ(countTriangles(completeGraph(5)), 10);
+  EXPECT_EQ(countTriangles(cycleGraph(5)), 0);
+  EXPECT_EQ(countTriangles(cycleGraph(3)), 1);
+}
+
+TEST(Algorithms, PathAndCycleRecognizers) {
+  EXPECT_TRUE(isPathGraph(pathGraph(1)));
+  EXPECT_TRUE(isPathGraph(pathGraph(7)));
+  EXPECT_FALSE(isPathGraph(cycleGraph(7)));
+  EXPECT_FALSE(isPathGraph(starGraph(3)));
+  EXPECT_TRUE(isCycleGraph(cycleGraph(3)));
+  EXPECT_TRUE(isCycleGraph(cycleGraph(9)));
+  EXPECT_FALSE(isCycleGraph(pathGraph(9)));
+}
+
+TEST(Generators, PathCycleStar) {
+  EXPECT_EQ(pathGraph(6).numEdges(), 5);
+  EXPECT_EQ(cycleGraph(6).numEdges(), 6);
+  EXPECT_EQ(starGraph(7).numEdges(), 7);
+  EXPECT_EQ(maxDegree(starGraph(7)), 7);
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = caterpillar(4, 2);
+  EXPECT_EQ(g.numVertices(), 4 + 8);
+  EXPECT_EQ(g.numEdges(), 3 + 8);
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_TRUE(isForest(g));
+}
+
+TEST(Generators, CompleteBinaryTree) {
+  const Graph g = completeBinaryTree(4);
+  EXPECT_EQ(g.numVertices(), 15);
+  EXPECT_TRUE(isForest(g));
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const Graph g = randomTree(20, rng);
+    EXPECT_EQ(g.numEdges(), 19);
+    EXPECT_TRUE(isConnected(g));
+    EXPECT_TRUE(isForest(g));
+  }
+}
+
+TEST(Generators, GridGraph) {
+  const Graph g = gridGraph(3, 4);
+  EXPECT_EQ(g.numVertices(), 12);
+  EXPECT_EQ(g.numEdges(), 3 * 3 + 2 * 4);
+  EXPECT_TRUE(isConnected(g));
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    EXPECT_TRUE(isConnected(randomConnected(30, 0.05, rng)));
+  }
+}
+
+TEST(Generators, RandomBoundedPathwidthRespectsWidth) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 4);
+    const auto bp = randomBoundedPathwidth(50, k, 0.5, rng);
+    EXPECT_TRUE(isConnected(bp.graph)) << "seed " << seed;
+    EXPECT_LE(bp.width, k + 1);
+    // All edges' intervals must overlap (checked via the interval library in
+    // test_interval; here check raw pairs).
+    for (const Edge& e : bp.graph.edges()) {
+      const auto& iu = bp.intervals[static_cast<std::size_t>(e.u)];
+      const auto& iv = bp.intervals[static_cast<std::size_t>(e.v)];
+      EXPECT_TRUE(iu.first <= iv.second && iv.first <= iu.second);
+    }
+  }
+}
+
+TEST(Io, DotContainsEdges) {
+  const std::string dot = toDot(pathGraph(3));
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  Rng rng(9);
+  const Graph g = randomConnected(15, 0.2, rng);
+  const Graph h = fromEdgeList(toEdgeList(g));
+  EXPECT_TRUE(g.sameEdgeSet(h));
+}
+
+TEST(Io, EdgeListRejectsGarbage) {
+  EXPECT_THROW(fromEdgeList("not a graph"), std::invalid_argument);
+  EXPECT_THROW(fromEdgeList("3 2\n0 1\n"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lanecert

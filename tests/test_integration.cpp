@@ -1,0 +1,155 @@
+// Integration scenarios exercising the whole system the way a deployment
+// would: multi-round self-stabilization lifecycles, multi-property
+// certification of one network, larger-scale smoke runs, and the
+// "certify once, verify forever" invariant (verification is deterministic
+// and repeatable from stored labels alone).
+
+#include <gtest/gtest.h>
+
+#include "baseline/fmrt.hpp"
+#include "core/scheme.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+#include "pls/transform.hpp"
+
+namespace lanecert {
+namespace {
+
+TEST(Integration, NetworkLifecycle) {
+  // Deploy -> steady-state rounds -> fault -> detection -> repair -> re-prove.
+  const int n = 20;
+  Graph ring = cycleGraph(n);
+  const auto ids = IdAssignment::random(n, 77);
+  const auto prop = makeCycleProperty();
+  const auto verifier = makeCoreVerifier(prop);
+
+  auto proved = proveCore(ring, ids, *prop);
+  ASSERT_TRUE(proved.propertyHolds);
+
+  // Ten "rounds" of re-verification from the same stored labels: a correct
+  // PLS is stable (accepts every round, never flaps).
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(simulateEdgeScheme(ring, ids, proved.labels, verifier).allAccept)
+        << "round " << round;
+  }
+
+  // Fault: one link's certificate is wiped (memory loss).
+  auto faulty = proved.labels;
+  faulty[7].clear();
+  const auto detected = simulateEdgeScheme(ring, ids, faulty, verifier);
+  EXPECT_FALSE(detected.allAccept);
+  // Detection is local: only the endpoints of the wiped link can be the
+  // first to notice (plus possibly their neighbors via path records).
+  EXPECT_LE(detected.rejecting.size(), 6u);
+
+  // Repair: the prover re-issues; the network is quiet again.
+  proved = proveCore(ring, ids, *prop);
+  EXPECT_TRUE(simulateEdgeScheme(ring, ids, proved.labels, verifier).allAccept);
+}
+
+TEST(Integration, OneNetworkManyProperties) {
+  // A single network certified for several independent properties at once
+  // (each property gets its own label set; all verify on the same views).
+  const Graph g = cycleGraph(12);
+  const auto ids = IdAssignment::random(12, 9);
+  for (const PropertyPtr& prop :
+       {makeConnectivity(), makeColorability(2), makeCycleProperty(),
+        makeHamiltonianCycle(), makePerfectMatching(), makeMaxDegree(2),
+        makeVertexCover(6), makeDominatingSet(4), makeIndependentSet(6),
+        makeTriangleFree()}) {
+    const auto r = proveAndVerifyEdges(g, ids, prop);
+    EXPECT_TRUE(r.propertyHolds) << prop->name();
+    EXPECT_TRUE(r.sim.allAccept) << prop->name();
+  }
+  // And the ones that genuinely fail on C12 are refused.
+  for (const PropertyPtr& prop :
+       {makeForest(), makePathProperty(), makeColorability(1),
+        makeVertexCover(4)}) {
+    EXPECT_FALSE(proveAndVerifyEdges(g, ids, prop).propertyHolds)
+        << prop->name();
+  }
+}
+
+TEST(Integration, LargeScaleSmoke) {
+  // n = 2000 end-to-end (prove + verify) with a generator-provided
+  // decomposition, the way a large deployment would run.
+  Rng rng(123);
+  const auto bp = randomBoundedPathwidth(2000, 2, 0.4, rng);
+  const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+  const auto ids = IdAssignment::random(2000, 4);
+  const auto r = proveAndVerifyEdges(bp.graph, ids, makeConnectivity(), &rep);
+  ASSERT_TRUE(r.propertyHolds);
+  EXPECT_TRUE(r.sim.allAccept);
+  EXPECT_LE(r.stats.hierarchyDepth, 2 * r.stats.numLanes);
+}
+
+TEST(Integration, EdgeAndVertexModesAgree) {
+  // The Prop 2.1 transformation must not change any verdict.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    const auto bp = randomBoundedPathwidth(18, 2, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const auto ids = IdAssignment::random(18, seed + 1);
+    for (const PropertyPtr& prop : {makeConnectivity(), makeForest()}) {
+      const auto edge = proveAndVerifyEdges(bp.graph, ids, prop, &rep);
+      const auto vertex = proveAndVerifyVertices(bp.graph, ids, prop, &rep);
+      EXPECT_EQ(edge.propertyHolds, vertex.propertyHolds)
+          << prop->name() << " seed " << seed;
+      if (edge.propertyHolds) {
+        EXPECT_EQ(edge.sim.allAccept, vertex.sim.allAccept)
+            << prop->name() << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Integration, CoreAndBaselineAgreeOnVerdicts) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed + 50);
+    const auto bp = randomBoundedPathwidth(16, 2, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const auto ids = IdAssignment::random(16, 3);
+    for (const PropertyPtr& prop :
+         {makeColorability(2), makeForest(), makePerfectMatching()}) {
+      const bool core = proveCore(bp.graph, ids, *prop, &rep).propertyHolds;
+      const bool fmrt = proveFmrt(bp.graph, ids, *prop, &rep).propertyHolds;
+      EXPECT_EQ(core, fmrt) << prop->name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(Integration, LabelsAreDeterministic) {
+  // Re-proving the same configuration yields byte-identical labels —
+  // essential for auditability of a deployed certificate store.
+  const Graph g = caterpillar(6, 2);
+  const auto ids = IdAssignment::random(g.numVertices(), 31);
+  const auto a = proveCore(g, ids, *makeForest());
+  const auto b = proveCore(g, ids, *makeForest());
+  ASSERT_TRUE(a.propertyHolds && b.propertyHolds);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Integration, DisconnectedInputsAreRejectedUpfront) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  const auto ids = IdAssignment::identity(4);
+  EXPECT_THROW((void)proveCore(g, ids, *makeForest()), std::invalid_argument);
+  EXPECT_THROW((void)proveFmrt(g, ids, *makeForest()), std::invalid_argument);
+}
+
+TEST(Integration, TwoVertexNetwork) {
+  // The smallest non-degenerate network.
+  Graph g(2);
+  g.addEdge(0, 1);
+  const auto ids = IdAssignment::random(2, 8);
+  const auto yes = proveAndVerifyEdges(g, ids, makePathProperty());
+  EXPECT_TRUE(yes.propertyHolds);
+  EXPECT_TRUE(yes.sim.allAccept);
+  const auto no = proveAndVerifyEdges(g, ids, makeCycleProperty());
+  EXPECT_FALSE(no.propertyHolds);
+}
+
+}  // namespace
+}  // namespace lanecert

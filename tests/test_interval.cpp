@@ -1,0 +1,138 @@
+// Tests for interval representations and path decompositions
+// (Definitions 1.1 and 4.1), including the paper's Figure 1 example.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+
+namespace lanecert {
+namespace {
+
+TEST(Interval, OverlapAndPrecedence) {
+  const Interval a{0, 3};
+  const Interval b{3, 5};
+  const Interval c{4, 6};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(a.before(c));
+  EXPECT_FALSE(a.before(b));
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(3));
+  EXPECT_FALSE(a.contains(4));
+}
+
+// The paper's Figure 1: the 6-cycle a-b-c-d-e-f with bags
+// X1={a,b,c}, X2={a,c,d}, X3={a,d,e}, X4={a,e,f}: width 2, pathwidth 2.
+PathDecomposition figure1Decomposition() {
+  return PathDecomposition({{0, 1, 2}, {0, 2, 3}, {0, 3, 4}, {0, 4, 5}});
+}
+
+Graph sixCycle() {
+  return cycleGraph(6);  // vertices a..f = 0..5
+}
+
+TEST(PathDecomposition, Figure1IsValid) {
+  const auto pd = figure1Decomposition();
+  EXPECT_TRUE(pd.isValidFor(sixCycle()));
+  EXPECT_EQ(pd.width(), 2);
+}
+
+TEST(PathDecomposition, DetectsMissingEdgeCoverage) {
+  // Remove vertex 0 from the middle bags: edge {5, 0} no longer covered
+  // jointly... construct a decomposition violating (P1).
+  const PathDecomposition pd({{0, 1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  EXPECT_FALSE(pd.isValidFor(sixCycle()));  // edge {5,0} not in any bag
+}
+
+TEST(PathDecomposition, DetectsNonConsecutiveOccurrences) {
+  // Vertex 0 appears in bags 0 and 2 but not 1: violates (P2).
+  Graph g = pathGraph(3);
+  const PathDecomposition pd({{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(pd.isValidFor(g));
+}
+
+TEST(PathDecomposition, DetectsMissingVertex) {
+  const PathDecomposition pd({{0, 1}});
+  EXPECT_FALSE(pd.isValidFor(pathGraph(3)));
+}
+
+TEST(IntervalRepresentation, Figure1Conversion) {
+  const auto pd = figure1Decomposition();
+  const auto rep = toIntervalRepresentation(pd, 6);
+  // a=0 spans all bags; b=1 only the first; etc.
+  EXPECT_EQ(rep.interval(0), (Interval{0, 3}));
+  EXPECT_EQ(rep.interval(1), (Interval{0, 0}));
+  EXPECT_EQ(rep.interval(5), (Interval{3, 3}));
+  EXPECT_EQ(rep.width(), 3);  // width k+1 = 3 for pathwidth 2
+  EXPECT_TRUE(rep.isValidFor(sixCycle()));
+}
+
+TEST(IntervalRepresentation, RoundTripPreservesWidthAndValidity) {
+  const auto pd = figure1Decomposition();
+  const auto rep = toIntervalRepresentation(pd, 6);
+  const auto pd2 = toPathDecomposition(rep);
+  EXPECT_TRUE(pd2.isValidFor(sixCycle()));
+  EXPECT_EQ(pd2.width(), pd.width());
+  const auto rep2 = toIntervalRepresentation(pd2, 6);
+  EXPECT_EQ(rep2.width(), rep.width());
+}
+
+TEST(IntervalRepresentation, WidthOfDisjointIntervals) {
+  const auto rep = IntervalRepresentation({{0, 1}, {2, 3}, {4, 5}});
+  EXPECT_EQ(rep.width(), 1);
+}
+
+TEST(IntervalRepresentation, WidthCountsNestedOverlap) {
+  const auto rep = IntervalRepresentation({{0, 10}, {1, 2}, {2, 3}, {8, 9}});
+  EXPECT_EQ(rep.width(), 3);  // point 2 hits {0,10},{1,2},{2,3}
+}
+
+TEST(IntervalRepresentation, ValidityRequiresEdgeOverlap) {
+  Graph g = pathGraph(3);
+  auto good = IntervalRepresentation({{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(good.isValidFor(g));
+  auto bad = IntervalRepresentation({{0, 1}, {3, 4}, {4, 5}});
+  EXPECT_FALSE(bad.isValidFor(g));  // edge {0,1} intervals disjoint
+}
+
+TEST(IntervalRepresentation, NormalizedPreservesStructure) {
+  const auto rep = IntervalRepresentation({{10, 100}, {100, 250}, {260, 270}});
+  const auto norm = rep.normalized();
+  EXPECT_EQ(norm.width(), rep.width());
+  EXPECT_TRUE(norm.interval(0).overlaps(norm.interval(1)));
+  EXPECT_FALSE(norm.interval(1).overlaps(norm.interval(2)));
+  EXPECT_LE(norm.interval(2).r, 5);
+}
+
+TEST(IntervalRepresentation, RestrictTo) {
+  const auto rep = IntervalRepresentation({{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const auto res = rep.restrictTo({1, 0, 1, 0});
+  EXPECT_EQ(res.rep.numVertices(), 2);
+  EXPECT_EQ(res.toOriginal, (std::vector<VertexId>{0, 2}));
+  EXPECT_EQ(res.rep.interval(1), (Interval{2, 3}));
+}
+
+TEST(IntervalRepresentation, GeneratorOutputIsValid) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 3);
+    const auto bp = randomBoundedPathwidth(60, k, 0.4, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    EXPECT_TRUE(rep.isValidFor(bp.graph)) << "seed " << seed;
+    EXPECT_LE(rep.width(), k + 1) << "seed " << seed;
+    const auto pd = toPathDecomposition(rep);
+    EXPECT_TRUE(pd.isValidFor(bp.graph)) << "seed " << seed;
+    EXPECT_LE(pd.width(), k) << "seed " << seed;
+  }
+}
+
+TEST(PathDecomposition, ToStringMentionsBags) {
+  const auto pd = figure1Decomposition();
+  const std::string s = pd.toString();
+  EXPECT_NE(s.find("X_1"), std::string::npos);
+  EXPECT_NE(s.find("X_4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -1,0 +1,205 @@
+// Tests for Section 4: lane partitions (Obs 4.3), completions (Def 4.4),
+// the f/g/h bounds, and the low-congestion embedding of Proposition 4.6.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "lane/bounds.hpp"
+#include "lane/embedding.hpp"
+#include "lane/lane_partition.hpp"
+#include "pathwidth/pathwidth.hpp"
+
+namespace lanecert {
+namespace {
+
+IntervalRepresentation repOf(const Graph& g) {
+  return bestIntervalRepresentation(g);
+}
+
+TEST(Bounds, ClosedForms) {
+  // f(1)=1, f(2)=2+2*1*1=4, f(3)=2+2*2*4=18, f(4)=2+2*3*18=110.
+  EXPECT_EQ(fLanes(1), 1);
+  EXPECT_EQ(fLanes(2), 4);
+  EXPECT_EQ(fLanes(3), 18);
+  EXPECT_EQ(fLanes(4), 110);
+  // g(1)=0, g(2)=2+0+2*2*1=6, g(3)=2+6+2*3*4=32, g(4)=2+32+2*4*18=178.
+  EXPECT_EQ(gCongestion(1), 0);
+  EXPECT_EQ(gCongestion(2), 6);
+  EXPECT_EQ(gCongestion(3), 32);
+  EXPECT_EQ(gCongestion(4), 178);
+  // h = g + f - 1.
+  EXPECT_EQ(hCongestion(1), 0);
+  EXPECT_EQ(hCongestion(2), 9);
+  EXPECT_EQ(hCongestion(3), 49);
+  EXPECT_EQ(hCongestion(4), 287);
+  EXPECT_THROW((void)fLanes(0), std::invalid_argument);
+}
+
+TEST(LanePartition, GreedyUsesAtMostWidthLanes) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 4);
+    const auto bp = randomBoundedPathwidth(80, k, 0.4, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const LanePartition lanes = greedyLanePartition(rep);
+    EXPECT_TRUE(lanes.isValidFor(rep)) << "seed " << seed;
+    EXPECT_LE(lanes.numLanes(), rep.width()) << "seed " << seed;
+  }
+}
+
+TEST(LanePartition, LaneLookup) {
+  const auto rep = IntervalRepresentation({{0, 1}, {0, 3}, {2, 4}, {5, 6}});
+  const LanePartition lanes = greedyLanePartition(rep);
+  for (VertexId v = 0; v < 4; ++v) {
+    const int lane = lanes.laneOf(v);
+    ASSERT_GE(lane, 0);
+    const int idx = lanes.indexInLane(v);
+    EXPECT_EQ(lanes.lane(lane)[static_cast<std::size_t>(idx)], v);
+  }
+}
+
+TEST(LanePartition, ValidityRejectsBadPartitions) {
+  using Lanes = std::vector<std::vector<VertexId>>;
+  const auto rep = IntervalRepresentation({{0, 2}, {1, 3}});
+  // Overlapping intervals in one lane.
+  EXPECT_FALSE(LanePartition(Lanes{{0, 1}}).isValidFor(rep));
+  // Missing vertex.
+  EXPECT_FALSE(LanePartition(Lanes{{0}}).isValidFor(rep));
+  // Empty lane.
+  EXPECT_FALSE(LanePartition(Lanes{{0}, {1}, {}}).isValidFor(rep));
+  // Good: two singleton lanes.
+  EXPECT_TRUE(LanePartition(Lanes{{0}, {1}}).isValidFor(rep));
+}
+
+TEST(LanePartition, RejectsDuplicateVertex) {
+  using Lanes = std::vector<std::vector<VertexId>>;
+  EXPECT_THROW(LanePartition(Lanes{{0}, {0}}), std::invalid_argument);
+}
+
+TEST(Completion, EdgeSetsFollowDefinition) {
+  // Two lanes: (0, 1, 2) and (3, 4). E1 = {01, 12, 34}; E2 = {03}.
+  const LanePartition lanes({{0, 1, 2}, {3, 4}});
+  const auto weak = completionEdges(lanes, /*withInit=*/false);
+  EXPECT_EQ(weak.size(), 3u);
+  const auto full = completionEdges(lanes, /*withInit=*/true);
+  EXPECT_EQ(full.size(), 4u);
+  EXPECT_EQ(full.back().kind, CompletionEdge::Kind::kInit);
+  EXPECT_EQ(full.back().u, 0);
+  EXPECT_EQ(full.back().v, 3);
+}
+
+TEST(Completion, BuildCompletionSkipsExistingEdges) {
+  Graph g(4);
+  g.addEdge(0, 1);  // already a lane edge
+  g.addEdge(1, 2);
+  const LanePartition lanes({{0, 1}, {2, 3}});
+  // E1 = {01, 23}; E2 = {02}. 01 exists already; 23 and 02 are new.
+  const auto res = buildCompletion(g, lanes, /*withInit=*/true);
+  EXPECT_EQ(res.graph.numEdges(), 2 + 2);
+  EXPECT_EQ(res.newEdgeIds.size(), 2u);
+  EXPECT_TRUE(res.graph.hasEdge(2, 3));
+  EXPECT_TRUE(res.graph.hasEdge(0, 2));
+  EXPECT_EQ(res.allEdges.size(), 3u);  // every E1/E2 edge is reported
+}
+
+// --- Proposition 4.6 ---
+
+void checkPlan(const Graph& g, const IntervalRepresentation& rep,
+               const char* what) {
+  const LanePlan plan = buildLanePlan(g, rep);
+  EXPECT_TRUE(plan.lanes.isValidFor(rep)) << what;
+  EXPECT_TRUE(validateLanePlan(g, plan)) << what;
+  const int k = rep.width();
+  EXPECT_LE(plan.lanes.numLanes(), fLanes(k)) << what;
+  EXPECT_LE(plan.maxCongestion, hCongestion(k)) << what;
+  // The completion built from the plan's lanes must be connected and
+  // contain every lane as a path.
+  const auto comp = buildCompletion(g, plan.lanes, /*withInit=*/true);
+  EXPECT_TRUE(isConnected(comp.graph)) << what;
+}
+
+TEST(Embedding, PathGraph) {
+  const Graph g = pathGraph(20);
+  checkPlan(g, repOf(g), "path20");
+}
+
+TEST(Embedding, SingleVertex) {
+  const Graph g(1);
+  const auto rep = IntervalRepresentation({{0, 0}});
+  const LanePlan plan = buildLanePlan(g, rep);
+  EXPECT_EQ(plan.lanes.numLanes(), 1);
+  EXPECT_EQ(plan.maxCongestion, 0);
+}
+
+TEST(Embedding, CycleGraph) {
+  const Graph g = cycleGraph(12);
+  checkPlan(g, repOf(g), "cycle12");
+}
+
+TEST(Embedding, Caterpillar) {
+  const Graph g = caterpillar(10, 3);
+  checkPlan(g, repOf(g), "caterpillar");
+}
+
+TEST(Embedding, Grid) {
+  const Graph g = gridGraph(3, 6);
+  checkPlan(g, repOf(g), "grid3x6");
+}
+
+TEST(Embedding, Star) {
+  const Graph g = starGraph(9);
+  checkPlan(g, repOf(g), "star9");
+}
+
+TEST(Embedding, CompleteGraphSmall) {
+  const Graph g = completeGraph(6);
+  checkPlan(g, repOf(g), "K6");
+}
+
+TEST(Embedding, RandomBoundedPathwidthSweep) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 4);
+    const auto bp = randomBoundedPathwidth(70, k, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    checkPlan(bp.graph, rep, ("sweep seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Embedding, RandomTrees) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const Graph g = randomTree(18, rng);
+    checkPlan(g, repOf(g), ("tree seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Embedding, EmbeddingPathsAreSimple) {
+  Rng rng(5);
+  const auto bp = randomBoundedPathwidth(60, 3, 0.5, rng);
+  const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+  const LanePlan plan = buildLanePlan(bp.graph, rep);
+  for (const EmbeddedEdge& emb : plan.embeddings) {
+    std::vector<VertexId> sorted = emb.path;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "embedding path revisits a vertex";
+  }
+}
+
+TEST(Embedding, RequiresConnectedGraph) {
+  Graph g(2);  // two isolated vertices
+  const auto rep = IntervalRepresentation({{0, 0}, {1, 1}});
+  EXPECT_THROW(buildLanePlan(g, rep), std::invalid_argument);
+}
+
+TEST(Embedding, RequiresValidRepresentation) {
+  const Graph g = pathGraph(2);
+  const auto rep = IntervalRepresentation({{0, 0}, {1, 1}});  // no overlap
+  EXPECT_THROW(buildLanePlan(g, rep), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -1,0 +1,161 @@
+// Tests for Definition 5.1 and Proposition 5.2: the V-insert/E-insert
+// construction machine and the equivalence with lane-partition completions.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "lane/embedding.hpp"
+#include "lane/lane_partition.hpp"
+#include "lanewidth/lanewidth.hpp"
+#include "pathwidth/pathwidth.hpp"
+
+namespace lanecert {
+namespace {
+
+TEST(Replay, InitialPathOnly) {
+  ConstructionSequence seq;
+  seq.numVertices = 3;
+  seq.initialPath = {0, 1, 2};
+  const ReplayResult r = replayConstruction(seq);
+  EXPECT_EQ(r.graph.numEdges(), 2);
+  EXPECT_TRUE(r.graph.hasEdge(0, 1));
+  EXPECT_TRUE(r.graph.hasEdge(1, 2));
+  EXPECT_EQ(r.designated, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(Replay, FigureSevenStyleConstruction) {
+  // 4 lanes; V-insert into lane 0, then E-inserts, mirroring Figure 7.
+  ConstructionSequence seq;
+  seq.numVertices = 6;
+  seq.initialPath = {0, 1, 2, 3};
+  seq.ops = {
+      {ConstructionOp::Kind::kVInsert, 0, -1, 4},
+      {ConstructionOp::Kind::kEInsert, 0, 3, kNoVertex},
+      {ConstructionOp::Kind::kEInsert, 0, 1, kNoVertex},
+      {ConstructionOp::Kind::kVInsert, 3, -1, 5},
+  };
+  const ReplayResult r = replayConstruction(seq);
+  EXPECT_EQ(r.graph.numEdges(), 3 + 4);
+  EXPECT_TRUE(r.graph.hasEdge(4, 0));  // V-insert edge
+  EXPECT_TRUE(r.graph.hasEdge(4, 3));  // E-insert(0,3) after designation moved
+  EXPECT_TRUE(r.graph.hasEdge(4, 1));
+  EXPECT_TRUE(r.graph.hasEdge(5, 3));
+  EXPECT_EQ(r.designated, (std::vector<VertexId>{4, 1, 2, 5}));
+}
+
+TEST(Replay, RejectsMalformedSequences) {
+  ConstructionSequence seq;
+  seq.numVertices = 2;
+  seq.initialPath = {0, 0};
+  EXPECT_THROW((void)replayConstruction(seq), std::invalid_argument);
+
+  seq.initialPath = {0, 1};
+  seq.ops = {{ConstructionOp::Kind::kVInsert, 5, -1, 1}};
+  EXPECT_THROW((void)replayConstruction(seq), std::invalid_argument);
+
+  seq.numVertices = 3;
+  seq.ops = {{ConstructionOp::Kind::kVInsert, 0, -1, 1}};  // vertex reused
+  EXPECT_THROW((void)replayConstruction(seq), std::invalid_argument);
+
+  seq.ops = {{ConstructionOp::Kind::kEInsert, 0, 0, kNoVertex}};  // self edge
+  EXPECT_THROW((void)replayConstruction(seq), std::invalid_argument);
+}
+
+TEST(Replay, RejectsUnusedVertices) {
+  ConstructionSequence seq;
+  seq.numVertices = 3;
+  seq.initialPath = {0, 1};
+  EXPECT_THROW((void)replayConstruction(seq), std::invalid_argument);
+}
+
+/// Checks Prop 5.2 Item2 => Item1 on (g, rep, lanes): the construction's
+/// replay equals the completion.
+void checkRoundTrip(const Graph& g, const IntervalRepresentation& rep,
+                    const LanePartition& lanes, const char* what) {
+  const ConstructionSequence seq = buildConstruction(g, rep, lanes);
+  const ReplayResult replay = replayConstruction(seq);
+  const CompletionResult comp = buildCompletion(g, lanes, /*withInit=*/true);
+  EXPECT_TRUE(replay.graph.sameEdgeSet(comp.graph)) << what;
+
+  // And Item1 => Item2: the witness regenerates the same completion.
+  const LanewidthWitness wit = constructionWitness(seq);
+  EXPECT_TRUE(wit.rep.isValidFor(wit.gPrime)) << what;
+  EXPECT_TRUE(wit.lanes.isValidFor(wit.rep)) << what;
+  const CompletionResult comp2 =
+      buildCompletion(wit.gPrime, wit.lanes, /*withInit=*/true);
+  EXPECT_TRUE(replay.graph.sameEdgeSet(comp2.graph)) << what;
+}
+
+TEST(Prop52, PathGraph) {
+  const Graph g = pathGraph(12);
+  const auto rep = bestIntervalRepresentation(g);
+  checkRoundTrip(g, rep, greedyLanePartition(rep), "path12");
+}
+
+TEST(Prop52, CycleGraph) {
+  const Graph g = cycleGraph(9);
+  const auto rep = bestIntervalRepresentation(g);
+  checkRoundTrip(g, rep, greedyLanePartition(rep), "cycle9");
+}
+
+TEST(Prop52, WithProp46Lanes) {
+  // Use the Proposition 4.6 lanes (not the greedy ones) as in the pipeline.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 4);
+    const auto bp = randomBoundedPathwidth(60, k, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const LanePlan plan = buildLanePlan(bp.graph, rep);
+    checkRoundTrip(bp.graph, rep, plan.lanes,
+                   ("prop46 seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Prop52, GreedyLanesSweep) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed + 100);
+    const int k = 1 + static_cast<int>(seed % 3);
+    const auto bp = randomBoundedPathwidth(40, k, 0.6, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    checkRoundTrip(bp.graph, rep, greedyLanePartition(rep),
+                   ("greedy seed " + std::to_string(seed)).c_str());
+  }
+}
+
+TEST(Prop52, CompleteGraph) {
+  const Graph g = completeGraph(6);
+  const auto rep = bestIntervalRepresentation(g);
+  checkRoundTrip(g, rep, greedyLanePartition(rep), "K6");
+}
+
+TEST(Prop52, StarAndCaterpillar) {
+  const Graph s = starGraph(8);
+  const auto rs = bestIntervalRepresentation(s);
+  checkRoundTrip(s, rs, greedyLanePartition(rs), "star8");
+  const Graph c = caterpillar(7, 2);
+  const auto rc = bestIntervalRepresentation(c);
+  checkRoundTrip(c, rc, greedyLanePartition(rc), "caterpillar");
+}
+
+TEST(Prop52, WitnessIntervalsDisjointWithinLane) {
+  const Graph g = cycleGraph(8);
+  const auto rep = bestIntervalRepresentation(g);
+  const auto seq = buildConstruction(g, rep, greedyLanePartition(rep));
+  const auto wit = constructionWitness(seq);
+  for (const auto& lane : wit.lanes.lanes()) {
+    for (std::size_t i = 0; i + 1 < lane.size(); ++i) {
+      EXPECT_TRUE(wit.rep.interval(lane[i]).before(wit.rep.interval(lane[i + 1])));
+    }
+  }
+}
+
+TEST(BuildConstruction, RejectsInvalidInput) {
+  const Graph g = pathGraph(3);
+  const auto badRep = IntervalRepresentation({{0, 0}, {2, 2}, {4, 4}});
+  EXPECT_THROW((void)buildConstruction(g, badRep, LanePartition({{0, 1, 2}})),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -1,0 +1,162 @@
+// Tests for the executable Definition 5.3/5.4 semantics (klane/merges) and
+// the theorem-level consistency check: every node of every hierarchical
+// decomposition materializes, BY REPLAYING ITS MERGE OPERATIONS, to exactly
+// the vertex/edge sets and terminals the compact Hierarchy reports.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "klane/merges.hpp"
+#include "klane/validate.hpp"
+#include "lane/embedding.hpp"
+#include "lanewidth/lanewidth.hpp"
+#include "pathwidth/pathwidth.hpp"
+
+namespace lanecert {
+namespace {
+
+TEST(KLaneGraph, BaseConstructors) {
+  const KLaneGraph v = kLaneVertex(2, 7);
+  EXPECT_TRUE(validateKLane(v).empty());
+  EXPECT_EQ(v.inTerm.at(2), 7);
+
+  const KLaneGraph e = kLaneEdge(0, 3, 9);
+  EXPECT_TRUE(validateKLane(e).empty());
+  EXPECT_EQ(e.edges.size(), 1u);
+  EXPECT_EQ(e.inTerm.at(0), 3);
+  EXPECT_EQ(e.outTerm.at(0), 9);
+
+  const KLaneGraph p = kLanePath({0, 1, 2}, {5, 6, 7});
+  EXPECT_TRUE(validateKLane(p).empty());
+  EXPECT_EQ(p.edges.size(), 2u);
+  EXPECT_EQ(p.inTerm.at(1), 6);
+  EXPECT_THROW((void)kLaneEdge(0, 4, 4), std::invalid_argument);
+  EXPECT_THROW((void)kLanePath({0, 1}, {5, 5}), std::invalid_argument);
+}
+
+TEST(BridgeMerge, CombinesDisjointParts) {
+  // Figure 8's flavor: two parts on lanes {0,1} and {2,3}, bridged 1-2.
+  const KLaneGraph a = kLanePath({0, 1}, {0, 1});
+  const KLaneGraph b = kLanePath({2, 3}, {2, 3});
+  const KLaneGraph g = bridgeMerge(a, b, 1, 2);
+  EXPECT_TRUE(validateKLane(g).empty());
+  EXPECT_EQ(g.vertices.size(), 4u);
+  EXPECT_EQ(g.edges.size(), 3u);  // two path edges + the bridge 1-2
+  EXPECT_TRUE(std::binary_search(g.edges.begin(), g.edges.end(),
+                                 std::make_pair(VertexId{1}, VertexId{2})));
+  EXPECT_EQ(g.lanes, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(g.outTerm.at(0), 0);
+  EXPECT_EQ(g.outTerm.at(3), 3);
+}
+
+TEST(BridgeMerge, RejectsOverlappingLanes) {
+  const KLaneGraph a = kLaneVertex(0, 1);
+  const KLaneGraph b = kLaneVertex(0, 2);
+  EXPECT_THROW((void)bridgeMerge(a, b, 0, 0), std::invalid_argument);
+}
+
+TEST(ParentMerge, GluesInOntoOut) {
+  // Parent: path (0,1) on lanes {0,1}; child: edge 0->5 on lane 0 whose
+  // in-terminal IS the parent's out-terminal 0.
+  const KLaneGraph parent = kLanePath({0, 1}, {0, 1});
+  const KLaneGraph child = kLaneEdge(0, 0, 5);
+  const KLaneGraph g = parentMergeGraphs(child, parent);
+  EXPECT_TRUE(validateKLane(g).empty());
+  EXPECT_EQ(g.vertices, (std::vector<VertexId>{0, 1, 5}));
+  EXPECT_EQ(g.outTerm.at(0), 5);   // updated by the child
+  EXPECT_EQ(g.outTerm.at(1), 1);   // untouched lane
+  EXPECT_EQ(g.inTerm.at(0), 0);    // parent's in-terminals kept
+}
+
+TEST(ParentMerge, RejectsMismatchedGluing) {
+  const KLaneGraph parent = kLanePath({0, 1}, {0, 1});
+  const KLaneGraph child = kLaneEdge(0, 7, 5);  // in-terminal 7 != out 0
+  EXPECT_THROW((void)parentMergeGraphs(child, parent), std::invalid_argument);
+}
+
+TEST(ParentMerge, RejectsOverlappingEdges) {
+  const KLaneGraph parent = kLanePath({0, 1}, {0, 1});
+  KLaneGraph child = kLaneEdge(0, 0, 1);  // duplicates the parent edge 0-1
+  EXPECT_THROW((void)parentMergeGraphs(child, parent), std::invalid_argument);
+}
+
+TEST(TreeMerge, ChainOfEdges) {
+  // P=(0,1) with a chain of two lane-0 edges below it.
+  const std::vector<KLaneGraph> nodes = {
+      kLanePath({0, 1}, {0, 1}),
+      kLaneEdge(0, 0, 2),
+      kLaneEdge(0, 2, 3),
+  };
+  const KLaneGraph g = treeMerge(nodes, {-1, 0, 1});
+  EXPECT_TRUE(validateKLane(g).empty());
+  EXPECT_EQ(g.vertices.size(), 4u);
+  EXPECT_EQ(g.edges.size(), 3u);
+  EXPECT_EQ(g.outTerm.at(0), 3);
+  EXPECT_EQ(g.inTerm.at(0), 0);
+}
+
+TEST(TreeMerge, RejectsSiblingLaneOverlap) {
+  const std::vector<KLaneGraph> nodes = {
+      kLanePath({0, 1}, {0, 1}),
+      kLaneEdge(0, 0, 2),
+      kLaneEdge(0, 0, 3),  // same lane, same parent: forbidden
+  };
+  EXPECT_THROW((void)treeMerge(nodes, {-1, 0, 0}), std::invalid_argument);
+}
+
+TEST(TreeMerge, AssociativityOrderIrrelevance) {
+  // Two children on disjoint lanes: any contraction order yields the same
+  // graph (the paper's associativity remark in §5.3).
+  const std::vector<KLaneGraph> a = {
+      kLanePath({0, 1}, {0, 1}), kLaneEdge(0, 0, 2), kLaneEdge(1, 1, 3)};
+  const KLaneGraph g1 = treeMerge(a, {-1, 0, 0});
+  const std::vector<KLaneGraph> b = {
+      kLanePath({0, 1}, {0, 1}), kLaneEdge(1, 1, 3), kLaneEdge(0, 0, 2)};
+  const KLaneGraph g2 = treeMerge(b, {-1, 0, 0});
+  EXPECT_EQ(g1.vertices, g2.vertices);
+  EXPECT_EQ(g1.edges, g2.edges);
+  EXPECT_TRUE(g1.outTerm == g2.outTerm);
+}
+
+// --- The theorem-level consistency check ---
+
+void expectMergeSemantics(const Graph& g, const IntervalRepresentation& rep,
+                          const char* what) {
+  const LanePlan plan = buildLanePlan(g, rep);
+  const ConstructionSequence seq = buildConstruction(g, rep, plan.lanes);
+  const HierarchyResult hier = buildHierarchy(seq);
+  for (int id = 0; id < hier.hierarchy.size(); ++id) {
+    const KLaneGraph mat = materializeByMerges(hier.hierarchy, id);
+    EXPECT_TRUE(validateKLane(mat).empty()) << what << " node " << id;
+    EXPECT_EQ(mat.vertices, hier.hierarchy.materializeVertices(id))
+        << what << " node " << id << ": vertex sets differ";
+    EXPECT_EQ(mat.edges, hier.hierarchy.materializeEdges(id))
+        << what << " node " << id << ": edge sets differ";
+    const HierNode& n = hier.hierarchy.node(id);
+    EXPECT_EQ(mat.lanes, n.lanes) << what << " node " << id;
+    EXPECT_TRUE(mat.inTerm == n.inTerm) << what << " node " << id;
+    EXPECT_TRUE(mat.outTerm == n.outTerm) << what << " node " << id;
+  }
+}
+
+TEST(MergeSemantics, HierarchyNodesAreTheirMerges) {
+  for (const Graph& g : {pathGraph(15), cycleGraph(11), caterpillar(5, 2),
+                         starGraph(8), gridGraph(2, 6)}) {
+    expectMergeSemantics(g, bestIntervalRepresentation(g), g.summary().c_str());
+  }
+}
+
+TEST(MergeSemantics, RandomSweep) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 3);
+    const auto bp = randomBoundedPathwidth(30, k, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    expectMergeSemantics(bp.graph, rep,
+                         ("seed " + std::to_string(seed)).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace lanecert

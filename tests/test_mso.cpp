@@ -1,0 +1,296 @@
+// Cross-validation of the compositional property algebra (Prop 2.4
+// interface) against brute force on hundreds of random small graphs, plus
+// targeted unit tests per property.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "mso/bruteforce.hpp"
+#include "mso/properties.hpp"
+#include "mso/property.hpp"
+
+namespace lanecert {
+namespace {
+
+Graph randomSmall(std::uint64_t seed, VertexId n, double p) {
+  Rng rng(seed);
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.flip(p)) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+// --- Targeted unit tests on known families ---
+
+TEST(MsoProperties, BipartitenessOnCycles) {
+  const auto bip = makeColorability(2);
+  EXPECT_TRUE(evaluateOnGraph(*bip, cycleGraph(6)));
+  EXPECT_FALSE(evaluateOnGraph(*bip, cycleGraph(7)));
+  EXPECT_TRUE(evaluateOnGraph(*bip, pathGraph(9)));
+  EXPECT_TRUE(evaluateOnGraph(*bip, gridGraph(3, 4)));
+}
+
+TEST(MsoProperties, ThreeColorability) {
+  const auto c3 = makeColorability(3);
+  EXPECT_TRUE(evaluateOnGraph(*c3, cycleGraph(5)));
+  EXPECT_TRUE(evaluateOnGraph(*c3, completeGraph(3)));
+  EXPECT_FALSE(evaluateOnGraph(*c3, completeGraph(4)));
+}
+
+TEST(MsoProperties, Forest) {
+  const auto f = makeForest();
+  EXPECT_TRUE(evaluateOnGraph(*f, pathGraph(8)));
+  EXPECT_TRUE(evaluateOnGraph(*f, starGraph(6)));
+  EXPECT_TRUE(evaluateOnGraph(*f, caterpillar(5, 2)));
+  EXPECT_FALSE(evaluateOnGraph(*f, cycleGraph(5)));
+  EXPECT_FALSE(evaluateOnGraph(*f, completeGraph(3)));
+}
+
+TEST(MsoProperties, Connectivity) {
+  const auto c = makeConnectivity();
+  EXPECT_TRUE(evaluateOnGraph(*c, pathGraph(6)));
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  EXPECT_FALSE(evaluateOnGraph(*c, g));
+  EXPECT_TRUE(evaluateOnGraph(*c, Graph(1)));
+}
+
+TEST(MsoProperties, PathAndCycleRecognition) {
+  const auto isPath = makePathProperty();
+  const auto isCycle = makeCycleProperty();
+  EXPECT_TRUE(evaluateOnGraph(*isPath, pathGraph(1)));
+  EXPECT_TRUE(evaluateOnGraph(*isPath, pathGraph(10)));
+  EXPECT_FALSE(evaluateOnGraph(*isPath, cycleGraph(10)));
+  EXPECT_FALSE(evaluateOnGraph(*isPath, starGraph(3)));
+  EXPECT_TRUE(evaluateOnGraph(*isCycle, cycleGraph(3)));
+  EXPECT_TRUE(evaluateOnGraph(*isCycle, cycleGraph(11)));
+  EXPECT_FALSE(evaluateOnGraph(*isCycle, pathGraph(11)));
+  EXPECT_FALSE(evaluateOnGraph(*isCycle, completeGraph(4)));
+}
+
+TEST(MsoProperties, PerfectMatching) {
+  const auto pm = makePerfectMatching();
+  EXPECT_TRUE(evaluateOnGraph(*pm, pathGraph(4)));
+  EXPECT_FALSE(evaluateOnGraph(*pm, pathGraph(5)));
+  EXPECT_TRUE(evaluateOnGraph(*pm, cycleGraph(6)));
+  EXPECT_FALSE(evaluateOnGraph(*pm, starGraph(3)));
+  EXPECT_TRUE(evaluateOnGraph(*pm, completeGraph(4)));
+}
+
+TEST(MsoProperties, VertexCover) {
+  // C5 needs 3; P4 needs 2... path on 4 vertices has VC 2? Edges 01,12,23:
+  // {1,3} covers? 01 via 1, 12 via 1, 23 via 3: yes, VC(P4) = 2.
+  EXPECT_FALSE(evaluateOnGraph(*makeVertexCover(1), pathGraph(4)));
+  EXPECT_TRUE(evaluateOnGraph(*makeVertexCover(2), pathGraph(4)));
+  EXPECT_FALSE(evaluateOnGraph(*makeVertexCover(2), cycleGraph(5)));
+  EXPECT_TRUE(evaluateOnGraph(*makeVertexCover(3), cycleGraph(5)));
+  EXPECT_TRUE(evaluateOnGraph(*makeVertexCover(1), starGraph(5)));
+  EXPECT_FALSE(evaluateOnGraph(*makeVertexCover(0), pathGraph(2)));
+}
+
+TEST(MsoProperties, HamiltonianCycle) {
+  const auto hc = makeHamiltonianCycle();
+  EXPECT_TRUE(evaluateOnGraph(*hc, cycleGraph(5)));
+  EXPECT_TRUE(evaluateOnGraph(*hc, completeGraph(4)));
+  EXPECT_FALSE(evaluateOnGraph(*hc, pathGraph(5)));
+  EXPECT_FALSE(evaluateOnGraph(*hc, starGraph(3)));
+  EXPECT_FALSE(evaluateOnGraph(*hc, caterpillar(3, 1)));
+}
+
+TEST(MsoProperties, HamiltonianPath) {
+  const auto hp = makeHamiltonianPath();
+  EXPECT_TRUE(evaluateOnGraph(*hp, pathGraph(6)));
+  EXPECT_TRUE(evaluateOnGraph(*hp, cycleGraph(6)));
+  EXPECT_TRUE(evaluateOnGraph(*hp, Graph(1)));
+  EXPECT_FALSE(evaluateOnGraph(*hp, starGraph(3)));
+  EXPECT_TRUE(evaluateOnGraph(*hp, gridGraph(2, 3)));
+}
+
+TEST(MsoProperties, TriangleFree) {
+  const auto tf = makeTriangleFree();
+  EXPECT_TRUE(evaluateOnGraph(*tf, cycleGraph(5)));
+  EXPECT_TRUE(evaluateOnGraph(*tf, gridGraph(3, 3)));
+  EXPECT_FALSE(evaluateOnGraph(*tf, completeGraph(3)));
+  EXPECT_FALSE(evaluateOnGraph(*tf, completeGraph(5)));
+}
+
+TEST(MsoProperties, DominatingSet) {
+  // Star: the center dominates everything.
+  EXPECT_TRUE(evaluateOnGraph(*makeDominatingSet(1), starGraph(6)));
+  EXPECT_FALSE(evaluateOnGraph(*makeDominatingSet(1), pathGraph(6)));
+  EXPECT_TRUE(evaluateOnGraph(*makeDominatingSet(2), pathGraph(6)));
+  // C7 needs ceil(7/3) = 3.
+  EXPECT_FALSE(evaluateOnGraph(*makeDominatingSet(2), cycleGraph(7)));
+  EXPECT_TRUE(evaluateOnGraph(*makeDominatingSet(3), cycleGraph(7)));
+}
+
+TEST(MsoProperties, IndependentSet) {
+  // P6 has alpha = 3; C7 has alpha = 3; K4 has alpha = 1.
+  EXPECT_TRUE(evaluateOnGraph(*makeIndependentSet(3), pathGraph(6)));
+  EXPECT_FALSE(evaluateOnGraph(*makeIndependentSet(4), pathGraph(6)));
+  EXPECT_TRUE(evaluateOnGraph(*makeIndependentSet(3), cycleGraph(7)));
+  EXPECT_FALSE(evaluateOnGraph(*makeIndependentSet(4), cycleGraph(7)));
+  EXPECT_FALSE(evaluateOnGraph(*makeIndependentSet(2), completeGraph(4)));
+}
+
+TEST(MsoProperties, EdgeParity) {
+  EXPECT_TRUE(evaluateOnGraph(*makeEdgeParity(2, 0), cycleGraph(6)));
+  EXPECT_FALSE(evaluateOnGraph(*makeEdgeParity(2, 1), cycleGraph(6)));
+  EXPECT_TRUE(evaluateOnGraph(*makeEdgeParity(3, 2), pathGraph(6)));
+}
+
+TEST(MsoProperties, MaxDegree) {
+  EXPECT_TRUE(evaluateOnGraph(*makeMaxDegree(2), cycleGraph(8)));
+  EXPECT_FALSE(evaluateOnGraph(*makeMaxDegree(2), starGraph(3)));
+  EXPECT_TRUE(evaluateOnGraph(*makeMaxDegree(3), starGraph(3)));
+}
+
+// --- Virtual edges are invisible to every property ---
+
+TEST(MsoProperties, VirtualEdgesIgnoredByMatching) {
+  // Two vertices joined only by a virtual edge: really two isolated
+  // vertices, so no perfect matching (a counted virtual edge would flip it).
+  const auto pm = makePerfectMatching();
+  HomState s = pm->empty();
+  s = pm->addVertex(s);
+  s = pm->addVertex(s);
+  s = pm->addEdge(s, 0, 1, kVirtualEdge);
+  EXPECT_FALSE(pm->accepts(s));
+  s = pm->addEdge(s, 0, 1, kRealEdge);
+  EXPECT_TRUE(pm->accepts(s));
+}
+
+TEST(MsoProperties, VirtualEdgesIgnored) {
+  for (const PropertyPtr& prop :
+       {makeColorability(2), makeForest(), makeConnectivity(),
+        makePathProperty(), makeTriangleFree()}) {
+    // Manually drive the algebra: a triangle where one edge is virtual is
+    // a real path a-b-c.
+    HomState s = prop->empty();
+    s = prop->addVertex(s);
+    s = prop->addVertex(s);
+    s = prop->addVertex(s);
+    s = prop->addEdge(s, 0, 1, kRealEdge);
+    s = prop->addEdge(s, 1, 2, kRealEdge);
+    s = prop->addEdge(s, 0, 2, kVirtualEdge);
+    s = prop->forget(s, 0);
+    s = prop->forget(s, 0);
+    s = prop->forget(s, 0);
+    EXPECT_TRUE(prop->accepts(s)) << prop->name() << " saw a virtual edge";
+  }
+}
+
+// --- Randomized cross-validation against brute force ---
+
+struct CrossCase {
+  std::string name;
+  std::function<bool(const Graph&)> brute;
+  PropertyPtr prop;
+};
+
+class MsoCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsoCrossValidation, MatchesBruteForceOnRandomGraphs) {
+  const int variant = GetParam();
+  const std::vector<CrossCase> cases = {
+      {"2-col", [](const Graph& g) { return isQColorableBrute(g, 2); },
+       makeColorability(2)},
+      {"3-col", [](const Graph& g) { return isQColorableBrute(g, 3); },
+       makeColorability(3)},
+      {"forest", [](const Graph& g) { return isForest(g); }, makeForest()},
+      {"conn", [](const Graph& g) { return isConnected(g); }, makeConnectivity()},
+      {"path", [](const Graph& g) { return isPathGraph(g); }, makePathProperty()},
+      {"cycle", [](const Graph& g) { return isCycleGraph(g); }, makeCycleProperty()},
+      {"pm", [](const Graph& g) { return hasPerfectMatchingBrute(g); },
+       makePerfectMatching()},
+      {"vc2", [](const Graph& g) { return minVertexCoverBrute(g) <= 2; },
+       makeVertexCover(2)},
+      {"vc3", [](const Graph& g) { return minVertexCoverBrute(g) <= 3; },
+       makeVertexCover(3)},
+      {"hamc", [](const Graph& g) { return hasHamiltonianCycleBrute(g); },
+       makeHamiltonianCycle()},
+      {"hamp", [](const Graph& g) { return hasHamiltonianPathBrute(g); },
+       makeHamiltonianPath()},
+      {"trifree", [](const Graph& g) { return countTriangles(g) == 0; },
+       makeTriangleFree()},
+      {"maxdeg3", [](const Graph& g) { return maxDegree(g) <= 3; },
+       makeMaxDegree(3)},
+      {"par3", [](const Graph& g) { return g.numEdges() % 3 == 1; },
+       makeEdgeParity(3, 1)},
+      {"dom2", [](const Graph& g) { return minDominatingSetBrute(g) <= 2; },
+       makeDominatingSet(2)},
+      {"dom3", [](const Graph& g) { return minDominatingSetBrute(g) <= 3; },
+       makeDominatingSet(3)},
+      {"ind3", [](const Graph& g) { return maxIndependentSetBrute(g) >= 3; },
+       makeIndependentSet(3)},
+      {"ind4", [](const Graph& g) { return maxIndependentSetBrute(g) >= 4; },
+       makeIndependentSet(4)},
+  };
+  const CrossCase& c = cases[static_cast<std::size_t>(variant)];
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const VertexId n = 3 + static_cast<VertexId>(seed % 7);
+    const double p = 0.15 + 0.1 * static_cast<double>(seed % 6);
+    const Graph g = randomSmall(seed * 7919 + 13, n, p);
+    EXPECT_EQ(evaluateOnGraph(*c.prop, g), c.brute(g))
+        << c.name << " seed=" << seed << " n=" << n << "\n"
+        << g.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProperties, MsoCrossValidation,
+                         ::testing::Range(0, 18));
+
+// --- Alternative evaluation orders give identical verdicts ---
+
+TEST(MsoProperties, OrderIndependence) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const Graph g = randomSmall(seed + 500, 8, 0.3);
+    std::vector<VertexId> forward(8);
+    std::iota(forward.begin(), forward.end(), 0);
+    std::vector<VertexId> backward(forward.rbegin(), forward.rend());
+    for (const PropertyPtr& prop :
+         {makeColorability(2), makeForest(), makeConnectivity(),
+          makePerfectMatching(), makeHamiltonianPath(), makeTriangleFree()}) {
+      EXPECT_EQ(evaluateOnGraph(*prop, g, forward),
+                evaluateOnGraph(*prop, g, backward))
+          << prop->name() << " seed " << seed;
+    }
+  }
+}
+
+// --- Hom classes are constant-size (Prop 2.4 finiteness, exercised) ---
+
+TEST(MsoProperties, StateSizeIndependentOfGraphSize) {
+  // Drive a long path through the algebra keeping the boundary at 2 slots;
+  // the state encoding must not grow with the number of composed vertices.
+  const auto prop = makeColorability(3);
+  HomState s = prop->empty();
+  s = prop->addVertex(s);
+  std::size_t firstSize = 0;
+  for (int i = 0; i < 200; ++i) {
+    s = prop->addVertex(s);
+    s = prop->addEdge(s, 0, 1, kRealEdge);
+    s = prop->forget(s, 0);
+    if (i == 10) firstSize = s.encodedBits();
+    if (i > 10) {
+      EXPECT_EQ(s.encodedBits(), firstSize) << "at step " << i;
+    }
+  }
+}
+
+TEST(HomState, EqualityViaEncoding) {
+  const auto prop = makeForest();
+  const HomState a = prop->addVertex(prop->empty());
+  const HomState b = prop->addVertex(prop->empty());
+  EXPECT_TRUE(a == b);
+  const HomState c = prop->addVertex(a);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -1,0 +1,108 @@
+// Tests for the exact and heuristic pathwidth solvers, validated against
+// known pathwidth values of classic families.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "pathwidth/pathwidth.hpp"
+
+namespace lanecert {
+namespace {
+
+TEST(ExactPathwidth, KnownFamilies) {
+  EXPECT_EQ(exactPathwidth(pathGraph(1)).value(), 0);
+  EXPECT_EQ(exactPathwidth(pathGraph(8)).value(), 1);
+  EXPECT_EQ(exactPathwidth(cycleGraph(8)).value(), 2);
+  EXPECT_EQ(exactPathwidth(starGraph(5)).value(), 1);
+  EXPECT_EQ(exactPathwidth(caterpillar(4, 2)).value(), 1);
+  EXPECT_EQ(exactPathwidth(completeGraph(5)).value(), 4);
+  EXPECT_EQ(exactPathwidth(gridGraph(3, 5)).value(), 3);
+  // The 3-level complete binary tree is a caterpillar: pathwidth 1.
+  EXPECT_EQ(exactPathwidth(completeBinaryTree(3)).value(), 1);
+  // The 4-level one (height 3) has pathwidth ceil(3/2) = 2.
+  EXPECT_EQ(exactPathwidth(completeBinaryTree(4)).value(), 2);
+}
+
+TEST(ExactPathwidth, RefusesLargeGraphs) {
+  EXPECT_FALSE(exactPathwidth(pathGraph(30), 22).has_value());
+}
+
+TEST(ExactPathwidth, LayoutCostMatchesReported) {
+  const Graph g = gridGraph(3, 4);
+  const auto layout = exactVertexSeparation(g);
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_EQ(layoutCost(g, layout->order), layout->cost);
+  EXPECT_EQ(layout->cost, 3);
+}
+
+TEST(ExactPathwidth, LayoutIsPermutation) {
+  const Graph g = cycleGraph(9);
+  const auto layout = exactVertexSeparation(g);
+  ASSERT_TRUE(layout.has_value());
+  std::vector<char> seen(9, 0);
+  for (VertexId v : layout->order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 9);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+TEST(LayoutToIntervalRep, ProducesValidRepOfMatchingWidth) {
+  const Graph g = cycleGraph(10);
+  const auto layout = exactVertexSeparation(g);
+  ASSERT_TRUE(layout.has_value());
+  const auto rep = layoutToIntervalRep(g, layout->order);
+  EXPECT_TRUE(rep.isValidFor(g));
+  EXPECT_EQ(rep.width(), layout->cost + 1);
+}
+
+TEST(GreedyVertexSeparation, UpperBoundsExact) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng rng(seed);
+    const Graph g = randomConnected(12, 0.25, rng);
+    const auto exact = exactVertexSeparation(g);
+    ASSERT_TRUE(exact.has_value());
+    const Layout greedy = greedyVertexSeparation(g);
+    EXPECT_GE(greedy.cost, exact->cost) << "seed " << seed;
+    const auto rep = layoutToIntervalRep(g, greedy.order);
+    EXPECT_TRUE(rep.isValidFor(g));
+  }
+}
+
+TEST(GreedyVertexSeparation, ExactOnPaths) {
+  const Graph g = pathGraph(40);
+  const Layout greedy = greedyVertexSeparation(g);
+  EXPECT_EQ(greedy.cost, 1);
+}
+
+TEST(ExactPathwidth, MatchesGeneratorBound) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const int k = 1 + static_cast<int>(seed % 3);
+    const auto bp = randomBoundedPathwidth(14, k, 0.6, rng);
+    const auto pw = exactPathwidth(bp.graph);
+    ASSERT_TRUE(pw.has_value());
+    EXPECT_LE(*pw, k) << "seed " << seed;
+  }
+}
+
+TEST(BestIntervalRepresentation, AlwaysValid) {
+  Rng rng(21);
+  const Graph small = randomConnected(10, 0.3, rng);
+  EXPECT_TRUE(bestIntervalRepresentation(small).isValidFor(small));
+  const Graph big = caterpillar(30, 3);
+  const auto rep = bestIntervalRepresentation(big);
+  EXPECT_TRUE(rep.isValidFor(big));
+  // Caterpillars have pathwidth 1; even the greedy should stay small.
+  EXPECT_LE(rep.width(), 4);
+}
+
+TEST(LayoutCost, RejectsNonPermutation) {
+  const Graph g = pathGraph(3);
+  EXPECT_THROW((void)layoutCost(g, {0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -1,0 +1,273 @@
+// Tests for the PLS framework: codec, simulation, the Prop 2.2 pointer
+// scheme (completeness + adversarial soundness), the Prop 2.1 edge->vertex
+// transform, and the classic bipartiteness / trivial schemes.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "pls/classic.hpp"
+#include "pls/codec.hpp"
+#include "pls/pointer.hpp"
+#include "pls/scheme.hpp"
+#include "pls/transform.hpp"
+
+namespace lanecert {
+namespace {
+
+TEST(Codec, RoundTrip) {
+  Encoder enc;
+  enc.u64(0);
+  enc.u64(127);
+  enc.u64(128);
+  enc.u64(0xdeadbeefcafe);
+  enc.i64(-5);
+  enc.i64(1234567);
+  enc.bytes("hello");
+  enc.boolean(true);
+  enc.boolean(false);
+  Decoder dec(enc.str());
+  EXPECT_EQ(dec.u64(), 0u);
+  EXPECT_EQ(dec.u64(), 127u);
+  EXPECT_EQ(dec.u64(), 128u);
+  EXPECT_EQ(dec.u64(), 0xdeadbeefcafeu);
+  EXPECT_EQ(dec.i64(), -5);
+  EXPECT_EQ(dec.i64(), 1234567);
+  EXPECT_EQ(dec.bytes(), "hello");
+  EXPECT_TRUE(dec.boolean());
+  EXPECT_FALSE(dec.boolean());
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Codec, ThrowsOnTruncation) {
+  Encoder enc;
+  enc.u64(1u << 20);
+  const std::string full = enc.str();
+  Decoder dec(full);
+  (void)dec.u64();
+  EXPECT_TRUE(dec.atEnd());
+  const std::string cut = full.substr(0, 1);
+  Decoder dec2(cut);
+  EXPECT_THROW((void)dec2.u64(), DecodeError);
+  Decoder dec3(std::string{});
+  EXPECT_THROW((void)dec3.boolean(), DecodeError);
+}
+
+TEST(Simulation, VerifierExceptionsAreRejections) {
+  const Graph g = pathGraph(3);
+  const auto ids = IdAssignment::identity(3);
+  const std::vector<std::string> labels(3, "x");
+  const auto res = simulateVertexScheme(
+      g, ids, labels, [](const VertexView&) -> bool { throw DecodeError{}; });
+  EXPECT_FALSE(res.allAccept);
+  EXPECT_EQ(res.rejecting.size(), 3u);
+}
+
+TEST(Simulation, LabelBitsAccounting) {
+  const Graph g = pathGraph(2);
+  const auto ids = IdAssignment::identity(2);
+  const std::vector<std::string> labels = {"abcd", "x"};
+  const auto res = simulateVertexScheme(g, ids, labels,
+                                        [](const VertexView&) { return true; });
+  EXPECT_TRUE(res.allAccept);
+  EXPECT_EQ(res.maxLabelBits, 32u);
+  EXPECT_EQ(res.totalLabelBits, 40u);
+}
+
+// --- Pointer scheme (Prop 2.2) ---
+
+EdgeVerifier pointerEdgeVerifier() {
+  return [](const EdgeView& view) -> bool {
+    std::vector<PointerRecord> recs;
+    for (const std::string& l : view.incidentLabels) {
+      Decoder dec(l);
+      recs.push_back(PointerRecord::decodeFrom(dec));
+      if (!dec.atEnd()) return false;
+    }
+    return checkPointerAt(view.selfId, recs, std::nullopt);
+  };
+}
+
+std::vector<std::string> encodePointer(const std::vector<PointerRecord>& recs) {
+  std::vector<std::string> labels;
+  for (const PointerRecord& r : recs) {
+    Encoder enc;
+    r.encodeTo(enc);
+    labels.push_back(enc.take());
+  }
+  return labels;
+}
+
+TEST(Pointer, CompletenessAcrossFamiliesAndTargets) {
+  for (const Graph& g : {pathGraph(9), cycleGraph(8), starGraph(6),
+                         gridGraph(3, 4), completeGraph(5)}) {
+    const auto ids = IdAssignment::random(g.numVertices(), 42);
+    for (VertexId target = 0; target < g.numVertices();
+         target += std::max(1, g.numVertices() / 3)) {
+      const auto labels = encodePointer(provePointer(g, ids, target));
+      const auto res = simulateEdgeScheme(g, ids, labels, pointerEdgeVerifier());
+      EXPECT_TRUE(res.allAccept)
+          << g.summary() << " target " << target << " rejected at "
+          << (res.rejecting.empty() ? -1 : res.rejecting[0]);
+    }
+  }
+}
+
+TEST(Pointer, AdjacentLevelNonTreeEdgesAccepted) {
+  // C4 plus a chord creates adjacent-level non-tree edges under BFS — the
+  // case where the paper's literal min-distance rule would break.
+  Graph g = cycleGraph(4);
+  const auto ids = IdAssignment::identity(4);
+  const auto labels = encodePointer(provePointer(g, ids, 0));
+  EXPECT_TRUE(simulateEdgeScheme(g, ids, labels, pointerEdgeVerifier()).allAccept);
+}
+
+TEST(Pointer, SoundnessUnderMutation) {
+  Rng rng(99);
+  const Graph g = gridGraph(3, 3);
+  const auto ids = IdAssignment::random(9, 3);
+  const auto honest = encodePointer(provePointer(g, ids, 4));
+  int rejected = 0;
+  int applied = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto labels = honest;
+    const auto kind = static_cast<Mutation>(trial % 5);
+    if (!mutateLabels(labels, kind, rng)) continue;
+    ++applied;
+    const auto res = simulateEdgeScheme(g, ids, labels, pointerEdgeVerifier());
+    // A mutation may happen to produce another valid pointer labeling for
+    // the same root (e.g. re-rooting a subtree); it must never validate a
+    // labeling whose records disagree with checkPointerAt anywhere.
+    if (!res.allAccept) ++rejected;
+  }
+  EXPECT_GT(applied, 150);
+  // The vast majority of corruptions must be caught.
+  EXPECT_GT(rejected * 10, applied * 8) << rejected << "/" << applied;
+}
+
+TEST(Pointer, RejectsWhenTargetAbsent) {
+  // Honest labels for root id X, then check a vertex set where no vertex
+  // has id X: at least one vertex must reject.
+  const Graph g = pathGraph(5);
+  const auto ids = IdAssignment::identity(5);
+  auto records = provePointer(g, ids, 2);
+  // Claim the root is id 777 (absent) on every edge.
+  for (auto& r : records) r.rootId = 777;
+  const auto res =
+      simulateEdgeScheme(g, ids, encodePointer(records), pointerEdgeVerifier());
+  EXPECT_FALSE(res.allAccept);
+}
+
+// --- Prop 2.1 transform ---
+
+TEST(Transform, PointerSchemeSurvivesEdgeToVertexTransform) {
+  for (const Graph& g : {cycleGraph(10), gridGraph(3, 4), caterpillar(5, 2)}) {
+    const auto ids = IdAssignment::random(g.numVertices(), 7);
+    const auto edgeLabels = encodePointer(provePointer(g, ids, 0));
+    const auto vertexLabels = edgeLabelsToVertexLabels(g, ids, edgeLabels);
+    const auto res = simulateVertexScheme(
+        g, ids, vertexLabels, liftEdgeVerifier(pointerEdgeVerifier()));
+    EXPECT_TRUE(res.allAccept) << g.summary();
+  }
+}
+
+TEST(Transform, LabelBlowupBoundedByDegeneracy) {
+  const Graph g = caterpillar(10, 3);  // degeneracy 1
+  const auto ids = IdAssignment::random(g.numVertices(), 8);
+  const auto edgeLabels = encodePointer(provePointer(g, ids, 0));
+  const auto vertexLabels = edgeLabelsToVertexLabels(g, ids, edgeLabels);
+  std::size_t maxEdge = 0;
+  for (const auto& l : edgeLabels) maxEdge = std::max(maxEdge, l.size());
+  std::size_t maxVertex = 0;
+  for (const auto& l : vertexLabels) maxVertex = std::max(maxVertex, l.size());
+  // Degeneracy 1: each vertex holds at most one edge label plus two ids.
+  EXPECT_LE(maxVertex, maxEdge + 2 * 10 + 2);
+}
+
+TEST(Transform, MutationSoundness) {
+  Rng rng(5);
+  const Graph g = gridGraph(3, 3);
+  const auto ids = IdAssignment::random(9, 11);
+  const auto honest = edgeLabelsToVertexLabels(
+      g, ids, encodePointer(provePointer(g, ids, 0)));
+  int rejected = 0;
+  int applied = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    auto labels = honest;
+    if (!mutateLabels(labels, static_cast<Mutation>(trial % 5), rng)) continue;
+    ++applied;
+    const auto res = simulateVertexScheme(g, ids, labels,
+                                          liftEdgeVerifier(pointerEdgeVerifier()));
+    if (!res.allAccept) ++rejected;
+  }
+  EXPECT_GT(rejected * 10, applied * 7) << rejected << "/" << applied;
+}
+
+// --- Classic schemes ---
+
+TEST(Classic, BipartiteCompleteness) {
+  for (const Graph& g : {pathGraph(8), cycleGraph(6), gridGraph(3, 4),
+                         starGraph(5)}) {
+    const auto ids = IdAssignment::identity(g.numVertices());
+    const auto res =
+        simulateVertexScheme(g, ids, proveBipartite(g), bipartiteVerifier());
+    EXPECT_TRUE(res.allAccept) << g.summary();
+    EXPECT_EQ(res.maxLabelBits, 8u);  // one byte, conceptually one bit
+  }
+}
+
+TEST(Classic, BipartiteSoundnessOnOddCycle) {
+  // No labeling can make an odd cycle accepted.
+  const Graph g = cycleGraph(5);
+  const auto ids = IdAssignment::identity(5);
+  Rng rng(17);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<std::string> labels;
+    for (int v = 0; v < 5; ++v) {
+      labels.push_back(rng.flip(0.5) ? std::string("\1", 1) : std::string("\0", 1));
+    }
+    EXPECT_FALSE(simulateVertexScheme(g, ids, labels, bipartiteVerifier()).allAccept);
+  }
+}
+
+TEST(Classic, TrivialSchemeDecidesAnything) {
+  Rng rng(23);
+  const Graph g = randomConnected(12, 0.25, rng);
+  const auto ids = IdAssignment::random(12, 5);
+  const auto labels = proveTrivial(g, ids);
+  const auto yes = simulateVertexScheme(
+      g, ids, labels, trivialVerifier([&g](const Graph& h) {
+        return h.numEdges() == g.numEdges();
+      }));
+  EXPECT_TRUE(yes.allAccept);
+  const auto no = simulateVertexScheme(
+      g, ids, labels,
+      trivialVerifier([](const Graph&) { return false; }));
+  EXPECT_FALSE(no.allAccept);
+}
+
+TEST(Classic, TrivialSchemeRejectsWrongMap) {
+  // Labels describing a DIFFERENT graph (one edge dropped) must be caught
+  // by some vertex's degree check.
+  const Graph g = cycleGraph(6);
+  Graph h = pathGraph(6);  // same vertices, one edge fewer
+  const auto ids = IdAssignment::identity(6);
+  const auto labels = proveTrivial(h, ids);
+  const auto res = simulateVertexScheme(
+      g, ids, labels, trivialVerifier([](const Graph&) { return true; }));
+  EXPECT_FALSE(res.allAccept);
+}
+
+TEST(Mutations, AllKindsApplicable) {
+  Rng rng(1);
+  std::vector<std::string> labels = {"aaaa", "bbbb", "cc"};
+  int ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto copy = labels;
+    ok += mutateLabels(copy, static_cast<Mutation>(i % 5), rng);
+  }
+  EXPECT_GT(ok, 30);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -1,0 +1,111 @@
+// Tests for the tree-decomposition substrate: validity, the balancing
+// transformation (depth O(log n), width <= 3(w+1) - 1), and the contrast
+// that motivates the paper (tree decompositions force Ω(log n) depth while
+// the paper's hierarchical decompositions have depth <= 2w).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "klane/hierarchy.hpp"
+#include "lane/embedding.hpp"
+#include "lanewidth/lanewidth.hpp"
+#include "pathwidth/pathwidth.hpp"
+#include "treewidth/tree_decomposition.hpp"
+
+namespace lanecert {
+namespace {
+
+PathDecomposition pdOf(const Graph& g) {
+  return toPathDecomposition(bestIntervalRepresentation(g));
+}
+
+TEST(TreeDecomposition, PathShapedIsValid) {
+  for (const Graph& g : {pathGraph(12), cycleGraph(9), caterpillar(5, 2)}) {
+    const auto pd = pdOf(g);
+    const TreeDecomposition td = fromPathDecomposition(pd);
+    EXPECT_TRUE(td.isValidFor(g)) << g.summary();
+    EXPECT_EQ(td.width(), pd.width()) << g.summary();
+    EXPECT_EQ(td.depth(), static_cast<int>(pd.numBags())) << g.summary();
+  }
+}
+
+TEST(TreeDecomposition, ValidityCatchesViolations) {
+  const Graph g = pathGraph(3);
+  // Missing vertex 2.
+  EXPECT_FALSE(TreeDecomposition({{0, 1}}, {-1}).isValidFor(g));
+  // Edge {1,2} in no bag.
+  EXPECT_FALSE(TreeDecomposition({{0, 1}, {2}}, {-1, 0}).isValidFor(g));
+  // Vertex 0's occurrences disconnected (bags 0 and 2, absent from bag 1).
+  EXPECT_FALSE(
+      TreeDecomposition({{0, 1}, {1, 2}, {0, 2}}, {-1, 0, 1}).isValidFor(g));
+  // A proper decomposition passes.
+  EXPECT_TRUE(TreeDecomposition({{0, 1}, {1, 2}}, {-1, 0}).isValidFor(g));
+}
+
+TEST(TreeDecomposition, BalancedIsValidAndShallow) {
+  for (const Graph& g :
+       {pathGraph(100), cycleGraph(64), caterpillar(40, 1), gridGraph(2, 30)}) {
+    const auto pd = pdOf(g);
+    const TreeDecomposition td = balancedFromPath(pd);
+    EXPECT_TRUE(td.isValidFor(g)) << g.summary();
+    // Width blow-up at most 3x (in bag-size terms).
+    EXPECT_LE(td.width(), 3 * (pd.width() + 1) - 1) << g.summary();
+    // Depth O(log #bags).
+    const int logBags =
+        static_cast<int>(std::ceil(std::log2(static_cast<double>(pd.numBags())))) + 2;
+    EXPECT_LE(td.depth(), logBags) << g.summary() << " depth " << td.depth();
+  }
+}
+
+TEST(TreeDecomposition, BalancedSweep) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const auto bp = randomBoundedPathwidth(60, 2, 0.5, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const auto pd = toPathDecomposition(rep);
+    const TreeDecomposition td = balancedFromPath(pd);
+    EXPECT_TRUE(td.isValidFor(bp.graph)) << "seed " << seed;
+    EXPECT_LE(td.width(), 3 * (pd.width() + 1) - 1) << "seed " << seed;
+  }
+}
+
+TEST(TreeDecomposition, GenericConstructor) {
+  Rng rng(4);
+  const Graph g = randomConnected(14, 0.25, rng);
+  const TreeDecomposition td = treeDecompositionOf(g);
+  EXPECT_TRUE(td.isValidFor(g));
+}
+
+TEST(TreeDecomposition, DepthContrastWithHierarchy) {
+  // The structural point of Section 3: balanced TREE decompositions have
+  // depth Θ(log n) (growing with n), while the paper's hierarchical
+  // decompositions have depth <= 2w (CONSTANT in n).  Measure both on the
+  // same pathwidth-1 family at two sizes.
+  auto depths = [](int spine) {
+    const Graph g = caterpillar(spine, 1);
+    const auto rep = bestIntervalRepresentation(g);
+    const auto pd = toPathDecomposition(rep);
+    const int tdDepth = balancedFromPath(pd).depth();
+    const LanePlan plan = buildLanePlan(g, rep);
+    const auto seq = buildConstruction(g, rep, plan.lanes);
+    const int hierDepth = buildHierarchy(seq).hierarchy.depth();
+    return std::make_pair(tdDepth, hierDepth);
+  };
+  const auto [tdSmall, hierSmall] = depths(16);
+  const auto [tdLarge, hierLarge] = depths(512);
+  EXPECT_GT(tdLarge, tdSmall);        // tree decomposition depth grows
+  EXPECT_EQ(hierLarge, hierSmall);    // hierarchy depth does not
+}
+
+TEST(TreeDecomposition, ToStringListsBags) {
+  const TreeDecomposition td({{0, 1}, {1, 2}}, {-1, 0});
+  const std::string s = td.toString();
+  EXPECT_NE(s.find("parent -1"), std::string::npos);
+  EXPECT_NE(s.find("{1, 2}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lanecert
