@@ -1,8 +1,15 @@
 // Experiment E4: prover and verifier running time vs n at fixed k.
 // Both should scale near-linearly (the per-vertex verifier does constant
 // work for fixed k; the prover is dominated by the Prop 4.6/5.6 pipeline).
+//
+// BM_VerifierThreads adds the parallel dimension: the verifier is strictly
+// local, so the sweep shards vertices over a thread pool and should scale
+// near-linearly in cores (see bench/README.md for the measurement recipe).
 
 #include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
 
 #include "core/scheme.hpp"
 #include "graph/generators.hpp"
@@ -51,16 +58,35 @@ void BM_Verifier(benchmark::State& state) {
 BENCHMARK(BM_Verifier)->RangeMultiplier(4)->Range(64, 4096)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
+void BM_VerifierThreads(benchmark::State& state) {
+  // Fixed n, sweeping the numThreads knob: per-vertex checks are
+  // independent, so throughput should scale near-linearly in cores.
+  const auto inst = instance(2, 4096);
+  const auto proved = proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep);
+  const auto verifier = makeCoreVerifier(makeConnectivity());
+  const SimulationOptions opts{static_cast<int>(state.range(0))};
+  for (auto _ : state) {
+    const auto res =
+        simulateEdgeScheme(inst.g, inst.ids, proved.labels, verifier, opts);
+    benchmark::DoNotOptimize(res.allAccept);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_VerifierThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_SingleVertexVerification(benchmark::State& state) {
   // The cost of ONE vertex's local check (what a real processor pays).
   const auto inst = instance(2, 1024);
   const auto proved = proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep);
   const auto verifier = makeCoreVerifier(makeConnectivity());
+  std::vector<std::string_view> incident;
+  for (const Arc& a : inst.g.arcs(0)) {
+    incident.push_back(proved.labels[static_cast<std::size_t>(a.edge)]);
+  }
   EdgeView view;
   view.selfId = inst.ids.id(0);
-  for (const Arc& a : inst.g.arcs(0)) {
-    view.incidentLabels.push_back(proved.labels[static_cast<std::size_t>(a.edge)]);
-  }
+  view.incidentLabels = incident;
   for (auto _ : state) {
     benchmark::DoNotOptimize(verifier(view));
   }

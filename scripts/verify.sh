@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + ctest + a 1-iteration smoke of
+# every benchmark binary.  Usage: scripts/verify.sh [extra cmake args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S . "$@"
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+# Benchmark smoke: every suite must start, register, and execute at least
+# one benchmark.  Filter to the smallest size arguments and cap measuring
+# time so this stays seconds, not minutes, per binary.
+shopt -s nullglob
+benches=(build/bench_*)
+if [ "${#benches[@]}" -eq 0 ]; then
+  echo "verify.sh: no benchmark binaries (google-benchmark absent?); skipping smoke"
+else
+  for b in "${benches[@]}"; do
+    [ -x "$b" ] || continue
+    echo "--- smoke: $b"
+    "$b" --benchmark_min_time=0.001 \
+         --benchmark_filter='/(0|1|10|16|50|64|100|200)$|/1/real_time$|^[^/]+$' >/dev/null
+  done
+fi
+
+echo "verify.sh: OK"

@@ -258,7 +258,7 @@ FmrtResult proveFmrt(const Graph& g, const IdAssignment& ids,
 VertexVerifier makeFmrtVerifier(PropertyPtr prop) {
   return [prop = std::move(prop)](const VertexView& view) -> bool {
     try {
-      auto parse = [](const std::string& bytes) {
+      auto parse = [](std::string_view bytes) {
         Decoder dec(bytes);
         const std::uint64_t n = dec.u64();
         if (n == 0 || n > 64) throw DecodeError{};
@@ -318,7 +318,7 @@ VertexVerifier makeFmrtVerifier(PropertyPtr prop) {
       // Neighbor agreement on shared tree nodes.
       std::map<std::pair<int, int>, std::string> seen;
       for (const TreeRec& r : own) seen[{r.lo, r.hi}] = r.encoded();
-      for (const std::string& nl : view.neighborLabels) {
+      for (std::string_view nl : view.neighborLabels) {
         for (const TreeRec& r : parse(nl)) {
           const auto it = seen.find({r.lo, r.hi});
           if (it != seen.end() && it->second != r.encoded()) return false;

@@ -225,7 +225,7 @@ std::string EdgeLabel::encoded() const {
   return enc.take();
 }
 
-EdgeLabel EdgeLabel::decode(const std::string& bytes) {
+EdgeLabel EdgeLabel::decode(std::string_view bytes) {
   Decoder dec(bytes);
   EdgeLabel l;
   l.own = EdgeCert::decodeFrom(dec);
@@ -234,6 +234,30 @@ EdgeLabel EdgeLabel::decode(const std::string& bytes) {
   checkLen(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     l.through.push_back(PathThrough::decodeFrom(dec));
+  }
+  if (!dec.atEnd()) throw DecodeError{};
+  return l;
+}
+
+PathThroughView PathThroughView::decodeFrom(Decoder& dec) {
+  PathThroughView p;
+  p.uId = dec.u64();
+  p.vId = dec.u64();
+  p.fwdRank = dec.u64();
+  p.bwdRank = dec.u64();
+  p.payload = dec.bytesView();
+  return p;
+}
+
+EdgeLabelView EdgeLabelView::decode(std::string_view bytes) {
+  Decoder dec(bytes);
+  EdgeLabelView l;
+  l.own = EdgeCert::decodeFrom(dec);
+  l.pointer = PointerRecord::decodeFrom(dec);
+  const std::uint64_t n = dec.u64();
+  checkLen(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    l.through.push_back(PathThroughView::decodeFrom(dec));
   }
   if (!dec.atEnd()) throw DecodeError{};
   return l;

@@ -89,6 +89,9 @@ struct ChainEntry {
 
   void encodeTo(Encoder& enc) const;
   static ChainEntry decodeFrom(Decoder& dec);
+  /// Structural equality; encodeTo is deterministic and injective, so this
+  /// agrees with comparing encodings (the verifier relies on that).
+  friend bool operator==(const ChainEntry&, const ChainEntry&) = default;
 };
 
 /// Certificate of one completion edge.
@@ -126,7 +129,35 @@ struct EdgeLabel {
   std::vector<PathThrough> through;
 
   [[nodiscard]] std::string encoded() const;
-  static EdgeLabel decode(const std::string& bytes);
+  /// Decodes from a borrowed byte view (zero-copy; nested records still own
+  /// their payload strings, so the result does not alias `bytes`).
+  static EdgeLabel decode(std::string_view bytes);
+};
+
+/// PathThrough decoded WITHOUT copying its payload: the view borrows the
+/// label bytes.  Payloads dominate label size (every virtual edge's full
+/// certificate rides through h real edges), yet an endpoint only ever
+/// decodes the few payloads whose path starts or ends at it — so the
+/// verifier must not pay a heap copy per record per endpoint.
+struct PathThroughView {
+  std::uint64_t uId = 0;
+  std::uint64_t vId = 0;
+  std::uint64_t fwdRank = 0;
+  std::uint64_t bwdRank = 0;
+  std::string_view payload;  ///< borrows the decoder's buffer
+
+  static PathThroughView decodeFrom(Decoder& dec);
+};
+
+/// Verifier-side zero-copy decode of an EdgeLabel: `through` payloads alias
+/// `bytes`, which must stay alive while the view is used (the simulators'
+/// label store guarantees that for the duration of a vertex check).
+struct EdgeLabelView {
+  EdgeCert own;
+  PointerRecord pointer;
+  std::vector<PathThroughView> through;
+
+  static EdgeLabelView decode(std::string_view bytes);
 };
 
 }  // namespace lanecert

@@ -7,21 +7,24 @@ namespace lanecert {
 CoreRunResult proveAndVerifyEdges(const Graph& g, const IdAssignment& ids,
                                   PropertyPtr prop,
                                   const IntervalRepresentation* rep,
-                                  CoreVerifierParams params) {
+                                  CoreVerifierParams params,
+                                  const SimulationOptions& options) {
   CoreRunResult out;
   CoreProveResult proved = proveCore(g, ids, *prop, rep);
   out.propertyHolds = proved.propertyHolds;
   out.stats = proved.stats;
   if (!proved.propertyHolds) return out;
   out.sim = simulateEdgeScheme(g, ids, proved.labels,
-                               makeCoreVerifier(std::move(prop), params));
+                               makeCoreVerifier(std::move(prop), params),
+                               options);
   return out;
 }
 
 CoreRunResult proveAndVerifyVertices(const Graph& g, const IdAssignment& ids,
                                      PropertyPtr prop,
                                      const IntervalRepresentation* rep,
-                                     CoreVerifierParams params) {
+                                     CoreVerifierParams params,
+                                     const SimulationOptions& options) {
   CoreRunResult out;
   CoreProveResult proved = proveCore(g, ids, *prop, rep);
   out.propertyHolds = proved.propertyHolds;
@@ -30,7 +33,7 @@ CoreRunResult proveAndVerifyVertices(const Graph& g, const IdAssignment& ids,
   const auto vertexLabels = edgeLabelsToVertexLabels(g, ids, proved.labels);
   out.sim = simulateVertexScheme(
       g, ids, vertexLabels,
-      liftEdgeVerifier(makeCoreVerifier(std::move(prop), params)));
+      liftEdgeVerifier(makeCoreVerifier(std::move(prop), params)), options);
   return out;
 }
 

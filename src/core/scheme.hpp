@@ -22,14 +22,18 @@ struct CoreRunResult {
 /// Proves and verifies with EDGE labels.  When the property fails, `sim` is
 /// left empty and `propertyHolds` is false (no labeling exists; soundness
 /// of that claim is exercised separately by the adversarial tests).
+/// `options` shards the verification sweep over threads; results are
+/// identical for every thread count.
 [[nodiscard]] CoreRunResult proveAndVerifyEdges(
     const Graph& g, const IdAssignment& ids, PropertyPtr prop,
-    const IntervalRepresentation* rep = nullptr, CoreVerifierParams params = {});
+    const IntervalRepresentation* rep = nullptr, CoreVerifierParams params = {},
+    const SimulationOptions& options = {});
 
 /// Same, but labels are moved to vertices via the degeneracy orientation
 /// (Prop 2.1) and verified by the lifted vertex verifier.
 [[nodiscard]] CoreRunResult proveAndVerifyVertices(
     const Graph& g, const IdAssignment& ids, PropertyPtr prop,
-    const IntervalRepresentation* rep = nullptr, CoreVerifierParams params = {});
+    const IntervalRepresentation* rep = nullptr, CoreVerifierParams params = {},
+    const SimulationOptions& options = {});
 
 }  // namespace lanecert

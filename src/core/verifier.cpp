@@ -1,14 +1,14 @@
 #include "core/verifier.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
-#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/algebra.hpp"
 #include "core/records.hpp"
 #include "lane/bounds.hpp"
 #include "pls/pointer.hpp"
+#include "runtime/flat_map.hpp"
 
 namespace lanecert {
 
@@ -20,23 +20,59 @@ constexpr std::uint8_t kTypeP = 2;
 constexpr std::uint8_t kTypeB = 3;
 constexpr std::uint8_t kTypeT = 4;
 
-std::string encodeSummary(const SummaryRec& r) {
-  Encoder enc;
-  r.encodeTo(enc);
-  return enc.take();
-}
-
 /// Reject helper: checks are expressed as `require(cond)`.
 void require(bool cond) {
   if (!cond) throw DecodeError{};
 }
 
-/// Per-vertex verification context.
+/// Reusable per-thread buffers: a vertex check decodes every incident label
+/// once into `labels` and tracks all cross-certificate state in flat
+/// containers, so after the first few vertices a sweep stops allocating.
+/// Records referenced by pointer (summaries, chain entries) live in
+/// `labels` / `virtualCerts`, which are fully built before validation
+/// starts and stable until the next run.
+struct VerifierScratch {
+  std::vector<EdgeLabelView> labels;
+  std::vector<PointerRecord> pointers;
+  std::vector<EdgeCert> virtualCerts;
+  FlatMap<std::int64_t, const SummaryRec*> nodeSum;  ///< nodeId -> B(node)
+  FlatMap<std::int64_t, const SummaryRec*> tmSum;    ///< nodeId -> B(TM(subtree))
+  /// Per T-node: childId -> one representative T entry (chain-derived).
+  FlatMap<std::int64_t, FlatMap<std::int64_t, const ChainEntry*>> heldChildren;
+  /// Every T entry seen anywhere (chains + root entries), for gluing checks.
+  std::vector<const ChainEntry*> allTreeEntries;
+  /// Per B-node id: the unique chain-lower node id entering it (one part).
+  FlatMap<std::int64_t, std::int64_t> bridgeLower;
+  /// Per node id: entries already fully validated at this vertex.  Chains
+  /// of different incident edges share their upper T/B entries, so most
+  /// validateEntry calls are byte-identical repeats — replaying the lane
+  /// algebra for them is pure waste.
+  FlatMap<std::int64_t, std::vector<const ChainEntry*>> validatedEntries;
+  std::vector<int> laneScratch;
+
+  void reset() {
+    labels.clear();
+    pointers.clear();
+    virtualCerts.clear();
+    nodeSum.clear();
+    tmSum.clear();
+    heldChildren.clear();
+    allTreeEntries.clear();
+    bridgeLower.clear();
+    validatedEntries.clear();
+    laneScratch.clear();
+  }
+};
+
+/// Per-vertex verification context.  The LaneAlgebra is shared across all
+/// vertices (and threads) of a sweep; it is stateless beyond the property.
 class Checker {
  public:
-  Checker(const Property& prop, const CoreVerifierParams& params,
-          const EdgeView& view)
-      : alg_(prop), params_(params), view_(view) {}
+  Checker(const LaneAlgebra& alg, const CoreVerifierParams& params,
+          const EdgeView& view, VerifierScratch& scratch)
+      : alg_(alg), params_(params), view_(view), s_(scratch) {
+    s_.reset();
+  }
 
   bool run();
 
@@ -44,28 +80,20 @@ class Checker {
   void validateSummaryCommon(const SummaryRec& s) const;
   void validateEntry(const ChainEntry& e);
   void validateCert(const EdgeCert& cert, bool isVirtual);
-  void reconstructVirtualEdges(const std::vector<EdgeLabel>& labels);
+  void reconstructVirtualEdges(const std::vector<EdgeLabelView>& labels);
   void recordNodeSummary(const SummaryRec& s);
   void recordTmSummary(const SummaryRec& s);
   void topologyChecks();
 
-  LaneAlgebra alg_;
+  const LaneAlgebra& alg_;
   const CoreVerifierParams& params_;
   const EdgeView& view_;
+  VerifierScratch& s_;
 
-  std::vector<EdgeCert> certs_;           ///< own + reconstructed virtual
-  std::vector<bool> certIsVirtual_;
-  std::map<std::int64_t, std::string> nodeSum_;  ///< nodeId -> B(node) bytes
-  std::map<std::int64_t, std::string> tmSum_;    ///< nodeId -> B(TM(subtree)) bytes
-  /// Per T-node: childId -> one representative T entry (chain-derived).
-  std::map<std::int64_t, std::map<std::int64_t, const ChainEntry*>> heldChildren_;
-  /// Every T entry seen anywhere (chains + root entries), for gluing checks.
-  std::vector<const ChainEntry*> allTreeEntries_;
-  /// Per B-node id: the set of chain-lower node ids entering it.
-  std::map<std::int64_t, std::set<std::int64_t>> bridgeLowers_;
+  bool bridgeConflict_ = false;   ///< two chain parts entered one B-node
   std::int64_t rootTNode_ = -1;
   std::int64_t rootChildNode_ = -1;
-  std::string rootEntryBytes_;
+  const ChainEntry* rootEntry_ = nullptr;
 };
 
 void Checker::validateSummaryCommon(const SummaryRec& s) const {
@@ -77,17 +105,29 @@ void Checker::validateSummaryCommon(const SummaryRec& s) const {
 
 void Checker::recordNodeSummary(const SummaryRec& s) {
   validateSummaryCommon(s);
-  const auto [it, inserted] = nodeSum_.emplace(s.nodeId, encodeSummary(s));
-  if (!inserted) require(it->second == encodeSummary(s));
+  const auto [slot, inserted] = s_.nodeSum.tryEmplace(s.nodeId, &s);
+  if (!inserted) require(**slot == s);
 }
 
 void Checker::recordTmSummary(const SummaryRec& s) {
   validateSummaryCommon(s);
-  const auto [it, inserted] = tmSum_.emplace(s.nodeId, encodeSummary(s));
-  if (!inserted) require(it->second == encodeSummary(s));
+  const auto [slot, inserted] = s_.tmSum.tryEmplace(s.nodeId, &s);
+  if (!inserted) require(**slot == s);
 }
 
 void Checker::validateEntry(const ChainEntry& e) {
+  // Validation is a deterministic pure function of the entry bytes (plus
+  // the shared algebra), so a structurally identical entry that already
+  // passed at this vertex needs no recomputation — only the bookkeeping
+  // side effect (tree entries feed the gluing checks) is replayed.
+  std::vector<const ChainEntry*>& seen =
+      *s_.validatedEntries.tryEmplace(e.self.nodeId, {}).first;
+  for (const ChainEntry* p : seen) {
+    if (*p == e) {
+      if (e.kind == ChainEntry::Kind::kTree) s_.allTreeEntries.push_back(&e);
+      return;
+    }
+  }
   recordNodeSummary(e.self);
   switch (e.kind) {
     case ChainEntry::Kind::kBaseE: {
@@ -159,14 +199,15 @@ void Checker::validateEntry(const ChainEntry& e) {
       // child's out-terminals; the fold replays the Parent-merges.
       NodeData cur = alg_.fromSummary(e.childSelf);
       int prevMinLane = -1;
-      std::set<int> used;
+      std::vector<int>& used = s_.laneScratch;
+      used.clear();
       for (const SummaryRec& d : e.treeChildren) {
         require(d.type == kTypeE || d.type == kTypeP || d.type == kTypeB);
         recordTmSummary(d);
         require(d.lanes[0] > prevMinLane);  // sorted fold order
         prevMinLane = d.lanes[0];
         for (int lane : d.lanes) {
-          require(used.insert(lane).second);  // siblings disjoint
+          used.push_back(lane);
           require(std::binary_search(e.childSelf.lanes.begin(),
                                      e.childSelf.lanes.end(), lane));
           // Gluing: the child's in-terminal IS c's out-terminal.
@@ -174,6 +215,9 @@ void Checker::validateEntry(const ChainEntry& e) {
         }
         cur = alg_.parentMerge(alg_.fromSummary(d), cur);
       }
+      // Sibling lane sets pairwise disjoint.
+      std::sort(used.begin(), used.end());
+      require(std::adjacent_find(used.begin(), used.end()) == used.end());
       require(cur.state.encoding() == e.subtree.stateBytes);
       require(cur.slots == e.subtree.slotOrder);
       require(cur.outTerm == e.subtree.outTerm);
@@ -185,10 +229,11 @@ void Checker::validateEntry(const ChainEntry& e) {
         require(e.self.slotOrder == e.subtree.slotOrder);
         require(e.self.stateBytes == e.subtree.stateBytes);
       }
-      allTreeEntries_.push_back(&e);
+      s_.allTreeEntries.push_back(&e);
       break;
     }
   }
+  seen.push_back(&e);
 }
 
 void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
@@ -205,9 +250,7 @@ void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
     require(!isVirtual);  // own certificates are validated first
     rootTNode_ = cert.rootTNode;
     rootChildNode_ = cert.rootChildNode;
-    Encoder enc;
-    cert.rootEntry.encodeTo(enc);
-    rootEntryBytes_ = enc.take();
+    rootEntry_ = &cert.rootEntry;
     require(cert.rootEntry.kind == ChainEntry::Kind::kTree);
     require(cert.rootEntry.self.nodeId == rootTNode_);
     require(cert.rootEntry.childId == rootChildNode_);
@@ -219,9 +262,7 @@ void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
     require(cert.rootTNode == rootTNode_);
     require(cert.rootChildNode == rootChildNode_);
     if (cert.hasRootEntry) {
-      Encoder enc;
-      cert.rootEntry.encodeTo(enc);
-      require(enc.str() == rootEntryBytes_);
+      require(cert.rootEntry == *rootEntry_);
     }
   }
 
@@ -251,34 +292,38 @@ void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
     const ChainEntry& lower = cert.chain[i - 1];
     if (upper.kind == ChainEntry::Kind::kTree) {
       require(upper.childId == lower.self.nodeId);
-      require(encodeSummary(upper.childSelf) == encodeSummary(lower.self));
-      heldChildren_[upper.self.nodeId][upper.childId] = &upper;
+      require(upper.childSelf == lower.self);
+      s_.heldChildren.tryEmplace(upper.self.nodeId, {})
+          .first->insertOrAssign(upper.childId, &upper);
     } else {  // kBridge
       const bool inPart0 = lower.self.nodeId == upper.part0.nodeId;
       const bool inPart1 = lower.self.nodeId == upper.part1.nodeId;
       require(inPart0 || inPart1);
       const SummaryRec& part = inPart0 ? upper.part0 : upper.part1;
-      require(encodeSummary(part) == encodeSummary(lower.self));
-      bridgeLowers_[upper.self.nodeId].insert(lower.self.nodeId);
+      require(part == lower.self);
+      const auto [firstLower, inserted] =
+          s_.bridgeLower.tryEmplace(upper.self.nodeId, lower.self.nodeId);
+      if (!inserted && *firstLower != lower.self.nodeId) bridgeConflict_ = true;
     }
   }
 
   // Owner-entry binding to this physical/reconstructed edge.
   const ChainEntry& owner = cert.chain[0];
-  const std::set<std::uint64_t> ends{cert.endA, cert.endB};
+  const auto sameEnds = [&cert](std::uint64_t a, std::uint64_t b) {
+    return (cert.endA == a && cert.endB == b) ||
+           (cert.endA == b && cert.endB == a);
+  };
   switch (owner.kind) {
     case ChainEntry::Kind::kBaseE: {
       const int lane = owner.self.lanes[0];
-      require(ends == std::set<std::uint64_t>{owner.self.inTerm.at(lane),
-                                              owner.self.outTerm.at(lane)});
+      require(sameEnds(owner.self.inTerm.at(lane), owner.self.outTerm.at(lane)));
       require(owner.eReal == cert.real);
       break;
     }
     case ChainEntry::Kind::kBaseP: {
       bool found = false;
       for (std::size_t i = 0; i + 1 < owner.self.slotOrder.size(); ++i) {
-        if (ends == std::set<std::uint64_t>{owner.self.slotOrder[i],
-                                            owner.self.slotOrder[i + 1]}) {
+        if (sameEnds(owner.self.slotOrder[i], owner.self.slotOrder[i + 1])) {
           require(owner.pReal[i] == cert.real);
           found = true;
         }
@@ -287,9 +332,8 @@ void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
       break;
     }
     case ChainEntry::Kind::kBridge: {
-      require(ends ==
-              std::set<std::uint64_t>{owner.part0.outTerm.at(owner.laneI),
-                                      owner.part1.outTerm.at(owner.laneJ)});
+      require(sameEnds(owner.part0.outTerm.at(owner.laneI),
+                       owner.part1.outTerm.at(owner.laneJ)));
       require(owner.bridgeReal == cert.real);
       break;
     }
@@ -298,32 +342,45 @@ void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
   }
 }
 
-void Checker::reconstructVirtualEdges(const std::vector<EdgeLabel>& labels) {
+void Checker::reconstructVirtualEdges(const std::vector<EdgeLabelView>& labels) {
+  // Group PathThrough records by virtual edge (uId, vId).  Groups are
+  // processed in ascending key order and, within a group, in label order,
+  // so the reconstructed certificate order is deterministic.
   struct Rec {
-    std::size_t labelIdx;
-    const PathThrough* p;
+    std::pair<std::uint64_t, std::uint64_t> key;
+    const PathThroughView* p;
   };
-  std::map<std::pair<std::uint64_t, std::uint64_t>, std::vector<Rec>> groups;
-  for (std::size_t li = 0; li < labels.size(); ++li) {
+  std::vector<Rec> recs;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> seenHere;
+  for (const EdgeLabelView& label : labels) {
+    const std::vector<PathThroughView>& through = label.through;
     if (params_.maxThrough > 0) {
-      require(labels[li].through.size() <=
-              static_cast<std::size_t>(params_.maxThrough));
+      require(through.size() <= static_cast<std::size_t>(params_.maxThrough));
     }
-    std::set<std::pair<std::uint64_t, std::uint64_t>> seenHere;
-    for (const PathThrough& p : labels[li].through) {
-      require(seenHere.emplace(p.uId, p.vId).second);  // one per path per edge
-      groups[{p.uId, p.vId}].push_back(Rec{li, &p});
+    seenHere.clear();
+    for (const PathThroughView& p : through) {
+      seenHere.emplace_back(p.uId, p.vId);
+      recs.push_back(Rec{{p.uId, p.vId}, &p});
     }
+    // One record per virtual edge per label; labels are adversarial, so
+    // this must stay O(t log t), not pairwise.
+    std::sort(seenHere.begin(), seenHere.end());
+    require(std::adjacent_find(seenHere.begin(), seenHere.end()) ==
+            seenHere.end());
   }
-  for (const auto& [key, recs] : groups) {
-    const auto& [uId, vId] = key;
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Rec& a, const Rec& b) { return a.key < b.key; });
+  for (std::size_t lo = 0; lo < recs.size();) {
+    std::size_t hi = lo + 1;
+    while (hi < recs.size() && recs[hi].key == recs[lo].key) ++hi;
+    const auto [uId, vId] = recs[lo].key;
     require(uId != vId);
-    require(recs.size() <= 2);
-    const PathThrough& first = *recs[0].p;
+    require(hi - lo <= 2);
+    const PathThroughView& first = *recs[lo].p;
     require(first.fwdRank >= 1 && first.bwdRank >= 1);
     require(first.fwdRank + first.bwdRank >= 3);  // path length >= 2 edges
-    if (recs.size() == 2) {
-      const PathThrough& second = *recs[1].p;
+    if (hi - lo == 2) {
+      const PathThroughView& second = *recs[lo + 1].p;
       require(second.payload == first.payload);
       require(second.fwdRank + second.bwdRank == first.fwdRank + first.bwdRank);
       const std::uint64_t a = std::min(first.fwdRank, second.fwdRank);
@@ -331,6 +388,7 @@ void Checker::reconstructVirtualEdges(const std::vector<EdgeLabel>& labels) {
       require(b == a + 1);
       // An intermediate vertex of a simple path is not an endpoint.
       require(view_.selfId != uId && view_.selfId != vId);
+      lo = hi;
       continue;
     }
     // Single record: this vertex must be one endpoint of the path.
@@ -338,45 +396,52 @@ void Checker::reconstructVirtualEdges(const std::vector<EdgeLabel>& labels) {
     const bool atV = first.bwdRank == 1;
     require(atU != atV);
     require((atU && view_.selfId == uId) || (atV && view_.selfId == vId));
-    Decoder dec(first.payload);
+    Decoder dec(std::string_view(first.payload));
     EdgeCert cert = EdgeCert::decodeFrom(dec);
     require(dec.atEnd());
-    require(std::set<std::uint64_t>{cert.endA, cert.endB} ==
-            std::set<std::uint64_t>{uId, vId});
-    certs_.push_back(std::move(cert));
-    certIsVirtual_.push_back(true);
+    require((cert.endA == uId && cert.endB == vId) ||
+            (cert.endA == vId && cert.endB == uId));
+    s_.virtualCerts.push_back(std::move(cert));
+    lo = hi;
   }
 }
 
 void Checker::topologyChecks() {
   // B-node: all chains entering it at this vertex stay in one part.
-  for (const auto& [bId, lowers] : bridgeLowers_) {
-    require(lowers.size() <= 1);
-  }
+  require(!bridgeConflict_);
   // T-nodes: gluing structure of the held children.
-  // Collect held entries per T-node (including the root entry, which may
+  // Group held entries per T-node (including the root entry, which may
   // list gluings at this vertex even when no chain passes through the root
-  // child — the w = 1 P-node case).
-  std::map<std::int64_t, std::vector<const ChainEntry*>> treeEntriesByNode;
-  for (const ChainEntry* e : allTreeEntries_) {
-    treeEntriesByNode[e->self.nodeId].push_back(e);
-  }
-  for (const auto& [xId, entries] : treeEntriesByNode) {
-    const auto held = heldChildren_.find(xId);
+  // child — the w = 1 P-node case).  Grouped by ascending node id; entries
+  // keep discovery order within a node.
+  std::vector<const ChainEntry*>& grouped = s_.allTreeEntries;
+  std::stable_sort(grouped.begin(), grouped.end(),
+                   [](const ChainEntry* a, const ChainEntry* b) {
+                     return a->self.nodeId < b->self.nodeId;
+                   });
+  for (std::size_t lo = 0; lo < grouped.size();) {
+    const std::int64_t xId = grouped[lo]->self.nodeId;
+    std::size_t hi = lo + 1;
+    while (hi < grouped.size() && grouped[hi]->self.nodeId == xId) ++hi;
+    const auto* held = s_.heldChildren.find(xId);
     // (a) Declared gluings at this vertex must point to held children, and
     //     they connect the held children.
-    std::map<std::int64_t, std::int64_t> unionFind;
+    FlatMap<std::int64_t, std::int64_t> unionFind;
     auto findRep = [&unionFind](std::int64_t x) {
-      while (unionFind.at(x) != x) x = unionFind.at(x);
-      return x;
+      while (true) {
+        const std::int64_t* parent = unionFind.find(x);
+        require(parent != nullptr);  // only held ids participate
+        if (*parent == x) return x;
+        x = *parent;
+      }
     };
-    if (held != heldChildren_.end()) {
-      for (const auto& [cid, entry] : held->second) unionFind[cid] = cid;
+    if (held != nullptr) {
+      for (const auto& [cid, entry] : *held) unionFind.insertOrAssign(cid, cid);
     }
-    for (const ChainEntry* e : entries) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const ChainEntry* e = grouped[i];
       std::vector<std::int64_t> group;
-      if (held != heldChildren_.end() &&
-          held->second.count(e->childId) != 0) {
+      if (held != nullptr && held->find(e->childId) != nullptr) {
         group.push_back(e->childId);
       }
       for (const SummaryRec& d : e->treeChildren) {
@@ -386,32 +451,31 @@ void Checker::topologyChecks() {
         }
         if (!gluedHere) continue;
         // A declared gluing at this vertex: the child must be held here.
-        require(held != heldChildren_.end() &&
-                held->second.count(d.nodeId) != 0);
+        require(held != nullptr && held->find(d.nodeId) != nullptr);
         group.push_back(d.nodeId);
       }
-      for (std::size_t i = 1; i < group.size(); ++i) {
+      for (std::size_t j = 1; j < group.size(); ++j) {
         const std::int64_t a = findRep(group[0]);
-        const std::int64_t b = findRep(group[i]);
-        if (a != b) unionFind[b] = a;
+        const std::int64_t b = findRep(group[j]);
+        if (a != b) unionFind.insertOrAssign(b, a);
       }
     }
     // (b) Held children must be pairwise glued (transitively) at this
     //     vertex — the "no neighbor outside" check.
-    if (held != heldChildren_.end() && !held->second.empty()) {
-      const std::int64_t rep = findRep(held->second.begin()->first);
-      for (const auto& [cid, entry] : held->second) {
+    if (held != nullptr && !held->empty()) {
+      const std::int64_t rep = findRep(held->begin()->first);
+      for (const auto& [cid, entry] : *held) {
         require(findRep(cid) == rep);
       }
       // (c) Non-root children whose in-terminal is this vertex must be
       //     listed (with this gluing) by some held entry of X.
-      for (const auto& [cid, entry] : held->second) {
+      for (const auto& [cid, entry] : *held) {
         if (entry->childIsRoot) continue;
         for (const auto& [lane, id] : entry->childSelf.inTerm.entries) {
           if (id != view_.selfId) continue;
           bool listed = false;
-          for (const ChainEntry* pe : entries) {
-            for (const SummaryRec& d : pe->treeChildren) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            for (const SummaryRec& d : grouped[i]->treeChildren) {
               if (d.nodeId == cid && d.inTerm.has(lane) &&
                   d.inTerm.at(lane) == view_.selfId) {
                 listed = true;
@@ -422,6 +486,7 @@ void Checker::topologyChecks() {
         }
       }
     }
+    lo = hi;
   }
 }
 
@@ -429,36 +494,33 @@ bool Checker::run() {
   // Degenerate single-vertex network: decide φ(K1) directly.
   if (view_.incidentLabels.empty()) return alg_.acceptsSingleVertex();
 
-  std::vector<EdgeLabel> labels;
+  // One-pass decode of each incident label into scratch.
+  std::vector<EdgeLabelView>& labels = s_.labels;
   labels.reserve(view_.incidentLabels.size());
-  for (const std::string& bytes : view_.incidentLabels) {
-    labels.push_back(EdgeLabel::decode(bytes));
+  for (std::string_view bytes : view_.incidentLabels) {
+    labels.push_back(EdgeLabelView::decode(bytes));
   }
 
   // Prop 2.2 pointer layer.
-  std::vector<PointerRecord> pointers;
-  for (const EdgeLabel& l : labels) pointers.push_back(l.pointer);
+  std::vector<PointerRecord>& pointers = s_.pointers;
+  for (const EdgeLabelView& l : labels) pointers.push_back(l.pointer);
   require(checkPointerAt(view_.selfId, pointers, std::nullopt));
   const std::uint64_t anchorId = pointers[0].rootId;
 
   // Own certificates (each physically incident edge must be real).
-  for (const EdgeLabel& l : labels) {
-    require(l.own.real);
-    certs_.push_back(l.own);
-    certIsVirtual_.push_back(false);
-  }
+  for (const EdgeLabelView& l : labels) require(l.own.real);
   // Theorem 1 embedding reconstruction.
   reconstructVirtualEdges(labels);
 
-  for (std::size_t i = 0; i < certs_.size(); ++i) {
-    validateCert(certs_[i], certIsVirtual_[i]);
+  for (const EdgeLabelView& l : labels) validateCert(l.own, /*isVirtual=*/false);
+  for (const EdgeCert& cert : s_.virtualCerts) {
+    validateCert(cert, /*isVirtual=*/true);
   }
   topologyChecks();
 
   // Anchor: the pointer target must be the root child's first in-terminal.
   if (view_.selfId == anchorId) {
-    Decoder dec(rootEntryBytes_);
-    const ChainEntry root = ChainEntry::decodeFrom(dec);
+    const ChainEntry& root = *rootEntry_;
     const int minLane = root.childSelf.lanes[0];
     require(root.childSelf.inTerm.at(minLane) == view_.selfId);
   }
@@ -476,9 +538,15 @@ CoreVerifierParams theorem1Params(int k) {
 }
 
 EdgeVerifier makeCoreVerifier(PropertyPtr prop, CoreVerifierParams params) {
-  return [prop = std::move(prop), params](const EdgeView& view) -> bool {
+  // The algebra is built ONCE per verifier (it only references the
+  // property), not per vertex; the scratch is per thread, so one verifier
+  // can check many vertices concurrently.
+  auto alg = std::make_shared<const LaneAlgebra>(*prop);
+  return [prop = std::move(prop), alg = std::move(alg),
+          params](const EdgeView& view) -> bool {
+    static thread_local VerifierScratch scratch;
     try {
-      Checker checker(*prop, params, view);
+      Checker checker(*alg, params, view, scratch);
       return checker.run();
     } catch (const std::exception&) {
       return false;

@@ -1,10 +1,13 @@
 #include "klane/validate.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <queue>
 #include <set>
 #include <sstream>
+
+#include "runtime/executor.hpp"
 
 namespace lanecert {
 
@@ -37,6 +40,175 @@ bool subgraphConnected(const std::vector<VertexId>& verts,
     }
   }
   return seen.size() == verts.size();
+}
+
+/// All per-node checks for node `id`; reads only immutable state, so the
+/// sweep can run nodes concurrently.
+template <typename Fail>
+void validateNode(const Hierarchy& h, int id, const Fail& fail) {
+  const HierNode& n = h.node(id);
+  const std::string ref = nodeRef(h, id);
+  if (n.lanes.empty()) fail(ref + ": empty lane set");
+  if (!std::is_sorted(n.lanes.begin(), n.lanes.end()) ||
+      std::adjacent_find(n.lanes.begin(), n.lanes.end()) != n.lanes.end()) {
+    fail(ref + ": lanes not sorted/unique");
+  }
+  // Terminals defined exactly on the lane set and inside the subgraph.
+  const auto verts = h.materializeVertices(id);
+  for (const TerminalMap* tm : {&n.inTerm, &n.outTerm}) {
+    if (tm->entries().size() != n.lanes.size()) {
+      fail(ref + ": terminal count != lane count");
+    }
+    for (const auto& [lane, vert] : tm->entries()) {
+      if (!std::binary_search(n.lanes.begin(), n.lanes.end(), lane)) {
+        fail(ref + ": terminal on foreign lane");
+      }
+      if (!std::binary_search(verts.begin(), verts.end(), vert)) {
+        fail(ref + ": terminal vertex outside subgraph");
+      }
+    }
+  }
+  // Per-node connectivity (claimed at the end of Section 5.3).
+  if (!subgraphConnected(verts, h.materializeEdges(id))) {
+    fail(ref + ": subgraph not connected");
+  }
+  // Parent link sanity.
+  for (int c : n.children) {
+    if (h.node(c).parent != id) fail(ref + ": child/parent link broken");
+  }
+
+  switch (n.type) {
+    case HierNode::Type::kV:
+      if (!n.children.empty()) fail(ref + ": V-node with children");
+      if (n.lanes.size() != 1) fail(ref + ": V-node lane count");
+      if (n.inTerm.at(n.lanes[0]) != n.u || n.outTerm.at(n.lanes[0]) != n.u) {
+        fail(ref + ": V-node terminals");
+      }
+      break;
+    case HierNode::Type::kE:
+      if (!n.children.empty()) fail(ref + ": E-node with children");
+      if (n.lanes.size() != 1 || n.lanes[0] != n.laneI) {
+        fail(ref + ": E-node lane");
+      }
+      if (n.u == n.v) fail(ref + ": E-node degenerate edge");
+      if (n.inTerm.at(n.laneI) != n.u || n.outTerm.at(n.laneI) != n.v) {
+        fail(ref + ": E-node terminals");
+      }
+      break;
+    case HierNode::Type::kP: {
+      if (!n.children.empty()) fail(ref + ": P-node with children");
+      if (n.pathVertices.size() != n.lanes.size()) {
+        fail(ref + ": P-node path length != lane count");
+      }
+      for (std::size_t i = 0; i < n.pathVertices.size(); ++i) {
+        const int lane = n.lanes[i];
+        if (n.inTerm.at(lane) != n.pathVertices[i] ||
+            n.outTerm.at(lane) != n.pathVertices[i]) {
+          fail(ref + ": P-node terminal layout");
+        }
+      }
+      break;
+    }
+    case HierNode::Type::kB: {
+      if (n.children.size() != 2) {
+        fail(ref + ": B-node must have 2 children");
+        break;
+      }
+      const HierNode& c0 = h.node(n.children[0]);
+      const HierNode& c1 = h.node(n.children[1]);
+      for (const HierNode* c : {&c0, &c1}) {
+        if (c->type != HierNode::Type::kV && c->type != HierNode::Type::kT) {
+          fail(ref + ": B-node child must be V or T");
+        }
+      }
+      std::vector<int> merged = c0.lanes;
+      merged.insert(merged.end(), c1.lanes.begin(), c1.lanes.end());
+      std::sort(merged.begin(), merged.end());
+      if (std::adjacent_find(merged.begin(), merged.end()) != merged.end()) {
+        fail(ref + ": Bridge-merge lane sets overlap");
+      }
+      if (merged != n.lanes) fail(ref + ": B-node lanes != union of parts");
+      if (c0.outTerm.at(n.laneI) != n.u || c1.outTerm.at(n.laneJ) != n.v) {
+        fail(ref + ": bridge endpoints are not the parts' out-terminals");
+      }
+      // Terminals inherited from the right part.
+      for (int lane : n.lanes) {
+        const HierNode& src =
+            std::binary_search(c0.lanes.begin(), c0.lanes.end(), lane) ? c0 : c1;
+        if (n.inTerm.at(lane) != src.inTerm.at(lane) ||
+            n.outTerm.at(lane) != src.outTerm.at(lane)) {
+          fail(ref + ": B-node terminal inheritance");
+        }
+      }
+      break;
+    }
+    case HierNode::Type::kT: {
+      if (n.children.empty()) {
+        fail(ref + ": T-node without children");
+        break;
+      }
+      if (n.rootChildPos < 0 ||
+          n.rootChildPos >= static_cast<int>(n.children.size())) {
+        fail(ref + ": T-node root child position invalid");
+        break;
+      }
+      if (n.treeParentPos.size() != n.children.size()) {
+        fail(ref + ": treeParentPos size mismatch");
+        break;
+      }
+      const HierNode& rootChild =
+          h.node(n.children[static_cast<std::size_t>(n.rootChildPos)]);
+      if (n.lanes != rootChild.lanes) fail(ref + ": T-node lanes != root child");
+      if (!(n.inTerm == rootChild.inTerm)) {
+        fail(ref + ": T-node in-terminals != root child");
+      }
+      int roots = 0;
+      for (std::size_t p = 0; p < n.children.size(); ++p) {
+        const HierNode& c = h.node(n.children[p]);
+        if (c.type != HierNode::Type::kE && c.type != HierNode::Type::kP &&
+            c.type != HierNode::Type::kB) {
+          fail(ref + ": T-node child must be E, P, or B");
+        }
+        const int pp = n.treeParentPos[p];
+        if (pp < 0) {
+          ++roots;
+          continue;
+        }
+        const HierNode& tp = h.node(n.children[static_cast<std::size_t>(pp)]);
+        // Tree-merge condition: child lanes ⊆ parent lanes.
+        if (!std::includes(tp.lanes.begin(), tp.lanes.end(), c.lanes.begin(),
+                           c.lanes.end())) {
+          fail(ref + ": Tree-merge lane nesting violated");
+        }
+        // Gluing: each in-terminal of the child IS the parent's
+        // out-terminal in the same lane.
+        for (int lane : c.lanes) {
+          if (c.inTerm.at(lane) != tp.outTerm.at(lane)) {
+            fail(ref + ": Tree-merge gluing violated on lane " +
+                 std::to_string(lane));
+          }
+        }
+      }
+      if (roots != 1) fail(ref + ": Tree-merge tree must have one root");
+      // Siblings with the same tree parent: disjoint lane sets.
+      for (std::size_t p = 0; p < n.children.size(); ++p) {
+        for (std::size_t q = p + 1; q < n.children.size(); ++q) {
+          if (n.treeParentPos[p] != n.treeParentPos[q]) continue;
+          const auto& a = h.node(n.children[p]).lanes;
+          const auto& b = h.node(n.children[q]).lanes;
+          std::vector<int> inter;
+          std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(inter));
+          if (!inter.empty()) fail(ref + ": Tree-merge sibling lanes overlap");
+        }
+      }
+      // T-node out-terminals: lowest lane-owning node in the tree.
+      const auto subOut = subtreeOutTerminals(h, id);
+      const TerminalMap& rootOut = subOut[static_cast<std::size_t>(n.rootChildPos)];
+      if (!(n.outTerm == rootOut)) fail(ref + ": T-node out-terminals wrong");
+      break;
+    }
+  }
 }
 
 }  // namespace
@@ -74,7 +246,7 @@ std::vector<TerminalMap> subtreeOutTerminals(const Hierarchy& h, int tNodeId) {
 }
 
 std::vector<std::string> validateHierarchy(const HierarchyResult& result,
-                                           int numLanes) {
+                                           int numLanes, int numThreads) {
   const Hierarchy& h = result.hierarchy;
   const Graph& g = result.graph;
   std::vector<std::string> errs;
@@ -116,170 +288,25 @@ std::vector<std::string> validateHierarchy(const HierarchyResult& result,
     }
   }
 
-  for (int id = 0; id < h.size(); ++id) {
-    const HierNode& n = h.node(id);
-    const std::string ref = nodeRef(h, id);
-    if (n.lanes.empty()) fail(ref + ": empty lane set");
-    if (!std::is_sorted(n.lanes.begin(), n.lanes.end()) ||
-        std::adjacent_find(n.lanes.begin(), n.lanes.end()) != n.lanes.end()) {
-      fail(ref + ": lanes not sorted/unique");
-    }
-    // Terminals defined exactly on the lane set and inside the subgraph.
-    const auto verts = h.materializeVertices(id);
-    for (const TerminalMap* tm : {&n.inTerm, &n.outTerm}) {
-      if (tm->entries().size() != n.lanes.size()) {
-        fail(ref + ": terminal count != lane count");
-      }
-      for (const auto& [lane, vert] : tm->entries()) {
-        if (!std::binary_search(n.lanes.begin(), n.lanes.end(), lane)) {
-          fail(ref + ": terminal on foreign lane");
+  // Per-node checks are independent; shard them over the executor and merge
+  // violations in node order (identical output for every thread count).
+  ParallelExecutor exec(numThreads);
+  std::vector<std::vector<std::string>> shardErrs(
+      static_cast<std::size_t>(exec.numThreads()));
+  exec.forShards(
+      static_cast<std::size_t>(h.size()),
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        std::vector<std::string>& out = shardErrs[shard];
+        const auto failHere = [&out](const std::string& msg) {
+          out.push_back(msg);
+        };
+        for (std::size_t id = begin; id < end; ++id) {
+          validateNode(h, static_cast<int>(id), failHere);
         }
-        if (!std::binary_search(verts.begin(), verts.end(), vert)) {
-          fail(ref + ": terminal vertex outside subgraph");
-        }
-      }
-    }
-    // Per-node connectivity (claimed at the end of Section 5.3).
-    if (!subgraphConnected(verts, h.materializeEdges(id))) {
-      fail(ref + ": subgraph not connected");
-    }
-    // Parent link sanity.
-    for (int c : n.children) {
-      if (h.node(c).parent != id) fail(ref + ": child/parent link broken");
-    }
-
-    switch (n.type) {
-      case HierNode::Type::kV:
-        if (!n.children.empty()) fail(ref + ": V-node with children");
-        if (n.lanes.size() != 1) fail(ref + ": V-node lane count");
-        if (n.inTerm.at(n.lanes[0]) != n.u || n.outTerm.at(n.lanes[0]) != n.u) {
-          fail(ref + ": V-node terminals");
-        }
-        break;
-      case HierNode::Type::kE:
-        if (!n.children.empty()) fail(ref + ": E-node with children");
-        if (n.lanes.size() != 1 || n.lanes[0] != n.laneI) {
-          fail(ref + ": E-node lane");
-        }
-        if (n.u == n.v) fail(ref + ": E-node degenerate edge");
-        if (n.inTerm.at(n.laneI) != n.u || n.outTerm.at(n.laneI) != n.v) {
-          fail(ref + ": E-node terminals");
-        }
-        break;
-      case HierNode::Type::kP: {
-        if (!n.children.empty()) fail(ref + ": P-node with children");
-        if (n.pathVertices.size() != n.lanes.size()) {
-          fail(ref + ": P-node path length != lane count");
-        }
-        for (std::size_t i = 0; i < n.pathVertices.size(); ++i) {
-          const int lane = n.lanes[i];
-          if (n.inTerm.at(lane) != n.pathVertices[i] ||
-              n.outTerm.at(lane) != n.pathVertices[i]) {
-            fail(ref + ": P-node terminal layout");
-          }
-        }
-        break;
-      }
-      case HierNode::Type::kB: {
-        if (n.children.size() != 2) {
-          fail(ref + ": B-node must have 2 children");
-          break;
-        }
-        const HierNode& c0 = h.node(n.children[0]);
-        const HierNode& c1 = h.node(n.children[1]);
-        for (const HierNode* c : {&c0, &c1}) {
-          if (c->type != HierNode::Type::kV && c->type != HierNode::Type::kT) {
-            fail(ref + ": B-node child must be V or T");
-          }
-        }
-        std::vector<int> merged = c0.lanes;
-        merged.insert(merged.end(), c1.lanes.begin(), c1.lanes.end());
-        std::sort(merged.begin(), merged.end());
-        if (std::adjacent_find(merged.begin(), merged.end()) != merged.end()) {
-          fail(ref + ": Bridge-merge lane sets overlap");
-        }
-        if (merged != n.lanes) fail(ref + ": B-node lanes != union of parts");
-        if (c0.outTerm.at(n.laneI) != n.u || c1.outTerm.at(n.laneJ) != n.v) {
-          fail(ref + ": bridge endpoints are not the parts' out-terminals");
-        }
-        // Terminals inherited from the right part.
-        for (int lane : n.lanes) {
-          const HierNode& src =
-              std::binary_search(c0.lanes.begin(), c0.lanes.end(), lane) ? c0 : c1;
-          if (n.inTerm.at(lane) != src.inTerm.at(lane) ||
-              n.outTerm.at(lane) != src.outTerm.at(lane)) {
-            fail(ref + ": B-node terminal inheritance");
-          }
-        }
-        break;
-      }
-      case HierNode::Type::kT: {
-        if (n.children.empty()) {
-          fail(ref + ": T-node without children");
-          break;
-        }
-        if (n.rootChildPos < 0 ||
-            n.rootChildPos >= static_cast<int>(n.children.size())) {
-          fail(ref + ": T-node root child position invalid");
-          break;
-        }
-        if (n.treeParentPos.size() != n.children.size()) {
-          fail(ref + ": treeParentPos size mismatch");
-          break;
-        }
-        const HierNode& rootChild =
-            h.node(n.children[static_cast<std::size_t>(n.rootChildPos)]);
-        if (n.lanes != rootChild.lanes) fail(ref + ": T-node lanes != root child");
-        if (!(n.inTerm == rootChild.inTerm)) {
-          fail(ref + ": T-node in-terminals != root child");
-        }
-        int roots = 0;
-        for (std::size_t p = 0; p < n.children.size(); ++p) {
-          const HierNode& c = h.node(n.children[p]);
-          if (c.type != HierNode::Type::kE && c.type != HierNode::Type::kP &&
-              c.type != HierNode::Type::kB) {
-            fail(ref + ": T-node child must be E, P, or B");
-          }
-          const int pp = n.treeParentPos[p];
-          if (pp < 0) {
-            ++roots;
-            continue;
-          }
-          const HierNode& tp = h.node(n.children[static_cast<std::size_t>(pp)]);
-          // Tree-merge condition: child lanes ⊆ parent lanes.
-          if (!std::includes(tp.lanes.begin(), tp.lanes.end(), c.lanes.begin(),
-                             c.lanes.end())) {
-            fail(ref + ": Tree-merge lane nesting violated");
-          }
-          // Gluing: each in-terminal of the child IS the parent's
-          // out-terminal in the same lane.
-          for (int lane : c.lanes) {
-            if (c.inTerm.at(lane) != tp.outTerm.at(lane)) {
-              fail(ref + ": Tree-merge gluing violated on lane " +
-                   std::to_string(lane));
-            }
-          }
-        }
-        if (roots != 1) fail(ref + ": Tree-merge tree must have one root");
-        // Siblings with the same tree parent: disjoint lane sets.
-        for (std::size_t p = 0; p < n.children.size(); ++p) {
-          for (std::size_t q = p + 1; q < n.children.size(); ++q) {
-            if (n.treeParentPos[p] != n.treeParentPos[q]) continue;
-            const auto& a = h.node(n.children[p]).lanes;
-            const auto& b = h.node(n.children[q]).lanes;
-            std::vector<int> inter;
-            std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                                  std::back_inserter(inter));
-            if (!inter.empty()) fail(ref + ": Tree-merge sibling lanes overlap");
-          }
-        }
-        // T-node out-terminals: lowest lane-owning node in the tree.
-        const auto subOut = subtreeOutTerminals(h, id);
-        const TerminalMap& rootOut = subOut[static_cast<std::size_t>(n.rootChildPos)];
-        if (!(n.outTerm == rootOut)) fail(ref + ": T-node out-terminals wrong");
-        break;
-      }
-    }
+      });
+  for (std::vector<std::string>& shard : shardErrs) {
+    errs.insert(errs.end(), std::make_move_iterator(shard.begin()),
+                std::make_move_iterator(shard.end()));
   }
   return errs;
 }

@@ -25,7 +25,7 @@ std::vector<std::string> proveBipartite(const Graph& g) {
 VertexVerifier bipartiteVerifier() {
   return [](const VertexView& view) {
     if (view.selfLabel.size() != 1) return false;
-    for (const std::string& nl : view.neighborLabels) {
+    for (std::string_view nl : view.neighborLabels) {
       if (nl.size() != 1 || nl[0] == view.selfLabel[0]) return false;
     }
     return true;
@@ -47,7 +47,7 @@ std::vector<std::string> proveTrivial(const Graph& g, const IdAssignment& ids) {
 
 VertexVerifier trivialVerifier(std::function<bool(const Graph&)> decide) {
   return [decide = std::move(decide)](const VertexView& view) -> bool {
-    for (const std::string& nl : view.neighborLabels) {
+    for (std::string_view nl : view.neighborLabels) {
       if (nl != view.selfLabel) return false;  // everyone must hold one map
     }
     Decoder dec(view.selfLabel);

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace lanecert {
 
@@ -50,17 +51,34 @@ class Encoder {
 };
 
 /// Matching reader; throws DecodeError on malformed input.
-/// Owns a copy of the buffer so temporaries are safe to decode.
+///
+/// The std::string constructor takes ownership of a copy, so temporaries
+/// are safe to decode.  The std::string_view constructor BORROWS: zero-copy,
+/// but the caller must keep the underlying bytes alive for the decoder's
+/// lifetime (the simulators' label store guarantees exactly that).
 class Decoder {
  public:
-  explicit Decoder(std::string data) : data_(std::move(data)) {}
+  explicit Decoder(std::string data) : owned_(std::move(data)), data_(owned_) {}
+  explicit Decoder(std::string_view data) : data_(data) {}
+  // Forbidden: the string/string_view overloads are ambiguous for char
+  // pointers, and strlen semantics would truncate binary input at NUL
+  // bytes anyway.  Wrap literals in std::string or std::string_view.
+  explicit Decoder(const char*) = delete;
+
+  // data_ may view owned_, so a copied or moved Decoder would dangle.
+  Decoder(const Decoder&) = delete;
+  Decoder& operator=(const Decoder&) = delete;
 
   [[nodiscard]] std::uint64_t u64() {
+    // LEB128, hard-capped at 10 bytes (ceil(64 / 7)): an unterminated run
+    // of 0x80 continuation bytes must not scan further into the buffer,
+    // and bits beyond the 64th must reject rather than silently truncate.
     std::uint64_t x = 0;
     int shift = 0;
     while (true) {
-      if (pos_ >= data_.size() || shift > 63) throw DecodeError{};
+      if (pos_ >= data_.size()) throw DecodeError{};
       const auto byte = static_cast<unsigned char>(data_[pos_++]);
+      if (shift == 63 && (byte & ~1u) != 0) throw DecodeError{};
       x |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) break;
       shift += 7;
@@ -71,10 +89,12 @@ class Decoder {
     const std::uint64_t z = u64();
     return static_cast<std::int64_t>(z >> 1) ^ -static_cast<std::int64_t>(z & 1);
   }
-  [[nodiscard]] std::string bytes() {
+  [[nodiscard]] std::string bytes() { return std::string(bytesView()); }
+  /// Zero-copy variant of bytes(); the view borrows the decoder's buffer.
+  [[nodiscard]] std::string_view bytesView() {
     const std::uint64_t len = u64();
     if (len > data_.size() - pos_) throw DecodeError{};
-    std::string s = data_.substr(pos_, len);
+    const std::string_view s = data_.substr(pos_, len);
     pos_ += len;
     return s;
   }
@@ -85,7 +105,8 @@ class Decoder {
   [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
 
  private:
-  std::string data_;
+  std::string owned_;      ///< backing copy when constructed from std::string
+  std::string_view data_;  ///< the bytes being decoded
   std::size_t pos_ = 0;
 };
 

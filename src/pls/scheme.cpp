@@ -3,79 +3,85 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "runtime/executor.hpp"
+#include "runtime/label_store.hpp"
+
 namespace lanecert {
 
 namespace {
 
-SimulationResult finish(SimulationResult r) {
+/// Shared sweep skeleton for both scheme kinds.  `checkVertex(v)` runs the
+/// verifier on vertex v's (pre-built, zero-copy) view.  Vertices are swept
+/// in contiguous ordered shards with per-shard reject lists, so the merged
+/// `rejecting` vector is ascending and identical for every thread count.
+template <typename CheckVertex>
+SimulationResult sweep(const Graph& g, const LabelStore& store,
+                       ParallelExecutor& exec, const CheckVertex& checkVertex) {
+  SimulationResult r;
+  r.maxLabelBits = store.maxLabelBits();
+  r.totalLabelBits = store.totalLabelBits();
+
+  const auto n = static_cast<std::size_t>(g.numVertices());
+  std::vector<std::vector<VertexId>> shardRejects(
+      static_cast<std::size_t>(exec.numThreads()));
+  exec.forShards(n, [&](std::size_t shard, std::size_t begin,
+                        std::size_t end) {
+    std::vector<VertexId>& rejects = shardRejects[shard];
+    for (std::size_t vi = begin; vi < end; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      bool ok = false;
+      try {
+        ok = checkVertex(v);
+      } catch (...) {
+        ok = false;  // malformed certificates are rejections, never crashes
+      }
+      if (!ok) rejects.push_back(v);
+    }
+  });
+  for (const std::vector<VertexId>& rejects : shardRejects) {
+    r.rejecting.insert(r.rejecting.end(), rejects.begin(), rejects.end());
+  }
   r.allAccept = r.rejecting.empty();
   return r;
-}
-
-std::size_t tallyBits(const std::vector<std::string>& labels,
-                      SimulationResult& r) {
-  std::size_t mx = 0;
-  for (const std::string& l : labels) {
-    mx = std::max(mx, l.size() * 8);
-    r.totalLabelBits += l.size() * 8;
-  }
-  return mx;
 }
 
 }  // namespace
 
 SimulationResult simulateEdgeScheme(const Graph& g, const IdAssignment& ids,
                                     const std::vector<std::string>& labels,
-                                    const EdgeVerifier& verify) {
+                                    const EdgeVerifier& verify,
+                                    const SimulationOptions& options) {
   if (labels.size() != static_cast<std::size_t>(g.numEdges())) {
     throw std::invalid_argument("simulateEdgeScheme: one label per edge required");
   }
-  SimulationResult r;
-  r.maxLabelBits = tallyBits(labels, r);
-  for (VertexId v = 0; v < g.numVertices(); ++v) {
+  const LabelStore store(labels);
+  ParallelExecutor exec(options.numThreads);
+  const VertexLabelIndex index = buildIncidentEdgeIndex(g, store, exec);
+  return sweep(g, store, exec, [&](VertexId v) {
     EdgeView view;
     view.selfId = ids.id(v);
-    for (const Arc& a : g.arcs(v)) {
-      view.incidentLabels.push_back(labels[static_cast<std::size_t>(a.edge)]);
-    }
-    // Views expose a multiset; sort to forbid order-based information.
-    std::sort(view.incidentLabels.begin(), view.incidentLabels.end());
-    bool ok = false;
-    try {
-      ok = verify(view);
-    } catch (...) {
-      ok = false;  // malformed certificates are rejections, never crashes
-    }
-    if (!ok) r.rejecting.push_back(v);
-  }
-  return finish(std::move(r));
+    view.incidentLabels = index.row(v);
+    return verify(view);
+  });
 }
 
 SimulationResult simulateVertexScheme(const Graph& g, const IdAssignment& ids,
                                       const std::vector<std::string>& labels,
-                                      const VertexVerifier& verify) {
+                                      const VertexVerifier& verify,
+                                      const SimulationOptions& options) {
   if (labels.size() != static_cast<std::size_t>(g.numVertices())) {
     throw std::invalid_argument("simulateVertexScheme: one label per vertex required");
   }
-  SimulationResult r;
-  r.maxLabelBits = tallyBits(labels, r);
-  for (VertexId v = 0; v < g.numVertices(); ++v) {
+  const LabelStore store(labels);
+  ParallelExecutor exec(options.numThreads);
+  const VertexLabelIndex index = buildNeighborIndex(g, store, exec);
+  return sweep(g, store, exec, [&](VertexId v) {
     VertexView view;
     view.selfId = ids.id(v);
-    view.selfLabel = labels[static_cast<std::size_t>(v)];
-    for (const Arc& a : g.arcs(v)) {
-      view.neighborLabels.push_back(labels[static_cast<std::size_t>(a.to)]);
-    }
-    std::sort(view.neighborLabels.begin(), view.neighborLabels.end());
-    bool ok = false;
-    try {
-      ok = verify(view);
-    } catch (...) {
-      ok = false;
-    }
-    if (!ok) r.rejecting.push_back(v);
-  }
-  return finish(std::move(r));
+    view.selfLabel = store.view(static_cast<std::size_t>(v));
+    view.neighborLabels = index.row(v);
+    return verify(view);
+  });
 }
 
 bool mutateLabels(std::vector<std::string>& labels, Mutation m, Rng& rng) {

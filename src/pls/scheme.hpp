@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -23,17 +25,23 @@
 namespace lanecert {
 
 /// What a vertex sees in an EDGE-labeling scheme: its own identifier and
-/// the labels on its incident edges (in unspecified order = multiset).
+/// the labels on its incident edges (in unspecified order = multiset; the
+/// simulator presents them sorted to forbid order-based information).
+///
+/// Views are ZERO-COPY: the label views borrow the simulator's backing
+/// label store (or a caller-owned buffer) and are only valid during the
+/// verifier call.  A verifier that needs label bytes beyond its own
+/// invocation must copy them explicitly.
 struct EdgeView {
   std::uint64_t selfId = 0;
-  std::vector<std::string> incidentLabels;
+  std::span<const std::string_view> incidentLabels;
 };
 
-/// What a vertex sees in a VERTEX-labeling scheme.
+/// What a vertex sees in a VERTEX-labeling scheme.  Same borrowing rules.
 struct VertexView {
   std::uint64_t selfId = 0;
-  std::string selfLabel;
-  std::vector<std::string> neighborLabels;
+  std::string_view selfLabel;
+  std::span<const std::string_view> neighborLabels;
 };
 
 /// A local verifier for edge schemes; must not throw (treat malformed
@@ -45,22 +53,34 @@ using VertexVerifier = std::function<bool(const VertexView&)>;
 /// Outcome of running a verifier at every vertex.
 struct SimulationResult {
   bool allAccept = false;
-  std::vector<VertexId> rejecting;   ///< vertices that rejected
+  std::vector<VertexId> rejecting;   ///< vertices that rejected, ascending
   std::size_t maxLabelBits = 0;      ///< max encoded label size
   std::size_t totalLabelBits = 0;    ///< sum over all labels
+};
+
+/// Knobs for the simulation sweep.  The verifier is strictly local, so the
+/// sweep shards vertices over threads; results are bit-identical to the
+/// sequential path for every numThreads (contiguous ordered shards, merged
+/// by shard index).  Verifiers must therefore be safe to call concurrently
+/// from several threads — all bundled verifiers are pure functions of the
+/// view (plus per-thread scratch).
+struct SimulationOptions {
+  int numThreads = 1;  ///< <= 0 means std::thread::hardware_concurrency()
 };
 
 /// Runs an edge-scheme verifier at every vertex.  `labels[e]` is the label
 /// of EdgeId e.
 [[nodiscard]] SimulationResult simulateEdgeScheme(
     const Graph& g, const IdAssignment& ids,
-    const std::vector<std::string>& labels, const EdgeVerifier& verify);
+    const std::vector<std::string>& labels, const EdgeVerifier& verify,
+    const SimulationOptions& options = {});
 
 /// Runs a vertex-scheme verifier at every vertex.  `labels[v]` is the label
 /// of vertex v.
 [[nodiscard]] SimulationResult simulateVertexScheme(
     const Graph& g, const IdAssignment& ids,
-    const std::vector<std::string>& labels, const VertexVerifier& verify);
+    const std::vector<std::string>& labels, const VertexVerifier& verify,
+    const SimulationOptions& options = {});
 
 /// Kinds of adversarial label corruption used by soundness tests.
 enum class Mutation {

@@ -38,32 +38,36 @@ std::vector<std::string> edgeLabelsToVertexLabels(
 
 VertexVerifier liftEdgeVerifier(EdgeVerifier inner) {
   return [inner = std::move(inner)](const VertexView& view) -> bool {
-    EdgeView ev;
-    ev.selfId = view.selfId;
+    // Reconstructed labels must outlive the inner call, so this verifier
+    // owns their bytes; the EdgeView then borrows them, zero-copy.
+    std::vector<std::string> storage;
     try {
       // Gather every triple naming this vertex, from its own label and
       // from each neighbor's label.
-      const std::string* sources[1] = {&view.selfLabel};
-      auto scan = [&](const std::string& label) {
+      auto scan = [&](std::string_view label) {
         Decoder dec(label);
         const std::uint64_t count = dec.u64();
         for (std::uint64_t i = 0; i < count; ++i) {
           const std::uint64_t a = dec.u64();
           const std::uint64_t b = dec.u64();
-          std::string payload = dec.bytes();
+          std::string_view payload = dec.bytesView();
           if (a == view.selfId || b == view.selfId) {
-            ev.incidentLabels.push_back(std::move(payload));
+            storage.emplace_back(payload);
           }
         }
       };
-      scan(*sources[0]);
-      for (const std::string& nl : view.neighborLabels) scan(nl);
+      scan(view.selfLabel);
+      for (std::string_view nl : view.neighborLabels) scan(nl);
     } catch (const DecodeError&) {
       return false;
     }
     // Exactly one reconstructed label per incident edge.
-    if (ev.incidentLabels.size() != view.neighborLabels.size()) return false;
-    std::sort(ev.incidentLabels.begin(), ev.incidentLabels.end());
+    if (storage.size() != view.neighborLabels.size()) return false;
+    std::vector<std::string_view> labels(storage.begin(), storage.end());
+    std::sort(labels.begin(), labels.end());
+    EdgeView ev;
+    ev.selfId = view.selfId;
+    ev.incidentLabels = labels;
     return inner(ev);
   };
 }

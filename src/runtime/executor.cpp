@@ -1,0 +1,114 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace lanecert {
+
+int resolveThreadCount(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// One forShards invocation.  Workers keep a shared_ptr, so a worker that
+// wakes up late (or finishes its claim after the caller already returned)
+// can only ever touch its own generation's state, never a newer job's.
+struct ParallelExecutor::Job {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+      nullptr;
+  std::size_t n = 0;
+  std::size_t shards = 0;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex mu;
+  std::condition_variable done;
+  std::size_t shardsDone = 0;
+  std::exception_ptr firstError;
+
+  void run() {
+    while (true) {
+      const std::size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      const auto [begin, end] = shardRange(n, shards, shard);
+      try {
+        if (begin < end) (*fn)(shard, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!firstError) firstError = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++shardsDone;
+      }
+      done.notify_one();
+    }
+  }
+};
+
+ParallelExecutor::ParallelExecutor(int numThreads)
+    : numThreads_(resolveThreadCount(numThreads)) {
+  workers_.reserve(static_cast<std::size_t>(numThreads_ - 1));
+  for (int i = 1; i < numThreads_; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::pair<std::size_t, std::size_t> ParallelExecutor::shardRange(
+    std::size_t n, std::size_t shards, std::size_t shard) {
+  const std::size_t base = n / shards;
+  const std::size_t rem = n % shards;
+  const std::size_t begin = shard * base + std::min(shard, rem);
+  const std::size_t size = base + (shard < rem ? 1 : 0);
+  return {begin, begin + size};
+}
+
+void ParallelExecutor::workerLoop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job) job->run();
+  }
+}
+
+void ParallelExecutor::forShards(
+    std::size_t n, const std::function<void(std::size_t, std::size_t,
+                                            std::size_t)>& fn) {
+  if (n == 0) return;
+  if (numThreads_ <= 1 || workers_.empty()) {
+    fn(0, 0, n);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job->shards = static_cast<std::size_t>(numThreads_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_.notify_all();
+  job->run();  // the calling thread claims shards too
+  std::unique_lock<std::mutex> lock(job->mu);
+  job->done.wait(lock, [&] { return job->shardsDone == job->shards; });
+  if (job->firstError) std::rethrow_exception(job->firstError);
+}
+
+}  // namespace lanecert

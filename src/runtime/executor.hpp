@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic fork-join executor for the verification hot path.
+//
+// The paper's verifier is strictly local, so whole-graph verification is
+// embarrassingly parallel: every vertex check is a pure function of one
+// vertex's view.  The executor exploits that while keeping results
+// bit-identical to a sequential left-to-right sweep: work is split into
+// CONTIGUOUS, ORDERED shards whose per-shard outputs the caller merges by
+// ascending shard index.  Shard boundaries depend only on (n, shardCount),
+// never on thread scheduling, so `numThreads = 1` and `numThreads = 8`
+// produce the same merged result on every input.
+//
+// Workers pull shard indices from an atomic counter and the calling thread
+// participates, so requesting more shards than cores (or running on a
+// single-core box) is safe — it only changes who executes a shard, not what
+// the shard computes.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lanecert {
+
+/// Resolves a thread-count knob: values <= 0 mean "use the hardware".
+[[nodiscard]] int resolveThreadCount(int requested);
+
+/// Fixed-size pool of `numThreads - 1` workers plus the calling thread.
+class ParallelExecutor {
+ public:
+  /// `numThreads <= 0` resolves to std::thread::hardware_concurrency().
+  explicit ParallelExecutor(int numThreads = 0);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  [[nodiscard]] int numThreads() const { return numThreads_; }
+
+  /// fn(shard, begin, end): shard `s` covers the half-open index range
+  /// [begin, end).  Shards partition [0, n) contiguously in order, one per
+  /// thread slot; fn is invoked at most once per shard, possibly
+  /// concurrently.  Exceptions thrown by fn are rethrown here (first one
+  /// wins).  Blocks until every shard has finished.
+  void forShards(
+      std::size_t n,
+      const std::function<void(std::size_t shard, std::size_t begin,
+                               std::size_t end)>& fn);
+
+  /// The half-open item range of `shard` out of `shards` over [0, n);
+  /// deterministic in its arguments alone.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> shardRange(
+      std::size_t n, std::size_t shards, std::size_t shard);
+
+ private:
+  struct Job;
+
+  void workerLoop();
+
+  const int numThreads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::uint64_t generation_ = 0;         ///< bumped per forShards call
+  bool stopping_ = false;
+  std::shared_ptr<Job> job_;             ///< in-flight call, if any
+};
+
+}  // namespace lanecert

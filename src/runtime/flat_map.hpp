@@ -1,0 +1,69 @@
+#pragma once
+// Small sorted flat containers for per-vertex verifier state.
+//
+// The core verifier tracks a handful of summaries per vertex (bounded by
+// the chain-length bound 2w + 2 times the degree), so node-based std::map /
+// std::set are pure overhead: every insert allocates, every lookup chases
+// pointers.  These containers keep entries in one sorted vector —
+// binary-search lookups, inserts shift a few elements, and clear() keeps
+// the capacity so a reused scratch instance stops allocating after the
+// first few vertices.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace lanecert {
+
+/// Sorted vector map with std::map-like semantics for small element counts.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using Entry = std::pair<K, V>;
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] V* find(const K& key) {
+    const auto it = lower(key);
+    return (it != entries_.end() && it->first == key) ? &it->second : nullptr;
+  }
+  [[nodiscard]] const V* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Inserts (key, value) if absent; returns {slot, inserted}.
+  std::pair<V*, bool> tryEmplace(const K& key, V value) {
+    const auto it = lower(key);
+    if (it != entries_.end() && it->first == key) return {&it->second, false};
+    const auto at = entries_.emplace(it, key, std::move(value));
+    return {&at->second, true};
+  }
+
+  /// Inserts or overwrites.
+  void insertOrAssign(const K& key, V value) {
+    const auto it = lower(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = std::move(value);
+    } else {
+      entries_.emplace(it, key, std::move(value));
+    }
+  }
+
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+  [[nodiscard]] auto begin() { return entries_.begin(); }
+  [[nodiscard]] auto end() { return entries_.end(); }
+
+ private:
+  typename std::vector<Entry>::iterator lower(const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const Entry& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lanecert

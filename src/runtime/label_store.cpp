@@ -1,0 +1,60 @@
+#include "runtime/label_store.hpp"
+
+#include <algorithm>
+
+#include "runtime/executor.hpp"
+
+namespace lanecert {
+
+LabelStore::LabelStore(const std::vector<std::string>& labels) {
+  views_.reserve(labels.size());
+  for (const std::string& l : labels) {
+    views_.emplace_back(l);
+    maxBits_ = std::max(maxBits_, l.size() * 8);
+    totalBits_ += l.size() * 8;
+  }
+}
+
+namespace {
+
+/// Shared skeleton: one row per vertex, one entry per arc, entry chosen by
+/// `pick(arc)`, rows sorted lexicographically (multiset semantics).
+template <typename PickLabel>
+VertexLabelIndex buildIndex(const Graph& g, const LabelStore& store,
+                            ParallelExecutor& exec, const PickLabel& pick) {
+  const auto n = static_cast<std::size_t>(g.numVertices());
+  VertexLabelIndex idx;
+  idx.rowPtr.resize(n + 1, 0);
+  for (VertexId v = 0; v < g.numVertices(); ++v) {
+    idx.rowPtr[static_cast<std::size_t>(v) + 1] =
+        idx.rowPtr[static_cast<std::size_t>(v)] +
+        static_cast<std::size_t>(g.degree(v));
+  }
+  idx.rows.resize(idx.rowPtr[n]);
+  exec.forShards(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t vi = begin; vi < end; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      std::size_t at = idx.rowPtr[vi];
+      for (const Arc& a : g.arcs(v)) {
+        idx.rows[at++] = store.view(static_cast<std::size_t>(pick(a)));
+      }
+      std::sort(idx.rows.begin() + static_cast<std::ptrdiff_t>(idx.rowPtr[vi]),
+                idx.rows.begin() + static_cast<std::ptrdiff_t>(at));
+    }
+  });
+  return idx;
+}
+
+}  // namespace
+
+VertexLabelIndex buildIncidentEdgeIndex(const Graph& g, const LabelStore& store,
+                                        ParallelExecutor& exec) {
+  return buildIndex(g, store, exec, [](const Arc& a) { return a.edge; });
+}
+
+VertexLabelIndex buildNeighborIndex(const Graph& g, const LabelStore& store,
+                                    ParallelExecutor& exec) {
+  return buildIndex(g, store, exec, [](const Arc& a) { return a.to; });
+}
+
+}  // namespace lanecert

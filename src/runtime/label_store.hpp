@@ -1,0 +1,77 @@
+#pragma once
+// Zero-copy label storage for the simulators.
+//
+// The seed simulator deep-copied every edge label into each endpoint's view
+// (two heap copies per label) and sorted the copies per vertex.  LabelStore
+// instead exposes std::string_view slices ALIASING the caller's label
+// vector — building a vertex's multiset view costs no label-byte copies at
+// all; per vertex we only sort a small array of (pointer, length) slices.
+// The caller's labels must stay alive and unmodified while the store (and
+// any views derived from it) is in use; the simulators guarantee that for
+// the duration of a sweep.
+//
+// VertexLabelIndex is the CSR-style per-vertex index over the store:
+// row v holds the sorted label views a vertex sees (incident-edge labels for
+// edge schemes, neighbor labels for vertex schemes).  Rows are immutable
+// after construction, so any number of verifier threads can read them
+// concurrently.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lanecert {
+
+class ParallelExecutor;
+
+/// Immutable view collection over a label vector (no byte copies).
+class LabelStore {
+ public:
+  LabelStore() = default;
+  explicit LabelStore(const std::vector<std::string>& labels);
+
+  /// Number of labels.
+  [[nodiscard]] std::size_t size() const { return views_.size(); }
+  /// Zero-copy view of label `i`; aliases the construction-time vector.
+  [[nodiscard]] std::string_view view(std::size_t i) const {
+    return views_[i];
+  }
+  /// Size in bits of the largest label.
+  [[nodiscard]] std::size_t maxLabelBits() const { return maxBits_; }
+  /// Total size in bits over all labels.
+  [[nodiscard]] std::size_t totalLabelBits() const { return totalBits_; }
+
+ private:
+  std::vector<std::string_view> views_;
+  std::size_t maxBits_ = 0;
+  std::size_t totalBits_ = 0;
+};
+
+/// CSR index: row v = sorted multiset of label views seen by vertex v.
+struct VertexLabelIndex {
+  std::vector<std::size_t> rowPtr;     ///< numVertices + 1 entries
+  std::vector<std::string_view> rows;  ///< flattened, each row sorted
+
+  /// Sorted label views of vertex `v` (empty span for isolated vertices).
+  [[nodiscard]] std::span<const std::string_view> row(VertexId v) const {
+    const auto i = static_cast<std::size_t>(v);
+    return {rows.data() + rowPtr[i], rowPtr[i + 1] - rowPtr[i]};
+  }
+};
+
+/// Row v = labels of v's incident edges (edge schemes: labels[a.edge]).
+/// Row filling and sorting are sharded over `exec`.
+[[nodiscard]] VertexLabelIndex buildIncidentEdgeIndex(const Graph& g,
+                                                      const LabelStore& store,
+                                                      ParallelExecutor& exec);
+
+/// Row v = labels of v's neighbors (vertex schemes: labels[a.to]).
+[[nodiscard]] VertexLabelIndex buildNeighborIndex(const Graph& g,
+                                                  const LabelStore& store,
+                                                  ParallelExecutor& exec);
+
+}  // namespace lanecert

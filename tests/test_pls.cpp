@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "pls/classic.hpp"
@@ -53,6 +55,53 @@ TEST(Codec, ThrowsOnTruncation) {
   EXPECT_THROW((void)dec3.boolean(), DecodeError);
 }
 
+TEST(Codec, RejectsUnterminatedVarintRun) {
+  // An adversarial run of 0x80 continuation bytes must throw after at most
+  // 10 bytes (ceil(64 / 7)), not scan to the end of the buffer.
+  Decoder dec(std::string(11, '\x80'));
+  EXPECT_THROW((void)dec.u64(), DecodeError);
+  // Still malformed when a valid terminator hides beyond the 10-byte cap.
+  Decoder dec2(std::string(10, '\x80') + '\x01');
+  EXPECT_THROW((void)dec2.u64(), DecodeError);
+  // A huge all-continuation buffer must not be accepted either.
+  Decoder dec3(std::string(4096, '\x80'));
+  EXPECT_THROW((void)dec3.u64(), DecodeError);
+}
+
+TEST(Codec, RejectsVarintOverflowByte) {
+  // The 10th byte may only contribute bit 63; anything above overflows
+  // uint64 and must reject rather than silently truncate.
+  Decoder overflow(std::string(9, '\xff') + '\x02');
+  EXPECT_THROW((void)overflow.u64(), DecodeError);
+  Decoder max(std::string(9, '\xff') + '\x01');
+  EXPECT_EQ(max.u64(), ~std::uint64_t{0});
+  EXPECT_TRUE(max.atEnd());
+}
+
+TEST(Codec, U64MaxRoundTrips) {
+  Encoder enc;
+  enc.u64(~std::uint64_t{0});
+  enc.i64(std::numeric_limits<std::int64_t>::min());
+  Decoder dec(enc.str());
+  EXPECT_EQ(dec.u64(), ~std::uint64_t{0});
+  EXPECT_EQ(dec.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(Codec, BorrowingDecoderReadsViews) {
+  Encoder enc;
+  enc.u64(1234);
+  enc.bytes("payload");
+  const std::string backing = enc.str();
+  Decoder dec(std::string_view{backing});
+  EXPECT_EQ(dec.u64(), 1234u);
+  const std::string_view v = dec.bytesView();
+  EXPECT_EQ(v, "payload");
+  // Zero-copy: the view aliases the backing buffer.
+  EXPECT_GE(v.data(), backing.data());
+  EXPECT_LE(v.data() + v.size(), backing.data() + backing.size());
+}
+
 TEST(Simulation, VerifierExceptionsAreRejections) {
   const Graph g = pathGraph(3);
   const auto ids = IdAssignment::identity(3);
@@ -79,7 +128,7 @@ TEST(Simulation, LabelBitsAccounting) {
 EdgeVerifier pointerEdgeVerifier() {
   return [](const EdgeView& view) -> bool {
     std::vector<PointerRecord> recs;
-    for (const std::string& l : view.incidentLabels) {
+    for (std::string_view l : view.incidentLabels) {
       Decoder dec(l);
       recs.push_back(PointerRecord::decodeFrom(dec));
       if (!dec.atEnd()) return false;

@@ -1,0 +1,261 @@
+// Tests for the runtime subsystem: the deterministic shard executor, the
+// zero-copy label store, degenerate simulator inputs (empty graphs, label
+// count mismatches, self-loop certificates), and the central property of
+// the parallel sweep — numThreads never changes the SimulationResult.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string_view>
+#include <vector>
+
+#include "core/records.hpp"
+#include "core/scheme.hpp"
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "klane/hierarchy.hpp"
+#include "klane/validate.hpp"
+#include "lane/embedding.hpp"
+#include "lanewidth/lanewidth.hpp"
+#include "mso/properties.hpp"
+#include "pathwidth/pathwidth.hpp"
+#include "pls/classic.hpp"
+#include "pls/scheme.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/flat_map.hpp"
+#include "runtime/label_store.hpp"
+
+namespace lanecert {
+namespace {
+
+// --- Executor ---
+
+TEST(Executor, ShardRangesPartitionTheIndexSpace) {
+  for (std::size_t n : {0u, 1u, 5u, 8u, 17u, 1000u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 8u, 13u}) {
+      std::size_t expectedBegin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] = ParallelExecutor::shardRange(n, shards, s);
+        EXPECT_EQ(begin, expectedBegin);
+        EXPECT_LE(begin, end);
+        expectedBegin = end;
+      }
+      EXPECT_EQ(expectedBegin, n);  // shards cover [0, n) exactly
+    }
+  }
+}
+
+TEST(Executor, ForShardsVisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ParallelExecutor exec(threads);
+    EXPECT_EQ(exec.numThreads(), threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> visits(kN);
+    exec.forShards(kN, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+  }
+}
+
+TEST(Executor, ForShardsIsReusableAndPropagatesExceptions) {
+  ParallelExecutor exec(4);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(
+        exec.forShards(100,
+                       [](std::size_t, std::size_t begin, std::size_t) {
+                         if (begin == 0) throw std::runtime_error("boom");
+                       }),
+        std::runtime_error);
+    std::atomic<int> total{0};
+    exec.forShards(100, [&](std::size_t, std::size_t begin, std::size_t end) {
+      total += static_cast<int>(end - begin);
+    });
+    EXPECT_EQ(total.load(), 100);
+  }
+}
+
+// --- LabelStore ---
+
+TEST(LabelStore, ViewsMatchLabelsAndBitsAreTallied) {
+  const std::vector<std::string> labels = {"abcd", "", "x", std::string("\0z", 2)};
+  const LabelStore store(labels);
+  ASSERT_EQ(store.size(), labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_EQ(store.view(i), std::string_view(labels[i]));
+  }
+  EXPECT_EQ(store.maxLabelBits(), 32u);
+  EXPECT_EQ(store.totalLabelBits(), (4u + 0u + 1u + 2u) * 8u);
+}
+
+TEST(FlatMapTest, InsertFindOverwrite) {
+  FlatMap<int, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_TRUE(m.tryEmplace(3, 30).second);
+  EXPECT_TRUE(m.tryEmplace(1, 10).second);
+  EXPECT_FALSE(m.tryEmplace(3, 99).second);
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(*m.find(3), 30);
+  m.insertOrAssign(3, 99);
+  EXPECT_EQ(*m.find(3), 99);
+  // Iteration is sorted by key.
+  std::vector<int> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<int>{1, 3}));
+}
+
+// --- Degenerate simulator inputs ---
+
+TEST(Simulation, EmptyGraphAcceptsVacuously) {
+  const Graph g(0);
+  const auto ids = IdAssignment::identity(0);
+  const std::vector<std::string> noLabels;
+  const auto edge = simulateEdgeScheme(
+      g, ids, noLabels, [](const EdgeView&) { return false; });
+  EXPECT_TRUE(edge.allAccept);
+  EXPECT_TRUE(edge.rejecting.empty());
+  EXPECT_EQ(edge.maxLabelBits, 0u);
+  EXPECT_EQ(edge.totalLabelBits, 0u);
+  const auto vertex = simulateVertexScheme(
+      g, ids, noLabels, [](const VertexView&) { return false; });
+  EXPECT_TRUE(vertex.allAccept);
+}
+
+TEST(Simulation, EdgelessGraphPresentsEmptyViews) {
+  const Graph g(4);  // 4 isolated vertices, 0 edges
+  const auto ids = IdAssignment::identity(4);
+  int calls = 0;
+  const auto res = simulateEdgeScheme(
+      g, ids, {}, [&calls](const EdgeView& view) {
+        ++calls;
+        return view.incidentLabels.empty();
+      });
+  EXPECT_TRUE(res.allAccept);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Simulation, LabelCountMismatchThrows) {
+  const Graph g = pathGraph(3);  // 3 vertices, 2 edges
+  const auto ids = IdAssignment::identity(3);
+  const std::vector<std::string> labels(3, "x");  // 3 labels != 2 edges
+  EXPECT_THROW(
+      (void)simulateEdgeScheme(g, ids, labels,
+                               [](const EdgeView&) { return true; }),
+      std::invalid_argument);
+  const std::vector<std::string> vlabels(2, "x");  // 2 labels != 3 vertices
+  EXPECT_THROW(
+      (void)simulateVertexScheme(g, ids, vlabels,
+                                 [](const VertexView&) { return true; }),
+      std::invalid_argument);
+}
+
+TEST(Simulation, SelfLoopCertificateRejectedEndToEnd) {
+  // Tamper an honest core-scheme label so one edge's certificate claims a
+  // self-loop (endA == endB); the verifier must reject some vertex, never
+  // crash.
+  const Graph g = caterpillar(6, 1);
+  const auto ids = IdAssignment::random(g.numVertices(), 21);
+  const auto proved = proveCore(g, ids, *makeForest(), nullptr);
+  ASSERT_TRUE(proved.propertyHolds);
+  const auto verifier = makeCoreVerifier(makeForest());
+  ASSERT_TRUE(simulateEdgeScheme(g, ids, proved.labels, verifier).allAccept);
+
+  auto labels = proved.labels;
+  EdgeLabel tampered = EdgeLabel::decode(labels[0]);
+  tampered.own.endB = tampered.own.endA;
+  labels[0] = tampered.encoded();
+  EXPECT_FALSE(simulateEdgeScheme(g, ids, labels, verifier).allAccept);
+}
+
+// --- Thread-count invariance of the parallel sweep ---
+
+void expectSameResult(const SimulationResult& a, const SimulationResult& b) {
+  EXPECT_EQ(a.allAccept, b.allAccept);
+  EXPECT_EQ(a.rejecting, b.rejecting);
+  EXPECT_EQ(a.maxLabelBits, b.maxLabelBits);
+  EXPECT_EQ(a.totalLabelBits, b.totalLabelBits);
+}
+
+TEST(ParallelSweep, CoreSchemeIdenticalAcrossThreadCounts) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto bp = randomBoundedPathwidth(40 + 20 * trial, 2, 0.4, rng);
+    const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+    const auto ids = IdAssignment::random(bp.graph.numVertices(),
+                                          1000 + static_cast<unsigned>(trial));
+    const auto proved =
+        proveCore(bp.graph, ids, *makeConnectivity(), &rep);
+    ASSERT_TRUE(proved.propertyHolds);
+    const auto verifier = makeCoreVerifier(makeConnectivity());
+
+    // Honest labels and several adversarial mutations of them.
+    std::vector<std::vector<std::string>> corpora{proved.labels};
+    for (int m = 0; m < 10; ++m) {
+      auto mutated = proved.labels;
+      if (mutateLabels(mutated, static_cast<Mutation>(m % 5), rng)) {
+        corpora.push_back(std::move(mutated));
+      }
+    }
+    for (const auto& labels : corpora) {
+      const auto seq = simulateEdgeScheme(bp.graph, ids, labels, verifier,
+                                          SimulationOptions{1});
+      for (int threads : {2, 8}) {
+        const auto par = simulateEdgeScheme(bp.graph, ids, labels, verifier,
+                                            SimulationOptions{threads});
+        expectSameResult(seq, par);
+      }
+    }
+  }
+}
+
+TEST(ParallelSweep, VertexSchemeIdenticalAcrossThreadCounts) {
+  Rng rng(7);
+  const Graph g = randomConnected(60, 0.08, rng);
+  const auto ids = IdAssignment::random(60, 77);
+  // Bipartite verifier over random (mostly wrong) labelings: a rich mix of
+  // accepting and rejecting vertices to exercise the merge.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> labels;
+    for (int v = 0; v < 60; ++v) {
+      labels.push_back(rng.flip(0.5) ? std::string("\1", 1)
+                                     : std::string("\0", 1));
+    }
+    const auto seq = simulateVertexScheme(g, ids, labels, bipartiteVerifier(),
+                                          SimulationOptions{1});
+    const auto par = simulateVertexScheme(g, ids, labels, bipartiteVerifier(),
+                                          SimulationOptions{8});
+    expectSameResult(seq, par);
+  }
+}
+
+TEST(ParallelSweep, ProveAndVerifyAcceptsWithManyThreads) {
+  const Graph g = gridGraph(4, 5);
+  const auto ids = IdAssignment::random(g.numVertices(), 5);
+  const auto seq = proveAndVerifyEdges(g, ids, makeConnectivity(), nullptr, {},
+                                       SimulationOptions{1});
+  const auto par = proveAndVerifyEdges(g, ids, makeConnectivity(), nullptr, {},
+                                       SimulationOptions{8});
+  ASSERT_TRUE(seq.propertyHolds);
+  ASSERT_TRUE(par.propertyHolds);
+  expectSameResult(seq.sim, par.sim);
+  EXPECT_TRUE(par.sim.allAccept);
+}
+
+TEST(ParallelSweep, ValidateHierarchyIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const Graph g = randomConnected(40, 0.1, rng);
+  const auto rep = bestIntervalRepresentation(g);
+  const LanePlan plan = buildLanePlan(g, rep);
+  const ConstructionSequence seq = buildConstruction(g, rep, plan.lanes);
+  const HierarchyResult r = buildHierarchy(seq);
+  const int numLanes = seq.numLanes();
+  const auto sequential = validateHierarchy(r, numLanes, 1);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(validateHierarchy(r, numLanes, threads), sequential);
+  }
+  EXPECT_TRUE(sequential.empty());
+}
+
+}  // namespace
+}  // namespace lanecert
