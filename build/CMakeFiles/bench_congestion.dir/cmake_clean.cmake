@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_congestion.dir/bench/bench_congestion.cpp.o"
+  "CMakeFiles/bench_congestion.dir/bench/bench_congestion.cpp.o.d"
+  "bench_congestion"
+  "bench_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_congestion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_homclass.dir/bench/bench_homclass.cpp.o"
+  "CMakeFiles/bench_homclass.dir/bench/bench_homclass.cpp.o.d"
+  "bench_homclass"
+  "bench_homclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_homclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

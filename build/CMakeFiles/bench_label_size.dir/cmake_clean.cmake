@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_size.dir/bench/bench_label_size.cpp.o"
+  "CMakeFiles/bench_label_size.dir/bench/bench_label_size.cpp.o.d"
+  "bench_label_size"
+  "bench_label_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

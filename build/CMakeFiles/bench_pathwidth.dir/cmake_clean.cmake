@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathwidth.dir/bench/bench_pathwidth.cpp.o"
+  "CMakeFiles/bench_pathwidth.dir/bench/bench_pathwidth.cpp.o.d"
+  "bench_pathwidth"
+  "bench_pathwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime.dir/bench/bench_runtime.cpp.o"
+  "CMakeFiles/bench_runtime.dir/bench/bench_runtime.cpp.o.d"
+  "bench_runtime"
+  "bench_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

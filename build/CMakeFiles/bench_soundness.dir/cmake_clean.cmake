@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soundness.dir/bench/bench_soundness.cpp.o"
+  "CMakeFiles/bench_soundness.dir/bench/bench_soundness.cpp.o.d"
+  "bench_soundness"
+  "bench_soundness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figures.dir/examples/figures.cpp.o"
+  "CMakeFiles/figures.dir/examples/figures.cpp.o.d"
+  "figures"
+  "figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

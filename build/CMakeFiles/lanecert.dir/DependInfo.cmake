@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/fmrt.cpp" "CMakeFiles/lanecert.dir/src/baseline/fmrt.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/baseline/fmrt.cpp.o.d"
+  "/root/repo/src/core/algebra.cpp" "CMakeFiles/lanecert.dir/src/core/algebra.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/core/algebra.cpp.o.d"
+  "/root/repo/src/core/prover.cpp" "CMakeFiles/lanecert.dir/src/core/prover.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/core/prover.cpp.o.d"
+  "/root/repo/src/core/records.cpp" "CMakeFiles/lanecert.dir/src/core/records.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/core/records.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "CMakeFiles/lanecert.dir/src/core/scheme.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/core/scheme.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "CMakeFiles/lanecert.dir/src/core/verifier.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/core/verifier.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "CMakeFiles/lanecert.dir/src/graph/algorithms.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "CMakeFiles/lanecert.dir/src/graph/generators.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "CMakeFiles/lanecert.dir/src/graph/graph.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "CMakeFiles/lanecert.dir/src/graph/io.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/graph/io.cpp.o.d"
+  "/root/repo/src/interval/interval.cpp" "CMakeFiles/lanecert.dir/src/interval/interval.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/interval/interval.cpp.o.d"
+  "/root/repo/src/klane/hierarchy.cpp" "CMakeFiles/lanecert.dir/src/klane/hierarchy.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/klane/hierarchy.cpp.o.d"
+  "/root/repo/src/klane/merges.cpp" "CMakeFiles/lanecert.dir/src/klane/merges.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/klane/merges.cpp.o.d"
+  "/root/repo/src/klane/validate.cpp" "CMakeFiles/lanecert.dir/src/klane/validate.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/klane/validate.cpp.o.d"
+  "/root/repo/src/lane/bounds.cpp" "CMakeFiles/lanecert.dir/src/lane/bounds.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/lane/bounds.cpp.o.d"
+  "/root/repo/src/lane/embedding.cpp" "CMakeFiles/lanecert.dir/src/lane/embedding.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/lane/embedding.cpp.o.d"
+  "/root/repo/src/lane/lane_partition.cpp" "CMakeFiles/lanecert.dir/src/lane/lane_partition.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/lane/lane_partition.cpp.o.d"
+  "/root/repo/src/lanewidth/lanewidth.cpp" "CMakeFiles/lanecert.dir/src/lanewidth/lanewidth.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/lanewidth/lanewidth.cpp.o.d"
+  "/root/repo/src/mso/bruteforce.cpp" "CMakeFiles/lanecert.dir/src/mso/bruteforce.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/bruteforce.cpp.o.d"
+  "/root/repo/src/mso/colorability.cpp" "CMakeFiles/lanecert.dir/src/mso/colorability.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/colorability.cpp.o.d"
+  "/root/repo/src/mso/counting.cpp" "CMakeFiles/lanecert.dir/src/mso/counting.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/counting.cpp.o.d"
+  "/root/repo/src/mso/domination.cpp" "CMakeFiles/lanecert.dir/src/mso/domination.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/domination.cpp.o.d"
+  "/root/repo/src/mso/formula.cpp" "CMakeFiles/lanecert.dir/src/mso/formula.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/formula.cpp.o.d"
+  "/root/repo/src/mso/girth.cpp" "CMakeFiles/lanecert.dir/src/mso/girth.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/girth.cpp.o.d"
+  "/root/repo/src/mso/hamiltonian.cpp" "CMakeFiles/lanecert.dir/src/mso/hamiltonian.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/hamiltonian.cpp.o.d"
+  "/root/repo/src/mso/matching.cpp" "CMakeFiles/lanecert.dir/src/mso/matching.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/matching.cpp.o.d"
+  "/root/repo/src/mso/partition_props.cpp" "CMakeFiles/lanecert.dir/src/mso/partition_props.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/partition_props.cpp.o.d"
+  "/root/repo/src/mso/property.cpp" "CMakeFiles/lanecert.dir/src/mso/property.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/property.cpp.o.d"
+  "/root/repo/src/mso/triangle.cpp" "CMakeFiles/lanecert.dir/src/mso/triangle.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/triangle.cpp.o.d"
+  "/root/repo/src/mso/vertex_cover.cpp" "CMakeFiles/lanecert.dir/src/mso/vertex_cover.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/mso/vertex_cover.cpp.o.d"
+  "/root/repo/src/pathwidth/pathwidth.cpp" "CMakeFiles/lanecert.dir/src/pathwidth/pathwidth.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/pathwidth/pathwidth.cpp.o.d"
+  "/root/repo/src/pls/classic.cpp" "CMakeFiles/lanecert.dir/src/pls/classic.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/pls/classic.cpp.o.d"
+  "/root/repo/src/pls/pointer.cpp" "CMakeFiles/lanecert.dir/src/pls/pointer.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/pls/pointer.cpp.o.d"
+  "/root/repo/src/pls/scheme.cpp" "CMakeFiles/lanecert.dir/src/pls/scheme.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/pls/scheme.cpp.o.d"
+  "/root/repo/src/pls/transform.cpp" "CMakeFiles/lanecert.dir/src/pls/transform.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/pls/transform.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "CMakeFiles/lanecert.dir/src/runtime/executor.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/label_store.cpp" "CMakeFiles/lanecert.dir/src/runtime/label_store.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/runtime/label_store.cpp.o.d"
+  "/root/repo/src/treewidth/tree_decomposition.cpp" "CMakeFiles/lanecert.dir/src/treewidth/tree_decomposition.cpp.o" "gcc" "CMakeFiles/lanecert.dir/src/treewidth/tree_decomposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lanecert_cli.dir/examples/lanecert_cli.cpp.o"
+  "CMakeFiles/lanecert_cli.dir/examples/lanecert_cli.cpp.o.d"
+  "lanecert_cli"
+  "lanecert_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lanecert_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_baseline.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_core.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_core.cpp.o.d"
+  "/root/repo/tests/test_core_attacks.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_core_attacks.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_core_attacks.cpp.o.d"
+  "/root/repo/tests/test_formula.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_formula.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_formula.cpp.o.d"
+  "/root/repo/tests/test_girth.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_girth.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_girth.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_graph.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_integration.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interval.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_interval.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_interval.cpp.o.d"
+  "/root/repo/tests/test_klane.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_klane.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_klane.cpp.o.d"
+  "/root/repo/tests/test_lane.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_lane.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_lane.cpp.o.d"
+  "/root/repo/tests/test_lanewidth.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_lanewidth.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_lanewidth.cpp.o.d"
+  "/root/repo/tests/test_merges.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_merges.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_merges.cpp.o.d"
+  "/root/repo/tests/test_mso.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_mso.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_mso.cpp.o.d"
+  "/root/repo/tests/test_pathwidth.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_pathwidth.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_pathwidth.cpp.o.d"
+  "/root/repo/tests/test_pls.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_pls.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_pls.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_runtime.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_scheme_sweep.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_scheme_sweep.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_scheme_sweep.cpp.o.d"
+  "/root/repo/tests/test_treewidth.cpp" "CMakeFiles/lanecert_tests.dir/tests/test_treewidth.cpp.o" "gcc" "CMakeFiles/lanecert_tests.dir/tests/test_treewidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/lanecert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for lanecert_tests.
+# This may be replaced when dependencies are built.

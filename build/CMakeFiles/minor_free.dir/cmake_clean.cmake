@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minor_free.dir/examples/minor_free.cpp.o"
+  "CMakeFiles/minor_free.dir/examples/minor_free.cpp.o.d"
+  "minor_free"
+  "minor_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minor_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

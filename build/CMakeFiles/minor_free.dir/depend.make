@@ -1,0 +1,2 @@
+# Empty dependencies file for minor_free.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mso_playground.dir/examples/mso_playground.cpp.o"
+  "CMakeFiles/mso_playground.dir/examples/mso_playground.cpp.o.d"
+  "mso_playground"
+  "mso_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mso_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

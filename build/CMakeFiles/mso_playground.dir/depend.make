@@ -1,0 +1,2 @@
+# Empty dependencies file for mso_playground.
+# This may be replaced when dependencies are built.

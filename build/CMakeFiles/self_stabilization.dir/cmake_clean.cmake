@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_stabilization.dir/examples/self_stabilization.cpp.o"
+  "CMakeFiles/self_stabilization.dir/examples/self_stabilization.cpp.o.d"
+  "self_stabilization"
+  "self_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for self_stabilization.
+# This may be replaced when dependencies are built.
