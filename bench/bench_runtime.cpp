@@ -45,6 +45,39 @@ void BM_Prover(benchmark::State& state) {
 BENCHMARK(BM_Prover)->RangeMultiplier(4)->Range(64, 4096)
     ->Unit(benchmark::kMillisecond)->Complexity();
 
+void BM_ProverThreads(benchmark::State& state) {
+  // Fixed n, sweeping the prover's numThreads knob: the hom-state waves,
+  // record encoding, and label assembly all shard over the deterministic
+  // executor, so wall time should drop near-linearly in cores (results are
+  // bit-identical for every t; tests/test_prover_par.cpp asserts that).
+  const auto inst = instance(2, 4096);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r =
+        proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep, threads);
+    benchmark::DoNotOptimize(r.labels);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ProverThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ProverArena(benchmark::State& state) {
+  // The single-thread allocation dimension at the BENCH_prover.json sizes:
+  // flat CSR subtree storage + arena scratch + cached entry encodings vs
+  // the PR 1 baseline's map-backed, re-encoding prover (see
+  // bench/BENCH_prover.json for the recorded before/after wall times).
+  const auto inst = instance(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto r =
+        proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep, 1);
+    benchmark::DoNotOptimize(r.labels);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProverArena)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Verifier(benchmark::State& state) {
   const auto inst = instance(2, static_cast<int>(state.range(0)));
   const auto proved = proveCore(inst.g, inst.ids, *makeConnectivity(), &inst.rep);

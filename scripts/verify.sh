@@ -6,6 +6,25 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# Guard: generated build trees must never be committed (PR 1 accidentally
+# checked in ~300 files under build/; .gitignore now covers it).
+if tracked_build="$(git ls-files -- 'build/*' "*.o")" && [ -n "${tracked_build}" ]; then
+  echo "verify.sh: FAIL — generated files are tracked by git:" >&2
+  echo "${tracked_build}" | head -20 >&2
+  exit 1
+fi
+
+# Guard: clang-format drift (skipped with a warning when the binary is
+# absent, e.g. on minimal containers — CI images should ship it).
+if command -v clang-format >/dev/null 2>&1; then
+  if ! git ls-files -- '*.cpp' '*.hpp' | xargs -r clang-format --dry-run --Werror; then
+    echo "verify.sh: FAIL — clang-format drift (run: git ls-files '*.cpp' '*.hpp' | xargs clang-format -i)" >&2
+    exit 1
+  fi
+else
+  echo "verify.sh: clang-format not found; skipping format check"
+fi
+
 cmake -B build -S . "$@"
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"

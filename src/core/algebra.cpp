@@ -1,7 +1,6 @@
 #include "core/algebra.hpp"
 
 #include <algorithm>
-#include <set>
 
 namespace lanecert {
 
@@ -14,10 +13,25 @@ int slotIndexOf(const std::vector<std::uint64_t>& slots, std::uint64_t id) {
   throw DecodeError{};
 }
 
-void requireDistinct(const std::vector<std::uint64_t>& ids) {
-  std::set<std::uint64_t> seen;
-  for (std::uint64_t id : ids) {
-    if (!seen.insert(id).second) throw DecodeError{};
+// The folds below run concurrently from the wave-parallel prover and the
+// sharded verifier, so every scratch buffer is thread-local: sorted flat
+// vectors replace the node-based std::set of earlier revisions (no heap
+// traffic in steady state, and still O(n log n) on adversarial certificate
+// sizes).
+
+/// Sorted copy of `ids` in a reusable thread-local buffer; valid until the
+/// next call from the same thread.
+std::span<const std::uint64_t> sortedScratch(std::span<const std::uint64_t> ids) {
+  thread_local std::vector<std::uint64_t> buf;
+  buf.assign(ids.begin(), ids.end());
+  std::sort(buf.begin(), buf.end());
+  return buf;
+}
+
+void requireDistinct(std::span<const std::uint64_t> ids) {
+  const auto sorted = sortedScratch(ids);
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    throw DecodeError{};
   }
 }
 
@@ -55,27 +69,27 @@ NodeData LaneAlgebra::baseE(int lane, std::uint64_t inId, std::uint64_t outId,
   return d;
 }
 
-NodeData LaneAlgebra::baseP(const std::vector<int>& lanes,
-                            const std::vector<std::uint64_t>& pathIds,
-                            const std::vector<bool>& realFlags) const {
+NodeData LaneAlgebra::baseP(std::span<const int> lanes,
+                            std::span<const std::uint64_t> pathIds,
+                            std::span<const std::uint8_t> realFlags) const {
   if (lanes.size() != pathIds.size() || pathIds.empty() ||
       realFlags.size() + 1 != pathIds.size()) {
     throw DecodeError{};
   }
   requireDistinct(pathIds);
   NodeData d;
-  d.lanes = lanes;
+  d.lanes.assign(lanes.begin(), lanes.end());
   if (!std::is_sorted(lanes.begin(), lanes.end())) throw DecodeError{};
   for (std::size_t i = 0; i < lanes.size(); ++i) {
     d.inTerm.set(lanes[i], pathIds[i]);
     d.outTerm.set(lanes[i], pathIds[i]);
   }
-  d.slots = pathIds;
+  d.slots.assign(pathIds.begin(), pathIds.end());
   HomState s = prop_.empty();
   for (std::size_t i = 0; i < pathIds.size(); ++i) s = prop_.addVertex(s);
   for (std::size_t i = 0; i + 1 < pathIds.size(); ++i) {
     s = prop_.addEdge(s, static_cast<int>(i), static_cast<int>(i + 1),
-                      realFlags[i] ? kRealEdge : kVirtualEdge);
+                      realFlags[i] != 0 ? kRealEdge : kVirtualEdge);
   }
   d.state = std::move(s);
   return d;
@@ -107,17 +121,25 @@ NodeData LaneAlgebra::parentMerge(const NodeData& child,
     throw DecodeError{};  // T(child) ⊆ T(parent)
   }
   // Gluing points: child's in-terminal IS the parent's out-terminal.
-  std::set<std::uint64_t> glueIds;
+  thread_local std::vector<std::uint64_t> glueIds;
+  glueIds.clear();
   for (int lane : child.lanes) {
     const std::uint64_t g = parent.outTerm.at(lane);
     if (child.inTerm.at(lane) != g) throw DecodeError{};
-    if (!glueIds.insert(g).second) throw DecodeError{};
+    glueIds.push_back(g);
+  }
+  std::sort(glueIds.begin(), glueIds.end());
+  if (std::adjacent_find(glueIds.begin(), glueIds.end()) != glueIds.end()) {
+    throw DecodeError{};  // two lanes glued through one vertex
   }
   // The parts may share vertices ONLY at the gluing points.
   {
-    std::set<std::uint64_t> parentIds(parent.slots.begin(), parent.slots.end());
+    const auto parentSorted = sortedScratch(parent.slots);
     for (std::uint64_t id : child.slots) {
-      if (parentIds.count(id) != 0 && glueIds.count(id) == 0) throw DecodeError{};
+      if (std::binary_search(parentSorted.begin(), parentSorted.end(), id) &&
+          !std::binary_search(glueIds.begin(), glueIds.end(), id)) {
+        throw DecodeError{};
+      }
     }
   }
 
@@ -153,11 +175,15 @@ NodeData LaneAlgebra::parentMerge(const NodeData& child,
   }
   requireDistinct(slots);
   // Demote everything that is no longer a terminal of the merged graph.
-  std::set<std::uint64_t> keep;
-  for (const auto& [l, id] : d.inTerm.entries) keep.insert(id);
-  for (const auto& [l, id] : d.outTerm.entries) keep.insert(id);
+  thread_local std::vector<std::uint64_t> keep;
+  keep.clear();
+  for (const auto& [l, id] : d.inTerm.entries) keep.push_back(id);
+  for (const auto& [l, id] : d.outTerm.entries) keep.push_back(id);
+  std::sort(keep.begin(), keep.end());
+  keep.erase(std::unique(keep.begin(), keep.end()), keep.end());
   for (int i = static_cast<int>(slots.size()) - 1; i >= 0; --i) {
-    if (keep.count(slots[static_cast<std::size_t>(i)]) == 0) {
+    if (!std::binary_search(keep.begin(), keep.end(),
+                            slots[static_cast<std::size_t>(i)])) {
       s = prop_.forget(s, i);
       slots.erase(slots.begin() + i);
     }
@@ -178,19 +204,25 @@ NodeData LaneAlgebra::fromSummary(const SummaryRec& rec) const {
   d.slots = rec.slotOrder;
   requireDistinct(d.slots);
   // Terminals defined exactly on the lane set; slots = terminal vertex set.
-  std::set<std::uint64_t> termIds;
+  thread_local std::vector<std::uint64_t> termIds;
+  termIds.clear();
   for (const LaneTerms* t : {&rec.inTerm, &rec.outTerm}) {
     if (t->entries.size() != rec.lanes.size()) throw DecodeError{};
     for (const auto& [lane, id] : t->entries) {
       if (!std::binary_search(rec.lanes.begin(), rec.lanes.end(), lane)) {
         throw DecodeError{};
       }
-      termIds.insert(id);
+      termIds.push_back(id);
     }
   }
-  if (termIds != std::set<std::uint64_t>(d.slots.begin(), d.slots.end())) {
-    throw DecodeError{};
-  }
+  std::sort(termIds.begin(), termIds.end());
+  termIds.erase(std::unique(termIds.begin(), termIds.end()), termIds.end());
+  // requireDistinct passed, so comparing the sorted slot list against the
+  // deduplicated terminal list decides set equality.
+  thread_local std::vector<std::uint64_t> slotsSorted;
+  slotsSorted.assign(d.slots.begin(), d.slots.end());
+  std::sort(slotsSorted.begin(), slotsSorted.end());
+  if (termIds != slotsSorted) throw DecodeError{};
   d.state = prop_.decodeState(rec.stateBytes);
   // Canonicality: re-encoding must reproduce the bytes, and the state's
   // internal slot count must match the layout.

@@ -8,8 +8,15 @@
 // Everything operates in identifier space and THROWS (DecodeError or
 // logic_error) on any inconsistency — the verifier translates exceptions
 // into rejection, the prover treats them as internal bugs.
+//
+// Thread safety: a LaneAlgebra holds only a const reference to its
+// Property, every method is const and pure, and internal scratch is
+// thread-local — one instance may run state folds concurrently from any
+// number of threads (the wave-parallel prover and the sharded verifier
+// both rely on this).
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/records.hpp"
@@ -39,10 +46,11 @@ class LaneAlgebra {
                                bool real) const;
 
   /// Path k-lane graph (P-node): vertex i is lane lanes[i]'s terminal;
-  /// realFlags[i] is the input flag of path edge (i, i+1).
-  [[nodiscard]] NodeData baseP(const std::vector<int>& lanes,
-                               const std::vector<std::uint64_t>& pathIds,
-                               const std::vector<bool>& realFlags) const;
+  /// realFlags[i] is the input flag of path edge (i, i+1).  Spans so that
+  /// callers may pass arena-backed scratch without materializing vectors.
+  [[nodiscard]] NodeData baseP(std::span<const int> lanes,
+                               std::span<const std::uint64_t> pathIds,
+                               std::span<const std::uint8_t> realFlags) const;
 
   /// Bridge-merge(a, b, laneI, laneJ) with the bridge edge's input flag.
   [[nodiscard]] NodeData bridge(const NodeData& a, const NodeData& b, int laneI,

@@ -1,8 +1,9 @@
 #include "core/prover.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
+#include <string_view>
+#include <utility>
 
 #include "core/algebra.hpp"
 #include "core/records.hpp"
@@ -12,183 +13,405 @@
 #include "lanewidth/lanewidth.hpp"
 #include "pathwidth/pathwidth.hpp"
 #include "pls/pointer.hpp"
+#include "runtime/arena.hpp"
+#include "runtime/executor.hpp"
 
 namespace lanecert {
 
 namespace {
 
+/// Per-shard scratch of the parallel prover: a bump arena for fold
+/// orderings and path buffers plus a reusable chain-reference list.  One
+/// instance per executor shard slot, so shards never share mutable state.
+struct ProverScratch {
+  Arena arena;
+  std::vector<std::string_view> chain;
+};
+
+/// Writes a SummaryRec encoding straight from a NodeData — byte-identical
+/// to LaneAlgebra::toSummary(...).encodeTo(enc) without materializing the
+/// intermediate record (no vector/string copies on the hot path).
+void encodeSummary(Encoder& enc, const NodeData& d, std::int64_t nodeId,
+                   std::uint8_t type) {
+  enc.i64(nodeId);
+  enc.u64(type);
+  enc.u64(d.lanes.size());
+  for (int l : d.lanes) enc.u64(static_cast<std::uint64_t>(l));
+  d.inTerm.encodeTo(enc);
+  d.outTerm.encodeTo(enc);
+  enc.u64(d.slots.size());
+  for (std::uint64_t v : d.slots) enc.u64(v);
+  enc.bytes(d.state.encoding());
+}
+
 /// Builds every NodeData / record needed for the certificates.
+///
+/// Phase 1 (computeStates): level-synchronous waves over the hierarchy DAG
+/// — a node's hom state depends only on its children's, so all nodes of one
+/// bottom-up wave run in parallel through the deterministic shard executor.
+/// Subtree-merged data TM(T_child) lives in flat CSR storage indexed by
+/// (T-node, child position); fold orderings come from a per-shard arena.
+///
+/// Phase 2 (encodeEntries): each hierarchy node's chain-entry record is a
+/// pure function of the computed states, shared verbatim by every edge
+/// whose chain passes through the node — so it is encoded ONCE (in
+/// parallel) and certificates later splice the cached bytes.
 class CertBuilder {
  public:
   CertBuilder(const Graph& g, const IdAssignment& ids, const Property& prop,
-              const HierarchyResult& hier)
-      : g_(g), ids_(ids), alg_(prop), hier_(hier) {}
+              const HierarchyResult& hier, ParallelExecutor& exec,
+              std::vector<ProverScratch>& scratch)
+      : g_(g), ids_(ids), alg_(prop), hier_(hier), exec_(exec),
+        scratch_(scratch) {}
 
   /// Computes hom data bottom-up; returns the root NodeData.
   const NodeData& computeStates();
 
-  /// Chain entry for a base (E/P) or bridge node.
-  ChainEntry entryForOwner(int nodeId) const;
-  /// Chain entry for T-node `tId` relative to child at position `pos`.
-  ChainEntry entryForTree(int tId, int pos) const;
+  /// Encodes the per-node owner entries and per-(T, pos) tree entries.
+  void encodeEntries();
 
-  [[nodiscard]] SummaryRec nodeSummary(int nodeId) const {
-    const HierNode& n = hier_.hierarchy.node(nodeId);
-    return alg_.toSummary(nodeData_[static_cast<std::size_t>(nodeId)], nodeId,
-                          static_cast<std::uint8_t>(n.type));
+  /// Appends the full EdgeCert encoding of a completion edge owned by
+  /// hierarchy node `ownerNode` (splices cached entry bytes bottom-up).
+  void encodeCert(Encoder& enc, bool real, std::uint64_t endA,
+                  std::uint64_t endB, int ownerNode,
+                  ProverScratch& scratch) const;
+
+  [[nodiscard]] bool accepts(const NodeData& d) const { return alg_.accepts(d); }
+  [[nodiscard]] const NodeData& data(int nodeId) const {
+    return nodeData_[static_cast<std::size_t>(nodeId)];
+  }
+  [[nodiscard]] std::string_view rootEntryBytes() const {
+    const HierNode& root = hier_.hierarchy.node(hier_.hierarchy.root());
+    return treeBytes_[tmIndex(hier_.hierarchy.root(), root.rootChildPos)];
   }
 
+ private:
+  [[nodiscard]] std::size_t tmIndex(int tId, int pos) const {
+    return tmOffset_[static_cast<std::size_t>(tId)] +
+           static_cast<std::size_t>(pos);
+  }
+  [[nodiscard]] std::span<const int> kidsOf(std::size_t tmSlot) const {
+    return std::span<const int>(kids_).subspan(
+        kidsOffset_[tmSlot], kidsOffset_[tmSlot + 1] - kidsOffset_[tmSlot]);
+  }
   [[nodiscard]] bool edgeIsReal(VertexId u, VertexId v) const {
     return g_.hasEdge(u, v);
   }
   [[nodiscard]] std::uint64_t id(VertexId v) const { return ids_.id(v); }
-  [[nodiscard]] const NodeData& data(int nodeId) const {
-    return nodeData_[static_cast<std::size_t>(nodeId)];
-  }
 
- private:
-  /// Subtree-merged data TM(T_child) per (T-node, child position).
-  const NodeData& tmData(int tId, int pos) const {
-    return tmData_.at({tId, pos});
-  }
-  SummaryRec tmSummary(int tId, int pos) const {
-    const HierNode& t = hier_.hierarchy.node(tId);
-    const int childId = t.children[static_cast<std::size_t>(pos)];
-    const HierNode& c = hier_.hierarchy.node(childId);
-    return alg_.toSummary(tmData(tId, pos), childId,
-                          static_cast<std::uint8_t>(c.type));
-  }
+  void layoutTmStorage();
+  void computeNode(int nid, ProverScratch& scratch);
+  void encodeOwnerEntry(Encoder& enc, int nid) const;
+  void encodeTreeEntry(Encoder& enc, int tId, int pos) const;
 
   const Graph& g_;
   const IdAssignment& ids_;
   LaneAlgebra alg_;
   const HierarchyResult& hier_;
+  ParallelExecutor& exec_;
+  std::vector<ProverScratch>& scratch_;
+
   std::vector<NodeData> nodeData_;
-  std::map<std::pair<int, int>, NodeData> tmData_;
+  /// Subtree-merged data TM(T_child), CSR per T-node: slot tmOffset_[t] + pos.
+  std::vector<std::size_t> tmOffset_;  ///< size() + 1 offsets; non-T rows empty
+  std::vector<NodeData> tmData_;
+  /// Tree-merge child positions per TM slot, sorted by the child's smallest
+  /// lane (the deterministic fold order), CSR over TM slots.
+  std::vector<std::size_t> kidsOffset_;
+  std::vector<int> kids_;
+  /// Position of a node inside its T-node parent's children array, or -1.
+  std::vector<int> posInParent_;
+
+  std::vector<std::string> ownerBytes_;  ///< per node: encoded owner entry (E/P/B)
+  std::vector<std::string> treeBytes_;   ///< per TM slot: encoded T entry
 };
+
+void CertBuilder::layoutTmStorage() {
+  const Hierarchy& h = hier_.hierarchy;
+  const auto n = static_cast<std::size_t>(h.size());
+  tmOffset_.assign(n + 1, 0);
+  posInParent_.assign(n, -1);
+  for (std::size_t nid = 0; nid < n; ++nid) {
+    const HierNode& node = h.node(static_cast<int>(nid));
+    const bool isT = node.type == HierNode::Type::kT;
+    tmOffset_[nid + 1] = tmOffset_[nid] + (isT ? node.children.size() : 0);
+    if (isT) {
+      for (std::size_t p = 0; p < node.children.size(); ++p) {
+        posInParent_[static_cast<std::size_t>(node.children[p])] =
+            static_cast<int>(p);
+      }
+    }
+  }
+  const std::size_t tmTotal = tmOffset_[n];
+  tmData_.resize(tmTotal);
+  treeBytes_.resize(tmTotal);
+
+  // Tree-merge children CSR: count, place, then sort each segment by the
+  // child's smallest lane (lane sets of siblings are disjoint, so the key
+  // is unique and the order deterministic).
+  kidsOffset_.assign(tmTotal + 1, 0);
+  for (std::size_t nid = 0; nid < n; ++nid) {
+    const HierNode& node = h.node(static_cast<int>(nid));
+    if (node.type != HierNode::Type::kT) continue;
+    for (std::size_t p = 0; p < node.children.size(); ++p) {
+      if (node.treeParentPos[p] >= 0) {
+        ++kidsOffset_[tmIndex(static_cast<int>(nid), node.treeParentPos[p]) + 1];
+      }
+    }
+  }
+  for (std::size_t s = 0; s < tmTotal; ++s) kidsOffset_[s + 1] += kidsOffset_[s];
+  kids_.resize(kidsOffset_[tmTotal]);
+  std::vector<std::size_t> fill(kidsOffset_.begin(), kidsOffset_.end() - 1);
+  for (std::size_t nid = 0; nid < n; ++nid) {
+    const HierNode& node = h.node(static_cast<int>(nid));
+    if (node.type != HierNode::Type::kT) continue;
+    for (std::size_t p = 0; p < node.children.size(); ++p) {
+      if (node.treeParentPos[p] >= 0) {
+        kids_[fill[tmIndex(static_cast<int>(nid), node.treeParentPos[p])]++] =
+            static_cast<int>(p);
+      }
+    }
+    for (std::size_t p = 0; p < node.children.size(); ++p) {
+      const std::size_t slot = tmIndex(static_cast<int>(nid), static_cast<int>(p));
+      std::sort(kids_.begin() + static_cast<std::ptrdiff_t>(kidsOffset_[slot]),
+                kids_.begin() + static_cast<std::ptrdiff_t>(kidsOffset_[slot + 1]),
+                [&node, &h](int a, int b) {
+                  return h.node(node.children[static_cast<std::size_t>(a)]).lanes[0] <
+                         h.node(node.children[static_cast<std::size_t>(b)]).lanes[0];
+                });
+    }
+  }
+}
+
+void CertBuilder::computeNode(int nid, ProverScratch& s) {
+  const Hierarchy& h = hier_.hierarchy;
+  const HierNode& n = h.node(nid);
+  NodeData& d = nodeData_[static_cast<std::size_t>(nid)];
+  s.arena.reset();
+  switch (n.type) {
+    case HierNode::Type::kV:
+      d = alg_.baseV(n.lanes[0], id(n.u));
+      break;
+    case HierNode::Type::kE:
+      d = alg_.baseE(n.laneI, id(n.u), id(n.v), edgeIsReal(n.u, n.v));
+      break;
+    case HierNode::Type::kP: {
+      const std::size_t len = n.pathVertices.size();
+      const std::span<std::uint64_t> pathIds = s.arena.allocSpan<std::uint64_t>(len);
+      for (std::size_t i = 0; i < len; ++i) pathIds[i] = id(n.pathVertices[i]);
+      const std::span<std::uint8_t> flags =
+          s.arena.allocSpan<std::uint8_t>(len - 1);
+      for (std::size_t i = 0; i + 1 < len; ++i) {
+        flags[i] = edgeIsReal(n.pathVertices[i], n.pathVertices[i + 1]) ? 1 : 0;
+      }
+      d = alg_.baseP(n.lanes, pathIds, flags);
+      break;
+    }
+    case HierNode::Type::kB:
+      d = alg_.bridge(data(n.children[0]), data(n.children[1]), n.laneI,
+                      n.laneJ, edgeIsReal(n.u, n.v));
+      break;
+    case HierNode::Type::kT: {
+      // Tree children positions, processed leaves-first (tree children
+      // always have larger node ids than their tree parents).
+      const std::size_t cn = n.children.size();
+      const std::span<int> order = s.arena.allocSpan<int>(cn);
+      for (std::size_t p = 0; p < cn; ++p) order[p] = static_cast<int>(p);
+      std::sort(order.begin(), order.end(), [&n](int a, int b) {
+        return n.children[static_cast<std::size_t>(a)] >
+               n.children[static_cast<std::size_t>(b)];
+      });
+      for (int pos : order) {
+        NodeData cur = data(n.children[static_cast<std::size_t>(pos)]);
+        // Deterministic fold order: tree children by smallest lane (the
+        // precomputed CSR segment is already sorted that way).
+        for (int q : kidsOf(tmIndex(nid, pos))) {
+          cur = alg_.parentMerge(tmData_[tmIndex(nid, q)], cur);
+        }
+        tmData_[tmIndex(nid, pos)] = std::move(cur);
+      }
+      d = tmData_[tmIndex(nid, n.rootChildPos)];
+      break;
+    }
+  }
+}
 
 const NodeData& CertBuilder::computeStates() {
   const Hierarchy& h = hier_.hierarchy;
-  nodeData_.resize(static_cast<std::size_t>(h.size()));
-  // Node ids are topological (children precede parents by construction).
-  for (int nid = 0; nid < h.size(); ++nid) {
-    const HierNode& n = h.node(nid);
-    NodeData& d = nodeData_[static_cast<std::size_t>(nid)];
-    switch (n.type) {
-      case HierNode::Type::kV:
-        d = alg_.baseV(n.lanes[0], id(n.u));
-        break;
-      case HierNode::Type::kE:
-        d = alg_.baseE(n.laneI, id(n.u), id(n.v), edgeIsReal(n.u, n.v));
-        break;
-      case HierNode::Type::kP: {
-        std::vector<std::uint64_t> pathIds;
-        for (VertexId v : n.pathVertices) pathIds.push_back(id(v));
-        std::vector<bool> flags;
-        for (std::size_t i = 0; i + 1 < n.pathVertices.size(); ++i) {
-          flags.push_back(edgeIsReal(n.pathVertices[i], n.pathVertices[i + 1]));
-        }
-        d = alg_.baseP(n.lanes, pathIds, flags);
-        break;
+  const auto n = static_cast<std::size_t>(h.size());
+  nodeData_.resize(n);
+  layoutTmStorage();
+
+  // Level-synchronous wave schedule: bucket node ids by bottom-up wave
+  // (ascending id inside a wave), then run each wave through the executor.
+  const std::vector<int> wave = h.bottomUpWaves();
+  const int numWaves =
+      wave.empty() ? 0 : *std::max_element(wave.begin(), wave.end()) + 1;
+  std::vector<std::size_t> waveOffset(static_cast<std::size_t>(numWaves) + 1, 0);
+  for (int w : wave) ++waveOffset[static_cast<std::size_t>(w) + 1];
+  for (std::size_t w = 0; w < static_cast<std::size_t>(numWaves); ++w) {
+    waveOffset[w + 1] += waveOffset[w];
+  }
+  std::vector<int> waveNodes(n);
+  std::vector<std::size_t> fill(waveOffset.begin(), waveOffset.end() - 1);
+  for (std::size_t nid = 0; nid < n; ++nid) {
+    waveNodes[fill[static_cast<std::size_t>(wave[nid])]++] =
+        static_cast<int>(nid);
+  }
+
+  for (std::size_t w = 0; w < static_cast<std::size_t>(numWaves); ++w) {
+    const std::size_t begin = waveOffset[w];
+    const std::size_t count = waveOffset[w + 1] - begin;
+    exec_.forShards(count, [&](std::size_t shard, std::size_t lo,
+                               std::size_t hi) {
+      ProverScratch& s = scratch_[shard];
+      for (std::size_t i = lo; i < hi; ++i) {
+        computeNode(waveNodes[begin + i], s);
       }
-      case HierNode::Type::kB:
-        d = alg_.bridge(data(n.children[0]), data(n.children[1]), n.laneI,
-                        n.laneJ, edgeIsReal(n.u, n.v));
-        break;
-      case HierNode::Type::kT: {
-        // Tree children positions, processed leaves-first (tree children
-        // always have larger node ids than their tree parents).
-        std::vector<int> order(n.children.size());
-        for (std::size_t p = 0; p < n.children.size(); ++p) {
-          order[p] = static_cast<int>(p);
-        }
-        std::sort(order.begin(), order.end(), [&n](int a, int b) {
-          return n.children[static_cast<std::size_t>(a)] >
-                 n.children[static_cast<std::size_t>(b)];
-        });
-        std::vector<std::vector<int>> treeKids(n.children.size());
-        for (std::size_t p = 0; p < n.children.size(); ++p) {
-          if (n.treeParentPos[p] >= 0) {
-            treeKids[static_cast<std::size_t>(n.treeParentPos[p])].push_back(
-                static_cast<int>(p));
-          }
-        }
-        for (int pos : order) {
-          NodeData cur = data(n.children[static_cast<std::size_t>(pos)]);
-          // Deterministic fold order: tree children by smallest lane.
-          std::vector<int> kids = treeKids[static_cast<std::size_t>(pos)];
-          std::sort(kids.begin(), kids.end(), [&](int a, int b) {
-            return h.node(n.children[static_cast<std::size_t>(a)]).lanes[0] <
-                   h.node(n.children[static_cast<std::size_t>(b)]).lanes[0];
-          });
-          for (int q : kids) {
-            cur = alg_.parentMerge(tmData(nid, q), cur);
-          }
-          tmData_.emplace(std::make_pair(nid, pos), std::move(cur));
-        }
-        d = tmData(nid, n.rootChildPos);
-        break;
-      }
-    }
+    });
   }
   return data(h.root());
 }
 
-ChainEntry CertBuilder::entryForOwner(int nodeId) const {
-  const HierNode& n = hier_.hierarchy.node(nodeId);
-  ChainEntry e;
-  e.self = nodeSummary(nodeId);
+void CertBuilder::encodeOwnerEntry(Encoder& enc, int nid) const {
+  const Hierarchy& h = hier_.hierarchy;
+  const HierNode& n = h.node(nid);
+  const NodeData& d = data(nid);
   switch (n.type) {
     case HierNode::Type::kE:
-      e.kind = ChainEntry::Kind::kBaseE;
-      e.eReal = edgeIsReal(n.u, n.v);
+      enc.u64(static_cast<std::uint64_t>(ChainEntry::Kind::kBaseE));
+      encodeSummary(enc, d, nid, static_cast<std::uint8_t>(n.type));
+      enc.boolean(edgeIsReal(n.u, n.v));
       break;
     case HierNode::Type::kP:
-      e.kind = ChainEntry::Kind::kBaseP;
+      enc.u64(static_cast<std::uint64_t>(ChainEntry::Kind::kBaseP));
+      encodeSummary(enc, d, nid, static_cast<std::uint8_t>(n.type));
+      enc.u64(n.pathVertices.size() - 1);
       for (std::size_t i = 0; i + 1 < n.pathVertices.size(); ++i) {
-        e.pReal.push_back(edgeIsReal(n.pathVertices[i], n.pathVertices[i + 1]));
+        enc.boolean(edgeIsReal(n.pathVertices[i], n.pathVertices[i + 1]));
       }
       break;
-    case HierNode::Type::kB:
-      e.kind = ChainEntry::Kind::kBridge;
-      e.laneI = n.laneI;
-      e.laneJ = n.laneJ;
-      e.bridgeReal = edgeIsReal(n.u, n.v);
-      e.part0 = nodeSummary(n.children[0]);
-      e.part1 = nodeSummary(n.children[1]);
+    case HierNode::Type::kB: {
+      enc.u64(static_cast<std::uint64_t>(ChainEntry::Kind::kBridge));
+      encodeSummary(enc, d, nid, static_cast<std::uint8_t>(n.type));
+      enc.u64(static_cast<std::uint64_t>(n.laneI));
+      enc.u64(static_cast<std::uint64_t>(n.laneJ));
+      enc.boolean(edgeIsReal(n.u, n.v));
+      for (int part : {n.children[0], n.children[1]}) {
+        encodeSummary(enc, data(part), part,
+                      static_cast<std::uint8_t>(h.node(part).type));
+      }
       break;
+    }
     default:
-      throw std::logic_error("entryForOwner: V/T nodes own no edges");
+      throw std::logic_error("encodeOwnerEntry: V/T nodes own no edges");
   }
-  return e;
 }
 
-ChainEntry CertBuilder::entryForTree(int tId, int pos) const {
-  const HierNode& t = hier_.hierarchy.node(tId);
-  ChainEntry e;
-  e.kind = ChainEntry::Kind::kTree;
-  e.self = nodeSummary(tId);
-  e.childId = t.children[static_cast<std::size_t>(pos)];
-  e.childIsRoot = pos == t.rootChildPos;
-  e.childSelf = nodeSummary(static_cast<int>(e.childId));
-  e.subtree = tmSummary(tId, pos);
-  std::vector<int> kids;
-  for (std::size_t q = 0; q < t.children.size(); ++q) {
-    if (t.treeParentPos[q] == pos) kids.push_back(static_cast<int>(q));
+void CertBuilder::encodeTreeEntry(Encoder& enc, int tId, int pos) const {
+  const Hierarchy& h = hier_.hierarchy;
+  const HierNode& t = h.node(tId);
+  const int childId = t.children[static_cast<std::size_t>(pos)];
+  const auto childType = static_cast<std::uint8_t>(h.node(childId).type);
+  enc.u64(static_cast<std::uint64_t>(ChainEntry::Kind::kTree));
+  encodeSummary(enc, data(tId), tId, static_cast<std::uint8_t>(t.type));
+  enc.i64(childId);
+  enc.boolean(pos == t.rootChildPos);
+  encodeSummary(enc, data(childId), childId, childType);
+  encodeSummary(enc, tmData_[tmIndex(tId, pos)], childId, childType);
+  const std::span<const int> kids = kidsOf(tmIndex(tId, pos));
+  enc.u64(kids.size());
+  for (int q : kids) {
+    const int kidId = t.children[static_cast<std::size_t>(q)];
+    encodeSummary(enc, tmData_[tmIndex(tId, q)], kidId,
+                  static_cast<std::uint8_t>(h.node(kidId).type));
   }
-  std::sort(kids.begin(), kids.end(), [&](int a, int b) {
-    return hier_.hierarchy.node(t.children[static_cast<std::size_t>(a)]).lanes[0] <
-           hier_.hierarchy.node(t.children[static_cast<std::size_t>(b)]).lanes[0];
+}
+
+void CertBuilder::encodeEntries() {
+  const Hierarchy& h = hier_.hierarchy;
+  const auto n = static_cast<std::size_t>(h.size());
+  ownerBytes_.resize(n);
+  exec_.forShards(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    Encoder enc;
+    for (std::size_t nid = lo; nid < hi; ++nid) {
+      const HierNode& node = h.node(static_cast<int>(nid));
+      switch (node.type) {
+        case HierNode::Type::kV:
+          break;  // V nodes appear only as bridge parts, never as entries
+        case HierNode::Type::kT:
+          for (std::size_t p = 0; p < node.children.size(); ++p) {
+            encodeTreeEntry(enc, static_cast<int>(nid), static_cast<int>(p));
+            treeBytes_[tmIndex(static_cast<int>(nid), static_cast<int>(p))] =
+                enc.take();
+          }
+          break;
+        default:
+          encodeOwnerEntry(enc, static_cast<int>(nid));
+          ownerBytes_[nid] = enc.take();
+          break;
+      }
+    }
   });
-  for (int q : kids) e.treeChildren.push_back(tmSummary(tId, q));
-  return e;
+}
+
+void CertBuilder::encodeCert(Encoder& enc, bool real, std::uint64_t endA,
+                             std::uint64_t endB, int ownerNode,
+                             ProverScratch& s) const {
+  const Hierarchy& h = hier_.hierarchy;
+  const int rootId = h.root();
+  const HierNode& rootNode = h.node(rootId);
+  const std::int64_t rootChildId =
+      rootNode.children[static_cast<std::size_t>(rootNode.rootChildPos)];
+
+  // Chain of cached entry encodings, owner first, root T-node last.  An
+  // empty encoding means a V/T node ended up where only E/P/B entries are
+  // legal — an internal hierarchy bug that must fail fast in the prover,
+  // never ship as a corrupt certificate.
+  const auto pushEntry = [&s](std::string_view bytes) {
+    if (bytes.empty()) {
+      throw std::logic_error("encodeCert: V/T node on an owner chain");
+    }
+    s.chain.push_back(bytes);
+  };
+  std::vector<std::string_view>& chain = s.chain;
+  chain.clear();
+  int cur = ownerNode;
+  pushEntry(ownerBytes_[static_cast<std::size_t>(cur)]);
+  while (h.node(cur).parent != -1) {
+    const int parent = h.node(cur).parent;
+    if (h.node(parent).type == HierNode::Type::kT) {
+      pushEntry(treeBytes_[tmIndex(
+          parent, posInParent_[static_cast<std::size_t>(cur)])]);
+    } else {
+      pushEntry(ownerBytes_[static_cast<std::size_t>(parent)]);
+    }
+    cur = parent;
+  }
+
+  const std::string_view rootEntry = rootEntryBytes();
+  std::size_t total = 64 + (real ? rootEntry.size() : 0);
+  for (std::string_view e : chain) total += e.size();
+  enc.reserve(enc.str().size() + total);
+
+  enc.boolean(real);
+  enc.u64(endA);
+  enc.u64(endB);
+  enc.i64(rootId);
+  enc.i64(rootChildId);
+  // Only real edges ship the (large) root record; virtual-edge payloads
+  // rely on their endpoints' real edges for it.
+  enc.boolean(real);
+  if (real) enc.raw(rootEntry);
+  enc.u64(chain.size());
+  for (std::string_view e : chain) enc.raw(e);
 }
 
 }  // namespace
 
 CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
                           const Property& prop,
-                          const IntervalRepresentation* rep) {
+                          const IntervalRepresentation* rep, int numThreads) {
   CoreProveResult out;
   if (!isConnected(g)) {
     throw std::invalid_argument("proveCore: graph must be connected");
@@ -213,73 +436,60 @@ CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
   out.stats.hierarchyDepth = h.depth();
   out.stats.maxCongestion = plan.maxCongestion;
 
-  CertBuilder builder(g, ids, prop, hier);
+  ParallelExecutor exec(numThreads);
+  std::vector<ProverScratch> scratch(
+      static_cast<std::size_t>(exec.numThreads()));
+
+  CertBuilder builder(g, ids, prop, hier, exec, scratch);
   const NodeData& rootData = builder.computeStates();
-  const LaneAlgebra alg(prop);
-  if (!alg.accepts(rootData)) {
+  if (!builder.accepts(rootData)) {
     out.propertyHolds = false;
     return out;
   }
   out.propertyHolds = true;
+  builder.encodeEntries();
 
-  // Root metadata shared by every certificate.
-  const int rootId = h.root();
-  const HierNode& rootNode = h.node(rootId);
-  const std::int64_t rootChildId =
-      rootNode.children[static_cast<std::size_t>(rootNode.rootChildPos)];
-  const ChainEntry rootEntry = builder.entryForTree(rootId, rootNode.rootChildPos);
-
-  // Certificates for every completion edge.
+  // Certificates for every completion edge: each chain splices the cached
+  // entry bytes, so the per-edge cost is a walk up the hierarchy plus one
+  // buffer append per entry.  Shards write disjoint certBytes slots.
   const Graph& gc = hier.graph;
-  std::vector<EdgeCert> certs(static_cast<std::size_t>(gc.numEdges()));
-  for (EdgeId e = 0; e < gc.numEdges(); ++e) {
-    EdgeCert& cert = certs[static_cast<std::size_t>(e)];
-    const Edge& edge = gc.edge(e);
-    cert.real = g.hasEdge(edge.u, edge.v);
-    cert.endA = ids.id(edge.u);
-    cert.endB = ids.id(edge.v);
-    cert.rootTNode = rootId;
-    cert.rootChildNode = rootChildId;
-    // Only real edges ship the (large) root record; virtual-edge payloads
-    // rely on their endpoints' real edges for it.
-    cert.hasRootEntry = cert.real;
-    if (cert.real) cert.rootEntry = rootEntry;
-    int cur = hier.edgeOwner[static_cast<std::size_t>(e)];
-    cert.chain.push_back(builder.entryForOwner(cur));
-    while (h.node(cur).parent != -1) {
-      const int parent = h.node(cur).parent;
-      const HierNode& pn = h.node(parent);
-      if (pn.type == HierNode::Type::kT) {
-        int pos = -1;
-        for (std::size_t q = 0; q < pn.children.size(); ++q) {
-          if (pn.children[q] == cur) pos = static_cast<int>(q);
+  std::vector<std::string> certBytes(static_cast<std::size_t>(gc.numEdges()));
+  exec.forShards(
+      static_cast<std::size_t>(gc.numEdges()),
+      [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+        ProverScratch& s = scratch[shard];
+        Encoder enc;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Edge& edge = gc.edge(static_cast<EdgeId>(i));
+          builder.encodeCert(enc, g.hasEdge(edge.u, edge.v), ids.id(edge.u),
+                             ids.id(edge.v),
+                             hier.edgeOwner[i], s);
+          certBytes[i] = enc.take();
         }
-        cert.chain.push_back(builder.entryForTree(parent, pos));
-      } else {
-        cert.chain.push_back(builder.entryForOwner(parent));
-      }
-      cur = parent;
-    }
-  }
+      });
 
   // Virtual edges: distribute the cert along the embedding path (Thm 1).
-  std::vector<std::vector<PathThrough>> through(
+  // Payloads are views into certBytes — no copies until label assembly.
+  struct ThroughRef {
+    std::uint64_t uId = 0;
+    std::uint64_t vId = 0;
+    std::uint64_t fwdRank = 0;
+    std::uint64_t bwdRank = 0;
+    std::string_view payload;
+  };
+  std::vector<std::vector<ThroughRef>> through(
       static_cast<std::size_t>(g.numEdges()));
   for (const EmbeddedEdge& emb : plan.embeddings) {
     if (g.hasEdge(emb.edge.u, emb.edge.v)) continue;  // real: no simulation
     const EdgeId gcEdge = gc.findEdge(emb.edge.u, emb.edge.v);
     if (gcEdge == kNoEdge) throw std::logic_error("proveCore: lost virtual edge");
-    const std::string payload = certs[static_cast<std::size_t>(gcEdge)].encoded();
+    const std::string_view payload = certBytes[static_cast<std::size_t>(gcEdge)];
     const std::uint64_t len = emb.path.size() - 1;
     for (std::size_t i = 0; i + 1 < emb.path.size(); ++i) {
       const EdgeId realEdge = g.findEdge(emb.path[i], emb.path[i + 1]);
-      PathThrough p;
-      p.uId = ids.id(emb.edge.u);
-      p.vId = ids.id(emb.edge.v);
-      p.fwdRank = i + 1;
-      p.bwdRank = len - i;
-      p.payload = payload;
-      through[static_cast<std::size_t>(realEdge)].push_back(std::move(p));
+      through[static_cast<std::size_t>(realEdge)].push_back(
+          ThroughRef{ids.id(emb.edge.u), ids.id(emb.edge.v), i + 1, len - i,
+                     payload});
     }
   }
 
@@ -288,16 +498,34 @@ CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
   const std::vector<PointerRecord> pointer =
       provePointer(g, ids, seq.initialPath[0]);
 
+  // Label assembly: one encoded EdgeLabel per real edge, again sharded with
+  // each shard writing disjoint label slots.
   out.labels.resize(static_cast<std::size_t>(g.numEdges()));
-  for (EdgeId e = 0; e < g.numEdges(); ++e) {
-    const Edge& edge = g.edge(e);
-    const EdgeId gcEdge = gc.findEdge(edge.u, edge.v);
-    EdgeLabel label;
-    label.own = certs[static_cast<std::size_t>(gcEdge)];
-    label.pointer = pointer[static_cast<std::size_t>(e)];
-    label.through = std::move(through[static_cast<std::size_t>(e)]);
-    out.labels[static_cast<std::size_t>(e)] = label.encoded();
-  }
+  exec.forShards(
+      static_cast<std::size_t>(g.numEdges()),
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        Encoder enc;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Edge& edge = g.edge(static_cast<EdgeId>(i));
+          const EdgeId gcEdge = gc.findEdge(edge.u, edge.v);
+          const std::string& own = certBytes[static_cast<std::size_t>(gcEdge)];
+          const std::vector<ThroughRef>& thr = through[i];
+          std::size_t total = own.size() + 64;
+          for (const ThroughRef& t : thr) total += t.payload.size() + 48;
+          enc.reserve(total);
+          enc.raw(own);
+          pointer[i].encodeTo(enc);
+          enc.u64(thr.size());
+          for (const ThroughRef& t : thr) {
+            enc.u64(t.uId);
+            enc.u64(t.vId);
+            enc.u64(t.fwdRank);
+            enc.u64(t.bwdRank);
+            enc.bytes(t.payload);
+          }
+          out.labels[i] = enc.take();
+        }
+      });
   for (const std::string& l : out.labels) {
     out.stats.maxLabelBits = std::max(out.stats.maxLabelBits, l.size() * 8);
     out.stats.totalLabelBits += l.size() * 8;

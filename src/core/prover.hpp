@@ -41,8 +41,17 @@ struct CoreProveResult {
 /// Runs the full prover.  `rep` may supply a known interval representation
 /// (e.g. from a generator); otherwise one is computed (exact for small
 /// graphs, greedy otherwise).  Precondition: g connected; ids distinct.
+///
+/// `numThreads` shards the bottom-up hom-state waves, the certificate-
+/// record encoding, and the label assembly over the deterministic runtime
+/// executor (<= 0 resolves to the hardware concurrency, mirroring
+/// SimulationOptions).  The result — labels, stats, everything — is
+/// BIT-IDENTICAL for every thread count: waves only order work that is
+/// independent by construction, and every output slot is written by
+/// exactly one shard.
 [[nodiscard]] CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
                                         const Property& prop,
-                                        const IntervalRepresentation* rep = nullptr);
+                                        const IntervalRepresentation* rep = nullptr,
+                                        int numThreads = 1);
 
 }  // namespace lanecert

@@ -104,7 +104,7 @@ void ChainEntry::encodeTo(Encoder& enc) const {
       break;
     case Kind::kBaseP:
       enc.u64(pReal.size());
-      for (bool b : pReal) enc.boolean(b);
+      for (std::uint8_t b : pReal) enc.boolean(b != 0);
       break;
     case Kind::kBridge:
       enc.u64(static_cast<std::uint64_t>(laneI));
@@ -137,7 +137,9 @@ ChainEntry ChainEntry::decodeFrom(Decoder& dec) {
     case Kind::kBaseP: {
       const std::uint64_t n = dec.u64();
       checkLen(n);
-      for (std::uint64_t i = 0; i < n; ++i) e.pReal.push_back(dec.boolean());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        e.pReal.push_back(dec.boolean() ? 1 : 0);
+      }
       break;
     }
     case Kind::kBridge:
@@ -249,17 +251,20 @@ PathThroughView PathThroughView::decodeFrom(Decoder& dec) {
   return p;
 }
 
-EdgeLabelView EdgeLabelView::decode(std::string_view bytes) {
+EdgeLabelView EdgeLabelView::decode(std::string_view bytes, Arena& arena) {
   Decoder dec(bytes);
   EdgeLabelView l;
   l.own = EdgeCert::decodeFrom(dec);
   l.pointer = PointerRecord::decodeFrom(dec);
   const std::uint64_t n = dec.u64();
   checkLen(n);
+  const std::span<PathThroughView> through =
+      arena.allocSpan<PathThroughView>(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    l.through.push_back(PathThroughView::decodeFrom(dec));
+    through[static_cast<std::size_t>(i)] = PathThroughView::decodeFrom(dec);
   }
   if (!dec.atEnd()) throw DecodeError{};
+  l.through = through;
   return l;
 }
 

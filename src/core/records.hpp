@@ -20,11 +20,13 @@
 // simulation).
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "pls/codec.hpp"
 #include "pls/pointer.hpp"
+#include "runtime/arena.hpp"
 
 namespace lanecert {
 
@@ -72,8 +74,9 @@ struct ChainEntry {
 
   // kBaseE:
   bool eReal = false;  ///< input flag of the E-node's edge
-  // kBaseP:
-  std::vector<bool> pReal;  ///< input flags of the path's w-1 edges
+  // kBaseP: input flags of the path's w-1 edges (0/1 bytes rather than
+  // std::vector<bool> so the flags can feed span-based algebra calls).
+  std::vector<std::uint8_t> pReal;
   // kBridge:
   int laneI = -1;
   int laneJ = -1;
@@ -151,13 +154,16 @@ struct PathThroughView {
 
 /// Verifier-side zero-copy decode of an EdgeLabel: `through` payloads alias
 /// `bytes`, which must stay alive while the view is used (the simulators'
-/// label store guarantees that for the duration of a vertex check).
+/// label store guarantees that for the duration of a vertex check).  The
+/// through array itself lives in the caller's bump arena — a per-thread
+/// scratch arena makes repeated decodes allocation-free in steady state —
+/// and is valid until that arena is reset.
 struct EdgeLabelView {
   EdgeCert own;
   PointerRecord pointer;
-  std::vector<PathThroughView> through;
+  std::span<const PathThroughView> through;
 
-  static EdgeLabelView decode(std::string_view bytes);
+  static EdgeLabelView decode(std::string_view bytes, Arena& arena);
 };
 
 }  // namespace lanecert

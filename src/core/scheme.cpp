@@ -10,7 +10,7 @@ CoreRunResult proveAndVerifyEdges(const Graph& g, const IdAssignment& ids,
                                   CoreVerifierParams params,
                                   const SimulationOptions& options) {
   CoreRunResult out;
-  CoreProveResult proved = proveCore(g, ids, *prop, rep);
+  CoreProveResult proved = proveCore(g, ids, *prop, rep, options.numThreads);
   out.propertyHolds = proved.propertyHolds;
   out.stats = proved.stats;
   if (!proved.propertyHolds) return out;
@@ -26,7 +26,7 @@ CoreRunResult proveAndVerifyVertices(const Graph& g, const IdAssignment& ids,
                                      CoreVerifierParams params,
                                      const SimulationOptions& options) {
   CoreRunResult out;
-  CoreProveResult proved = proveCore(g, ids, *prop, rep);
+  CoreProveResult proved = proveCore(g, ids, *prop, rep, options.numThreads);
   out.propertyHolds = proved.propertyHolds;
   out.stats = proved.stats;
   if (!proved.propertyHolds) return out;

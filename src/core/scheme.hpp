@@ -22,8 +22,9 @@ struct CoreRunResult {
 /// Proves and verifies with EDGE labels.  When the property fails, `sim` is
 /// left empty and `propertyHolds` is false (no labeling exists; soundness
 /// of that claim is exercised separately by the adversarial tests).
-/// `options` shards the verification sweep over threads; results are
-/// identical for every thread count.
+/// `options.numThreads` shards BOTH the prover (wave-parallel hom states +
+/// certificate encoding) and the verification sweep; results are
+/// bit-identical for every thread count.
 [[nodiscard]] CoreRunResult proveAndVerifyEdges(
     const Graph& g, const IdAssignment& ids, PropertyPtr prop,
     const IntervalRepresentation* rep = nullptr, CoreVerifierParams params = {},

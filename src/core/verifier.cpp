@@ -8,6 +8,7 @@
 #include "core/records.hpp"
 #include "lane/bounds.hpp"
 #include "pls/pointer.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/flat_map.hpp"
 
 namespace lanecert {
@@ -32,6 +33,10 @@ void require(bool cond) {
 /// `labels` / `virtualCerts`, which are fully built before validation
 /// starts and stable until the next run.
 struct VerifierScratch {
+  /// Bump arena behind the decoded through-record arrays (EdgeLabelView
+  /// spans point into it); reset per vertex, so after warm-up a sweep
+  /// decodes labels without any heap allocation for those arrays.
+  Arena arena;
   std::vector<EdgeLabelView> labels;
   std::vector<PointerRecord> pointers;
   std::vector<EdgeCert> virtualCerts;
@@ -51,6 +56,7 @@ struct VerifierScratch {
   std::vector<int> laneScratch;
 
   void reset() {
+    arena.reset();
     labels.clear();
     pointers.clear();
     virtualCerts.clear();
@@ -353,7 +359,7 @@ void Checker::reconstructVirtualEdges(const std::vector<EdgeLabelView>& labels) 
   std::vector<Rec> recs;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> seenHere;
   for (const EdgeLabelView& label : labels) {
-    const std::vector<PathThroughView>& through = label.through;
+    const std::span<const PathThroughView> through = label.through;
     if (params_.maxThrough > 0) {
       require(through.size() <= static_cast<std::size_t>(params_.maxThrough));
     }
@@ -498,7 +504,7 @@ bool Checker::run() {
   std::vector<EdgeLabelView>& labels = s_.labels;
   labels.reserve(view_.incidentLabels.size());
   for (std::string_view bytes : view_.incidentLabels) {
-    labels.push_back(EdgeLabelView::decode(bytes));
+    labels.push_back(EdgeLabelView::decode(bytes, s_.arena));
   }
 
   // Prop 2.2 pointer layer.

@@ -37,6 +37,21 @@ int Hierarchy::depth() const {
   return best;
 }
 
+std::vector<int> Hierarchy::bottomUpWaves() const {
+  std::vector<int> wave(nodes_.size(), 0);
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    int w = 0;
+    for (int c : nodes_[id].children) {
+      if (c < 0 || static_cast<std::size_t>(c) >= id) {
+        throw std::logic_error("bottomUpWaves: node ids are not topological");
+      }
+      w = std::max(w, wave[static_cast<std::size_t>(c)] + 1);
+    }
+    wave[id] = w;
+  }
+  return wave;
+}
+
 std::vector<VertexId> Hierarchy::materializeVertices(int id) const {
   std::vector<VertexId> out;
   std::vector<int> stack{id};

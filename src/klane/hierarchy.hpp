@@ -82,6 +82,13 @@ class Hierarchy {
   /// bounds this by 2w).
   [[nodiscard]] int depth() const;
 
+  /// Bottom-up wave index per node: leaves are wave 0, every inner node is
+  /// one more than its deepest child.  All nodes of one wave depend only on
+  /// strictly smaller waves, so a level-synchronous scheduler may process a
+  /// wave's nodes in parallel.  Relies on (and asserts) the builder's
+  /// topological id order: children precede parents.
+  [[nodiscard]] std::vector<int> bottomUpWaves() const;
+
   /// All vertices of the subgraph associated with node `id` (sorted).
   [[nodiscard]] std::vector<VertexId> materializeVertices(int id) const;
   /// All edges (as endpoint pairs, u<v) owned by `id`'s subtree (sorted).

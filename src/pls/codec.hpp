@@ -37,14 +37,27 @@ class Encoder {
         static_cast<std::uint64_t>(x >> 63));
   }
   /// Length-prefixed byte string.
-  void bytes(const std::string& s) {
+  void bytes(std::string_view s) {
     u64(s.size());
     out_ += s;
   }
+  /// Pre-encoded bytes, appended verbatim (no length prefix).  The prover
+  /// uses this to splice cached record encodings into larger records.
+  void raw(std::string_view s) { out_ += s; }
   void boolean(bool b) { out_.push_back(b ? '\1' : '\0'); }
 
+  /// Capacity hint for callers that know the output size upfront.
+  void reserve(std::size_t bytes) { out_.reserve(bytes); }
+
   [[nodiscard]] const std::string& str() const { return out_; }
-  [[nodiscard]] std::string take() { return std::move(out_); }
+  /// Moves the buffer out and leaves the encoder EMPTY (guaranteed — a
+  /// moved-from string is only "valid but unspecified"), so one encoder
+  /// may produce many records in a loop.
+  [[nodiscard]] std::string take() {
+    std::string s = std::move(out_);
+    out_.clear();
+    return s;
+  }
 
  private:
   std::string out_;

@@ -1,0 +1,106 @@
+#pragma once
+// Bump arena for per-shard scratch on the prover/verifier hot paths.
+//
+// Both pipelines decode or assemble many small, short-lived buffers per
+// work item (path-id lists, fold orderings, through-record arrays).  A
+// general-purpose allocator pays a round trip per buffer; the arena hands
+// out pointers from geometrically growing blocks and recycles ALL of them
+// with one reset() that keeps the blocks, so a reused per-thread instance
+// stops touching the heap after the first few items.
+//
+// Only trivially destructible element types are allowed: reset() rewinds
+// without running destructors.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace lanecert {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t firstBlockBytes = 4096)
+      : firstBlockBytes_(firstBlockBytes == 0 ? 1 : firstBlockBytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned storage; valid until the next reset().  Throws
+  /// std::bad_alloc on requests that would overflow the size arithmetic.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes + align < bytes) throw std::bad_alloc{};  // overflow guard
+    while (blockIdx_ < blocks_.size()) {
+      Block& b = blocks_[blockIdx_];
+      const std::size_t aligned = alignUp(offset_, align);
+      if (aligned <= b.size && bytes <= b.size - aligned) {
+        offset_ = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      ++blockIdx_;
+      offset_ = 0;
+    }
+    const std::size_t last = blocks_.empty() ? firstBlockBytes_ / 2
+                                             : blocks_.back().size;
+    const std::size_t size = std::max(bytes + align, last * 2);
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    blockIdx_ = blocks_.size() - 1;
+    const std::size_t aligned =
+        alignUp(reinterpret_cast<std::uintptr_t>(blocks_.back().data.get()),
+                align) -
+        reinterpret_cast<std::uintptr_t>(blocks_.back().data.get());
+    offset_ = aligned + bytes;
+    return blocks_.back().data.get() + aligned;
+  }
+
+  /// A value-initialized span of n elements; valid until the next reset().
+  template <typename T>
+  [[nodiscard]] std::span<T> allocSpan(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    // Block bases come from operator new[], so in-block bump offsets are
+    // only guaranteed aligned up to the default new alignment.
+    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                  "over-aligned types would misalign on block reuse");
+    if (n == 0) return {};
+    if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc{};
+    T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) new (p + i) T();
+    return {p, n};
+  }
+
+  /// Rewinds every block for reuse; keeps the capacity.
+  void reset() {
+    blockIdx_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes of backing storage (capacity diagnostics for tests).
+  [[nodiscard]] std::size_t capacityBytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  [[nodiscard]] std::size_t blockCount() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::size_t alignUp(std::size_t x, std::size_t align) {
+    return (x + align - 1) & ~(align - 1);
+  }
+
+  std::size_t firstBlockBytes_;
+  std::vector<Block> blocks_;
+  std::size_t blockIdx_ = 0;  ///< block currently being bumped
+  std::size_t offset_ = 0;    ///< bump offset inside blocks_[blockIdx_]
+};
+
+}  // namespace lanecert

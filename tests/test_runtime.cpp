@@ -21,6 +21,7 @@
 #include "pathwidth/pathwidth.hpp"
 #include "pls/classic.hpp"
 #include "pls/scheme.hpp"
+#include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/flat_map.hpp"
 #include "runtime/label_store.hpp"
@@ -73,6 +74,62 @@ TEST(Executor, ForShardsIsReusableAndPropagatesExceptions) {
     });
     EXPECT_EQ(total.load(), 100);
   }
+}
+
+// --- Arena ---
+
+TEST(Arena, AllocationsAreDisjointAndAligned) {
+  Arena arena(64);
+  const auto a = arena.allocSpan<std::uint64_t>(10);
+  const auto b = arena.allocSpan<std::uint8_t>(3);
+  const auto c = arena.allocSpan<std::uint64_t>(5);
+  ASSERT_EQ(a.size(), 10u);
+  ASSERT_EQ(b.size(), 3u);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % alignof(std::uint64_t),
+            0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % alignof(std::uint64_t),
+            0u);
+  // Value-initialized, and writes to one span never alias another.
+  for (std::uint64_t v : a) EXPECT_EQ(v, 0u);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1000 + i;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = 2000 + i;
+  b[0] = 0xff;
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 1000 + i);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(c[i], 2000 + i);
+}
+
+TEST(Arena, ResetReusesCapacity) {
+  Arena arena(128);
+  std::size_t warmCapacity = 0;
+  for (int round = 0; round < 4; ++round) {
+    arena.reset();
+    for (int i = 0; i < 50; ++i) {
+      const auto s = arena.allocSpan<std::uint64_t>(7);
+      ASSERT_EQ(s.size(), 7u);
+      s[0] = static_cast<std::uint64_t>(i);
+    }
+    if (round == 0) {
+      warmCapacity = arena.capacityBytes();
+      continue;
+    }
+    // Steady state: no new blocks after the first round's warm-up.
+    EXPECT_EQ(arena.capacityBytes(), warmCapacity);
+  }
+}
+
+TEST(Arena, ZeroSizedSpanIsEmpty) {
+  Arena arena;
+  EXPECT_TRUE(arena.allocSpan<int>(0).empty());
+}
+
+TEST(Arena, GrowsBeyondFirstBlock) {
+  Arena arena(16);  // tiny first block forces growth
+  const auto big = arena.allocSpan<std::uint64_t>(1000);
+  ASSERT_EQ(big.size(), 1000u);
+  big[999] = 42;
+  EXPECT_EQ(big[999], 42u);
+  EXPECT_GE(arena.capacityBytes(), 8000u);
 }
 
 // --- LabelStore ---
