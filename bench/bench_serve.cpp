@@ -1,0 +1,131 @@
+// Batched serving throughput: one LaneCertService multiplexing a mixed
+// request stream over one shared pool, vs the sequential one-job-at-a-time
+// baseline (each request served by a standalone proveCore /
+// simulateEdgeScheme call, the status-quo usage without a serving layer).
+//
+// The workload models a catalog server: graphs of n in {64, 512, 4096}
+// (k = 2, the bench_runtime family), each requested under two properties
+// (connectivity, forest) plus a verification of its connectivity labeling —
+// and every request arrives TWICE (retries / fan-in duplicates, which real
+// front-ends produce and a serving layer is expected to absorb).
+//
+// The benchmark argument is the largest catalog size included, so
+// `/64` is a smoke-sized workload and `/4096` the full mixed one recorded
+// in bench/BENCH_serve.json.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+struct CatalogEntry {
+  Graph graph;
+  IdAssignment ids;
+  /// Precomputed (untimed) connectivity labeling, shared so that neither
+  /// side of the comparison pays a payload copy per request.
+  std::shared_ptr<const std::vector<std::string>> connectivityLabels;
+};
+
+const std::vector<CatalogEntry>& catalogUpTo(int maxN) {
+  static std::vector<CatalogEntry> full = [] {
+    std::vector<CatalogEntry> out;
+    for (int n : {64, 512, 4096}) {
+      Rng rng(41);
+      auto bp = randomBoundedPathwidth(n, 2, 0.4, rng);
+      CatalogEntry e{std::move(bp.graph), IdAssignment::random(n, 13), {}};
+      e.connectivityLabels = std::make_shared<const std::vector<std::string>>(
+          proveCore(e.graph, e.ids, *makeConnectivity(), nullptr, 1).labels);
+      out.push_back(std::move(e));
+    }
+    return out;
+  }();
+  static std::vector<std::vector<CatalogEntry>> prefixes = [] {
+    std::vector<std::vector<CatalogEntry>> out(full.size());
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      out[i].assign(full.begin(), full.begin() + static_cast<long>(i) + 1);
+    }
+    return out;
+  }();
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (full[i].graph.numVertices() <= maxN) idx = i;
+  }
+  return prefixes[idx];
+}
+
+constexpr int kDuplicates = 2;  ///< every request arrives twice
+
+std::size_t requestCount(const std::vector<CatalogEntry>& catalog) {
+  return catalog.size() * 3 * kDuplicates;  // 2 prove kinds + 1 verify
+}
+
+void BM_ServeSequential(benchmark::State& state) {
+  const auto& catalog = catalogUpTo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (int d = 0; d < kDuplicates; ++d) {
+      for (const CatalogEntry& e : catalog) {
+        const auto conn = proveCore(e.graph, e.ids, *makeConnectivity(),
+                                    nullptr, 1);
+        benchmark::DoNotOptimize(conn.labels);
+        const auto forest =
+            proveCore(e.graph, e.ids, *makeForest(), nullptr, 1);
+        benchmark::DoNotOptimize(forest.propertyHolds);
+        const auto sim =
+            simulateEdgeScheme(e.graph, e.ids, *e.connectivityLabels,
+                               makeCoreVerifier(makeConnectivity()),
+                               SimulationOptions{1});
+        benchmark::DoNotOptimize(sim.allAccept);
+      }
+    }
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(requestCount(catalog) * state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeSequential)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ServeBatch(benchmark::State& state) {
+  const auto& catalog = catalogUpTo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    // Service construction (pool spin-up) is part of the measured batch —
+    // the comparison absorbs ALL serving-layer overhead, caches cold.
+    serve::LaneCertService service;
+    std::vector<std::shared_future<CoreProveResult>> proofs;
+    std::vector<std::shared_future<SimulationResult>> sims;
+    for (int d = 0; d < kDuplicates; ++d) {
+      for (const CatalogEntry& e : catalog) {
+        proofs.push_back(service.submitProve(
+            serve::ProveJob{e.graph, e.ids, makeConnectivity(), {}}));
+        proofs.push_back(service.submitProve(
+            serve::ProveJob{e.graph, e.ids, makeForest(), {}}));
+        sims.push_back(service.submitVerify(serve::VerifyJob{
+            e.graph, e.ids, e.connectivityLabels, makeConnectivity(), {}}));
+      }
+    }
+    for (auto& f : proofs) benchmark::DoNotOptimize(f.get().propertyHolds);
+    for (auto& f : sims) benchmark::DoNotOptimize(f.get().allAccept);
+  }
+  state.counters["jobs_per_s"] = benchmark::Counter(
+      static_cast<double>(requestCount(catalog) * state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["pool"] =
+      static_cast<double>(resolveThreadCount(0));
+}
+BENCHMARK(BM_ServeBatch)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

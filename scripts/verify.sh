@@ -1,48 +1,102 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure + build + ctest + a 1-iteration smoke of
-# every benchmark binary.  Usage: scripts/verify.sh [extra cmake args...]
-set -euo pipefail
-cd "$(dirname "$0")/.."
+# Tier-1 verification: lint checks, configure + build + ctest, and a
+# 1-iteration smoke of every benchmark binary.
+#
+# Usage: scripts/verify.sh [--lint-only] [--no-bench] [extra cmake args...]
+#
+#   --lint-only   run only the fast checks (tracked generated files,
+#                 clang-format) and exit — what the CI lint job runs
+#   --no-bench    skip the benchmark smoke after build + ctest
+#
+# Distinct exit codes per failure class, so CI and scripts can tell what
+# broke without parsing output:
+#   0  everything passed
+#   2  generated build files are tracked by git
+#   3  clang-format drift
+#   4  configure or build failure
+#   5  test failure
+#   6  benchmark smoke failure
+set -uo pipefail
+
+# Run from the repository root regardless of the caller's cwd (works when
+# invoked by relative path, absolute path, or through a symlink).
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+LINT_ONLY=0
+RUN_BENCH=1
+CMAKE_ARGS=()
+for arg in "$@"; do
+  case "${arg}" in
+    --lint-only) LINT_ONLY=1 ;;
+    --no-bench) RUN_BENCH=0 ;;
+    *) CMAKE_ARGS+=("${arg}") ;;
+  esac
+done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-# Guard: generated build trees must never be committed (PR 1 accidentally
-# checked in ~300 files under build/; .gitignore now covers it).
+# --- Lint class 1: generated build trees must never be committed (PR 1
+# accidentally checked in ~300 files under build/; .gitignore now covers it).
 if tracked_build="$(git ls-files -- 'build/*' "*.o")" && [ -n "${tracked_build}" ]; then
   echo "verify.sh: FAIL — generated files are tracked by git:" >&2
   echo "${tracked_build}" | head -20 >&2
-  exit 1
+  exit 2
 fi
 
-# Guard: clang-format drift (skipped with a warning when the binary is
-# absent, e.g. on minimal containers — CI images should ship it).
-if command -v clang-format >/dev/null 2>&1; then
-  if ! git ls-files -- '*.cpp' '*.hpp' | xargs -r clang-format --dry-run --Werror; then
-    echo "verify.sh: FAIL — clang-format drift (run: git ls-files '*.cpp' '*.hpp' | xargs clang-format -i)" >&2
-    exit 1
+# --- Lint class 2: clang-format drift (skipped with a warning when the
+# binary is absent, e.g. on minimal containers).  CLANG_FORMAT overrides
+# the binary so CI can pin a version that matches contributors' machines.
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if command -v "${CLANG_FORMAT}" >/dev/null 2>&1; then
+  if ! git ls-files -- '*.cpp' '*.hpp' | xargs -r "${CLANG_FORMAT}" --dry-run --Werror; then
+    echo "verify.sh: FAIL — clang-format drift (run: git ls-files '*.cpp' '*.hpp' | xargs ${CLANG_FORMAT} -i)" >&2
+    exit 3
   fi
 else
-  echo "verify.sh: clang-format not found; skipping format check"
+  echo "verify.sh: ${CLANG_FORMAT} not found; skipping format check"
 fi
 
-cmake -B build -S . "$@"
-cmake --build build -j "${JOBS}"
-ctest --test-dir build --output-on-failure -j "${JOBS}"
+if [ "${LINT_ONLY}" -eq 1 ]; then
+  echo "verify.sh: lint OK"
+  exit 0
+fi
 
-# Benchmark smoke: every suite must start, register, and execute at least
-# one benchmark.  Filter to the smallest size arguments and cap measuring
-# time so this stays seconds, not minutes, per binary.
-shopt -s nullglob
-benches=(build/bench_*)
-if [ "${#benches[@]}" -eq 0 ]; then
-  echo "verify.sh: no benchmark binaries (google-benchmark absent?); skipping smoke"
-else
-  for b in "${benches[@]}"; do
-    [ -x "$b" ] || continue
-    echo "--- smoke: $b"
-    "$b" --benchmark_min_time=0.001 \
-         --benchmark_filter='/(0|1|10|16|50|64|100|200)$|/1/real_time$|^[^/]+$' >/dev/null
-  done
+# --- Build ----------------------------------------------------------------
+if ! cmake -B build -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"; then
+  echo "verify.sh: FAIL — cmake configure" >&2
+  exit 4
+fi
+if ! cmake --build build -j "${JOBS}"; then
+  echo "verify.sh: FAIL — build" >&2
+  exit 4
+fi
+
+# --- Tests ----------------------------------------------------------------
+if ! ctest --test-dir build --output-on-failure -j "${JOBS}"; then
+  echo "verify.sh: FAIL — ctest" >&2
+  exit 5
+fi
+
+# --- Benchmark smoke: every suite must start, register, and execute at
+# least one benchmark.  Filter to the smallest size arguments and cap
+# measuring time so this stays seconds, not minutes, per binary.
+if [ "${RUN_BENCH}" -eq 1 ]; then
+  shopt -s nullglob
+  benches=(build/bench_*)
+  if [ "${#benches[@]}" -eq 0 ]; then
+    echo "verify.sh: no benchmark binaries (google-benchmark absent?); skipping smoke"
+  else
+    for b in "${benches[@]}"; do
+      [ -x "$b" ] || continue
+      echo "--- smoke: $b"
+      if ! "$b" --benchmark_min_time=0.001 \
+           --benchmark_filter='/(0|1|10|16|50|64|100|200)($|/)|/1/real_time$|^[^/]+$' >/dev/null; then
+        echo "verify.sh: FAIL — benchmark smoke: $b" >&2
+        exit 6
+      fi
+    done
+  fi
 fi
 
 echo "verify.sh: OK"

@@ -197,11 +197,13 @@ NodeData LaneAlgebra::parentMerge(const NodeData& child,
 
 NodeData LaneAlgebra::fromSummary(const SummaryRec& rec) const {
   NodeData d;
-  d.lanes = rec.lanes;
+  // assign() rather than operator=: record containers are pmr (possibly
+  // arena-backed), NodeData's are plain heap vectors.
+  d.lanes.assign(rec.lanes.begin(), rec.lanes.end());
   if (d.lanes.empty()) throw DecodeError{};
   d.inTerm = rec.inTerm;
   d.outTerm = rec.outTerm;
-  d.slots = rec.slotOrder;
+  d.slots.assign(rec.slotOrder.begin(), rec.slotOrder.end());
   requireDistinct(d.slots);
   // Terminals defined exactly on the lane set; slots = terminal vertex set.
   thread_local std::vector<std::uint64_t> termIds;
@@ -226,7 +228,10 @@ NodeData LaneAlgebra::fromSummary(const SummaryRec& rec) const {
   d.state = prop_.decodeState(rec.stateBytes);
   // Canonicality: re-encoding must reproduce the bytes, and the state's
   // internal slot count must match the layout.
-  if (d.state.encoding() != rec.stateBytes) throw DecodeError{};
+  if (std::string_view(d.state.encoding()) !=
+      std::string_view(rec.stateBytes)) {
+    throw DecodeError{};
+  }
   if (prop_.slotCount(d.state) != static_cast<int>(d.slots.size())) {
     throw DecodeError{};
   }
@@ -238,11 +243,11 @@ SummaryRec LaneAlgebra::toSummary(const NodeData& d, std::int64_t nodeId,
   SummaryRec rec;
   rec.nodeId = nodeId;
   rec.type = type;
-  rec.lanes = d.lanes;
+  rec.lanes.assign(d.lanes.begin(), d.lanes.end());
   rec.inTerm = d.inTerm;
   rec.outTerm = d.outTerm;
-  rec.slotOrder = d.slots;
-  rec.stateBytes = d.state.encoding();
+  rec.slotOrder.assign(d.slots.begin(), d.slots.end());
+  rec.stateBytes.assign(d.state.encoding().begin(), d.state.encoding().end());
   return rec;
 }
 

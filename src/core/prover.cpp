@@ -409,34 +409,47 @@ void CertBuilder::encodeCert(Encoder& enc, bool real, std::uint64_t endA,
 
 }  // namespace
 
+ProvePlan buildProvePlan(const Graph& g, const IntervalRepresentation* rep) {
+  IntervalRepresentation r = rep != nullptr ? *rep : bestIntervalRepresentation(g);
+  LanePlan plan = buildLanePlan(g, r);
+  ConstructionSequence seq = buildConstruction(g, r, plan.lanes);
+  HierarchyResult hier = buildHierarchy(seq);
+  return ProvePlan{std::move(r), std::move(plan), std::move(seq),
+                   std::move(hier)};
+}
+
 CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
                           const Property& prop,
                           const IntervalRepresentation* rep, int numThreads) {
-  CoreProveResult out;
   if (!isConnected(g)) {
     throw std::invalid_argument("proveCore: graph must be connected");
   }
   if (g.numVertices() <= 1) {
     // Degenerate single-vertex (or empty) network: no edges, no labels.
+    CoreProveResult out;
     const LaneAlgebra alg(prop);
     out.propertyHolds = g.numVertices() == 1 ? alg.acceptsSingleVertex()
                                              : prop.accepts(prop.empty());
     return out;
   }
+  ParallelExecutor exec(numThreads);
+  return proveCore(g, ids, prop, buildProvePlan(g, rep), exec);
+}
 
-  const IntervalRepresentation localRep =
-      rep != nullptr ? *rep : bestIntervalRepresentation(g);
-  const LanePlan plan = buildLanePlan(g, localRep);
-  const ConstructionSequence seq = buildConstruction(g, localRep, plan.lanes);
-  const HierarchyResult hier = buildHierarchy(seq);
+CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
+                          const Property& prop, const ProvePlan& plan,
+                          ParallelExecutor& exec) {
+  CoreProveResult out;
+  const IntervalRepresentation& localRep = plan.rep;
+  const HierarchyResult& hier = plan.hier;
+  const ConstructionSequence& seq = plan.seq;
   const Hierarchy& h = hier.hierarchy;
 
   out.stats.width = localRep.width();
-  out.stats.numLanes = plan.lanes.numLanes();
+  out.stats.numLanes = plan.plan.lanes.numLanes();
   out.stats.hierarchyDepth = h.depth();
-  out.stats.maxCongestion = plan.maxCongestion;
+  out.stats.maxCongestion = plan.plan.maxCongestion;
 
-  ParallelExecutor exec(numThreads);
   std::vector<ProverScratch> scratch(
       static_cast<std::size_t>(exec.numThreads()));
 
@@ -479,7 +492,7 @@ CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
   };
   std::vector<std::vector<ThroughRef>> through(
       static_cast<std::size_t>(g.numEdges()));
-  for (const EmbeddedEdge& emb : plan.embeddings) {
+  for (const EmbeddedEdge& emb : plan.plan.embeddings) {
     if (g.hasEdge(emb.edge.u, emb.edge.v)) continue;  // real: no simulation
     const EdgeId gcEdge = gc.findEdge(emb.edge.u, emb.edge.v);
     if (gcEdge == kNoEdge) throw std::logic_error("proveCore: lost virtual edge");

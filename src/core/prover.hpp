@@ -17,9 +17,14 @@
 
 #include "graph/graph.hpp"
 #include "interval/interval.hpp"
+#include "klane/hierarchy.hpp"
+#include "lane/embedding.hpp"
+#include "lanewidth/lanewidth.hpp"
 #include "mso/property.hpp"
 
 namespace lanecert {
+
+class ParallelExecutor;
 
 /// Prover-side diagnostics (feed benchmarks E1-E4).
 struct CoreProveStats {
@@ -38,6 +43,26 @@ struct CoreProveResult {
   CoreProveStats stats;
 };
 
+/// The PROPERTY-INDEPENDENT head of the prover pipeline: interval
+/// representation -> Prop 4.6 lane plan -> Prop 5.2 construction sequence
+/// -> Prop 5.6 hierarchical decomposition.  Everything downstream (hom
+/// states, records, labels) depends on the property and the id assignment;
+/// nothing in here does — the same ProvePlan serves every (property, ids)
+/// pair over one graph, which the batched serving layer exploits by caching
+/// plans per graph.  Precondition: g connected with >= 2 vertices.
+struct ProvePlan {
+  IntervalRepresentation rep;
+  LanePlan plan;
+  ConstructionSequence seq;
+  HierarchyResult hier;
+};
+
+/// Builds the plan stage.  `rep` may supply a known interval representation
+/// (e.g. from a generator); otherwise one is computed (exact for small
+/// graphs, greedy otherwise).
+[[nodiscard]] ProvePlan buildProvePlan(const Graph& g,
+                                       const IntervalRepresentation* rep = nullptr);
+
 /// Runs the full prover.  `rep` may supply a known interval representation
 /// (e.g. from a generator); otherwise one is computed (exact for small
 /// graphs, greedy otherwise).  Precondition: g connected; ids distinct.
@@ -53,5 +78,17 @@ struct CoreProveResult {
                                         const Property& prop,
                                         const IntervalRepresentation* rep = nullptr,
                                         int numThreads = 1);
+
+/// The planned prover body over an EXTERNAL executor: runs hom-state waves,
+/// record encoding, and label assembly for one (property, ids) pair against
+/// a prebuilt plan.  `exec` may be private or borrowed from a shared
+/// WorkerPool (the serving path) — output is bit-identical either way and
+/// equal to proveCore(g, ids, prop, rep, t) for every thread count t.
+/// Precondition: g is the graph the plan was built from, g connected with
+/// >= 2 vertices (degenerate graphs never reach the plan stage).
+[[nodiscard]] CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
+                                        const Property& prop,
+                                        const ProvePlan& plan,
+                                        ParallelExecutor& exec);
 
 }  // namespace lanecert

@@ -47,10 +47,11 @@ void LaneTerms::encodeTo(Encoder& enc) const {
   }
 }
 
-LaneTerms LaneTerms::decodeFrom(Decoder& dec) {
-  LaneTerms t;
+LaneTerms LaneTerms::decodeFrom(Decoder& dec, std::pmr::memory_resource* mr) {
+  LaneTerms t(mr);
   const std::uint64_t n = dec.u64();
   checkLen(n);
+  t.entries.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     const int lane = static_cast<int>(dec.u64());
     const std::uint64_t id = dec.u64();
@@ -72,13 +73,15 @@ void SummaryRec::encodeTo(Encoder& enc) const {
   enc.bytes(stateBytes);
 }
 
-SummaryRec SummaryRec::decodeFrom(Decoder& dec) {
-  SummaryRec r;
+SummaryRec SummaryRec::decodeFrom(Decoder& dec,
+                                  std::pmr::memory_resource* mr) {
+  SummaryRec r(mr);
   r.nodeId = dec.i64();
   r.type = static_cast<std::uint8_t>(dec.u64());
   if (r.type > 4) throw DecodeError{};
   const std::uint64_t nl = dec.u64();
   checkLen(nl);
+  r.lanes.reserve(static_cast<std::size_t>(nl));
   for (std::uint64_t i = 0; i < nl; ++i) {
     r.lanes.push_back(static_cast<int>(dec.u64()));
   }
@@ -86,12 +89,14 @@ SummaryRec SummaryRec::decodeFrom(Decoder& dec) {
       std::adjacent_find(r.lanes.begin(), r.lanes.end()) != r.lanes.end()) {
     throw DecodeError{};
   }
-  r.inTerm = LaneTerms::decodeFrom(dec);
-  r.outTerm = LaneTerms::decodeFrom(dec);
+  r.inTerm = LaneTerms::decodeFrom(dec, mr);
+  r.outTerm = LaneTerms::decodeFrom(dec, mr);
   const std::uint64_t ns = dec.u64();
   checkLen(ns);
+  r.slotOrder.reserve(static_cast<std::size_t>(ns));
   for (std::uint64_t i = 0; i < ns; ++i) r.slotOrder.push_back(dec.u64());
-  r.stateBytes = dec.bytes();
+  const std::string_view state = dec.bytesView();
+  r.stateBytes.assign(state.begin(), state.end());
   return r;
 }
 
@@ -124,12 +129,13 @@ void ChainEntry::encodeTo(Encoder& enc) const {
   }
 }
 
-ChainEntry ChainEntry::decodeFrom(Decoder& dec) {
-  ChainEntry e;
+ChainEntry ChainEntry::decodeFrom(Decoder& dec,
+                                  std::pmr::memory_resource* mr) {
+  ChainEntry e(mr);
   const std::uint64_t k = dec.u64();
   if (k > 3) throw DecodeError{};
   e.kind = static_cast<Kind>(k);
-  e.self = SummaryRec::decodeFrom(dec);
+  e.self = SummaryRec::decodeFrom(dec, mr);
   switch (e.kind) {
     case Kind::kBaseE:
       e.eReal = dec.boolean();
@@ -137,6 +143,7 @@ ChainEntry ChainEntry::decodeFrom(Decoder& dec) {
     case Kind::kBaseP: {
       const std::uint64_t n = dec.u64();
       checkLen(n);
+      e.pReal.reserve(static_cast<std::size_t>(n));
       for (std::uint64_t i = 0; i < n; ++i) {
         e.pReal.push_back(dec.boolean() ? 1 : 0);
       }
@@ -146,18 +153,19 @@ ChainEntry ChainEntry::decodeFrom(Decoder& dec) {
       e.laneI = static_cast<int>(dec.u64());
       e.laneJ = static_cast<int>(dec.u64());
       e.bridgeReal = dec.boolean();
-      e.part0 = SummaryRec::decodeFrom(dec);
-      e.part1 = SummaryRec::decodeFrom(dec);
+      e.part0 = SummaryRec::decodeFrom(dec, mr);
+      e.part1 = SummaryRec::decodeFrom(dec, mr);
       break;
     case Kind::kTree: {
       e.childId = dec.i64();
       e.childIsRoot = dec.boolean();
-      e.childSelf = SummaryRec::decodeFrom(dec);
-      e.subtree = SummaryRec::decodeFrom(dec);
+      e.childSelf = SummaryRec::decodeFrom(dec, mr);
+      e.subtree = SummaryRec::decodeFrom(dec, mr);
       const std::uint64_t n = dec.u64();
       checkLen(n);
+      e.treeChildren.reserve(static_cast<std::size_t>(n));
       for (std::uint64_t i = 0; i < n; ++i) {
-        e.treeChildren.push_back(SummaryRec::decodeFrom(dec));
+        e.treeChildren.push_back(SummaryRec::decodeFrom(dec, mr));
       }
       break;
     }
@@ -177,19 +185,20 @@ void EdgeCert::encodeTo(Encoder& enc) const {
   for (const ChainEntry& e : chain) e.encodeTo(enc);
 }
 
-EdgeCert EdgeCert::decodeFrom(Decoder& dec) {
-  EdgeCert c;
+EdgeCert EdgeCert::decodeFrom(Decoder& dec, std::pmr::memory_resource* mr) {
+  EdgeCert c(mr);
   c.real = dec.boolean();
   c.endA = dec.u64();
   c.endB = dec.u64();
   c.rootTNode = dec.i64();
   c.rootChildNode = dec.i64();
   c.hasRootEntry = dec.boolean();
-  if (c.hasRootEntry) c.rootEntry = ChainEntry::decodeFrom(dec);
+  if (c.hasRootEntry) c.rootEntry = ChainEntry::decodeFrom(dec, mr);
   const std::uint64_t n = dec.u64();
   checkLen(n);
+  c.chain.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    c.chain.push_back(ChainEntry::decodeFrom(dec));
+    c.chain.push_back(ChainEntry::decodeFrom(dec, mr));
   }
   return c;
 }
@@ -253,9 +262,12 @@ PathThroughView PathThroughView::decodeFrom(Decoder& dec) {
 
 EdgeLabelView EdgeLabelView::decode(std::string_view bytes, Arena& arena) {
   Decoder dec(bytes);
-  EdgeLabelView l;
-  l.own = EdgeCert::decodeFrom(dec);
-  l.pointer = PointerRecord::decodeFrom(dec);
+  // Move-CONSTRUCT the cert (keeps the arena resource); a move-assignment
+  // into a default-constructed member would deep-copy back onto the heap
+  // (pmr allocators do not propagate on assignment).
+  EdgeLabelView l{EdgeCert::decodeFrom(dec, &arena.resource()),
+                  PointerRecord::decodeFrom(dec),
+                  {}};
   const std::uint64_t n = dec.u64();
   checkLen(n);
   const std::span<PathThroughView> through =

@@ -20,6 +20,7 @@
 // simulation).
 
 #include <cstdint>
+#include <memory_resource>
 #include <span>
 #include <string>
 #include <vector>
@@ -30,9 +31,20 @@
 
 namespace lanecert {
 
+// Certificate records hold their variable-length payloads in std::pmr
+// containers so a decode can land entirely in a caller's bump arena: the
+// verifier decodes every incident label per VERTEX, and the nested
+// SummaryRec vectors/strings used to pay one heap round trip each, per
+// label, per vertex.  Default-constructed records still use the global heap
+// (std::pmr::get_default_resource()), so prover-side and test code is
+// unaffected; only the decodeFrom(dec, mr) overloads opt in to an arena.
+
 /// lane -> vertex-identifier mapping (terminals in id space).
 struct LaneTerms {
-  std::vector<std::pair<int, std::uint64_t>> entries;  ///< sorted by lane
+  LaneTerms() = default;
+  explicit LaneTerms(std::pmr::memory_resource* mr) : entries(mr) {}
+
+  std::pmr::vector<std::pair<int, std::uint64_t>> entries;  ///< sorted by lane
 
   /// Identifier of `lane`'s terminal; throws DecodeError if absent.
   [[nodiscard]] std::uint64_t at(int lane) const;
@@ -40,7 +52,9 @@ struct LaneTerms {
   void set(int lane, std::uint64_t id);
 
   void encodeTo(Encoder& enc) const;
-  static LaneTerms decodeFrom(Decoder& dec);
+  static LaneTerms decodeFrom(
+      Decoder& dec,
+      std::pmr::memory_resource* mr = std::pmr::get_default_resource());
   friend bool operator==(const LaneTerms&, const LaneTerms&) = default;
 };
 
@@ -48,16 +62,22 @@ struct LaneTerms {
 /// Tree-merge(T_c): lane set, terminals, the slot layout of the state, and
 /// the canonical hom-state bytes.
 struct SummaryRec {
+  SummaryRec() = default;
+  explicit SummaryRec(std::pmr::memory_resource* mr)
+      : lanes(mr), inTerm(mr), outTerm(mr), slotOrder(mr), stateBytes(mr) {}
+
   std::int64_t nodeId = -1;
   std::uint8_t type = 0;  ///< HierNode::Type as integer
-  std::vector<int> lanes;
+  std::pmr::vector<int> lanes;
   LaneTerms inTerm;
   LaneTerms outTerm;
-  std::vector<std::uint64_t> slotOrder;  ///< state slot -> vertex id
-  std::string stateBytes;                ///< canonical hom-state encoding
+  std::pmr::vector<std::uint64_t> slotOrder;  ///< state slot -> vertex id
+  std::pmr::string stateBytes;                ///< canonical hom-state encoding
 
   void encodeTo(Encoder& enc) const;
-  static SummaryRec decodeFrom(Decoder& dec);
+  static SummaryRec decodeFrom(
+      Decoder& dec,
+      std::pmr::memory_resource* mr = std::pmr::get_default_resource());
   friend bool operator==(const SummaryRec&, const SummaryRec&) = default;
 };
 
@@ -69,6 +89,11 @@ struct ChainEntry {
     kBridge = 2, ///< B-node (owner of its bridge edge, or intermediate)
     kTree = 3,   ///< T-node entry relative to the child the edge lies in
   };
+  ChainEntry() = default;
+  explicit ChainEntry(std::pmr::memory_resource* mr)
+      : self(mr), pReal(mr), part0(mr), part1(mr), childSelf(mr), subtree(mr),
+        treeChildren(mr) {}
+
   Kind kind = Kind::kBaseE;
   SummaryRec self;  ///< B(X) of this node
 
@@ -76,7 +101,7 @@ struct ChainEntry {
   bool eReal = false;  ///< input flag of the E-node's edge
   // kBaseP: input flags of the path's w-1 edges (0/1 bytes rather than
   // std::vector<bool> so the flags can feed span-based algebra calls).
-  std::vector<std::uint8_t> pReal;
+  std::pmr::vector<std::uint8_t> pReal;
   // kBridge:
   int laneI = -1;
   int laneJ = -1;
@@ -88,10 +113,12 @@ struct ChainEntry {
   bool childIsRoot = false;      ///< c is the Tree-merge root of X
   SummaryRec childSelf;          ///< B(c)
   SummaryRec subtree;            ///< B(Tree-merge(T_c))
-  std::vector<SummaryRec> treeChildren;  ///< B(Tree-merge(T_d)) per tree child
+  std::pmr::vector<SummaryRec> treeChildren;  ///< B(TM(T_d)) per tree child
 
   void encodeTo(Encoder& enc) const;
-  static ChainEntry decodeFrom(Decoder& dec);
+  static ChainEntry decodeFrom(
+      Decoder& dec,
+      std::pmr::memory_resource* mr = std::pmr::get_default_resource());
   /// Structural equality; encodeTo is deterministic and injective, so this
   /// agrees with comparing encodings (the verifier relies on that).
   friend bool operator==(const ChainEntry&, const ChainEntry&) = default;
@@ -99,6 +126,10 @@ struct ChainEntry {
 
 /// Certificate of one completion edge.
 struct EdgeCert {
+  EdgeCert() = default;
+  explicit EdgeCert(std::pmr::memory_resource* mr)
+      : rootEntry(mr), chain(mr) {}
+
   bool real = false;           ///< input flag: edge of G vs completion-only
   std::uint64_t endA = 0;      ///< identifier of one endpoint
   std::uint64_t endB = 0;
@@ -106,10 +137,12 @@ struct EdgeCert {
   std::int64_t rootChildNode = -1; ///< Tree-merge root child of the root
   bool hasRootEntry = false;       ///< virtual-edge certs omit the root record
   ChainEntry rootEntry;            ///< self-contained (rootTNode, rootChild) record
-  std::vector<ChainEntry> chain;   ///< bottom-up, owner first, root T last
+  std::pmr::vector<ChainEntry> chain;  ///< bottom-up, owner first, root T last
 
   void encodeTo(Encoder& enc) const;
-  static EdgeCert decodeFrom(Decoder& dec);
+  static EdgeCert decodeFrom(
+      Decoder& dec,
+      std::pmr::memory_resource* mr = std::pmr::get_default_resource());
   [[nodiscard]] std::string encoded() const;
 };
 
@@ -155,9 +188,10 @@ struct PathThroughView {
 /// Verifier-side zero-copy decode of an EdgeLabel: `through` payloads alias
 /// `bytes`, which must stay alive while the view is used (the simulators'
 /// label store guarantees that for the duration of a vertex check).  The
-/// through array itself lives in the caller's bump arena — a per-thread
-/// scratch arena makes repeated decodes allocation-free in steady state —
-/// and is valid until that arena is reset.
+/// through array AND the decoded certificate's entire chain (every nested
+/// SummaryRec vector and state string) live in the caller's bump arena — a
+/// per-thread scratch arena makes repeated decodes allocation-free in
+/// steady state — and are valid until that arena is reset.
 struct EdgeLabelView {
   EdgeCert own;
   PointerRecord pointer;

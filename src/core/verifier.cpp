@@ -26,6 +26,17 @@ void require(bool cond) {
   if (!cond) throw DecodeError{};
 }
 
+/// Equality across allocator boundaries: recomputed NodeData fields are
+/// plain heap containers, certificate record fields are pmr (arena-backed
+/// on the decode path) — different types to the language, same bytes here.
+bool sameBytes(const std::string& a, const std::pmr::string& b) {
+  return std::string_view(a) == std::string_view(b);
+}
+template <typename T, typename A1, typename A2>
+bool sameSeq(const std::vector<T, A1>& a, const std::vector<T, A2>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
 /// Reusable per-thread buffers: a vertex check decodes every incident label
 /// once into `labels` and tracks all cross-certificate state in flat
 /// containers, so after the first few vertices a sweep stops allocating.
@@ -56,7 +67,9 @@ struct VerifierScratch {
   std::vector<int> laneScratch;
 
   void reset() {
-    arena.reset();
+    // Containers holding arena-backed records are cleared BEFORE the arena
+    // rewinds: their (no-op-deallocating) destructors still read record
+    // innards that live in arena blocks.
     labels.clear();
     pointers.clear();
     virtualCerts.clear();
@@ -67,6 +80,7 @@ struct VerifierScratch {
     bridgeLower.clear();
     validatedEntries.clear();
     laneScratch.clear();
+    arena.reset();
   }
 };
 
@@ -142,8 +156,8 @@ void Checker::validateEntry(const ChainEntry& e) {
       const int lane = e.self.lanes[0];
       const NodeData d = alg_.baseE(lane, e.self.inTerm.at(lane),
                                     e.self.outTerm.at(lane), e.eReal);
-      require(d.state.encoding() == e.self.stateBytes);
-      require(d.slots == e.self.slotOrder);
+      require(sameBytes(d.state.encoding(), e.self.stateBytes));
+      require(sameSeq(d.slots, e.self.slotOrder));
       break;
     }
     case ChainEntry::Kind::kBaseP: {
@@ -156,8 +170,8 @@ void Checker::validateEntry(const ChainEntry& e) {
       }
       require(e.pReal.size() + 1 == pathIds.size());
       const NodeData d = alg_.baseP(e.self.lanes, pathIds, e.pReal);
-      require(d.state.encoding() == e.self.stateBytes);
-      require(d.slots == e.self.slotOrder);
+      require(sameBytes(d.state.encoding(), e.self.stateBytes));
+      require(sameSeq(d.slots, e.self.slotOrder));
       break;
     }
     case ChainEntry::Kind::kBridge: {
@@ -172,8 +186,8 @@ void Checker::validateEntry(const ChainEntry& e) {
           const std::uint64_t vid = part->inTerm.at(lane);
           require(part->outTerm.at(lane) == vid);
           const NodeData d = alg_.baseV(lane, vid);
-          require(d.state.encoding() == part->stateBytes);
-          require(d.slots == part->slotOrder);
+          require(sameBytes(d.state.encoding(), part->stateBytes));
+          require(sameSeq(d.slots, part->slotOrder));
         }
       }
       require(std::binary_search(e.part0.lanes.begin(), e.part0.lanes.end(),
@@ -183,9 +197,9 @@ void Checker::validateEntry(const ChainEntry& e) {
       const NodeData d =
           alg_.bridge(alg_.fromSummary(e.part0), alg_.fromSummary(e.part1),
                       e.laneI, e.laneJ, e.bridgeReal);
-      require(d.state.encoding() == e.self.stateBytes);
-      require(d.slots == e.self.slotOrder);
-      require(d.lanes == e.self.lanes);
+      require(sameBytes(d.state.encoding(), e.self.stateBytes));
+      require(sameSeq(d.slots, e.self.slotOrder));
+      require(sameSeq(d.lanes, e.self.lanes));
       require(d.inTerm == e.self.inTerm);
       require(d.outTerm == e.self.outTerm);
       break;
@@ -224,8 +238,8 @@ void Checker::validateEntry(const ChainEntry& e) {
       // Sibling lane sets pairwise disjoint.
       std::sort(used.begin(), used.end());
       require(std::adjacent_find(used.begin(), used.end()) == used.end());
-      require(cur.state.encoding() == e.subtree.stateBytes);
-      require(cur.slots == e.subtree.slotOrder);
+      require(sameBytes(cur.state.encoding(), e.subtree.stateBytes));
+      require(sameSeq(cur.slots, e.subtree.slotOrder));
       require(cur.outTerm == e.subtree.outTerm);
       if (e.childIsRoot) {
         // B(X) = B(Tree-merge(T_rootchild)).
@@ -403,7 +417,7 @@ void Checker::reconstructVirtualEdges(const std::vector<EdgeLabelView>& labels) 
     require(atU != atV);
     require((atU && view_.selfId == uId) || (atV && view_.selfId == vId));
     Decoder dec(std::string_view(first.payload));
-    EdgeCert cert = EdgeCert::decodeFrom(dec);
+    EdgeCert cert = EdgeCert::decodeFrom(dec, &s_.arena.resource());
     require(dec.atEnd());
     require((cert.endA == uId && cert.endB == vId) ||
             (cert.endA == vId && cert.endB == uId));

@@ -116,7 +116,7 @@ class ColorabilityProperty final : public Property {
     return !h.as<ColorState>().ok.empty();
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.empty()) throw std::invalid_argument("colorability: empty encoding");
     ColorState s;
     s.slots = static_cast<unsigned char>(enc[0]);
@@ -126,7 +126,7 @@ class ColorabilityProperty final : public Property {
       if (next == std::string::npos) {
         throw std::invalid_argument("colorability: unterminated coloring");
       }
-      Coloring c = enc.substr(i, next - i);
+      Coloring c(enc.substr(i, next - i));
       if (static_cast<int>(c.size()) != s.slots) {
         throw std::invalid_argument("colorability: coloring length mismatch");
       }

@@ -71,7 +71,7 @@ class EdgeParityProperty final : public Property {
   [[nodiscard]] bool accepts(const HomState& h) const override {
     return h.as<ParityState>().residue == r_;
   }
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.size() != 2) throw std::invalid_argument("parity: bad encoding");
     ParityState s;
     s.residue = static_cast<unsigned char>(enc[0]);
@@ -158,7 +158,7 @@ class MaxDegreeProperty final : public Property {
   [[nodiscard]] bool accepts(const HomState& h) const override {
     return !h.as<DegState>().violated;
   }
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.empty()) throw std::invalid_argument("maxdeg: empty encoding");
     DegState s;
     s.violated = enc[0] != 0;

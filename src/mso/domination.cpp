@@ -166,7 +166,7 @@ class DominatingSetProperty final : public Property {
     return false;
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     DomState s;
     s.cap = c_ + 1;
     std::size_t i = 0;
@@ -176,7 +176,7 @@ class DominatingSetProperty final : public Property {
       if (end == std::string::npos || end - i < 1) {
         throw std::invalid_argument("dominating-set: bad encoding");
       }
-      std::string key = enc.substr(i, end - i - 1);
+      std::string key(enc.substr(i, end - i - 1));
       const int cost = static_cast<unsigned char>(enc[end - 1]);
       if (expected == std::string::npos) expected = key.size();
       if (key.size() != expected || cost > s.cap) {
@@ -333,7 +333,7 @@ class IndependentSetProperty final : public Property {
     return false;
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.empty() || (enc.size() - 1) % 9 != 0) {
       throw std::invalid_argument("independent-set: bad encoding");
     }

@@ -172,7 +172,7 @@ class GirthProperty final : public Property {
     return !h.as<GirthState>().found;
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.size() < 2) throw std::invalid_argument("girth: short encoding");
     GirthState s;
     s.g = g_;

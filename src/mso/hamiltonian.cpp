@@ -290,7 +290,7 @@ class HamiltonianProperty final : public Property {
     return false;
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.empty()) throw std::invalid_argument("hamiltonian: empty encoding");
     HamState s;
     s.slots = static_cast<unsigned char>(enc[0]);

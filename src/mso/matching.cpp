@@ -110,7 +110,7 @@ class PerfectMatchingProperty final : public Property {
     return h.as<MatchState>().exposable.count(0) != 0;
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.empty() || (enc.size() - 1) % 8 != 0) {
       throw std::invalid_argument("matching: bad encoding");
     }

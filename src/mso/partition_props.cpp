@@ -98,7 +98,7 @@ class ForestProperty final : public Property {
   [[nodiscard]] bool accepts(const HomState& h) const override {
     return !h.as<ForestState>().hasCycle;
   }
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.empty()) throw std::invalid_argument("forest: empty encoding");
     ForestState s;
     s.hasCycle = enc[0] != 0;
@@ -184,7 +184,7 @@ class ConnectivityProperty final : public Property {
     if (!s.hasVertex) return true;  // the empty graph is vacuously connected
     return countBlocks(s.part) + s.lost == 1;
   }
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.size() < 2) throw std::invalid_argument("conn: short encoding");
     ConnState s;
     s.lost = static_cast<std::int8_t>(enc[0]);
@@ -303,7 +303,7 @@ class PathCycleProperty final : public Property {
     // with max degree <= 2 these are exactly paths and cycles.
     return s.excess == (wantCycle_ ? 1 : 0);
   }
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.size() < 3 || (enc.size() - 3) % 2 != 0) {
       throw std::invalid_argument("pathcycle: bad encoding");
     }

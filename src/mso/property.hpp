@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -105,10 +106,11 @@ class Property {
   [[nodiscard]] virtual bool accepts(const HomState& s) const = 0;
 
   /// Reconstructs a state from its canonical encoding.  Verifiers use this
-  /// to resume the composition from certified state bytes.  Must throw
-  /// std::exception (e.g. DecodeError) on malformed encodings; must be the
-  /// exact inverse of HomState::encoding() on valid ones.
-  [[nodiscard]] virtual HomState decodeState(const std::string& enc) const = 0;
+  /// to resume the composition from certified state bytes (possibly
+  /// arena-backed, hence the borrowing view).  Must throw std::exception
+  /// (e.g. DecodeError) on malformed encodings; must be the exact inverse
+  /// of HomState::encoding() on valid ones.
+  [[nodiscard]] virtual HomState decodeState(std::string_view enc) const = 0;
 
   /// Number of boundary slots of a state.  Verifiers check this against a
   /// certificate's claimed slot layout before composing, so that slot

@@ -142,7 +142,7 @@ class TriangleFreeProperty final : public Property {
     return !h.as<TriState>().found;
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.size() < 2) throw std::invalid_argument("triangle: short encoding");
     TriState s;
     s.slots = static_cast<unsigned char>(enc[0]);

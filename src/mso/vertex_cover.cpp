@@ -136,7 +136,7 @@ class VertexCoverProperty final : public Property {
     return false;
   }
 
-  [[nodiscard]] HomState decodeState(const std::string& enc) const override {
+  [[nodiscard]] HomState decodeState(std::string_view enc) const override {
     if (enc.empty() || (enc.size() - 1) % 9 != 0) {
       throw std::invalid_argument("vertex-cover: bad encoding");
     }

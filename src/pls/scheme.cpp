@@ -50,12 +50,11 @@ SimulationResult sweep(const Graph& g, const LabelStore& store,
 SimulationResult simulateEdgeScheme(const Graph& g, const IdAssignment& ids,
                                     const std::vector<std::string>& labels,
                                     const EdgeVerifier& verify,
-                                    const SimulationOptions& options) {
+                                    ParallelExecutor& exec) {
   if (labels.size() != static_cast<std::size_t>(g.numEdges())) {
     throw std::invalid_argument("simulateEdgeScheme: one label per edge required");
   }
   const LabelStore store(labels);
-  ParallelExecutor exec(options.numThreads);
   const VertexLabelIndex index = buildIncidentEdgeIndex(g, store, exec);
   return sweep(g, store, exec, [&](VertexId v) {
     EdgeView view;
@@ -65,15 +64,22 @@ SimulationResult simulateEdgeScheme(const Graph& g, const IdAssignment& ids,
   });
 }
 
+SimulationResult simulateEdgeScheme(const Graph& g, const IdAssignment& ids,
+                                    const std::vector<std::string>& labels,
+                                    const EdgeVerifier& verify,
+                                    const SimulationOptions& options) {
+  ParallelExecutor exec(options.numThreads);
+  return simulateEdgeScheme(g, ids, labels, verify, exec);
+}
+
 SimulationResult simulateVertexScheme(const Graph& g, const IdAssignment& ids,
                                       const std::vector<std::string>& labels,
                                       const VertexVerifier& verify,
-                                      const SimulationOptions& options) {
+                                      ParallelExecutor& exec) {
   if (labels.size() != static_cast<std::size_t>(g.numVertices())) {
     throw std::invalid_argument("simulateVertexScheme: one label per vertex required");
   }
   const LabelStore store(labels);
-  ParallelExecutor exec(options.numThreads);
   const VertexLabelIndex index = buildNeighborIndex(g, store, exec);
   return sweep(g, store, exec, [&](VertexId v) {
     VertexView view;
@@ -82,6 +88,14 @@ SimulationResult simulateVertexScheme(const Graph& g, const IdAssignment& ids,
     view.neighborLabels = index.row(v);
     return verify(view);
   });
+}
+
+SimulationResult simulateVertexScheme(const Graph& g, const IdAssignment& ids,
+                                      const std::vector<std::string>& labels,
+                                      const VertexVerifier& verify,
+                                      const SimulationOptions& options) {
+  ParallelExecutor exec(options.numThreads);
+  return simulateVertexScheme(g, ids, labels, verify, exec);
 }
 
 bool mutateLabels(std::vector<std::string>& labels, Mutation m, Rng& rng) {

@@ -24,6 +24,8 @@
 
 namespace lanecert {
 
+class ParallelExecutor;
+
 /// What a vertex sees in an EDGE-labeling scheme: its own identifier and
 /// the labels on its incident edges (in unspecified order = multiset; the
 /// simulator presents them sorted to forbid order-based information).
@@ -81,6 +83,18 @@ struct SimulationOptions {
     const Graph& g, const IdAssignment& ids,
     const std::vector<std::string>& labels, const VertexVerifier& verify,
     const SimulationOptions& options = {});
+
+/// External-executor variants: identical results, but the sweep shards over
+/// `exec` instead of constructing a private executor — the serving layer
+/// multiplexes many verification jobs over one shared WorkerPool this way.
+[[nodiscard]] SimulationResult simulateEdgeScheme(
+    const Graph& g, const IdAssignment& ids,
+    const std::vector<std::string>& labels, const EdgeVerifier& verify,
+    ParallelExecutor& exec);
+[[nodiscard]] SimulationResult simulateVertexScheme(
+    const Graph& g, const IdAssignment& ids,
+    const std::vector<std::string>& labels, const VertexVerifier& verify,
+    ParallelExecutor& exec);
 
 /// Kinds of adversarial label corruption used by soundness tests.
 enum class Mutation {

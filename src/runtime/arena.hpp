@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <memory_resource>
 #include <new>
 #include <span>
 #include <type_traits>
@@ -30,13 +31,18 @@ class Arena {
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
-  /// Raw aligned storage; valid until the next reset().  Throws
-  /// std::bad_alloc on requests that would overflow the size arithmetic.
+  /// Raw aligned storage; valid until the next reset().  The returned
+  /// ABSOLUTE address is aligned to `align` (any power of two, including
+  /// over-aligned requests beyond the default new alignment — block bases
+  /// are only default-aligned, so alignment is computed on addresses, not
+  /// on in-block offsets).  Throws std::bad_alloc on requests that would
+  /// overflow the size arithmetic.
   void* allocate(std::size_t bytes, std::size_t align) {
     if (bytes + align < bytes) throw std::bad_alloc{};  // overflow guard
     while (blockIdx_ < blocks_.size()) {
       Block& b = blocks_[blockIdx_];
-      const std::size_t aligned = alignUp(offset_, align);
+      const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+      const std::size_t aligned = alignUp(base + offset_, align) - base;
       if (aligned <= b.size && bytes <= b.size - aligned) {
         offset_ = aligned + bytes;
         return b.data.get() + aligned;
@@ -62,10 +68,6 @@ class Arena {
   [[nodiscard]] std::span<T> allocSpan(std::size_t n) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "Arena never runs destructors");
-    // Block bases come from operator new[], so in-block bump offsets are
-    // only guaranteed aligned up to the default new alignment.
-    static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
-                  "over-aligned types would misalign on block reuse");
     if (n == 0) return {};
     if (n > static_cast<std::size_t>(-1) / sizeof(T)) throw std::bad_alloc{};
     T* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
@@ -73,11 +75,20 @@ class Arena {
     return {p, n};
   }
 
-  /// Rewinds every block for reuse; keeps the capacity.
+  /// Rewinds every block for reuse; keeps the capacity.  Everything handed
+  /// out — raw allocations, spans, and pmr containers built on resource()
+  /// — is invalidated; pmr container OBJECTS may still be destroyed
+  /// afterwards (deallocation through the arena is a no-op), they just must
+  /// not be used.
   void reset() {
     blockIdx_ = 0;
     offset_ = 0;
   }
+
+  /// std::pmr view of the arena, for decoding into standard containers
+  /// without per-node heap round trips: deallocate is a no-op (reset()
+  /// reclaims everything at once).  The resource's lifetime is the arena's.
+  [[nodiscard]] std::pmr::memory_resource& resource() { return resource_; }
 
   /// Total bytes of backing storage (capacity diagnostics for tests).
   [[nodiscard]] std::size_t capacityBytes() const {
@@ -93,6 +104,25 @@ class Arena {
     std::size_t size = 0;
   };
 
+  /// memory_resource adapter over the enclosing arena.
+  class Resource final : public std::pmr::memory_resource {
+   public:
+    explicit Resource(Arena& arena) : arena_(arena) {}
+
+   private:
+    void* do_allocate(std::size_t bytes, std::size_t align) override {
+      return arena_.allocate(bytes, align);
+    }
+    void do_deallocate(void*, std::size_t, std::size_t) override {}
+    [[nodiscard]] bool do_is_equal(
+        const std::pmr::memory_resource& other) const noexcept override {
+      return this == &other;
+    }
+
+    Arena& arena_;
+  };
+
+  /// `align` must be a power of two.
   static std::size_t alignUp(std::size_t x, std::size_t align) {
     return (x + align - 1) & ~(align - 1);
   }
@@ -101,6 +131,7 @@ class Arena {
   std::vector<Block> blocks_;
   std::size_t blockIdx_ = 0;  ///< block currently being bumped
   std::size_t offset_ = 0;    ///< bump offset inside blocks_[blockIdx_]
+  Resource resource_{*this};
 };
 
 }  // namespace lanecert

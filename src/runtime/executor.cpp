@@ -1,6 +1,7 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 
 namespace lanecert {
@@ -11,9 +12,76 @@ int resolveThreadCount(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-// One forShards invocation.  Workers keep a shared_ptr, so a worker that
-// wakes up late (or finishes its claim after the caller already returned)
-// can only ever touch its own generation's state, never a newer job's.
+// ---------------------------------------------------------------------------
+// WorkerPool
+
+WorkerPool::WorkerPool(int workers) {
+  workers_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    queue_.clear();  // discarded; owners drain meaningful work first
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void WorkerPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void WorkerPool::postUrgent(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_front(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void WorkerPool::postUrgentCopies(std::size_t count,
+                                  const std::function<void()>& task) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < count; ++i) queue_.push_front(task);
+  }
+  if (count == 1) {
+    wake_.notify_one();
+  } else {
+    wake_.notify_all();
+  }
+}
+
+void WorkerPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelExecutor
+
+// One forShards invocation.  Helper tasks keep a shared_ptr, so a helper
+// that runs late (after the caller already returned) only ever touches its
+// own invocation's state and exits immediately once all shards are claimed.
 struct ParallelExecutor::Job {
   const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
       nullptr;
@@ -48,20 +116,14 @@ struct ParallelExecutor::Job {
 
 ParallelExecutor::ParallelExecutor(int numThreads)
     : numThreads_(resolveThreadCount(numThreads)) {
-  workers_.reserve(static_cast<std::size_t>(numThreads_ - 1));
-  for (int i = 1; i < numThreads_; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
-  }
+  owned_ = std::make_unique<WorkerPool>(numThreads_ - 1);
+  pool_ = owned_.get();
 }
 
-ParallelExecutor::~ParallelExecutor() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-  }
-  wake_.notify_all();
-  for (std::thread& t : workers_) t.join();
-}
+ParallelExecutor::ParallelExecutor(WorkerPool& pool)
+    : pool_(&pool), numThreads_(pool.workerCount() + 1) {}
+
+ParallelExecutor::~ParallelExecutor() = default;
 
 std::pair<std::size_t, std::size_t> ParallelExecutor::shardRange(
     std::size_t n, std::size_t shards, std::size_t shard) {
@@ -72,26 +134,11 @@ std::pair<std::size_t, std::size_t> ParallelExecutor::shardRange(
   return {begin, begin + size};
 }
 
-void ParallelExecutor::workerLoop() {
-  std::uint64_t seen = 0;
-  while (true) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
-      if (stopping_) return;
-      seen = generation_;
-      job = job_;
-    }
-    if (job) job->run();
-  }
-}
-
 void ParallelExecutor::forShards(
     std::size_t n, const std::function<void(std::size_t, std::size_t,
                                             std::size_t)>& fn) {
   if (n == 0) return;
-  if (numThreads_ <= 1 || workers_.empty()) {
+  if (numThreads_ <= 1 || pool_->workerCount() == 0) {
     fn(0, 0, n);
     return;
   }
@@ -99,12 +146,11 @@ void ParallelExecutor::forShards(
   job->fn = &fn;
   job->n = n;
   job->shards = static_cast<std::size_t>(numThreads_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = job;
-    ++generation_;
-  }
-  wake_.notify_all();
+  // No point waking more helpers than there are shards beyond the caller's.
+  const std::size_t helpers =
+      std::min(job->shards - 1,
+               static_cast<std::size_t>(pool_->workerCount()));
+  pool_->postUrgentCopies(helpers, [job] { job->run(); });
   job->run();  // the calling thread claims shards too
   std::unique_lock<std::mutex> lock(job->mu);
   job->done.wait(lock, [&] { return job->shardsDone == job->shards; });

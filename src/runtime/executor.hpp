@@ -1,23 +1,36 @@
 #pragma once
-// Deterministic fork-join executor for the verification hot path.
+// Deterministic parallel execution for the prover/verifier hot paths, built
+// in two layers:
 //
-// The paper's verifier is strictly local, so whole-graph verification is
-// embarrassingly parallel: every vertex check is a pure function of one
-// vertex's view.  The executor exploits that while keeping results
-// bit-identical to a sequential left-to-right sweep: work is split into
-// CONTIGUOUS, ORDERED shards whose per-shard outputs the caller merges by
-// ascending shard index.  Shard boundaries depend only on (n, shardCount),
-// never on thread scheduling, so `numThreads = 1` and `numThreads = 8`
-// produce the same merged result on every input.
+//  * WorkerPool — a long-lived pool of parked worker threads draining a
+//    two-priority task queue.  It knows nothing about shards or
+//    determinism; it only runs closures.  One pool can be shared by many
+//    concurrent pipelines (the batched serving layer multiplexes every
+//    in-flight job's shard waves over a single pool, amortizing thread
+//    wake-ups across requests).
+//
+//  * ParallelExecutor — the deterministic fork-join primitive the rest of
+//    the codebase calls.  Work is split into CONTIGUOUS, ORDERED shards
+//    whose per-shard outputs the caller merges by ascending shard index.
+//    Shard boundaries depend only on (n, shardCount), never on thread
+//    scheduling, so `numThreads = 1` and `numThreads = 8` produce the same
+//    merged result on every input.  An executor either OWNS a private pool
+//    (the classic `ParallelExecutor(numThreads)` used by standalone calls)
+//    or BORROWS a shared WorkerPool (the serving path) — the fork-join
+//    semantics are identical either way.
 //
 // Workers pull shard indices from an atomic counter and the calling thread
 // participates, so requesting more shards than cores (or running on a
 // single-core box) is safe — it only changes who executes a shard, not what
-// the shard computes.
+// the shard computes.  Because the caller always participates, a pool
+// thread may itself issue forShards on the pool it runs on without
+// deadlock: it claims every unclaimed shard itself if no other worker is
+// free.
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -30,11 +43,59 @@ namespace lanecert {
 /// Resolves a thread-count knob: values <= 0 mean "use the hardware".
 [[nodiscard]] int resolveThreadCount(int requested);
 
-/// Fixed-size pool of `numThreads - 1` workers plus the calling thread.
+/// Long-lived pool of parked worker threads over a two-priority FIFO queue.
+///
+/// `post` enqueues at the back; `postUrgent` enqueues at the FRONT, which
+/// forShards uses for shard helpers so in-flight fork-join waves complete
+/// before queued coarse-grained tasks (e.g. new serving jobs) are admitted.
+/// Tasks must not block waiting for OTHER queued tasks except through the
+/// forShards caller-participation protocol above.
+///
+/// The destructor stops the workers after their current task and DISCARDS
+/// anything still queued; owners that queue meaningful work (the batch
+/// scheduler) must drain before destruction.
+class WorkerPool {
+ public:
+  /// Spawns exactly `workers` threads (0 is allowed: post() then only
+  /// stores tasks for callers that execute them inline, which
+  /// ParallelExecutor does).
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int workerCount() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  void post(std::function<void()> task);
+  void postUrgent(std::function<void()> task);
+  /// Posts `count` copies of `task` at the front under ONE lock acquisition
+  /// and ONE wake broadcast (the fork-join fast path).
+  void postUrgentCopies(std::size_t count, const std::function<void()>& task);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Deterministic fork-join over an owned or borrowed WorkerPool.
 class ParallelExecutor {
  public:
-  /// `numThreads <= 0` resolves to std::thread::hardware_concurrency().
+  /// Owns a private pool of `numThreads - 1` workers; the calling thread is
+  /// the remaining slot.  `numThreads <= 0` resolves to
+  /// std::thread::hardware_concurrency().
   explicit ParallelExecutor(int numThreads = 0);
+  /// Borrows `pool`; shards = pool.workerCount() + 1 (the caller
+  /// participates).  The pool must outlive the executor.  Cheap to
+  /// construct — the serving layer makes one per job.
+  explicit ParallelExecutor(WorkerPool& pool);
   ~ParallelExecutor();
 
   ParallelExecutor(const ParallelExecutor&) = delete;
@@ -60,16 +121,9 @@ class ParallelExecutor {
  private:
   struct Job;
 
-  void workerLoop();
-
-  const int numThreads_;
-  std::vector<std::thread> workers_;
-
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::uint64_t generation_ = 0;         ///< bumped per forShards call
-  bool stopping_ = false;
-  std::shared_ptr<Job> job_;             ///< in-flight call, if any
+  std::unique_ptr<WorkerPool> owned_;  ///< null when borrowing
+  WorkerPool* pool_;                   ///< owned_.get() or the borrowed pool
+  int numThreads_;
 };
 
 }  // namespace lanecert

@@ -1,0 +1,79 @@
+#pragma once
+// Job admission for the serving pipeline.
+//
+// The scheduler sits between submit() and the shared WorkerPool: pending
+// jobs wait in a smallest-estimated-cost-first queue (FIFO among equals),
+// and at most `maxConcurrent` drivers run on the pool at once.  Two rules
+// make small jobs immune to convoy effects behind large ones:
+//
+//  * admission order — a cheap job submitted after an expensive one
+//    overtakes it while both are still pending;
+//  * wave priority — in-flight jobs' shard tasks enter the pool queue at
+//    the FRONT (ParallelExecutor::forShards posts urgent), so started waves
+//    finish before the pool picks up the next queued driver.
+//
+// Every submitted job is eventually resolved exactly once: `run` on a pool
+// thread, or `cancel` inline from cancelPending() for jobs that never
+// started.  drain() blocks until the scheduler is idle.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "runtime/executor.hpp"
+
+namespace lanecert::serve {
+
+class BatchScheduler {
+ public:
+  /// `maxConcurrent <= 0` resolves to pool.workerCount() (never below 1).
+  BatchScheduler(WorkerPool& pool, int maxConcurrent);
+  /// Drains; the pool must still be alive (the service owns both and
+  /// declares the scheduler after the pool).
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Queues a job.  `run` executes on a pool thread and must not throw
+  /// (wrap the real work and route errors into the job's promise);
+  /// `cancel` is invoked instead — inline — if the job is discarded by
+  /// cancelPending() before it started.
+  void submit(std::size_t cost, std::function<void()> run,
+              std::function<void()> cancel);
+
+  /// Blocks until no job is pending or in flight.
+  void drain();
+
+  /// Discards every job that has not started, invoking its `cancel`
+  /// callback; running jobs are unaffected.  Returns how many were
+  /// cancelled.
+  std::size_t cancelPending();
+
+  [[nodiscard]] int maxConcurrent() const { return maxConcurrent_; }
+
+ private:
+  struct Entry {
+    std::function<void()> run;
+    std::function<void()> cancel;
+  };
+
+  /// Starts pending jobs while slots are free.  Requires mu_ held.
+  void dispatchLocked();
+  void onJobFinished();
+
+  WorkerPool& pool_;
+  const int maxConcurrent_;
+
+  std::mutex mu_;
+  std::condition_variable idle_;
+  std::map<std::pair<std::size_t, std::uint64_t>, Entry> pending_;
+  std::uint64_t nextSeq_ = 0;
+  int inFlight_ = 0;
+};
+
+}  // namespace lanecert::serve

@@ -1,0 +1,173 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/verifier.hpp"
+
+namespace lanecert::serve {
+
+LaneCertService::LaneCertService(ServiceOptions options)
+    : options_(options),
+      pool_(std::max(1, resolveThreadCount(options.numThreads))),
+      sched_(pool_, options.maxConcurrentJobs) {}
+
+LaneCertService::~LaneCertService() = default;  // sched_ drains first
+
+void LaneCertService::drain() { sched_.drain(); }
+
+std::size_t LaneCertService::cancelPending() { return sched_.cancelPending(); }
+
+ServiceStats LaneCertService::stats() const {
+  std::lock_guard<std::mutex> lock(statsMu_);
+  return stats_;
+}
+
+void LaneCertService::bump(std::uint64_t ServiceStats::* counter) {
+  std::lock_guard<std::mutex> lock(statsMu_);
+  ++(stats_.*counter);
+}
+
+std::shared_ptr<const ProvePlan> LaneCertService::planFor(
+    const Graph& g, const IntervalRepresentation* rep) {
+  if (!options_.enablePlanCache) {
+    return std::make_shared<const ProvePlan>(buildProvePlan(g, rep));
+  }
+  const std::string key = planKey(g, rep);
+  {
+    std::lock_guard<std::mutex> lock(planMu_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      bump(&ServiceStats::planCacheHits);
+      return it->second;
+    }
+  }
+  // Built outside the lock: planning is the expensive part.  Two jobs
+  // racing here build identical plans (buildProvePlan is deterministic);
+  // the first insert wins and the loser's copy is dropped.
+  auto plan = std::make_shared<const ProvePlan>(buildProvePlan(g, rep));
+  std::lock_guard<std::mutex> lock(planMu_);
+  const auto [it, inserted] = plans_.try_emplace(key, std::move(plan));
+  if (inserted) {
+    planOrder_.push_back(key);
+    // Capacity clamps to >= 1 so eviction can never remove the entry just
+    // inserted (which `it` still refers to).
+    const std::size_t cap = std::max<std::size_t>(1, options_.maxCachedPlans);
+    while (planOrder_.size() > cap) {
+      plans_.erase(planOrder_.front());
+      planOrder_.pop_front();
+    }
+  }
+  return it->second;
+}
+
+CoreProveResult LaneCertService::runProve(const ProveJob& job) {
+  const IntervalRepresentation* rep = job.rep ? &*job.rep : nullptr;
+  if (job.graph.numVertices() <= 1) {
+    // Degenerate graphs never reach the plan stage; the standalone prover
+    // short-circuits them identically.
+    return proveCore(job.graph, job.ids, *job.property, rep, 1);
+  }
+  const std::shared_ptr<const ProvePlan> plan = planFor(job.graph, rep);
+  ParallelExecutor exec(pool_);
+  return proveCore(job.graph, job.ids, *job.property, *plan, exec);
+}
+
+SimulationResult LaneCertService::runVerify(const VerifyJob& job) {
+  if (!job.labels) {
+    throw std::invalid_argument("VerifyJob: null label payload");
+  }
+  ParallelExecutor exec(pool_);
+  return simulateEdgeScheme(job.graph, job.ids, *job.labels,
+                            makeCoreVerifier(job.property, job.params), exec);
+}
+
+template <typename T>
+void LaneCertService::finishCacheEntry(ResultCache<T>& cache,
+                                       const std::string& key, bool success) {
+  if (key.empty()) return;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (!success) {
+    // Failed or cancelled: evict so a retry recomputes instead of replaying
+    // the stored exception forever.
+    cache.entries.erase(key);
+    return;
+  }
+  cache.completed.push_back(key);
+  if (cache.completed.size() > options_.maxCachedResults) {
+    cache.entries.erase(cache.completed.front());
+    cache.completed.pop_front();
+  }
+}
+
+template <typename T, typename Job, typename Run>
+std::shared_future<T> LaneCertService::submitImpl(
+    ResultCache<T>& cache, std::string key, std::shared_ptr<const void> pin,
+    Job job, Run run) {
+  auto prom = std::make_shared<std::promise<T>>();
+  std::shared_future<T> fut = prom->get_future().share();
+  if (!key.empty()) {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    const auto [it, inserted] = cache.entries.try_emplace(
+        key, typename ResultCache<T>::Slot{fut, std::move(pin)});
+    if (!inserted) {
+      // Identical request already cached or in flight: share its result.
+      bump(&ServiceStats::resultCacheHits);
+      return it->second.future;
+    }
+  }
+  const std::size_t cost = estimatedCost(*job);
+  auto keyPtr = std::make_shared<std::string>(std::move(key));
+  sched_.submit(
+      cost,
+      /*run=*/
+      [this, &cache, keyPtr, job = std::move(job), prom, run] {
+        bool success = false;
+        try {
+          prom->set_value(run(*job));
+          success = true;
+        } catch (...) {
+          prom->set_exception(std::current_exception());
+        }
+        finishCacheEntry(cache, *keyPtr, success);
+      },
+      /*cancel=*/
+      [this, &cache, keyPtr, prom] {
+        prom->set_exception(std::make_exception_ptr(CancelledError{}));
+        finishCacheEntry(cache, *keyPtr, /*success=*/false);
+        bump(&ServiceStats::cancelledJobs);
+      });
+  return fut;
+}
+
+std::shared_future<CoreProveResult> LaneCertService::submitProve(ProveJob job) {
+  std::string key =
+      options_.enableResultCache ? proveJobKey(job) : std::string{};
+  auto jobPtr = std::make_shared<const ProveJob>(std::move(job));
+  return submitImpl<CoreProveResult>(
+      proveCache_, std::move(key), /*pin=*/nullptr, std::move(jobPtr),
+      [this](const ProveJob& j) {
+        auto result = runProve(j);
+        bump(&ServiceStats::proveJobsCompleted);
+        return result;
+      });
+}
+
+std::shared_future<SimulationResult> LaneCertService::submitVerify(
+    VerifyJob job) {
+  std::string key =
+      options_.enableResultCache ? verifyJobKey(job) : std::string{};
+  auto jobPtr = std::make_shared<const VerifyJob>(std::move(job));
+  // The label payload is identity-keyed, so the cache entry must keep it
+  // alive for as long as the key exists.
+  std::shared_ptr<const void> pin = jobPtr->labels;
+  return submitImpl<SimulationResult>(
+      verifyCache_, std::move(key), std::move(pin), std::move(jobPtr),
+      [this](const VerifyJob& j) {
+        auto result = runVerify(j);
+        bump(&ServiceStats::verifyJobsCompleted);
+        return result;
+      });
+}
+
+}  // namespace lanecert::serve

@@ -1,0 +1,146 @@
+#pragma once
+// LaneCertService — batched multi-graph serving on one shared worker pool.
+//
+// One service owns one persistent WorkerPool.  Clients submit any number of
+// concurrent ProveJob / VerifyJob requests, each fully self-contained; the
+// batch scheduler admits them smallest-first onto the pool, where every
+// job's shard waves (hom-state levels, record encoding, label assembly,
+// verification sweeps) run through a borrowed ParallelExecutor over the
+// SAME pool — thread wake-ups are amortized across requests instead of
+// paying a pool spin-up per call.
+//
+// Determinism: a job's result is BIT-IDENTICAL to the standalone
+// proveCore / simulateEdgeScheme path for every pool size, submission
+// order, and interleaving.  The executor's contiguous ordered shards make
+// per-job output independent of thread count, jobs share no mutable state,
+// and both caches only ever substitute values that are deterministic pure
+// functions of the request content:
+//
+//  * plan cache — the property-independent prover head (interval
+//    representation, lane plan, construction sequence, hierarchy) keyed by
+//    exact graph + supplied-representation bytes; one graph served under
+//    many properties or id assignments plans once;
+//  * result cache + request coalescing — identical requests (exact content
+//    key, never hash-only) share one computation and one result, whether
+//    they arrive concurrently (coalesced) or after completion (cache hit).
+//    Failed or cancelled computations are evicted so retries recompute.
+//
+// Shutdown: the destructor DRAINS — every submitted job completes and every
+// future becomes ready.  cancelPending() instead discards jobs that have
+// not started; their futures fail with CancelledError.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "core/prover.hpp"
+#include "pls/scheme.hpp"
+#include "runtime/executor.hpp"
+#include "serve/batch_scheduler.hpp"
+#include "serve/job.hpp"
+
+namespace lanecert::serve {
+
+/// Raised through the futures of jobs discarded by cancelPending().
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("serve: job cancelled before start") {}
+};
+
+struct ServiceOptions {
+  /// Worker threads of the shared pool; <= 0 resolves to the hardware
+  /// concurrency (at least 1 — jobs run on pool threads, never on the
+  /// submitter's).
+  int numThreads = 0;
+  /// Max jobs in flight at once; <= 0 resolves to the pool size.
+  int maxConcurrentJobs = 0;
+  bool enablePlanCache = true;
+  bool enableResultCache = true;
+  std::size_t maxCachedPlans = 16;
+  std::size_t maxCachedResults = 64;
+};
+
+/// Monotonic service counters (snapshot via stats()).
+struct ServiceStats {
+  std::uint64_t proveJobsCompleted = 0;
+  std::uint64_t verifyJobsCompleted = 0;
+  std::uint64_t planCacheHits = 0;
+  std::uint64_t resultCacheHits = 0;  ///< includes coalesced in-flight hits
+  std::uint64_t cancelledJobs = 0;
+};
+
+class LaneCertService {
+ public:
+  explicit LaneCertService(ServiceOptions options = {});
+  /// Drains: blocks until every submitted job has completed.
+  ~LaneCertService();
+
+  LaneCertService(const LaneCertService&) = delete;
+  LaneCertService& operator=(const LaneCertService&) = delete;
+
+  /// Queues a prove request; the future carries the full CoreProveResult
+  /// (or the prover's exception).  Safe to call from any thread.
+  std::shared_future<CoreProveResult> submitProve(ProveJob job);
+  /// Queues a verification request.
+  std::shared_future<SimulationResult> submitVerify(VerifyJob job);
+
+  /// Blocks until no job is pending or running.
+  void drain();
+  /// Discards not-yet-started jobs (their futures throw CancelledError);
+  /// returns how many were discarded.  Running jobs finish normally.
+  std::size_t cancelPending();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] int poolWorkers() const { return pool_.workerCount(); }
+
+ private:
+  template <typename T>
+  struct ResultCache {
+    struct Slot {
+      std::shared_future<T> future;
+      /// Keeps identity-keyed payloads (verify labels) alive while the
+      /// entry exists, so a key can never alias a recycled address.
+      std::shared_ptr<const void> pin;
+    };
+    std::mutex mu;
+    std::unordered_map<std::string, Slot> entries;
+    std::deque<std::string> completed;  ///< eviction order (done entries only)
+  };
+
+  CoreProveResult runProve(const ProveJob& job);
+  SimulationResult runVerify(const VerifyJob& job);
+  std::shared_ptr<const ProvePlan> planFor(const Graph& g,
+                                           const IntervalRepresentation* rep);
+
+  template <typename T, typename Job, typename Run>
+  std::shared_future<T> submitImpl(ResultCache<T>& cache, std::string key,
+                                   std::shared_ptr<const void> pin, Job job,
+                                   Run run);
+  template <typename T>
+  void finishCacheEntry(ResultCache<T>& cache, const std::string& key,
+                        bool success);
+  void bump(std::uint64_t ServiceStats::* counter);
+
+  const ServiceOptions options_;
+  WorkerPool pool_;
+
+  std::mutex planMu_;
+  std::unordered_map<std::string, std::shared_ptr<const ProvePlan>> plans_;
+  std::deque<std::string> planOrder_;
+
+  ResultCache<CoreProveResult> proveCache_;
+  ResultCache<SimulationResult> verifyCache_;
+
+  mutable std::mutex statsMu_;
+  ServiceStats stats_;
+
+  BatchScheduler sched_;  ///< declared last: first to drain on destruction
+};
+
+}  // namespace lanecert::serve

@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/records.hpp"
@@ -74,6 +78,95 @@ TEST(Executor, ForShardsIsReusableAndPropagatesExceptions) {
     });
     EXPECT_EQ(total.load(), 100);
   }
+}
+
+// --- WorkerPool / borrowed executors ---
+
+TEST(WorkerPool, RunsPostedTasksAndUrgentTasksJumpTheQueue) {
+  // One worker, gated by a start latch: everything posted before the gate
+  // opens executes in a deterministic order — urgent tasks from the front,
+  // normal tasks from the back.
+  WorkerPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gateOpen = false;
+  std::vector<int> order;
+  bool done = false;
+  pool.post([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return gateOpen; });
+  });
+  pool.post([&] { order.push_back(1); });
+  pool.post([&] { order.push_back(2); });
+  pool.postUrgent([&] { order.push_back(0); });
+  pool.post([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gateOpen = true;
+  }
+  cv.notify_all();
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WorkerPool, BorrowedExecutorMatchesOwnedExecutor) {
+  WorkerPool pool(3);
+  ParallelExecutor borrowed(pool);
+  EXPECT_EQ(borrowed.numThreads(), 4);  // workers + the calling thread
+  constexpr std::size_t kN = 777;
+  std::vector<std::atomic<int>> visits(kN);
+  borrowed.forShards(kN, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(WorkerPool, ConcurrentForShardsOverOneSharedPool) {
+  // Many fork-join calls multiplexed over one pool — the serving layer's
+  // exact usage.  Every call must still visit its own index space exactly
+  // once, regardless of interleaving.
+  WorkerPool pool(4);
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&pool, &failures, c] {
+      ParallelExecutor exec(pool);
+      const std::size_t n = 200 + static_cast<std::size_t>(c) * 37;
+      for (int round = 0; round < 5; ++round) {
+        std::vector<std::atomic<int>> visits(n);
+        exec.forShards(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+        });
+        for (std::size_t i = 0; i < n; ++i) {
+          if (visits[i].load() != 1) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(WorkerPool, NestedForShardsFromAPoolTaskDoesNotDeadlock) {
+  // A pool task that itself forks over the same pool (a serving driver
+  // running its job's shard waves) must make progress even when every
+  // worker is busy: the caller claims all unclaimed shards itself.
+  WorkerPool pool(2);
+  std::promise<int> result;
+  pool.post([&pool, &result] {
+    ParallelExecutor exec(pool);
+    std::atomic<int> total{0};
+    exec.forShards(100, [&](std::size_t, std::size_t begin, std::size_t end) {
+      total += static_cast<int>(end - begin);
+    });
+    result.set_value(total.load());
+  });
+  EXPECT_EQ(result.get_future().get(), 100);
 }
 
 // --- Arena ---

@@ -1,0 +1,283 @@
+// Batched serving pipeline: determinism (byte-identical certificates for
+// every pool size, submission order, and interleaving), cache correctness,
+// shutdown-with-pending-jobs, and the zero-job edge cases.
+//
+// The invariant under test is the serving layer's core promise: pushing a
+// job through LaneCertService — whatever else is in flight — returns
+// exactly the bytes the standalone proveCore / simulateEdgeScheme path
+// produces with numThreads = 1.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prover.hpp"
+#include "core/scheme.hpp"
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "mso/properties.hpp"
+#include "serve/service.hpp"
+
+namespace lanecert {
+namespace {
+
+using serve::CancelledError;
+using serve::LaneCertService;
+using serve::ProveJob;
+using serve::ServiceOptions;
+using serve::VerifyJob;
+
+struct Fixture {
+  Graph graph;
+  IdAssignment ids;
+  PropertyPtr property;
+  std::optional<IntervalRepresentation> rep;
+  CoreProveResult expected;  ///< standalone single-thread reference
+};
+
+Fixture makeFixture(Graph g, IdAssignment ids, PropertyPtr prop,
+                    std::optional<IntervalRepresentation> rep = {}) {
+  Fixture f{std::move(g), std::move(ids), std::move(prop), std::move(rep), {}};
+  f.expected = proveCore(f.graph, f.ids, *f.property,
+                         f.rep ? &*f.rep : nullptr, 1);
+  return f;
+}
+
+std::vector<Fixture> mixedFixtures() {
+  std::vector<Fixture> out;
+  Rng rng(77);
+  auto bp = randomBoundedPathwidth(40, 2, 0.4, rng);
+  auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+  out.push_back(makeFixture(bp.graph, IdAssignment::random(40, 5),
+                            makeConnectivity(), rep));
+  out.push_back(makeFixture(bp.graph, IdAssignment::random(40, 6),
+                            makeForest(), rep));
+  out.push_back(makeFixture(pathGraph(30), IdAssignment::random(30, 7),
+                            makePathProperty()));
+  out.push_back(makeFixture(cycleGraph(16), IdAssignment::random(16, 8),
+                            makeConnectivity()));
+  out.push_back(makeFixture(completeGraph(6), IdAssignment::random(6, 9),
+                            makeConnectivity()));
+  out.push_back(
+      makeFixture(Graph(1), IdAssignment::identity(1), makeConnectivity()));
+  return out;
+}
+
+ProveJob toJob(const Fixture& f) {
+  return ProveJob{f.graph, f.ids, f.property, f.rep};
+}
+
+void expectMatches(const CoreProveResult& got, const Fixture& f) {
+  EXPECT_EQ(got.propertyHolds, f.expected.propertyHolds);
+  EXPECT_EQ(got.labels, f.expected.labels);  // byte-identical certificates
+  EXPECT_EQ(got.stats.width, f.expected.stats.width);
+  EXPECT_EQ(got.stats.numLanes, f.expected.stats.numLanes);
+  EXPECT_EQ(got.stats.hierarchyDepth, f.expected.stats.hierarchyDepth);
+  EXPECT_EQ(got.stats.maxCongestion, f.expected.stats.maxCongestion);
+  EXPECT_EQ(got.stats.maxLabelBits, f.expected.stats.maxLabelBits);
+  EXPECT_EQ(got.stats.totalLabelBits, f.expected.stats.totalLabelBits);
+}
+
+TEST(Serve, BatchedProveBitIdenticalAcrossPoolSizes) {
+  const std::vector<Fixture> fixtures = mixedFixtures();
+  for (int poolSize : {1, 2, 4, 8}) {
+    LaneCertService service(ServiceOptions{.numThreads = poolSize});
+    std::vector<std::shared_future<CoreProveResult>> futures;
+    for (const Fixture& f : fixtures) {
+      futures.push_back(service.submitProve(toJob(f)));
+    }
+    for (std::size_t i = 0; i < fixtures.size(); ++i) {
+      expectMatches(futures[i].get(), fixtures[i]);
+    }
+  }
+}
+
+TEST(Serve, SubmissionOrderAndInterleavingInvariant) {
+  const std::vector<Fixture> fixtures = mixedFixtures();
+  LaneCertService service(ServiceOptions{.numThreads = 4});
+  // Reverse order on the main thread, forward order from three concurrent
+  // client threads — every future must still match the standalone bytes.
+  std::vector<std::shared_future<CoreProveResult>> reversed;
+  for (auto it = fixtures.rbegin(); it != fixtures.rend(); ++it) {
+    reversed.push_back(service.submitProve(toJob(*it)));
+  }
+  std::vector<std::vector<std::shared_future<CoreProveResult>>> perThread(3);
+  std::vector<std::thread> clients;
+  for (auto& slot : perThread) {
+    clients.emplace_back([&service, &fixtures, &slot] {
+      for (const Fixture& f : fixtures) {
+        slot.push_back(service.submitProve(toJob(f)));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    expectMatches(reversed[i].get(), fixtures[fixtures.size() - 1 - i]);
+    for (const auto& slot : perThread) {
+      expectMatches(slot[i].get(), fixtures[i]);
+    }
+  }
+}
+
+TEST(Serve, VerifyJobsMatchStandalone) {
+  Rng rng(31);
+  auto bp = randomBoundedPathwidth(36, 2, 0.4, rng);
+  const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+  const auto ids = IdAssignment::random(36, 11);
+  const auto prop = makeConnectivity();
+  const auto proved = proveCore(bp.graph, ids, *prop, &rep, 1);
+  ASSERT_TRUE(proved.propertyHolds);
+  const auto reference =
+      simulateEdgeScheme(bp.graph, ids, proved.labels, makeCoreVerifier(prop));
+  ASSERT_TRUE(reference.allAccept);
+
+  // A corrupted labeling must reject identically through the service.
+  auto corrupted =
+      std::make_shared<std::vector<std::string>>(proved.labels);
+  (*corrupted)[0][(*corrupted)[0].size() / 2] ^= 0x10;
+  const auto referenceBad =
+      simulateEdgeScheme(bp.graph, ids, *corrupted, makeCoreVerifier(prop));
+  ASSERT_FALSE(referenceBad.allAccept);
+
+  const auto goodLabels =
+      std::make_shared<const std::vector<std::string>>(proved.labels);
+  for (int poolSize : {1, 4}) {
+    LaneCertService service(ServiceOptions{.numThreads = poolSize});
+    auto good =
+        service.submitVerify(VerifyJob{bp.graph, ids, goodLabels, prop, {}});
+    auto bad =
+        service.submitVerify(VerifyJob{bp.graph, ids, corrupted, prop, {}});
+    const SimulationResult g = good.get();
+    EXPECT_TRUE(g.allAccept);
+    EXPECT_EQ(g.rejecting, reference.rejecting);
+    EXPECT_EQ(g.maxLabelBits, reference.maxLabelBits);
+    EXPECT_EQ(g.totalLabelBits, reference.totalLabelBits);
+    const SimulationResult b = bad.get();
+    EXPECT_FALSE(b.allAccept);
+    EXPECT_EQ(b.rejecting, referenceBad.rejecting);
+    // Resubmitting the same payload coalesces by identity.
+    auto again =
+        service.submitVerify(VerifyJob{bp.graph, ids, goodLabels, prop, {}});
+    EXPECT_EQ(again.get().rejecting, reference.rejecting);
+    service.drain();
+    EXPECT_EQ(service.stats().verifyJobsCompleted, 2u);  // good + bad only
+  }
+}
+
+TEST(Serve, PlanCacheAmortizesAcrossPropertiesAndIds) {
+  Rng rng(99);
+  auto bp = randomBoundedPathwidth(32, 2, 0.4, rng);
+  const auto idsA = IdAssignment::random(32, 1);
+  const auto idsB = IdAssignment::random(32, 2);
+
+  LaneCertService service(ServiceOptions{.numThreads = 2});
+  // Same graph, no supplied representation: four jobs, one plan.
+  auto f1 = service.submitProve(ProveJob{bp.graph, idsA, makeConnectivity(), {}});
+  auto f2 = service.submitProve(ProveJob{bp.graph, idsA, makeForest(), {}});
+  auto f3 = service.submitProve(ProveJob{bp.graph, idsB, makeConnectivity(), {}});
+  auto f4 = service.submitProve(ProveJob{bp.graph, idsB, makeForest(), {}});
+  const auto r1 = f1.get();
+  const auto r2 = f2.get();
+  const auto r3 = f3.get();
+  const auto r4 = f4.get();
+  service.drain();
+  EXPECT_GE(service.stats().planCacheHits, 3u);
+
+  // Cached-plan results must equal the standalone cold path bit-for-bit.
+  EXPECT_EQ(r1.labels, proveCore(bp.graph, idsA, *makeConnectivity(), nullptr, 1).labels);
+  EXPECT_EQ(r2.labels, proveCore(bp.graph, idsA, *makeForest(), nullptr, 1).labels);
+  EXPECT_EQ(r3.labels, proveCore(bp.graph, idsB, *makeConnectivity(), nullptr, 1).labels);
+  EXPECT_EQ(r4.labels, proveCore(bp.graph, idsB, *makeForest(), nullptr, 1).labels);
+}
+
+TEST(Serve, ResultCacheCoalescesDuplicateRequests) {
+  const Graph g = pathGraph(24);
+  const auto ids = IdAssignment::random(24, 3);
+  LaneCertService service(ServiceOptions{.numThreads = 2});
+  std::vector<std::shared_future<CoreProveResult>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(
+        service.submitProve(ProveJob{g, ids, makeConnectivity(), {}}));
+  }
+  const auto expected = proveCore(g, ids, *makeConnectivity(), nullptr, 1);
+  for (auto& f : futures) EXPECT_EQ(f.get().labels, expected.labels);
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.proveJobsCompleted, 1u);  // one computation, five answers
+  EXPECT_EQ(stats.resultCacheHits, 4u);
+}
+
+TEST(Serve, ShutdownDrainsPendingJobs) {
+  const std::vector<Fixture> fixtures = mixedFixtures();
+  std::vector<std::shared_future<CoreProveResult>> futures;
+  {
+    LaneCertService service(ServiceOptions{.numThreads = 1});
+    for (const Fixture& f : fixtures) {
+      futures.push_back(service.submitProve(toJob(f)));
+    }
+    // Destructor runs with jobs pending: it must complete them all.
+  }
+  for (std::size_t i = 0; i < fixtures.size(); ++i) {
+    expectMatches(futures[i].get(), fixtures[i]);
+  }
+}
+
+TEST(Serve, CancelPendingFailsUnstartedFutures) {
+  Rng rng(13);
+  auto big = randomBoundedPathwidth(600, 2, 0.4, rng);
+  const auto bigIds = IdAssignment::random(600, 21);
+  LaneCertService service(
+      ServiceOptions{.numThreads = 1, .maxConcurrentJobs = 1});
+  std::vector<std::shared_future<CoreProveResult>> futures;
+  // The big job occupies the single slot; the small ones queue behind it.
+  futures.push_back(
+      service.submitProve(ProveJob{big.graph, bigIds, makeConnectivity(), {}}));
+  for (int seed = 0; seed < 4; ++seed) {
+    futures.push_back(service.submitProve(ProveJob{
+        pathGraph(20), IdAssignment::random(20, 40 + seed),
+        makeConnectivity(), {}}));
+  }
+  const std::size_t cancelled = service.cancelPending();
+  EXPECT_GE(cancelled, 1u);
+  service.drain();
+  EXPECT_EQ(service.stats().cancelledJobs, cancelled);
+  std::size_t threw = 0;
+  for (auto& f : futures) {
+    try {
+      const auto r = f.get();
+      EXPECT_TRUE(r.propertyHolds);  // completed jobs completed correctly
+    } catch (const CancelledError&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw, cancelled);
+}
+
+TEST(Serve, ZeroJobsAndIdleDrain) {
+  LaneCertService service;
+  service.drain();  // idle drain returns immediately
+  EXPECT_EQ(service.cancelPending(), 0u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.proveJobsCompleted, 0u);
+  EXPECT_EQ(stats.verifyJobsCompleted, 0u);
+  EXPECT_EQ(stats.cancelledJobs, 0u);
+}
+
+TEST(Serve, JobErrorsPropagateThroughFutures) {
+  Graph disconnected(4);
+  disconnected.addEdge(0, 1);  // vertices 2, 3 unreachable
+  LaneCertService service(ServiceOptions{.numThreads = 2});
+  auto fut = service.submitProve(ProveJob{
+      disconnected, IdAssignment::identity(4), makeConnectivity(), {}});
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+  // The failure is not cached: a retry recomputes (and fails afresh).
+  auto again = service.submitProve(ProveJob{
+      disconnected, IdAssignment::identity(4), makeConnectivity(), {}});
+  EXPECT_THROW(again.get(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lanecert
