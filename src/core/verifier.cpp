@@ -1,6 +1,9 @@
 #include "core/verifier.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -12,30 +15,6 @@
 #include "runtime/flat_map.hpp"
 
 namespace lanecert {
-
-namespace {
-
-constexpr std::uint8_t kTypeV = 0;
-constexpr std::uint8_t kTypeE = 1;
-constexpr std::uint8_t kTypeP = 2;
-constexpr std::uint8_t kTypeB = 3;
-constexpr std::uint8_t kTypeT = 4;
-
-/// Reject helper: checks are expressed as `require(cond)`.
-void require(bool cond) {
-  if (!cond) throw DecodeError{};
-}
-
-/// Equality across allocator boundaries: recomputed NodeData fields are
-/// plain heap containers, certificate record fields are pmr (arena-backed
-/// on the decode path) — different types to the language, same bytes here.
-bool sameBytes(const std::string& a, const std::pmr::string& b) {
-  return std::string_view(a) == std::string_view(b);
-}
-template <typename T, typename A1, typename A2>
-bool sameSeq(const std::vector<T, A1>& a, const std::vector<T, A2>& b) {
-  return std::equal(a.begin(), a.end(), b.begin(), b.end());
-}
 
 /// Reusable per-thread buffers: a vertex check decodes every incident label
 /// once into `labels` and tracks all cross-certificate state in flat
@@ -61,8 +40,8 @@ struct VerifierScratch {
   FlatMap<std::int64_t, std::int64_t> bridgeLower;
   /// Per node id: entries already fully validated at this vertex.  Chains
   /// of different incident edges share their upper T/B entries, so most
-  /// validateEntry calls are byte-identical repeats — replaying the lane
-  /// algebra for them is pure waste.
+  /// validateEntry calls are byte-identical repeats — replaying even the
+  /// bookkeeping for them is pure waste.
   FlatMap<std::int64_t, std::vector<const ChainEntry*>> validatedEntries;
   std::vector<int> laneScratch;
 
@@ -84,13 +63,125 @@ struct VerifierScratch {
   }
 };
 
-/// Per-vertex verification context.  The LaneAlgebra is shared across all
-/// vertices (and threads) of a sweep; it is stateless beyond the property.
+// --- SweepEntryCache ------------------------------------------------------
+
+struct SweepEntryCache::Impl {
+  static constexpr std::size_t kStripes = 16;
+  /// Growth backstop: once this many distinct entries are held, new ones
+  /// validate normally but are no longer retained.  A single labeling at
+  /// n = 4096 produces ~18k distinct entries, so the cap leaves an order
+  /// of magnitude of headroom; long-lived verifiers cycling through many
+  /// labelings (soundness benches, reused closures) stay bounded instead
+  /// of deep-copying every entry they ever saw.  VerifySession::applyEdits
+  /// additionally clears on a graph-scaled cap, which keeps ITS cache
+  /// relevant; stop-at-cap here avoids clear/refill thrash for closures
+  /// that have no edit signal to hook.
+  static constexpr std::size_t kMaxEntries = 1 << 16;
+  std::atomic<std::size_t> total{0};
+  struct Stripe {
+    mutable std::mutex mu;
+    /// nodeId -> validated entry variants (usually exactly one).  Stored
+    /// entries are deep copies on the global heap: the pmr copy
+    /// constructors select the default resource, so a probe decoded into a
+    /// per-thread arena never leaks an arena pointer into the cache.
+    FlatMap<std::int64_t, std::vector<ChainEntry>> validated;
+  };
+  std::array<Stripe, kStripes> stripes;
+
+  static std::size_t stripeOf(std::int64_t nodeId) {
+    auto x = static_cast<std::uint64_t>(nodeId);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<std::size_t>(x % kStripes);
+  }
+};
+
+SweepEntryCache::SweepEntryCache() : impl_(std::make_unique<Impl>()) {}
+SweepEntryCache::~SweepEntryCache() = default;
+
+bool SweepEntryCache::containsValidated(const ChainEntry& e) const {
+  const Impl::Stripe& s = impl_->stripes[Impl::stripeOf(e.self.nodeId)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto* variants = s.validated.find(e.self.nodeId);
+  if (variants == nullptr) return false;
+  for (const ChainEntry& c : *variants) {
+    if (c == e) return true;
+  }
+  return false;
+}
+
+void SweepEntryCache::markValidated(const ChainEntry& e) {
+  if (impl_->total.load(std::memory_order_relaxed) >= Impl::kMaxEntries) {
+    return;  // backstop: full caches stop growing, never stop serving
+  }
+  Impl::Stripe& s = impl_->stripes[Impl::stripeOf(e.self.nodeId)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<ChainEntry>& variants =
+      *s.validated.tryEmplace(e.self.nodeId, {}).first;
+  for (const ChainEntry& c : variants) {
+    if (c == e) return;  // raced with another thread: already recorded
+  }
+  variants.push_back(e);  // deep copy onto the global heap
+  impl_->total.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t SweepEntryCache::size() const {
+  std::size_t total = 0;
+  for (const Impl::Stripe& s : impl_->stripes) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [nodeId, variants] : s.validated) {
+      total += variants.size();
+    }
+  }
+  return total;
+}
+
+void SweepEntryCache::clear() {
+  for (Impl::Stripe& s : impl_->stripes) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.validated.clear();
+  }
+  impl_->total.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+constexpr std::uint8_t kTypeV = 0;
+constexpr std::uint8_t kTypeE = 1;
+constexpr std::uint8_t kTypeP = 2;
+constexpr std::uint8_t kTypeB = 3;
+constexpr std::uint8_t kTypeT = 4;
+
+/// Reject helper: checks are expressed as `require(cond)`.
+void require(bool cond) {
+  if (!cond) throw DecodeError{};
+}
+
+/// Equality across allocator boundaries: recomputed NodeData fields are
+/// plain heap containers, certificate record fields are pmr (arena-backed
+/// on the decode path) — different types to the language, same bytes here.
+bool sameBytes(const std::string& a, const std::pmr::string& b) {
+  return std::string_view(a) == std::string_view(b);
+}
+template <typename T, typename A1, typename A2>
+bool sameSeq(const std::vector<T, A1>& a, const std::vector<T, A2>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// Per-vertex verification context.  The LaneAlgebra and the sweep cache
+/// are shared across all vertices (and threads) of a sweep; the algebra is
+/// stateless beyond the property, the cache locks internally.
 class Checker {
  public:
   Checker(const LaneAlgebra& alg, const CoreVerifierParams& params,
-          const EdgeView& view, VerifierScratch& scratch)
-      : alg_(alg), params_(params), view_(view), s_(scratch) {
+          const EdgeView& view, VerifierScratch& scratch,
+          SweepEntryCache* sweepCache)
+      : alg_(alg),
+        params_(params),
+        view_(view),
+        s_(scratch),
+        sweepCache_(sweepCache) {
     s_.reset();
   }
 
@@ -99,6 +190,7 @@ class Checker {
  private:
   void validateSummaryCommon(const SummaryRec& s) const;
   void validateEntry(const ChainEntry& e);
+  void validateEntryPure(const ChainEntry& e) const;
   void validateCert(const EdgeCert& cert, bool isVirtual);
   void reconstructVirtualEdges(const std::vector<EdgeLabelView>& labels);
   void recordNodeSummary(const SummaryRec& s);
@@ -109,6 +201,7 @@ class Checker {
   const CoreVerifierParams& params_;
   const EdgeView& view_;
   VerifierScratch& s_;
+  SweepEntryCache* sweepCache_;
 
   bool bridgeConflict_ = false;   ///< two chain parts entered one B-node
   std::int64_t rootTNode_ = -1;
@@ -135,20 +228,13 @@ void Checker::recordTmSummary(const SummaryRec& s) {
   if (!inserted) require(**slot == s);
 }
 
-void Checker::validateEntry(const ChainEntry& e) {
-  // Validation is a deterministic pure function of the entry bytes (plus
-  // the shared algebra), so a structurally identical entry that already
-  // passed at this vertex needs no recomputation — only the bookkeeping
-  // side effect (tree entries feed the gluing checks) is replayed.
-  std::vector<const ChainEntry*>& seen =
-      *s_.validatedEntries.tryEmplace(e.self.nodeId, {}).first;
-  for (const ChainEntry* p : seen) {
-    if (*p == e) {
-      if (e.kind == ChainEntry::Kind::kTree) s_.allTreeEntries.push_back(&e);
-      return;
-    }
-  }
-  recordNodeSummary(e.self);
+/// The vertex-independent half of entry validation: shape constraints plus
+/// the Prop 6.1 algebra replay.  A deterministic pure function of the entry
+/// bytes, the algebra, and the params — nothing here may read view_ or the
+/// per-vertex cross-certificate maps, which is what makes results safely
+/// shareable through the sweep cache.  (laneScratch is borrowed as a plain
+/// reusable buffer; it carries no state across calls.)
+void Checker::validateEntryPure(const ChainEntry& e) const {
   switch (e.kind) {
     case ChainEntry::Kind::kBaseE: {
       require(e.self.type == kTypeE);
@@ -176,8 +262,6 @@ void Checker::validateEntry(const ChainEntry& e) {
     }
     case ChainEntry::Kind::kBridge: {
       require(e.self.type == kTypeB);
-      recordNodeSummary(e.part0);
-      recordNodeSummary(e.part1);
       for (const SummaryRec* part : {&e.part0, &e.part1}) {
         require(part->type == kTypeV || part->type == kTypeT);
         if (part->type == kTypeV) {
@@ -209,12 +293,11 @@ void Checker::validateEntry(const ChainEntry& e) {
       require(e.childSelf.type == kTypeE || e.childSelf.type == kTypeP ||
               e.childSelf.type == kTypeB);
       require(e.childSelf.nodeId == e.childId);
-      recordNodeSummary(e.childSelf);
+      require(!e.childSelf.lanes.empty());
       require(e.subtree.nodeId == e.childId);
       require(e.subtree.type == e.childSelf.type);
       require(e.subtree.lanes == e.childSelf.lanes);
       require(e.subtree.inTerm == e.childSelf.inTerm);
-      recordTmSummary(e.subtree);
       // Tree children: nested lanes, pairwise disjoint, glued onto the
       // child's out-terminals; the fold replays the Parent-merges.
       NodeData cur = alg_.fromSummary(e.childSelf);
@@ -223,7 +306,7 @@ void Checker::validateEntry(const ChainEntry& e) {
       used.clear();
       for (const SummaryRec& d : e.treeChildren) {
         require(d.type == kTypeE || d.type == kTypeP || d.type == kTypeB);
-        recordTmSummary(d);
+        require(!d.lanes.empty());
         require(d.lanes[0] > prevMinLane);  // sorted fold order
         prevMinLane = d.lanes[0];
         for (int lane : d.lanes) {
@@ -249,10 +332,51 @@ void Checker::validateEntry(const ChainEntry& e) {
         require(e.self.slotOrder == e.subtree.slotOrder);
         require(e.self.stateBytes == e.subtree.stateBytes);
       }
-      s_.allTreeEntries.push_back(&e);
       break;
     }
   }
+}
+
+void Checker::validateEntry(const ChainEntry& e) {
+  // Per-vertex memo: a structurally identical entry that already passed at
+  // this vertex needs no recomputation — only the bookkeeping side effect
+  // (tree entries feed the gluing checks) is replayed.
+  std::vector<const ChainEntry*>& seen =
+      *s_.validatedEntries.tryEmplace(e.self.nodeId, {}).first;
+  for (const ChainEntry* p : seen) {
+    if (*p == e) {
+      if (e.kind == ChainEntry::Kind::kTree) s_.allTreeEntries.push_back(&e);
+      return;
+    }
+  }
+  // Cross-certificate bookkeeping is per vertex and always replayed: every
+  // summary this entry carries must agree byte-for-byte with what the other
+  // certificates at this vertex claim about the same node.  (Any reject
+  // below and any reject in the pure half reach the same verdict — a vertex
+  // accepts iff NO check fails, so check order never matters.)
+  recordNodeSummary(e.self);
+  switch (e.kind) {
+    case ChainEntry::Kind::kBaseE:
+    case ChainEntry::Kind::kBaseP:
+      break;
+    case ChainEntry::Kind::kBridge:
+      recordNodeSummary(e.part0);
+      recordNodeSummary(e.part1);
+      break;
+    case ChainEntry::Kind::kTree:
+      recordNodeSummary(e.childSelf);
+      recordTmSummary(e.subtree);
+      for (const SummaryRec& d : e.treeChildren) recordTmSummary(d);
+      break;
+  }
+  // The pure half runs once per distinct entry per SWEEP, not per vertex:
+  // upper chain entries are shared by most edges, and the sweep cache
+  // remembers the (deterministic) outcome across vertices and threads.
+  if (sweepCache_ == nullptr || !sweepCache_->containsValidated(e)) {
+    validateEntryPure(e);
+    if (sweepCache_ != nullptr) sweepCache_->markValidated(e);
+  }
+  if (e.kind == ChainEntry::Kind::kTree) s_.allTreeEntries.push_back(&e);
   seen.push_back(&e);
 }
 
@@ -549,6 +673,39 @@ bool Checker::run() {
 
 }  // namespace
 
+// --- CoreVerifierEngine ---------------------------------------------------
+
+CoreVerifierEngine::ThreadState::ThreadState() = default;
+CoreVerifierEngine::ThreadState::~ThreadState() = default;
+CoreVerifierEngine::ThreadState::ThreadState(ThreadState&&) noexcept = default;
+CoreVerifierEngine::ThreadState& CoreVerifierEngine::ThreadState::operator=(
+    ThreadState&&) noexcept = default;
+
+CoreVerifierEngine::CoreVerifierEngine(PropertyPtr prop,
+                                       CoreVerifierParams params)
+    : prop_(std::move(prop)),
+      params_(params),
+      // The algebra is built ONCE per engine (it only references the
+      // property), not per vertex; it is stateless beyond the property, so
+      // one engine can check many vertices concurrently.
+      algebra_(std::make_shared<const LaneAlgebra>(*prop_)) {}
+
+CoreVerifierEngine::~CoreVerifierEngine() = default;
+
+bool CoreVerifierEngine::check(const EdgeView& view, ThreadState& state) const {
+  if (!state.impl_) state.impl_ = std::make_unique<VerifierScratch>();
+  try {
+    Checker checker(*algebra_, params_, view, *state.impl_, &cache_);
+    return checker.run();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::size_t CoreVerifierEngine::sweepCacheSize() const { return cache_.size(); }
+
+void CoreVerifierEngine::clearSweepCache() { cache_.clear(); }
+
 CoreVerifierParams theorem1Params(int k) {
   CoreVerifierParams p;
   // Clamp to practical limits; f/h explode combinatorially in k.
@@ -558,19 +715,13 @@ CoreVerifierParams theorem1Params(int k) {
 }
 
 EdgeVerifier makeCoreVerifier(PropertyPtr prop, CoreVerifierParams params) {
-  // The algebra is built ONCE per verifier (it only references the
-  // property), not per vertex; the scratch is per thread, so one verifier
-  // can check many vertices concurrently.
-  auto alg = std::make_shared<const LaneAlgebra>(*prop);
-  return [prop = std::move(prop), alg = std::move(alg),
-          params](const EdgeView& view) -> bool {
-    static thread_local VerifierScratch scratch;
-    try {
-      Checker checker(*alg, params, view, scratch);
-      return checker.run();
-    } catch (const std::exception&) {
-      return false;
-    }
+  auto engine = std::make_shared<CoreVerifierEngine>(std::move(prop), params);
+  return [engine = std::move(engine)](const EdgeView& view) -> bool {
+    // One scratch per OS thread, shared by every verifier closure on that
+    // thread (each check resets it), so concurrent sweeps stay allocation-
+    // free in steady state without per-closure state.
+    static thread_local CoreVerifierEngine::ThreadState state;
+    return engine->check(view, state);
   };
 }
 

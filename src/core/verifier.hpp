@@ -25,11 +25,39 @@
 //   8. Root checks: all certificates agree on the root records and the
 //      property accepts the root hom state; the pointer's anchor vertex
 //      confirms it is the root child's first in-terminal.
+//
+// The checks split into two classes, and the split is what makes sweeps
+// cacheable: (5) is a PURE function of one chain entry's bytes plus the
+// shared algebra — the same entry validates to the same verdict at every
+// vertex — while (1)-(4) and (6)-(8) depend on the vertex's view.  Upper
+// chain entries (everything near the hierarchy root) are shared by most
+// edges of the graph, so `SweepEntryCache` memoizes class-(5) validations
+// across vertices and threads: each distinct entry replays the lane algebra
+// ONCE per sweep instead of once per vertex.  Cache hits can only skip
+// recomputation whose outcome is forced (entry identity is full structural
+// equality, and validation is deterministic), so verdicts are byte-for-byte
+// independent of cache state, thread count, and sweep order.
+//
+// `CoreVerifierEngine` is the shareable heart of the verifier: the property
+// algebra (built once), the verifier params, and the sweep cache.  One
+// engine can check many vertices concurrently; each concurrent caller
+// supplies its own `ThreadState` (the per-thread decode arena + flat
+// scratch containers).  `makeCoreVerifier` wraps an engine and a
+// thread_local state into the classic EdgeVerifier closure; `VerifySession`
+// (core/verify_session.hpp) owns an engine plus per-shard states to make
+// sweeps resumable.
+
+#include <cstddef>
+#include <memory>
 
 #include "mso/property.hpp"
 #include "pls/scheme.hpp"
 
 namespace lanecert {
+
+class LaneAlgebra;
+struct ChainEntry;
+struct VerifierScratch;
 
 /// Verifier-side parameters (the constants of Theorem 1 for the target
 /// pathwidth bound).
@@ -43,7 +71,88 @@ struct CoreVerifierParams {
   int maxThrough = 0;
 };
 
-/// Builds the local verifier for `prop`.
+/// Sweep-level memo of chain entries whose pure (vertex-independent)
+/// validation already passed.  Keyed by ENTRY IDENTITY — full structural
+/// equality of the decoded record, which agrees with comparing encodings
+/// (encodeTo is deterministic and injective) — so a hit can never conflate
+/// two entries that differ in any byte.  Thread-safe: lookups and inserts
+/// take a stripe lock hashed on the entry's node id; stored entries are
+/// deep copies on the global heap, so they outlive the per-thread decode
+/// arenas the probes point into.  Entries stay valid for the lifetime of
+/// the algebra/params they were validated under (the owning engine never
+/// changes either), which is why a session can keep its cache warm across
+/// re-verification sweeps.
+class SweepEntryCache {
+ public:
+  SweepEntryCache();
+  ~SweepEntryCache();
+
+  SweepEntryCache(const SweepEntryCache&) = delete;
+  SweepEntryCache& operator=(const SweepEntryCache&) = delete;
+
+  /// True if an entry structurally equal to `e` already passed validation.
+  [[nodiscard]] bool containsValidated(const ChainEntry& e) const;
+  /// Records `e` as validated (deep copy; no-op if already present).
+  void markValidated(const ChainEntry& e);
+  /// Number of distinct validated entries held.
+  [[nodiscard]] std::size_t size() const;
+  /// Drops every entry (bounds memory; never required for correctness).
+  void clear();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The shareable core of the verifier: property + algebra + params + sweep
+/// cache.  Immutable after construction except for the (internally locked)
+/// cache, so any number of threads may call `check` concurrently as long as
+/// each passes its own ThreadState.
+class CoreVerifierEngine {
+ public:
+  explicit CoreVerifierEngine(PropertyPtr prop, CoreVerifierParams params = {});
+  ~CoreVerifierEngine();
+
+  CoreVerifierEngine(const CoreVerifierEngine&) = delete;
+  CoreVerifierEngine& operator=(const CoreVerifierEngine&) = delete;
+
+  /// Per-thread reusable verifier state: the decode arena plus the flat
+  /// cross-certificate containers.  Allocated lazily on first use; reset
+  /// per vertex, so steady-state checks stop allocating.
+  class ThreadState {
+   public:
+    ThreadState();
+    ~ThreadState();
+    ThreadState(ThreadState&&) noexcept;
+    ThreadState& operator=(ThreadState&&) noexcept;
+
+   private:
+    friend class CoreVerifierEngine;
+    std::unique_ptr<VerifierScratch> impl_;
+  };
+
+  /// One vertex's local check; never throws (malformed labels reject).
+  /// Safe to call concurrently with DISTINCT states.
+  [[nodiscard]] bool check(const EdgeView& view, ThreadState& state) const;
+
+  [[nodiscard]] const CoreVerifierParams& params() const { return params_; }
+  /// Distinct entries validated so far (diagnostics / tests).
+  [[nodiscard]] std::size_t sweepCacheSize() const;
+  /// Drops the sweep cache (memory bound only; verdicts never depend on it).
+  void clearSweepCache();
+
+ private:
+  PropertyPtr prop_;
+  CoreVerifierParams params_;
+  std::shared_ptr<const LaneAlgebra> algebra_;
+  mutable SweepEntryCache cache_;
+};
+
+/// Builds the local verifier for `prop`: a thin closure over a shared
+/// CoreVerifierEngine and a thread_local ThreadState.  The engine's sweep
+/// cache persists for the closure's lifetime — sound, because cached
+/// validations are pure functions of entry bytes, so reuse across sweeps
+/// (or across labelings) can never change a verdict.
 [[nodiscard]] EdgeVerifier makeCoreVerifier(PropertyPtr prop,
                                             CoreVerifierParams params = {});
 

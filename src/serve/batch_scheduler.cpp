@@ -15,14 +15,24 @@ BatchScheduler::~BatchScheduler() { drain(); }
 void BatchScheduler::submit(std::size_t cost, std::function<void()> run,
                             std::function<void()> cancel) {
   std::lock_guard<std::mutex> lock(mu_);
-  pending_.emplace(std::pair{cost, nextSeq_++},
-                   Entry{std::move(run), std::move(cancel)});
+  const Key key{cost, nextSeq_};
+  bySeq_.emplace(nextSeq_, key);
+  ++nextSeq_;
+  pending_.emplace(key, Entry{std::move(run), std::move(cancel)});
   dispatchLocked();
 }
 
 void BatchScheduler::dispatchLocked() {
   while (inFlight_ < maxConcurrent_ && !pending_.empty()) {
-    auto node = pending_.extract(pending_.begin());
+    auto chosen = pending_.begin();  // smallest cost, FIFO among equals
+    const auto oldest = pending_.find(bySeq_.begin()->second);
+    if (oldest->second.bypassed >= kMaxBypass) {
+      chosen = oldest;  // aged out: starvation bound beats cost order
+    } else if (chosen != oldest) {
+      ++oldest->second.bypassed;
+    }
+    bySeq_.erase(chosen->first.second);
+    auto node = pending_.extract(chosen);
     ++inFlight_;
     // Normal (back-of-queue) priority: shard tasks of already-running jobs
     // jump ahead via postUrgent, new drivers wait their turn.
@@ -52,6 +62,7 @@ std::size_t BatchScheduler::cancelPending() {
     cancelled.reserve(pending_.size());
     for (auto& [key, entry] : pending_) cancelled.push_back(std::move(entry));
     pending_.clear();
+    bySeq_.clear();
     if (inFlight_ == 0) idle_.notify_all();
   }
   // Outside the lock: cancel callbacks touch service state (promises,

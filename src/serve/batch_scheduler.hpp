@@ -12,6 +12,14 @@
 //    the FRONT (ParallelExecutor::forShards posts urgent), so started waves
 //    finish before the pool picks up the next queued driver.
 //
+// Pure smallest-first starves: under a steady stream of small jobs a large
+// one could wait forever (every newcomer overtakes it).  An aging credit
+// bounds that — each dispatch that bypasses the OLDEST pending job bumps
+// that job's credit, and once the credit reaches kMaxBypass the oldest job
+// is dispatched next regardless of cost.  Any job therefore waits at most
+// (kMaxBypass + 1) dispatches once it becomes the oldest, and queue
+// positions only ever shrink, so every job eventually runs.
+//
 // Every submitted job is eventually resolved exactly once: `run` on a pool
 // thread, or `cancel` inline from cancelPending() for jobs that never
 // started.  drain() blocks until the scheduler is idle.
@@ -56,11 +64,17 @@ class BatchScheduler {
 
   [[nodiscard]] int maxConcurrent() const { return maxConcurrent_; }
 
+  /// Dispatches that may bypass the oldest pending job before it is forced
+  /// to the front of the queue.
+  static constexpr std::size_t kMaxBypass = 4;
+
  private:
   struct Entry {
     std::function<void()> run;
     std::function<void()> cancel;
+    std::size_t bypassed = 0;  ///< aging credit while this job is oldest
   };
+  using Key = std::pair<std::size_t, std::uint64_t>;  ///< (cost, seq)
 
   /// Starts pending jobs while slots are free.  Requires mu_ held.
   void dispatchLocked();
@@ -71,7 +85,8 @@ class BatchScheduler {
 
   std::mutex mu_;
   std::condition_variable idle_;
-  std::map<std::pair<std::size_t, std::uint64_t>, Entry> pending_;
+  std::map<Key, Entry> pending_;
+  std::map<std::uint64_t, Key> bySeq_;  ///< submission order -> queue key
   std::uint64_t nextSeq_ = 0;
   int inFlight_ = 0;
 };

@@ -50,6 +50,15 @@ std::size_t estimatedCost(const VerifyJob& job) {
   return static_cast<std::size_t>(job.graph.numVertices()) + bytes / 16;
 }
 
+std::size_t estimatedCost(const ReverifyJob& job) {
+  // Two dirty endpoints per edited edge, plus decode volume on the same
+  // bytes/16 scale as full verification — only the ORDER matters, and this
+  // ranks a 1%-dirty batch far below the full sweep it replaces.
+  std::size_t bytes = 0;
+  for (const EdgeLabelEdit& e : job.edits) bytes += e.bytes.size();
+  return 2 * job.edits.size() + bytes / 16;
+}
+
 std::string planKey(const Graph& g, const IntervalRepresentation* rep) {
   Encoder enc;
   enc.bytes("plan");
@@ -81,6 +90,22 @@ std::string verifyJobKey(const VerifyJob& job) {
   // reallocated buffer.
   enc.u64(reinterpret_cast<std::uintptr_t>(job.labels.get()));
   enc.u64(job.labels ? job.labels->size() : 0);
+  // Content version: identity pins the BUFFER, the version pins the BYTES
+  // in it.  A store-backed payload edited in place resubmits with a bumped
+  // version and misses the stale entry instead of replaying its verdict.
+  enc.u64(job.labelsVersion);
+  return enc.take();
+}
+
+std::string reverifyJobKey(const ReverifyJob& job) {
+  Encoder enc;
+  enc.bytes("reverify");
+  enc.u64(job.session);
+  enc.u64(job.edits.size());
+  for (const EdgeLabelEdit& e : job.edits) {
+    enc.i64(e.edge);
+    enc.bytes(e.bytes);
+  }
   return enc.take();
 }
 

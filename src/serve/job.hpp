@@ -24,6 +24,7 @@
 #include "graph/graph.hpp"
 #include "interval/interval.hpp"
 #include "mso/property.hpp"
+#include "runtime/label_store.hpp"
 
 namespace lanecert::serve {
 
@@ -51,6 +52,25 @@ struct VerifyJob {
   std::shared_ptr<const std::vector<std::string>> labels;  ///< per EdgeId
   PropertyPtr property;
   CoreVerifierParams params{};
+  /// Version of the label payload's CONTENT.  Participates in the cache
+  /// key alongside the payload identity: a caller that rewrites a payload
+  /// buffer in place (the versioned-LabelStore world makes that a
+  /// legitimate move) bumps the version so mutation invalidates stale
+  /// verify hits instead of serving them.  Callers that never mutate can
+  /// leave it 0 — identity alone then pins the bytes as before.
+  std::uint64_t labelsVersion = 0;
+};
+
+/// "Apply this edit batch to an open verification session and re-check the
+/// dirty vertices" as a request.  The session handle comes from
+/// LaneCertService::openVerifySession; edits are applied in order.  An
+/// empty batch runs (or returns) the session's full sweep, so it doubles
+/// as the initial-verification request.  Batches on one session execute in
+/// submission order regardless of scheduler policy (the service runs one
+/// driver per session at a time).
+struct ReverifyJob {
+  std::uint64_t session = 0;
+  std::vector<EdgeLabelEdit> edits;
 };
 
 /// Scheduling weight: rough single-thread work estimate used by the batch
@@ -59,6 +79,11 @@ struct VerifyJob {
 /// for verification — chain validation cost tracks label volume).
 [[nodiscard]] std::size_t estimatedCost(const ProveJob& job);
 [[nodiscard]] std::size_t estimatedCost(const VerifyJob& job);
+/// Reverify cost tracks the edit batch (dirty rows re-checked + new label
+/// bytes decoded), not the session's full graph — that is the point.  The
+/// service substitutes the payload's full-sweep cost for a session's FIRST
+/// batch, which runs the initial whole-graph sweep whatever its edit list.
+[[nodiscard]] std::size_t estimatedCost(const ReverifyJob& job);
 
 /// Exact serialization of everything a ProvePlan depends on: vertex count,
 /// edge list (insertion order — plans are order-sensitive only through the
@@ -78,5 +103,11 @@ struct VerifyJob {
 /// wrong answer.
 [[nodiscard]] std::string proveJobKey(const ProveJob& job);
 [[nodiscard]] std::string verifyJobKey(const VerifyJob& job);
+/// Identity of a reverify request: session handle + exact edit bytes.
+/// Reverify results are NEVER result-cached (each batch advances session
+/// state), but duplicate submissions of the same batch at the same queue
+/// position — front-end retries — coalesce onto one pending computation
+/// through this key.
+[[nodiscard]] std::string reverifyJobKey(const ReverifyJob& job);
 
 }  // namespace lanecert::serve

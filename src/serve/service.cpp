@@ -153,6 +153,144 @@ std::shared_future<CoreProveResult> LaneCertService::submitProve(ProveJob job) {
       });
 }
 
+std::uint64_t LaneCertService::openVerifySession(VerifyJob job) {
+  if (!job.labels) {
+    throw std::invalid_argument("VerifyJob: null label payload");
+  }
+  auto entry = std::make_shared<VerifySessionEntry>();
+  entry->fullSweepCost = estimatedCost(job);
+  // The session copies the payload into its own store (the VerifySession
+  // constructor takes the vector by value), so session edits never touch
+  // the caller's buffer — payload-identity keys of plain verify jobs stay
+  // valid.
+  entry->session = std::make_unique<VerifySession>(
+      std::move(job.graph), std::move(job.ids), *job.labels,
+      std::move(job.property), job.params);
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessionsMu_);
+    id = nextSessionId_++;
+    sessions_.emplace(id, std::move(entry));
+  }
+  bump(&ServiceStats::sessionsOpened);
+  return id;
+}
+
+std::shared_ptr<LaneCertService::VerifySessionEntry>
+LaneCertService::findSession(std::uint64_t session) const {
+  std::lock_guard<std::mutex> lock(sessionsMu_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("serve: unknown or closed verify session");
+  }
+  return it->second;
+}
+
+std::uint64_t LaneCertService::sessionStoreVersion(
+    std::uint64_t session) const {
+  const std::shared_ptr<VerifySessionEntry> entry = findSession(session);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  return entry->versionMirror;
+}
+
+void LaneCertService::closeVerifySession(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(sessionsMu_);
+  sessions_.erase(session);  // drivers hold shared_ptrs; state stays valid
+}
+
+std::shared_future<SimulationResult> LaneCertService::submitReverify(
+    ReverifyJob job) {
+  const std::shared_ptr<VerifySessionEntry> entry = findSession(job.session);
+  std::string key =
+      options_.enableResultCache ? reverifyJobKey(job) : std::string{};
+  std::lock_guard<std::mutex> lock(entry->mu);
+  // Until the session has COMPLETED a full sweep (not merely had one
+  // queued — a cancelled or failed first batch leaves it unswept), any
+  // batch runs the initial whole-graph sweep regardless of its edit list,
+  // and must be costed like one; afterwards a batch costs its dirty set.
+  const std::size_t cost =
+      entry->sweptMirror ? estimatedCost(job) : entry->fullSweepCost;
+  // Tail coalescing: a duplicate of the batch at the queue tail (front-end
+  // retry) shares the pending computation instead of applying the edits
+  // twice.  Earlier positions never coalesce — each batch advances session
+  // state, so only "same edits at the same state" is the same request.
+  if (!key.empty() && !entry->queue.empty() &&
+      entry->queue.back().key == key) {
+    bump(&ServiceStats::resultCacheHits);
+    return entry->queue.back().future;
+  }
+  auto prom = std::make_shared<std::promise<SimulationResult>>();
+  std::shared_future<SimulationResult> fut = prom->get_future().share();
+  entry->queue.push_back(VerifySessionEntry::PendingBatch{
+      std::move(job.edits), std::move(key), std::move(prom), fut});
+  if (!entry->running) {
+    // One driver per session at a time keeps batches FIFO whatever the
+    // scheduler's cost order does to OTHER jobs, and makes the "small
+    // reverify waits on large reverify of the same session" case a queue
+    // wait instead of a scheduler-slot deadlock.
+    entry->running = true;
+    sched_.submit(
+        cost, [this, entry] { runSessionDriver(entry); },
+        [this, entry] { cancelSessionQueue(entry); });
+  }
+  return fut;
+}
+
+void LaneCertService::runSessionDriver(
+    const std::shared_ptr<VerifySessionEntry>& entry) {
+  while (true) {
+    VerifySessionEntry::PendingBatch batch;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      if (entry->queue.empty()) {
+        entry->running = false;
+        return;
+      }
+      batch = std::move(entry->queue.front());
+      entry->queue.pop_front();
+    }
+    bool success = false;
+    std::exception_ptr error;
+    SimulationResult result;
+    try {
+      ParallelExecutor exec(pool_);
+      result = entry->session->reverifyEdits(batch.edits, exec);
+      success = true;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      // Mirror BEFORE resolving the promise, so a client that just
+      // observed its future sees the matching version.
+      std::lock_guard<std::mutex> lock(entry->mu);
+      entry->versionMirror = entry->session->storeVersion();
+      entry->sweptMirror = entry->session->swept();
+    }
+    if (success) {
+      batch.promise->set_value(std::move(result));
+      bump(&ServiceStats::reverifyBatchesCompleted);
+    } else {
+      batch.promise->set_exception(error);
+    }
+  }
+}
+
+void LaneCertService::cancelSessionQueue(
+    const std::shared_ptr<VerifySessionEntry>& entry) {
+  std::deque<VerifySessionEntry::PendingBatch> dropped;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    dropped.swap(entry->queue);
+    entry->running = false;
+  }
+  // Outside the lock, mirroring cancelPending(): promise observers may call
+  // back into the service.
+  for (VerifySessionEntry::PendingBatch& b : dropped) {
+    b.promise->set_exception(std::make_exception_ptr(CancelledError{}));
+    bump(&ServiceStats::cancelledJobs);
+  }
+}
+
 std::shared_future<SimulationResult> LaneCertService::submitVerify(
     VerifyJob job) {
   std::string key =

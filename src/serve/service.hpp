@@ -24,10 +24,26 @@
 //    key, never hash-only) share one computation and one result, whether
 //    they arrive concurrently (coalesced) or after completion (cache hit).
 //    Failed or cancelled computations are evicted so retries recompute.
+//    Verify keys carry the label payload's content VERSION alongside its
+//    identity, so a payload edited in place invalidates its stale verify
+//    hits instead of serving them.
+//
+// Verification sessions (incremental re-verification): openVerifySession
+// turns a VerifyJob into a persistent VerifySession — the labels are copied
+// into a session-owned versioned LabelStore, and subsequent ReverifyJobs
+// apply edit batches and re-check only the dirty vertices, with verdicts
+// byte-identical to a fresh full sweep over the current labels.  Batches on
+// ONE session run strictly in submission order: the registry runs at most
+// one scheduler-admitted driver per session at a time (so the smallest-
+// first scheduler can never reorder a session's state mutations), while
+// different sessions' drivers interleave freely with all other jobs.
+// Duplicate submissions of the batch at the queue tail (front-end retries)
+// coalesce onto one pending computation via reverifyJobKey.
 //
 // Shutdown: the destructor DRAINS — every submitted job completes and every
 // future becomes ready.  cancelPending() instead discards jobs that have
-// not started; their futures fail with CancelledError.
+// not started; their futures fail with CancelledError (for a discarded
+// session driver, every batch queued on that session fails).
 
 #include <cstddef>
 #include <cstdint>
@@ -38,8 +54,10 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/prover.hpp"
+#include "core/verify_session.hpp"
 #include "pls/scheme.hpp"
 #include "runtime/executor.hpp"
 #include "serve/batch_scheduler.hpp"
@@ -72,7 +90,11 @@ struct ServiceStats {
   std::uint64_t verifyJobsCompleted = 0;
   std::uint64_t planCacheHits = 0;
   std::uint64_t resultCacheHits = 0;  ///< includes coalesced in-flight hits
+  /// Cancelled requests: one per discarded prove/verify job, one per
+  /// reverify batch failed by a discarded session driver.
   std::uint64_t cancelledJobs = 0;
+  std::uint64_t sessionsOpened = 0;
+  std::uint64_t reverifyBatchesCompleted = 0;
 };
 
 class LaneCertService {
@@ -90,6 +112,23 @@ class LaneCertService {
   /// Queues a verification request.
   std::shared_future<SimulationResult> submitVerify(VerifyJob job);
 
+  /// Opens a persistent verification session over the job's configuration;
+  /// the label payload is COPIED into the session's own versioned store, so
+  /// the caller's buffer is never touched by edits.  Cheap — no sweep runs
+  /// until the first ReverifyJob.  Throws std::invalid_argument on a null
+  /// payload or a label-count mismatch.
+  std::uint64_t openVerifySession(VerifyJob job);
+  /// Queues a re-verification batch on an open session (FIFO per session;
+  /// an empty batch runs or refreshes the full sweep).  The future carries
+  /// the whole-graph SimulationResult over the post-edit labels.  Throws
+  /// std::invalid_argument for an unknown/closed session handle.
+  std::shared_future<SimulationResult> submitReverify(ReverifyJob job);
+  /// Current store version of an open session (0 = never edited).
+  [[nodiscard]] std::uint64_t sessionStoreVersion(std::uint64_t session) const;
+  /// Closes a session: the handle becomes invalid for NEW submissions;
+  /// batches already queued still complete.  Idempotent.
+  void closeVerifySession(std::uint64_t session);
+
   /// Blocks until no job is pending or running.
   void drain();
   /// Discards not-yet-started jobs (their futures throw CancelledError);
@@ -100,6 +139,33 @@ class LaneCertService {
   [[nodiscard]] int poolWorkers() const { return pool_.workerCount(); }
 
  private:
+  /// One open verification session.  `mu` guards the queue, the running
+  /// flag, and the version mirror; the VerifySession itself is only ever
+  /// touched by the (single) active driver, so it needs no lock of its
+  /// own.  Kept alive by shared_ptr: a driver finishing after close still
+  /// has valid state.
+  struct VerifySessionEntry {
+    struct PendingBatch {
+      std::vector<EdgeLabelEdit> edits;
+      std::string key;  ///< reverifyJobKey, empty when caching is off
+      std::shared_ptr<std::promise<SimulationResult>> promise;
+      std::shared_future<SimulationResult> future;
+    };
+    std::mutex mu;
+    std::unique_ptr<VerifySession> session;
+    std::deque<PendingBatch> queue;
+    bool running = false;           ///< a driver is admitted or active
+    bool sweptMirror = false;       ///< session completed a full sweep
+    std::uint64_t versionMirror = 0;  ///< store version, readable under mu
+    /// Scheduling weight used while the session has not yet COMPLETED a
+    /// full sweep: such batches run the initial whole-graph sweep whatever
+    /// their edit lists say — costing them like the edits alone would
+    /// admit a whole-graph sweep as the cheapest job in the system.
+    /// Computed at open time from the payload, mirroring
+    /// estimatedCost(VerifyJob).
+    std::size_t fullSweepCost = 0;
+  };
+
   template <typename T>
   struct ResultCache {
     struct Slot {
@@ -117,6 +183,10 @@ class LaneCertService {
   SimulationResult runVerify(const VerifyJob& job);
   std::shared_ptr<const ProvePlan> planFor(const Graph& g,
                                            const IntervalRepresentation* rep);
+  [[nodiscard]] std::shared_ptr<VerifySessionEntry> findSession(
+      std::uint64_t session) const;
+  void runSessionDriver(const std::shared_ptr<VerifySessionEntry>& entry);
+  void cancelSessionQueue(const std::shared_ptr<VerifySessionEntry>& entry);
 
   template <typename T, typename Job, typename Run>
   std::shared_future<T> submitImpl(ResultCache<T>& cache, std::string key,
@@ -136,6 +206,11 @@ class LaneCertService {
 
   ResultCache<CoreProveResult> proveCache_;
   ResultCache<SimulationResult> verifyCache_;
+
+  mutable std::mutex sessionsMu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<VerifySessionEntry>>
+      sessions_;
+  std::uint64_t nextSessionId_ = 1;
 
   mutable std::mutex statsMu_;
   ServiceStats stats_;

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <condition_variable>
+#include <functional>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,14 +23,19 @@
 #include "graph/generators.hpp"
 #include "interval/interval.hpp"
 #include "mso/properties.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/label_store.hpp"
+#include "serve/batch_scheduler.hpp"
 #include "serve/service.hpp"
 
 namespace lanecert {
 namespace {
 
+using serve::BatchScheduler;
 using serve::CancelledError;
 using serve::LaneCertService;
 using serve::ProveJob;
+using serve::ReverifyJob;
 using serve::ServiceOptions;
 using serve::VerifyJob;
 
@@ -173,7 +182,12 @@ TEST(Serve, PlanCacheAmortizesAcrossPropertiesAndIds) {
   const auto idsA = IdAssignment::random(32, 1);
   const auto idsB = IdAssignment::random(32, 2);
 
-  LaneCertService service(ServiceOptions{.numThreads = 2});
+  // One job slot: jobs run serially, so after the first builds the plan
+  // the other three MUST hit (two concurrent jobs may legitimately race
+  // the cold cache and both build — the count would then be timing-
+  // dependent, which the TSan job's slowdown makes a real flake).
+  LaneCertService service(
+      ServiceOptions{.numThreads = 2, .maxConcurrentJobs = 1});
   // Same graph, no supplied representation: four jobs, one plan.
   auto f1 = service.submitProve(ProveJob{bp.graph, idsA, makeConnectivity(), {}});
   auto f2 = service.submitProve(ProveJob{bp.graph, idsA, makeForest(), {}});
@@ -184,7 +198,7 @@ TEST(Serve, PlanCacheAmortizesAcrossPropertiesAndIds) {
   const auto r3 = f3.get();
   const auto r4 = f4.get();
   service.drain();
-  EXPECT_GE(service.stats().planCacheHits, 3u);
+  EXPECT_EQ(service.stats().planCacheHits, 3u);
 
   // Cached-plan results must equal the standalone cold path bit-for-bit.
   EXPECT_EQ(r1.labels, proveCore(bp.graph, idsA, *makeConnectivity(), nullptr, 1).labels);
@@ -264,6 +278,240 @@ TEST(Serve, ZeroJobsAndIdleDrain) {
   EXPECT_EQ(stats.proveJobsCompleted, 0u);
   EXPECT_EQ(stats.verifyJobsCompleted, 0u);
   EXPECT_EQ(stats.cancelledJobs, 0u);
+}
+
+void expectSameSim(const SimulationResult& got, const SimulationResult& want) {
+  EXPECT_EQ(got.allAccept, want.allAccept);
+  EXPECT_EQ(got.rejecting, want.rejecting);
+  EXPECT_EQ(got.maxLabelBits, want.maxLabelBits);
+  EXPECT_EQ(got.totalLabelBits, want.totalLabelBits);
+}
+
+TEST(Serve, VerifySessionReverifyMatchesStandalone) {
+  Rng rng(57);
+  auto bp = randomBoundedPathwidth(40, 2, 0.4, rng);
+  const auto ids = IdAssignment::random(40, 15);
+  const auto prop = makeConnectivity();
+  const auto proved = proveCore(bp.graph, ids, *prop, nullptr, 1);
+  ASSERT_TRUE(proved.propertyHolds);
+  const auto verifier = makeCoreVerifier(prop);
+  const auto payload =
+      std::make_shared<const std::vector<std::string>>(proved.labels);
+
+  auto corrupted = proved.labels;
+  corrupted[3][corrupted[3].size() / 2] ^= 0x20;
+  const auto wantClean = simulateEdgeScheme(bp.graph, ids, proved.labels,
+                                            verifier);
+  const auto wantCorrupt =
+      simulateEdgeScheme(bp.graph, ids, corrupted, verifier);
+  ASSERT_TRUE(wantClean.allAccept);
+  ASSERT_FALSE(wantCorrupt.allAccept);
+
+  for (int poolSize : {1, 4}) {
+    LaneCertService service(ServiceOptions{.numThreads = poolSize});
+    const std::uint64_t sid = service.openVerifySession(
+        VerifyJob{bp.graph, ids, payload, prop, {}});
+    // The empty batch runs the initial full sweep (version untouched).
+    expectSameSim(service.submitReverify(ReverifyJob{sid, {}}).get(),
+                  wantClean);
+    EXPECT_EQ(service.sessionStoreVersion(sid), 0u);
+    // Corrupt one edge: only its endpoints are re-checked, the verdicts
+    // still cover the whole graph.
+    expectSameSim(
+        service.submitReverify(ReverifyJob{sid, {{3, corrupted[3]}}}).get(),
+        wantCorrupt);
+    EXPECT_EQ(service.sessionStoreVersion(sid), 1u);
+    // Restore: back to the clean verdicts, version advances again.
+    expectSameSim(
+        service
+            .submitReverify(ReverifyJob{sid, {{3, proved.labels[3]}}})
+            .get(),
+        wantClean);
+    EXPECT_EQ(service.sessionStoreVersion(sid), 2u);
+    // Session edits never touch the caller's payload.
+    EXPECT_EQ(*payload, proved.labels);
+
+    service.closeVerifySession(sid);
+    EXPECT_THROW((void)service.submitReverify(ReverifyJob{sid, {}}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)service.sessionStoreVersion(sid),
+                 std::invalid_argument);
+    service.closeVerifySession(sid);  // idempotent
+
+    EXPECT_THROW(
+        (void)service.openVerifySession(VerifyJob{bp.graph, ids, {}, prop, {}}),
+        std::invalid_argument);
+    service.drain();
+    EXPECT_EQ(service.stats().sessionsOpened, 1u);
+    EXPECT_EQ(service.stats().reverifyBatchesCompleted, 3u);
+  }
+}
+
+TEST(Serve, ReverifyBatchesRunInSubmissionOrder) {
+  // Fire a pipeline of batches without waiting on any future; every future
+  // must match the fresh sweep of its PREFIX state — smallest-first
+  // admission of other jobs must never reorder one session's batches.
+  Rng rng(77);
+  auto bp = randomBoundedPathwidth(36, 2, 0.4, rng);
+  const auto ids = IdAssignment::random(36, 21);
+  const auto prop = makeConnectivity();
+  const auto proved = proveCore(bp.graph, ids, *prop, nullptr, 1);
+  ASSERT_TRUE(proved.propertyHolds);
+  const auto verifier = makeCoreVerifier(prop);
+
+  LaneCertService service(ServiceOptions{.numThreads = 2});
+  const auto payload =
+      std::make_shared<const std::vector<std::string>>(proved.labels);
+  const std::uint64_t sid =
+      service.openVerifySession(VerifyJob{bp.graph, ids, payload, prop, {}});
+
+  std::vector<std::string> labels = proved.labels;
+  std::vector<std::shared_future<SimulationResult>> futures;
+  std::vector<SimulationResult> wants;
+  futures.push_back(service.submitReverify(ReverifyJob{sid, {}}));
+  wants.push_back(simulateEdgeScheme(bp.graph, ids, labels, verifier));
+  for (int step = 0; step < 6; ++step) {
+    const auto e = static_cast<EdgeId>((step * 5) % bp.graph.numEdges());
+    std::string bytes = labels[static_cast<std::size_t>(e)];
+    if (step % 2 == 0) {
+      bytes[bytes.size() / 3] = static_cast<char>(bytes[bytes.size() / 3] ^ 1);
+    } else {
+      bytes = proved.labels[static_cast<std::size_t>(e)];  // restore
+    }
+    labels[static_cast<std::size_t>(e)] = bytes;
+    futures.push_back(
+        service.submitReverify(ReverifyJob{sid, {{e, std::move(bytes)}}}));
+    wants.push_back(simulateEdgeScheme(bp.graph, ids, labels, verifier));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expectSameSim(futures[i].get(), wants[i]);
+  }
+}
+
+TEST(Serve, ReverifyDuplicateTailSubmissionsCoalesce) {
+  Rng rng(13);
+  auto bp = randomBoundedPathwidth(30, 2, 0.4, rng);
+  const auto ids = IdAssignment::random(30, 8);
+  const auto prop = makeConnectivity();
+  const auto proved = proveCore(bp.graph, ids, *prop, nullptr, 1);
+  ASSERT_TRUE(proved.propertyHolds);
+
+  // One slot, occupied by a prove job: both duplicate submissions land in
+  // the session queue before its driver can start, so the retry MUST
+  // coalesce instead of applying the edits twice.
+  auto big = randomBoundedPathwidth(400, 2, 0.4, rng);
+  LaneCertService service(
+      ServiceOptions{.numThreads = 1, .maxConcurrentJobs = 1});
+  auto blocker = service.submitProve(
+      ProveJob{big.graph, IdAssignment::random(400, 5), makeConnectivity(), {}});
+  const std::uint64_t sid =
+      service.openVerifySession(VerifyJob{
+          bp.graph, ids,
+          std::make_shared<const std::vector<std::string>>(proved.labels),
+          prop, {}});
+  std::string bytes = proved.labels[0];
+  bytes[0] = static_cast<char>(bytes[0] ^ 2);
+  const ReverifyJob batch{sid, {{0, bytes}}};
+  auto first = service.submitReverify(batch);
+  auto second = service.submitReverify(batch);
+  (void)blocker.get();
+  service.drain();
+  expectSameSim(first.get(), second.get());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.reverifyBatchesCompleted, 1u);
+  EXPECT_GE(stats.resultCacheHits, 1u);
+  EXPECT_EQ(service.sessionStoreVersion(sid), 1u);  // edits applied ONCE
+}
+
+TEST(Serve, VerifyResultCacheCarriesPayloadVersion) {
+  // Regression for the staleness hazard: verifyJobKey pins payload
+  // IDENTITY, so an in-place rewrite of the buffer used to replay the old
+  // verdict forever.  The key now carries the payload's content version —
+  // mutate + bump must recompute, equal versions still coalesce.
+  Rng rng(31);
+  auto bp = randomBoundedPathwidth(30, 2, 0.4, rng);
+  const auto ids = IdAssignment::random(30, 11);
+  const auto prop = makeConnectivity();
+  const auto proved = proveCore(bp.graph, ids, *prop, nullptr, 1);
+  ASSERT_TRUE(proved.propertyHolds);
+
+  auto payload = std::make_shared<std::vector<std::string>>(proved.labels);
+  LaneCertService service(ServiceOptions{.numThreads = 2});
+  auto clean = service.submitVerify(VerifyJob{bp.graph, ids, payload, prop, {}});
+  EXPECT_TRUE(clean.get().allAccept);
+  service.drain();
+
+  // Rewrite the payload in place (same buffer, new bytes, bumped version).
+  (*payload)[0][(*payload)[0].size() / 2] ^= 0x10;
+  const VerifyJob bumped{bp.graph, ids, payload, prop, {}, /*labelsVersion=*/1};
+  auto recomputed = service.submitVerify(bumped);
+  EXPECT_FALSE(recomputed.get().allAccept);
+  service.drain();
+  EXPECT_EQ(service.stats().verifyJobsCompleted, 2u);
+  EXPECT_EQ(service.stats().resultCacheHits, 0u);
+
+  // Identical (identity, version) pairs still deduplicate.
+  auto coalesced = service.submitVerify(bumped);
+  EXPECT_FALSE(coalesced.get().allAccept);
+  service.drain();
+  EXPECT_EQ(service.stats().verifyJobsCompleted, 2u);
+  EXPECT_EQ(service.stats().resultCacheHits, 1u);
+}
+
+TEST(BatchScheduler, AgingPreventsLargeJobStarvation) {
+  // A large job against a self-replenishing stream of small ones: pure
+  // smallest-first would dispatch every small job first (each newcomer
+  // overtakes the large one); the aging credit must force the large job in
+  // after at most kMaxBypass bypasses.
+  WorkerPool pool(1);
+  BatchScheduler sched(pool, 1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool gateOpen = false;
+  std::vector<std::string> order;
+
+  // Occupy the single slot while the queue is primed.
+  sched.submit(
+      0,
+      [&] {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return gateOpen; });
+      },
+      {});
+  sched.submit(
+      1000,
+      [&] {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back("big");
+      },
+      {});
+  constexpr int kSmallJobs = 12;
+  std::function<void(int)> submitSmall = [&](int i) {
+    sched.submit(
+        1,
+        [&, i] {
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            order.push_back("s" + std::to_string(i));
+          }
+          if (i + 1 < kSmallJobs) submitSmall(i + 1);  // keep the stream up
+        },
+        {});
+  };
+  submitSmall(0);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    gateOpen = true;
+  }
+  cv.notify_all();
+  sched.drain();
+
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kSmallJobs) + 1);
+  const auto at = std::find(order.begin(), order.end(), "big");
+  ASSERT_NE(at, order.end());
+  // Exactly kMaxBypass smalls may run first; the stream never starves it.
+  EXPECT_LE(static_cast<std::size_t>(at - order.begin()),
+            BatchScheduler::kMaxBypass);
 }
 
 TEST(Serve, JobErrorsPropagateThroughFutures) {
