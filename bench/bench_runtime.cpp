@@ -12,10 +12,12 @@
 #include <string_view>
 #include <vector>
 
+#include "core/prover.hpp"
 #include "core/scheme.hpp"
 #include "core/verify_session.hpp"
 #include "graph/generators.hpp"
 #include "mso/properties.hpp"
+#include "pls/pointer.hpp"
 #include "runtime/label_store.hpp"
 
 namespace {
@@ -64,6 +66,25 @@ void BM_ProverThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_ProverThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ProverHead(benchmark::State& state) {
+  // The prover's serial head in isolation: interval representation (given)
+  // -> lane plan -> construction sequence -> hierarchy, plus the Prop 2.2
+  // pointer BFS.  This was the Amdahl limit once the waves scaled; the
+  // pipelined prover overlaps it with wave execution, and
+  // BENCH_prover_head.json archives the single-thread head cost itself
+  // (epoch-stamped plan-builder lookups, O(subtree) T-node wraps, deferred
+  // terminal materialization).
+  const auto inst = instance(2, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const ProvePlan plan = buildProvePlan(inst.g, &inst.rep);
+    const auto ptr = provePointer(inst.g, inst.ids, plan.seq.initialPath[0]);
+    benchmark::DoNotOptimize(plan.hier);
+    benchmark::DoNotOptimize(ptr);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ProverHead)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 void BM_ProverArena(benchmark::State& state) {
   // The single-thread allocation dimension at the BENCH_prover.json sizes:

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""CI perf gate: compare a google-benchmark JSON run against the committed
+bench/BENCH_*.json baselines and fail on regressions.
+
+The committed baselines are the archival before/after records each PR
+writes (see bench/README.md).  This script extracts every (benchmark,
+expected_ms) pair they contain — the fields `after_ms`, `now_ms`, and `ms`
+are "current state" records; `before_ms` / historical fields are ignored —
+and takes the MINIMUM when several files mention the same benchmark (the
+tightest value is the most recent banked win).  A current measurement may
+exceed its expectation by at most the gate factor.
+
+Current measurements use the MINIMUM real_time across repetitions: the min
+is the noise-robust statistic for a regression gate (noise only ever adds
+time).
+
+Usage:
+    check_bench.py --current out.json [more.json ...]
+                   [--baseline-dir bench] [--factor 1.25]
+                   [--require REGEX ...]
+
+Exit codes: 0 all gated benchmarks within budget; 1 at least one
+regression; 2 usage/coverage error (e.g. a required benchmark pattern
+matched nothing — a silently skipped gate must fail loudly).
+
+The factor can also be set via the BENCH_GATE_FACTOR environment variable
+(the CI workflow uses that to widen the gate on noisy shared runners
+without editing the workflow).
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+# Baseline fields that record the CURRENT state of a benchmark (as opposed
+# to pre-optimization history like `before_ms` / `pr3_ms`).
+CURRENT_FIELDS = ("after_ms", "now_ms", "ms")
+
+DEFAULT_REQUIRED = (r"BM_Prover/", r"BM_ProverHead/", r"BM_Verifier/",
+                    r"BM_Reverify/")
+
+TIME_UNIT_TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def collect_baselines(baseline_dir: Path) -> dict[str, float]:
+    """Extracts {benchmark_name: expected_ms} from every BENCH_*.json."""
+    expected: dict[str, float] = {}
+
+    def visit(node) -> None:
+        if isinstance(node, dict):
+            name = node.get("benchmark")
+            if isinstance(name, str):
+                for field in CURRENT_FIELDS:
+                    value = node.get(field)
+                    if isinstance(value, (int, float)):
+                        prev = expected.get(name)
+                        expected[name] = min(prev, float(value)) \
+                            if prev is not None else float(value)
+                        break
+            for child in node.values():
+                visit(child)
+        elif isinstance(node, list):
+            for child in node:
+                visit(child)
+
+    files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"check_bench: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        sys.exit(2)
+    for path in files:
+        try:
+            visit(json.loads(path.read_text()))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"check_bench: unreadable baseline {path}: {err}",
+                  file=sys.stderr)
+            sys.exit(2)
+    return expected
+
+
+def collect_current(paths: list[Path]) -> dict[str, float]:
+    """Extracts {benchmark_name: min real_time ms} from benchmark output."""
+    raw: dict[str, list[float]] = {}
+    aggregates: dict[str, list[float]] = {}
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"check_bench: unreadable run file {path}: {err}",
+                  file=sys.stderr)
+            sys.exit(2)
+        for entry in doc.get("benchmarks", []):
+            name = entry.get("name")
+            value = entry.get("real_time")
+            unit = entry.get("time_unit", "ns")
+            if not isinstance(name, str) or not isinstance(value, (int, float)):
+                continue
+            ms = float(value) * TIME_UNIT_TO_MS.get(unit, 1e-6)
+            aggregate = entry.get("aggregate_name")
+            if aggregate is None:
+                raw.setdefault(name, []).append(ms)
+            else:
+                # Aggregate rows are named "<bench>_<agg>"; fold them back
+                # onto the plain name so --benchmark_report_aggregates_only
+                # output still gates.
+                plain = name.removesuffix(f"_{aggregate}")
+                aggregates.setdefault(plain, []).append(ms)
+    current = {name: min(values) for name, values in raw.items()}
+    for name, values in aggregates.items():
+        current.setdefault(name, min(values))
+    return current
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", nargs="+", type=Path, required=True,
+                        help="google-benchmark --benchmark_out JSON file(s)")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path(__file__).resolve().parent.parent / "bench")
+    parser.add_argument("--factor", type=float,
+                        default=float(os.environ.get("BENCH_GATE_FACTOR",
+                                                     "1.25")),
+                        help="max allowed current/expected ratio")
+    parser.add_argument("--require", nargs="*", default=list(DEFAULT_REQUIRED),
+                        help="regexes that must each match a gated benchmark")
+    args = parser.parse_args()
+
+    expected = collect_baselines(args.baseline_dir)
+    current = collect_current(args.current)
+
+    gated = sorted(set(expected) & set(current))
+    failures = 0
+    for name in gated:
+        ratio = current[name] / expected[name] if expected[name] > 0 else 0.0
+        status = "OK" if ratio <= args.factor else "FAIL"
+        failures += status == "FAIL"
+        print(f"{status} {name} current={current[name]:.3f}ms "
+              f"expected<={expected[name] * args.factor:.3f}ms "
+              f"(baseline={expected[name]:.3f}ms ratio={ratio:.2f})")
+    for name in sorted(set(current) - set(expected)):
+        print(f"SKIP {name} current={current[name]:.3f}ms (no baseline)")
+
+    missing = [pattern for pattern in args.require
+               if not any(re.search(pattern, name) for name in gated)]
+    if missing:
+        print(f"check_bench: required benchmark pattern(s) matched nothing: "
+              f"{missing} — the gate would silently pass; fix the filter or "
+              f"the baselines", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"check_bench: {failures} regression(s) beyond "
+              f"{args.factor:.2f}x", file=sys.stderr)
+        return 1
+    print(f"check_bench: {len(gated)} benchmark(s) within {args.factor:.2f}x "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

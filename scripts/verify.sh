@@ -2,11 +2,15 @@
 # Tier-1 verification: lint checks, configure + build + ctest, and a
 # 1-iteration smoke of every benchmark binary.
 #
-# Usage: scripts/verify.sh [--lint-only] [--no-bench] [extra cmake args...]
+# Usage: scripts/verify.sh [--lint-only] [--no-bench] [--ci] [extra cmake args...]
 #
 #   --lint-only   run only the fast checks (tracked generated files,
 #                 clang-format) and exit — what the CI lint job runs
 #   --no-bench    skip the benchmark smoke after build + ctest
+#   --ci          machine-readable progress: ONE line per check
+#                 ("verify.sh: [ci] check=<name> status=<ok|fail|skip> exit=<code>"),
+#                 so a workflow log shows which exit-code class fired
+#                 without scrolling through build output
 #
 # Distinct exit codes per failure class, so CI and scripts can tell what
 # broke without parsing output:
@@ -25,24 +29,39 @@ cd "${repo_root}"
 
 LINT_ONLY=0
 RUN_BENCH=1
+CI_MODE=0
 CMAKE_ARGS=()
 for arg in "$@"; do
   case "${arg}" in
     --lint-only) LINT_ONLY=1 ;;
     --no-bench) RUN_BENCH=0 ;;
+    --ci) CI_MODE=1 ;;
     *) CMAKE_ARGS+=("${arg}") ;;
   esac
 done
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+# One line per check in --ci mode: check name, ok/fail/skip, and the exit
+# code class the check fails with.
+ci_report() {  # <check> <status> <exit-class>
+  if [ "${CI_MODE}" -eq 1 ]; then
+    echo "verify.sh: [ci] check=$1 status=$2 exit=$3"
+  fi
+}
+fail() {  # <check> <exit-class> <message>
+  ci_report "$1" fail "$2"
+  echo "verify.sh: FAIL — $3" >&2
+  exit "$2"
+}
+
 # --- Lint class 1: generated build trees must never be committed (PR 1
 # accidentally checked in ~300 files under build/; .gitignore now covers it).
 if tracked_build="$(git ls-files -- 'build/*' "*.o")" && [ -n "${tracked_build}" ]; then
-  echo "verify.sh: FAIL — generated files are tracked by git:" >&2
   echo "${tracked_build}" | head -20 >&2
-  exit 2
+  fail tracked-build-files 2 "generated files are tracked by git (listed above)"
 fi
+ci_report tracked-build-files ok 2
 
 # --- Lint class 2: clang-format drift (skipped with a warning when the
 # binary is absent, e.g. on minimal containers).  CLANG_FORMAT overrides
@@ -50,11 +69,12 @@ fi
 CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
 if command -v "${CLANG_FORMAT}" >/dev/null 2>&1; then
   if ! git ls-files -- '*.cpp' '*.hpp' | xargs -r "${CLANG_FORMAT}" --dry-run --Werror; then
-    echo "verify.sh: FAIL — clang-format drift (run: git ls-files '*.cpp' '*.hpp' | xargs ${CLANG_FORMAT} -i)" >&2
-    exit 3
+    fail clang-format 3 "clang-format drift (run: git ls-files '*.cpp' '*.hpp' | xargs ${CLANG_FORMAT} -i)"
   fi
+  ci_report clang-format ok 3
 else
   echo "verify.sh: ${CLANG_FORMAT} not found; skipping format check"
+  ci_report clang-format skip 3
 fi
 
 if [ "${LINT_ONLY}" -eq 1 ]; then
@@ -64,19 +84,19 @@ fi
 
 # --- Build ----------------------------------------------------------------
 if ! cmake -B build -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}"; then
-  echo "verify.sh: FAIL — cmake configure" >&2
-  exit 4
+  fail configure 4 "cmake configure"
 fi
+ci_report configure ok 4
 if ! cmake --build build -j "${JOBS}"; then
-  echo "verify.sh: FAIL — build" >&2
-  exit 4
+  fail build 4 "build"
 fi
+ci_report build ok 4
 
 # --- Tests ----------------------------------------------------------------
 if ! ctest --test-dir build --output-on-failure -j "${JOBS}"; then
-  echo "verify.sh: FAIL — ctest" >&2
-  exit 5
+  fail ctest 5 "ctest"
 fi
+ci_report ctest ok 5
 
 # --- Benchmark smoke: every suite must start, register, and execute at
 # least one benchmark.  Filter to the smallest size arguments and cap
@@ -86,17 +106,20 @@ if [ "${RUN_BENCH}" -eq 1 ]; then
   benches=(build/bench_*)
   if [ "${#benches[@]}" -eq 0 ]; then
     echo "verify.sh: no benchmark binaries (google-benchmark absent?); skipping smoke"
+    ci_report bench-smoke skip 6
   else
     for b in "${benches[@]}"; do
       [ -x "$b" ] || continue
       echo "--- smoke: $b"
       if ! "$b" --benchmark_min_time=0.001 \
            --benchmark_filter='/(0|1|10|16|50|64|100|200)($|/)|/1/real_time$|^[^/]+$' >/dev/null; then
-        echo "verify.sh: FAIL — benchmark smoke: $b" >&2
-        exit 6
+        fail bench-smoke 6 "benchmark smoke: $b"
       fi
     done
+    ci_report bench-smoke ok 6
   fi
+else
+  ci_report bench-smoke skip 6
 fi
 
 echo "verify.sh: OK"

@@ -15,6 +15,7 @@
 #include "pls/pointer.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace lanecert {
 
@@ -46,11 +47,17 @@ void encodeSummary(Encoder& enc, const NodeData& d, std::int64_t nodeId,
 
 /// Builds every NodeData / record needed for the certificates.
 ///
-/// Phase 1 (computeStates): level-synchronous waves over the hierarchy DAG
-/// — a node's hom state depends only on its children's, so all nodes of one
-/// bottom-up wave run in parallel through the deterministic shard executor.
-/// Subtree-merged data TM(T_child) lives in flat CSR storage indexed by
-/// (T-node, child position); fold orderings come from a per-shard arena.
+/// Phase 1 (computeStates / computeStatesStreamed): level-synchronous waves
+/// over the hierarchy DAG — a node's hom state depends only on its
+/// children's, so all nodes of one bottom-up wave run in parallel through
+/// the deterministic shard executor.  The STREAMED variant consumes a
+/// StageFeed while the hierarchy replay is still producing nodes: layout
+/// and wave bookkeeping extend incrementally in published-id order, small
+/// increments run inline on the consumer thread, and a backlog fans out as
+/// full waves.  Either way every NodeData is the same pure function of its
+/// children, so the results are bit-identical.  Subtree-merged data
+/// TM(T_child) lives in flat CSR storage indexed by (T-node, child
+/// position); fold orderings come from a per-shard arena.
 ///
 /// Phase 2 (encodeEntries): each hierarchy node's chain-entry record is a
 /// pure function of the computed states, shared verbatim by every edge
@@ -58,14 +65,27 @@ void encodeSummary(Encoder& enc, const NodeData& d, std::int64_t nodeId,
 /// parallel) and certificates later splice the cached bytes.
 class CertBuilder {
  public:
+  /// Prebuilt-plan mode: every node is already final.
   CertBuilder(const Graph& g, const IdAssignment& ids, const Property& prop,
-              const HierarchyResult& hier, ParallelExecutor& exec,
+              const Hierarchy& hier, ParallelExecutor& exec,
               std::vector<ProverScratch>& scratch)
-      : g_(g), ids_(ids), alg_(prop), hier_(hier), exec_(exec),
-        scratch_(scratch) {}
+      : g_(g), ids_(ids), alg_(prop), exec_(exec), scratch_(scratch),
+        nodes_(hier.nodes().data()),
+        nodeCount_(hier.nodes().size()),
+        rootId_(hier.root()) {}
+
+  /// Streaming mode: nodes arrive through a StageFeed (computeStatesStreamed).
+  CertBuilder(const Graph& g, const IdAssignment& ids, const Property& prop,
+              ParallelExecutor& exec, std::vector<ProverScratch>& scratch)
+      : g_(g), ids_(ids), alg_(prop), exec_(exec), scratch_(scratch) {}
 
   /// Computes hom data bottom-up; returns the root NodeData.
   const NodeData& computeStates();
+
+  /// Streaming twin: consumes published nodes as the replay produces them.
+  /// Runs on ONE thread (typically a pool-overlapped StealableTask); only
+  /// the forShards waves it issues fan out further.
+  const NodeData& computeStatesStreamed(const StageFeed<HierNode>& feed);
 
   /// Encodes the per-node owner entries and per-(T, pos) tree entries.
   void encodeEntries();
@@ -81,11 +101,14 @@ class CertBuilder {
     return nodeData_[static_cast<std::size_t>(nodeId)];
   }
   [[nodiscard]] std::string_view rootEntryBytes() const {
-    const HierNode& root = hier_.hierarchy.node(hier_.hierarchy.root());
-    return treeBytes_[tmIndex(hier_.hierarchy.root(), root.rootChildPos)];
+    const HierNode& root = node(rootId_);
+    return treeBytes_[tmIndex(rootId_, root.rootChildPos)];
   }
 
  private:
+  [[nodiscard]] const HierNode& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
   [[nodiscard]] std::size_t tmIndex(int tId, int pos) const {
     return tmOffset_[static_cast<std::size_t>(tId)] +
            static_cast<std::size_t>(pos);
@@ -99,7 +122,13 @@ class CertBuilder {
   }
   [[nodiscard]] std::uint64_t id(VertexId v) const { return ids_.id(v); }
 
-  void layoutTmStorage();
+  /// Extends the TM-slot CSR layout, posInParent_, and wave bookkeeping to
+  /// cover nodes [layoutDone_, upTo).  Nodes arrive in topological id
+  /// order, so every append is determined the moment its node is.
+  void extendLayout(std::size_t upTo);
+  /// Runs the bottom-up waves of nodes [lo, hi) (children first; a wave
+  /// below kInlineWave nodes runs inline instead of paying a fork-join).
+  void runWaves(std::size_t lo, std::size_t hi);
   void computeNode(int nid, ProverScratch& scratch);
   void encodeOwnerEntry(Encoder& enc, int nid) const;
   void encodeTreeEntry(Encoder& enc, int tId, int pos) const;
@@ -107,9 +136,12 @@ class CertBuilder {
   const Graph& g_;
   const IdAssignment& ids_;
   LaneAlgebra alg_;
-  const HierarchyResult& hier_;
   ParallelExecutor& exec_;
   std::vector<ProverScratch>& scratch_;
+
+  const HierNode* nodes_ = nullptr;  ///< address-stable node array
+  std::size_t nodeCount_ = 0;
+  int rootId_ = -1;
 
   std::vector<NodeData> nodeData_;
   /// Subtree-merged data TM(T_child), CSR per T-node: slot tmOffset_[t] + pos.
@@ -121,71 +153,76 @@ class CertBuilder {
   std::vector<int> kids_;
   /// Position of a node inside its T-node parent's children array, or -1.
   std::vector<int> posInParent_;
+  /// Bottom-up wave index per node (leaves 0, parents max(child) + 1).
+  std::vector<int> waveOf_;
+  std::size_t layoutDone_ = 0;
+  std::vector<std::vector<int>> kidBuckets_;   ///< extendLayout scratch
+  std::vector<std::vector<int>> waveBuckets_;  ///< runWaves scratch
 
   std::vector<std::string> ownerBytes_;  ///< per node: encoded owner entry (E/P/B)
   std::vector<std::string> treeBytes_;   ///< per TM slot: encoded T entry
+
+  /// Waves below this size run inline on the driving thread — a streamed
+  /// mini-batch of a handful of nodes is cheaper to compute than to fan
+  /// out, and the choice cannot change any output byte.
+  static constexpr std::size_t kInlineWave = 32;
 };
 
-void CertBuilder::layoutTmStorage() {
-  const Hierarchy& h = hier_.hierarchy;
-  const auto n = static_cast<std::size_t>(h.size());
-  tmOffset_.assign(n + 1, 0);
-  posInParent_.assign(n, -1);
-  for (std::size_t nid = 0; nid < n; ++nid) {
-    const HierNode& node = h.node(static_cast<int>(nid));
-    const bool isT = node.type == HierNode::Type::kT;
-    tmOffset_[nid + 1] = tmOffset_[nid] + (isT ? node.children.size() : 0);
-    if (isT) {
-      for (std::size_t p = 0; p < node.children.size(); ++p) {
-        posInParent_[static_cast<std::size_t>(node.children[p])] =
-            static_cast<int>(p);
+void CertBuilder::extendLayout(std::size_t upTo) {
+  if (tmOffset_.empty()) tmOffset_.push_back(0);
+  if (kidsOffset_.empty()) kidsOffset_.push_back(0);
+  posInParent_.resize(upTo, -1);
+  waveOf_.resize(upTo, 0);
+  nodeData_.resize(upTo);
+  for (std::size_t nid = layoutDone_; nid < upTo; ++nid) {
+    const HierNode& n = node(static_cast<int>(nid));
+    int w = 0;
+    for (int c : n.children) {
+      // Guards caller-supplied plans: the wave schedule (and every CSR
+      // lookup below) assumes children precede parents in id order.
+      if (c < 0 || static_cast<std::size_t>(c) >= nid) {
+        throw std::logic_error("CertBuilder: node ids are not topological");
+      }
+      w = std::max(w, waveOf_[static_cast<std::size_t>(c)] + 1);
+    }
+    waveOf_[nid] = w;
+    const bool isT = n.type == HierNode::Type::kT;
+    tmOffset_.push_back(tmOffset_.back() + (isT ? n.children.size() : 0));
+    if (!isT) continue;
+    const std::size_t cn = n.children.size();
+    for (std::size_t p = 0; p < cn; ++p) {
+      posInParent_[static_cast<std::size_t>(n.children[p])] =
+          static_cast<int>(p);
+    }
+    // Tree-merge kids per TM slot, sorted by the child's smallest lane
+    // (lane sets of siblings are disjoint, so the key is unique and the
+    // order deterministic).
+    if (kidBuckets_.size() < cn) kidBuckets_.resize(cn);
+    for (std::size_t p = 0; p < cn; ++p) kidBuckets_[p].clear();
+    for (std::size_t q = 0; q < cn; ++q) {
+      const int tp = n.treeParentPos[q];
+      if (tp >= 0) {
+        kidBuckets_[static_cast<std::size_t>(tp)].push_back(
+            static_cast<int>(q));
       }
     }
-  }
-  const std::size_t tmTotal = tmOffset_[n];
-  tmData_.resize(tmTotal);
-  treeBytes_.resize(tmTotal);
-
-  // Tree-merge children CSR: count, place, then sort each segment by the
-  // child's smallest lane (lane sets of siblings are disjoint, so the key
-  // is unique and the order deterministic).
-  kidsOffset_.assign(tmTotal + 1, 0);
-  for (std::size_t nid = 0; nid < n; ++nid) {
-    const HierNode& node = h.node(static_cast<int>(nid));
-    if (node.type != HierNode::Type::kT) continue;
-    for (std::size_t p = 0; p < node.children.size(); ++p) {
-      if (node.treeParentPos[p] >= 0) {
-        ++kidsOffset_[tmIndex(static_cast<int>(nid), node.treeParentPos[p]) + 1];
-      }
+    for (std::size_t p = 0; p < cn; ++p) {
+      std::vector<int>& bucket = kidBuckets_[p];
+      std::sort(bucket.begin(), bucket.end(), [&n, this](int a, int b) {
+        return node(n.children[static_cast<std::size_t>(a)]).lanes[0] <
+               node(n.children[static_cast<std::size_t>(b)]).lanes[0];
+      });
+      kids_.insert(kids_.end(), bucket.begin(), bucket.end());
+      kidsOffset_.push_back(kids_.size());
     }
   }
-  for (std::size_t s = 0; s < tmTotal; ++s) kidsOffset_[s + 1] += kidsOffset_[s];
-  kids_.resize(kidsOffset_[tmTotal]);
-  std::vector<std::size_t> fill(kidsOffset_.begin(), kidsOffset_.end() - 1);
-  for (std::size_t nid = 0; nid < n; ++nid) {
-    const HierNode& node = h.node(static_cast<int>(nid));
-    if (node.type != HierNode::Type::kT) continue;
-    for (std::size_t p = 0; p < node.children.size(); ++p) {
-      if (node.treeParentPos[p] >= 0) {
-        kids_[fill[tmIndex(static_cast<int>(nid), node.treeParentPos[p])]++] =
-            static_cast<int>(p);
-      }
-    }
-    for (std::size_t p = 0; p < node.children.size(); ++p) {
-      const std::size_t slot = tmIndex(static_cast<int>(nid), static_cast<int>(p));
-      std::sort(kids_.begin() + static_cast<std::ptrdiff_t>(kidsOffset_[slot]),
-                kids_.begin() + static_cast<std::ptrdiff_t>(kidsOffset_[slot + 1]),
-                [&node, &h](int a, int b) {
-                  return h.node(node.children[static_cast<std::size_t>(a)]).lanes[0] <
-                         h.node(node.children[static_cast<std::size_t>(b)]).lanes[0];
-                });
-    }
-  }
+  tmData_.resize(tmOffset_.back());
+  treeBytes_.resize(tmOffset_.back());
+  layoutDone_ = upTo;
 }
 
 void CertBuilder::computeNode(int nid, ProverScratch& s) {
-  const Hierarchy& h = hier_.hierarchy;
-  const HierNode& n = h.node(nid);
+  const HierNode& n = node(nid);
   NodeData& d = nodeData_[static_cast<std::size_t>(nid)];
   s.arena.reset();
   switch (n.type) {
@@ -236,46 +273,66 @@ void CertBuilder::computeNode(int nid, ProverScratch& s) {
   }
 }
 
+void CertBuilder::runWaves(std::size_t lo, std::size_t hi) {
+  if (lo >= hi) return;
+  int minWave = waveOf_[lo];
+  int maxWave = waveOf_[lo];
+  for (std::size_t i = lo; i < hi; ++i) {
+    minWave = std::min(minWave, waveOf_[i]);
+    maxWave = std::max(maxWave, waveOf_[i]);
+  }
+  const auto span = static_cast<std::size_t>(maxWave - minWave) + 1;
+  if (waveBuckets_.size() < span) waveBuckets_.resize(span);
+  for (std::size_t w = 0; w < span; ++w) waveBuckets_[w].clear();
+  for (std::size_t i = lo; i < hi; ++i) {
+    waveBuckets_[static_cast<std::size_t>(waveOf_[i] - minWave)].push_back(
+        static_cast<int>(i));
+  }
+  for (std::size_t w = 0; w < span; ++w) {
+    const std::vector<int>& bucket = waveBuckets_[w];
+    if (bucket.empty()) continue;
+    if (bucket.size() < kInlineWave || exec_.numThreads() <= 1) {
+      for (int nid : bucket) computeNode(nid, scratch_[0]);
+    } else {
+      exec_.forShards(bucket.size(), [&](std::size_t shard, std::size_t b,
+                                         std::size_t e) {
+        ProverScratch& s = scratch_[shard];
+        for (std::size_t i = b; i < e; ++i) computeNode(bucket[i], s);
+      });
+    }
+  }
+}
+
 const NodeData& CertBuilder::computeStates() {
-  const Hierarchy& h = hier_.hierarchy;
-  const auto n = static_cast<std::size_t>(h.size());
-  nodeData_.resize(n);
-  layoutTmStorage();
+  extendLayout(nodeCount_);
+  runWaves(0, nodeCount_);
+  return data(rootId_);
+}
 
-  // Level-synchronous wave schedule: bucket node ids by bottom-up wave
-  // (ascending id inside a wave), then run each wave through the executor.
-  const std::vector<int> wave = h.bottomUpWaves();
-  const int numWaves =
-      wave.empty() ? 0 : *std::max_element(wave.begin(), wave.end()) + 1;
-  std::vector<std::size_t> waveOffset(static_cast<std::size_t>(numWaves) + 1, 0);
-  for (int w : wave) ++waveOffset[static_cast<std::size_t>(w) + 1];
-  for (std::size_t w = 0; w < static_cast<std::size_t>(numWaves); ++w) {
-    waveOffset[w + 1] += waveOffset[w];
+const NodeData& CertBuilder::computeStatesStreamed(
+    const StageFeed<HierNode>& feed) {
+  std::size_t have = 0;
+  while (true) {
+    const StageFeed<HierNode>::Progress p = feed.awaitBeyond(have);
+    if (p.published > have) {
+      nodes_ = feed.items();
+      nodeCount_ = p.published;
+      extendLayout(p.published);
+      runWaves(have, p.published);
+      have = p.published;
+    } else if (p.done) {
+      break;
+    }
   }
-  std::vector<int> waveNodes(n);
-  std::vector<std::size_t> fill(waveOffset.begin(), waveOffset.end() - 1);
-  for (std::size_t nid = 0; nid < n; ++nid) {
-    waveNodes[fill[static_cast<std::size_t>(wave[nid])]++] =
-        static_cast<int>(nid);
+  if (nodeCount_ == 0) {
+    throw std::logic_error("computeStatesStreamed: empty hierarchy feed");
   }
-
-  for (std::size_t w = 0; w < static_cast<std::size_t>(numWaves); ++w) {
-    const std::size_t begin = waveOffset[w];
-    const std::size_t count = waveOffset[w + 1] - begin;
-    exec_.forShards(count, [&](std::size_t shard, std::size_t lo,
-                               std::size_t hi) {
-      ProverScratch& s = scratch_[shard];
-      for (std::size_t i = lo; i < hi; ++i) {
-        computeNode(waveNodes[begin + i], s);
-      }
-    });
-  }
-  return data(h.root());
+  rootId_ = static_cast<int>(nodeCount_) - 1;  // the final T-node is last
+  return data(rootId_);
 }
 
 void CertBuilder::encodeOwnerEntry(Encoder& enc, int nid) const {
-  const Hierarchy& h = hier_.hierarchy;
-  const HierNode& n = h.node(nid);
+  const HierNode& n = node(nid);
   const NodeData& d = data(nid);
   switch (n.type) {
     case HierNode::Type::kE:
@@ -299,7 +356,7 @@ void CertBuilder::encodeOwnerEntry(Encoder& enc, int nid) const {
       enc.boolean(edgeIsReal(n.u, n.v));
       for (int part : {n.children[0], n.children[1]}) {
         encodeSummary(enc, data(part), part,
-                      static_cast<std::uint8_t>(h.node(part).type));
+                      static_cast<std::uint8_t>(node(part).type));
       }
       break;
     }
@@ -309,10 +366,9 @@ void CertBuilder::encodeOwnerEntry(Encoder& enc, int nid) const {
 }
 
 void CertBuilder::encodeTreeEntry(Encoder& enc, int tId, int pos) const {
-  const Hierarchy& h = hier_.hierarchy;
-  const HierNode& t = h.node(tId);
+  const HierNode& t = node(tId);
   const int childId = t.children[static_cast<std::size_t>(pos)];
-  const auto childType = static_cast<std::uint8_t>(h.node(childId).type);
+  const auto childType = static_cast<std::uint8_t>(node(childId).type);
   enc.u64(static_cast<std::uint64_t>(ChainEntry::Kind::kTree));
   encodeSummary(enc, data(tId), tId, static_cast<std::uint8_t>(t.type));
   enc.i64(childId);
@@ -324,23 +380,22 @@ void CertBuilder::encodeTreeEntry(Encoder& enc, int tId, int pos) const {
   for (int q : kids) {
     const int kidId = t.children[static_cast<std::size_t>(q)];
     encodeSummary(enc, tmData_[tmIndex(tId, q)], kidId,
-                  static_cast<std::uint8_t>(h.node(kidId).type));
+                  static_cast<std::uint8_t>(node(kidId).type));
   }
 }
 
 void CertBuilder::encodeEntries() {
-  const Hierarchy& h = hier_.hierarchy;
-  const auto n = static_cast<std::size_t>(h.size());
+  const std::size_t n = nodeCount_;
   ownerBytes_.resize(n);
   exec_.forShards(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
     Encoder enc;
     for (std::size_t nid = lo; nid < hi; ++nid) {
-      const HierNode& node = h.node(static_cast<int>(nid));
-      switch (node.type) {
+      const HierNode& hnode = node(static_cast<int>(nid));
+      switch (hnode.type) {
         case HierNode::Type::kV:
           break;  // V nodes appear only as bridge parts, never as entries
         case HierNode::Type::kT:
-          for (std::size_t p = 0; p < node.children.size(); ++p) {
+          for (std::size_t p = 0; p < hnode.children.size(); ++p) {
             encodeTreeEntry(enc, static_cast<int>(nid), static_cast<int>(p));
             treeBytes_[tmIndex(static_cast<int>(nid), static_cast<int>(p))] =
                 enc.take();
@@ -358,9 +413,8 @@ void CertBuilder::encodeEntries() {
 void CertBuilder::encodeCert(Encoder& enc, bool real, std::uint64_t endA,
                              std::uint64_t endB, int ownerNode,
                              ProverScratch& s) const {
-  const Hierarchy& h = hier_.hierarchy;
-  const int rootId = h.root();
-  const HierNode& rootNode = h.node(rootId);
+  const int rootId = rootId_;
+  const HierNode& rootNode = node(rootId);
   const std::int64_t rootChildId =
       rootNode.children[static_cast<std::size_t>(rootNode.rootChildPos)];
 
@@ -378,9 +432,9 @@ void CertBuilder::encodeCert(Encoder& enc, bool real, std::uint64_t endA,
   chain.clear();
   int cur = ownerNode;
   pushEntry(ownerBytes_[static_cast<std::size_t>(cur)]);
-  while (h.node(cur).parent != -1) {
-    const int parent = h.node(cur).parent;
-    if (h.node(parent).type == HierNode::Type::kT) {
+  while (node(cur).parent != -1) {
+    const int parent = node(cur).parent;
+    if (node(parent).type == HierNode::Type::kT) {
       pushEntry(treeBytes_[tmIndex(
           parent, posInParent_[static_cast<std::size_t>(cur)])]);
     } else {
@@ -407,54 +461,23 @@ void CertBuilder::encodeCert(Encoder& enc, bool real, std::uint64_t endA,
   for (std::string_view e : chain) enc.raw(e);
 }
 
-}  // namespace
-
-ProvePlan buildProvePlan(const Graph& g, const IntervalRepresentation* rep) {
-  IntervalRepresentation r = rep != nullptr ? *rep : bestIntervalRepresentation(g);
-  LanePlan plan = buildLanePlan(g, r);
-  ConstructionSequence seq = buildConstruction(g, r, plan.lanes);
-  HierarchyResult hier = buildHierarchy(seq);
-  return ProvePlan{std::move(r), std::move(plan), std::move(seq),
-                   std::move(hier)};
-}
-
-CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
-                          const Property& prop,
-                          const IntervalRepresentation* rep, int numThreads) {
-  if (!isConnected(g)) {
-    throw std::invalid_argument("proveCore: graph must be connected");
-  }
-  if (g.numVertices() <= 1) {
-    // Degenerate single-vertex (or empty) network: no edges, no labels.
-    CoreProveResult out;
-    const LaneAlgebra alg(prop);
-    out.propertyHolds = g.numVertices() == 1 ? alg.acceptsSingleVertex()
-                                             : prop.accepts(prop.empty());
-    return out;
-  }
-  ParallelExecutor exec(numThreads);
-  return proveCore(g, ids, prop, buildProvePlan(g, rep), exec);
-}
-
-CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
-                          const Property& prop, const ProvePlan& plan,
-                          ParallelExecutor& exec) {
+/// Shared prover tail: accept check, entry/cert encoding, embedding
+/// distribution, pointer records, and label assembly.  Identical for the
+/// planned and pipelined drivers — `pointerPre`, when given, must equal
+/// provePointer(g, ids, seq.initialPath[0]) (the parallel overload
+/// guarantees that bit-for-bit).
+CoreProveResult proveBody(const Graph& g, const IdAssignment& ids,
+                          const ProvePlan& plan, CertBuilder& builder,
+                          const NodeData& rootData, ParallelExecutor& exec,
+                          std::vector<ProverScratch>& scratch,
+                          std::vector<PointerRecord>* pointerPre) {
   CoreProveResult out;
-  const IntervalRepresentation& localRep = plan.rep;
   const HierarchyResult& hier = plan.hier;
-  const ConstructionSequence& seq = plan.seq;
-  const Hierarchy& h = hier.hierarchy;
-
-  out.stats.width = localRep.width();
+  out.stats.width = plan.rep.width();
   out.stats.numLanes = plan.plan.lanes.numLanes();
-  out.stats.hierarchyDepth = h.depth();
+  out.stats.hierarchyDepth = hier.hierarchy.depth();
   out.stats.maxCongestion = plan.plan.maxCongestion;
 
-  std::vector<ProverScratch> scratch(
-      static_cast<std::size_t>(exec.numThreads()));
-
-  CertBuilder builder(g, ids, prop, hier, exec, scratch);
-  const NodeData& rootData = builder.computeStates();
   if (!builder.accepts(rootData)) {
     out.propertyHolds = false;
     return out;
@@ -507,9 +530,11 @@ CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
   }
 
   // Prop 2.2 pointer to the anchor (first initial-path vertex: the root
-  // child's in-terminal on the smallest lane).
+  // child's in-terminal on the smallest lane).  The pipelined driver hands
+  // in the records it computed while the waves were draining.
   const std::vector<PointerRecord> pointer =
-      provePointer(g, ids, seq.initialPath[0]);
+      pointerPre != nullptr ? std::move(*pointerPre)
+                            : provePointer(g, ids, plan.seq.initialPath[0]);
 
   // Label assembly: one encoded EdgeLabel per real edge, again sharded with
   // each shard writing disjoint label slots.
@@ -544,6 +569,122 @@ CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
     out.stats.totalLabelBits += l.size() * 8;
   }
   return out;
+}
+
+/// Degenerate single-vertex / empty graph short-circuit shared by both
+/// prover drivers.
+CoreProveResult proveDegenerate(const Graph& g, const Property& prop) {
+  CoreProveResult out;
+  const LaneAlgebra alg(prop);
+  out.propertyHolds = g.numVertices() == 1 ? alg.acceptsSingleVertex()
+                                           : prop.accepts(prop.empty());
+  return out;
+}
+
+}  // namespace
+
+ProvePlan buildProvePlan(const Graph& g, const IntervalRepresentation* rep) {
+  IntervalRepresentation r = rep != nullptr ? *rep : bestIntervalRepresentation(g);
+  LanePlan plan = buildLanePlan(g, r);
+  ConstructionSequence seq = buildConstruction(g, r, plan.lanes);
+  HierarchyResult hier = buildHierarchy(seq);
+  return ProvePlan{std::move(r), std::move(plan), std::move(seq),
+                   std::move(hier)};
+}
+
+CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
+                          const Property& prop,
+                          const IntervalRepresentation* rep, int numThreads) {
+  if (!isConnected(g)) {
+    throw std::invalid_argument("proveCore: graph must be connected");
+  }
+  if (g.numVertices() <= 1) {
+    // Rejected before the executor exists: degenerate inputs must not pay
+    // a worker-pool spin-up.
+    return proveDegenerate(g, prop);
+  }
+  ParallelExecutor exec(numThreads);
+  return proveCorePipelined(g, ids, prop, rep, exec);
+}
+
+CoreProveResult proveCore(const Graph& g, const IdAssignment& ids,
+                          const Property& prop, const ProvePlan& plan,
+                          ParallelExecutor& exec) {
+  std::vector<ProverScratch> scratch(
+      static_cast<std::size_t>(exec.numThreads()));
+  CertBuilder builder(g, ids, prop, plan.hier.hierarchy, exec, scratch);
+  const NodeData& rootData = builder.computeStates();
+  return proveBody(g, ids, plan, builder, rootData, exec, scratch, nullptr);
+}
+
+CoreProveResult proveCorePipelined(const Graph& g, const IdAssignment& ids,
+                                   const Property& prop,
+                                   const IntervalRepresentation* rep,
+                                   ParallelExecutor& exec,
+                                   const PlanReadyHook& onPlanReady) {
+  if (!isConnected(g)) {
+    throw std::invalid_argument("proveCore: graph must be connected");
+  }
+  if (g.numVertices() <= 1) {
+    // Degenerate single-vertex (or empty) network: no edges, no labels, no
+    // plan to publish.
+    return proveDegenerate(g, prop);
+  }
+
+  // Head front: representation -> lane plan -> construction sequence.
+  auto plan = std::make_shared<ProvePlan>();
+  plan->rep = rep != nullptr ? *rep : bestIntervalRepresentation(g);
+  plan->plan = buildLanePlan(g, plan->rep);
+  plan->seq = buildConstruction(g, plan->rep, plan->plan.lanes);
+
+  // Wave consumer: posted to the pool so a free worker overlaps it with the
+  // hierarchy replay below; join() steals it inline when none is (or when
+  // the executor is single-threaded), degrading to the serial order.
+  std::vector<ProverScratch> scratch(
+      static_cast<std::size_t>(exec.numThreads()));
+  CertBuilder builder(g, ids, prop, exec, scratch);
+  StageFeed<HierNode> feed;
+  const NodeData* rootData = nullptr;
+  auto consumer = std::make_shared<StealableTask>(
+      [&] { rootData = &builder.computeStatesStreamed(feed); });
+
+  // The consumer closure targets this frame's locals, so EVERY exit path
+  // past postTo must collapse it before unwinding — buildHierarchy throwing
+  // (it fails the feed first), the caller's onPlanReady hook throwing, or
+  // the pointer stage throwing.  The guard joins (swallowing the consumer's
+  // own error — the unwinding exception wins) unless the normal path
+  // already did.
+  struct ConsumerJoinGuard {
+    std::shared_ptr<StealableTask> task;
+    StageFeed<HierNode>& feed;
+    bool joined = false;
+    ~ConsumerJoinGuard() {
+      if (joined) return;
+      feed.fail(std::make_exception_ptr(
+          std::runtime_error("proveCorePipelined: head stage failed")));
+      try {
+        task->join();
+      } catch (...) {
+      }
+    }
+  } joinGuard{consumer, feed};
+  if (exec.numThreads() > 1) consumer->postTo(exec.workerPool());
+
+  // Streams nodes into `feed` as the replay finalizes them; terminal maps
+  // materialize level-parallel after the feed closes.
+  plan->hier = buildHierarchy(plan->seq, &feed, &exec);
+
+  // The head is complete and immutable: hand it to coalesced waiters while
+  // our own waves are still draining.
+  if (onPlanReady) onPlanReady(plan);
+
+  // Pointer stage overlaps the consumer finishing the last waves.
+  std::vector<PointerRecord> pointer =
+      provePointer(g, ids, plan->seq.initialPath[0], exec);
+
+  consumer->join();  // rethrows wave errors
+  joinGuard.joined = true;
+  return proveBody(g, ids, *plan, builder, *rootData, exec, scratch, &pointer);
 }
 
 }  // namespace lanecert

@@ -11,6 +11,8 @@
 // property (soundness makes honest labels impossible anyway); callers see
 // `propertyHolds == false` and an empty label vector.
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -90,5 +92,24 @@ struct ProvePlan {
                                         const Property& prop,
                                         const ProvePlan& plan,
                                         ParallelExecutor& exec);
+
+/// Invoked by the pipelined prover the moment the head (the full ProvePlan)
+/// is built — BEFORE the waves that consume it have finished.  The serving
+/// layer uses this to hand an in-flight head build to coalesced cache-miss
+/// jobs as early as possible.  The plan is immutable from this point on.
+using PlanReadyHook =
+    std::function<void(const std::shared_ptr<const ProvePlan>&)>;
+
+/// The PIPELINED prover: instead of barriering on a finished plan, the
+/// hierarchy replay streams finalized nodes into the hom-state waves (a
+/// pool-overlapped consumer via runtime/pipeline.hpp), terminal
+/// materialization runs level-parallel inside the head, and the Prop 2.2
+/// pointer BFS runs frontier-parallel while the waves drain.  Output is
+/// BIT-IDENTICAL to proveCore over a prebuilt plan for every thread count
+/// and pool size; `proveCore(g, ids, prop, rep, numThreads)` routes here.
+[[nodiscard]] CoreProveResult proveCorePipelined(
+    const Graph& g, const IdAssignment& ids, const Property& prop,
+    const IntervalRepresentation* rep, ParallelExecutor& exec,
+    const PlanReadyHook& onPlanReady = {});
 
 }  // namespace lanecert

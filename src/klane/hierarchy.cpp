@@ -1,8 +1,12 @@
 #include "klane/hierarchy.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 #include <stdexcept>
+
+#include "runtime/executor.hpp"
+#include "runtime/pipeline.hpp"
 
 namespace lanecert {
 
@@ -35,21 +39,6 @@ int Hierarchy::depth() const {
     for (int c : node(id).children) stack.emplace_back(c, d + 1);
   }
   return best;
-}
-
-std::vector<int> Hierarchy::bottomUpWaves() const {
-  std::vector<int> wave(nodes_.size(), 0);
-  for (std::size_t id = 0; id < nodes_.size(); ++id) {
-    int w = 0;
-    for (int c : nodes_[id].children) {
-      if (c < 0 || static_cast<std::size_t>(c) >= id) {
-        throw std::logic_error("bottomUpWaves: node ids are not topological");
-      }
-      w = std::max(w, wave[static_cast<std::size_t>(c)] + 1);
-    }
-    wave[id] = w;
-  }
-  return wave;
 }
 
 std::vector<VertexId> Hierarchy::materializeVertices(int id) const {
@@ -141,16 +130,36 @@ std::string Hierarchy::toString() const {
 namespace {
 
 /// Incremental builder implementing the induction of Proposition 5.6.
+///
+/// The replay pass is purely STRUCTURAL: it fixes every node's type, lane
+/// set, tree links, and vertex payload, but defers the TerminalMap
+/// materialization to a bottom-up post-pass (`materializeTerminals`) that
+/// runs level-by-level — serially, or sharded through a ParallelExecutor.
+/// Deferring keeps the replay loop lean and lets a streaming consumer
+/// (the prover's hom-state waves read none of the terminals) start on a
+/// node the moment its structure is final.
 class HierarchyBuilder {
  public:
-  explicit HierarchyBuilder(const ConstructionSequence& seq) : seq_(seq) {}
+  HierarchyBuilder(const ConstructionSequence& seq, StageFeed<HierNode>* feed,
+                   ParallelExecutor* exec)
+      : seq_(seq), feed_(feed), exec_(exec) {}
 
   HierarchyResult run();
 
  private:
   int newNode(HierNode n) {
+    // A streaming consumer reads nodes_ concurrently, so the buffer must
+    // never reallocate; run() reserves the worst-case node count up front.
+    if (feed_ != nullptr && nodes_.size() == nodes_.capacity()) {
+      throw std::logic_error("HierarchyBuilder: node bound exceeded");
+    }
     nodes_.push_back(std::move(n));
+    tOutDesig_.emplace_back();
     return static_cast<int>(nodes_.size()) - 1;
+  }
+
+  void publishNodes() {
+    if (feed_ != nullptr) feed_->publish(nodes_.size());
   }
 
   /// Walk-up LCA in the current working tree.
@@ -187,6 +196,7 @@ class HierarchyBuilder {
     tDepth_.resize(nodes_.size(), 0);
     tChildren_.resize(nodes_.size());
     inTree_.resize(nodes_.size(), 0);
+    posOf_.resize(nodes_.size(), -1);
   }
 
   /// Collects the working-tree subtree rooted at `root` (roots first).
@@ -209,13 +219,31 @@ class HierarchyBuilder {
   /// `gPrime` toward the owner.
   int buildPart(int gPrime, int owner, int lane);
 
+  /// Fills inTerm/outTerm of every node bottom-up, level by level (a node's
+  /// terminals derive from its children's, which live on strictly earlier
+  /// levels).  Sharded through exec_ when present; each slot is written by
+  /// exactly one shard and TerminalMap entries are lane-sorted, so the
+  /// result is bit-identical to the serial pass.
+  void materializeTerminals();
+  void fillTerminals(int id);
+
   const ConstructionSequence& seq_;
+  StageFeed<HierNode>* feed_;
+  ParallelExecutor* exec_;
   std::vector<HierNode> nodes_;
+  /// Per T-node: designated vertex of each of its lanes AT WRAP TIME
+  /// (aligned with the node's sorted lane list) — the outTerm snapshot the
+  /// deferred materialization replays.  Empty for non-T nodes.
+  std::vector<std::vector<VertexId>> tOutDesig_;
   // Working tree state (parallel to nodes_, grown lazily):
   std::vector<int> tParent_;
   std::vector<int> tDepth_;
   std::vector<std::vector<int>> tChildren_;
   std::vector<char> inTree_;
+  /// Scratch for wrapSubtree's member->position translation.  Persistent so
+  /// a wrap costs O(subtree), not O(all nodes); only entries written by the
+  /// current wrap are ever read, so stale values are harmless.
+  std::vector<int> posOf_;
   // Per-lane state:
   std::vector<VertexId> designated_;
   std::vector<int> laneOwner_;  ///< lowest working-tree node containing τ_i
@@ -227,23 +255,27 @@ int HierarchyBuilder::wrapSubtree(int subtreeRoot) {
   w.type = HierNode::Type::kT;
   const HierNode& rootNode = nodes_[static_cast<std::size_t>(subtreeRoot)];
   w.lanes = rootNode.lanes;
-  w.inTerm = rootNode.inTerm;
+  // Terminals are deferred; snapshot the per-lane designated vertices the
+  // outTerm materialization will replay (inTerm simply copies the root
+  // child's, which is final by then).
+  std::vector<VertexId> outDesig;
+  outDesig.reserve(w.lanes.size());
   for (int lane : w.lanes) {
-    w.outTerm.set(lane, designated_[static_cast<std::size_t>(lane)]);
+    outDesig.push_back(designated_[static_cast<std::size_t>(lane)]);
   }
   w.children = members;
   w.treeParentPos.assign(members.size(), -1);
-  // Positions of members inside w.children for tree-parent translation.
-  std::vector<int> posOf(nodes_.size(), -1);
+  // Positions of members inside w.children for tree-parent translation
+  // (posOf_ is persistent scratch: only the entries written here are read).
   for (std::size_t p = 0; p < members.size(); ++p) {
-    posOf[static_cast<std::size_t>(members[p])] = static_cast<int>(p);
+    posOf_[static_cast<std::size_t>(members[p])] = static_cast<int>(p);
   }
   for (std::size_t p = 0; p < members.size(); ++p) {
     const int m = members[p];
     if (m == subtreeRoot) {
       w.rootChildPos = static_cast<int>(p);
     } else {
-      w.treeParentPos[p] = posOf[static_cast<std::size_t>(tParent_[static_cast<std::size_t>(m)])];
+      w.treeParentPos[p] = posOf_[static_cast<std::size_t>(tParent_[static_cast<std::size_t>(m)])];
     }
     inTree_[static_cast<std::size_t>(m)] = 0;  // leaves the working tree
   }
@@ -254,6 +286,7 @@ int HierarchyBuilder::wrapSubtree(int subtreeRoot) {
     sib.erase(std::find(sib.begin(), sib.end(), subtreeRoot));
   }
   const int id = newNode(std::move(w));
+  tOutDesig_[static_cast<std::size_t>(id)] = std::move(outDesig);
   for (std::size_t p = 0; p < members.size(); ++p) {
     nodes_[static_cast<std::size_t>(members[p])].parent = id;
   }
@@ -267,8 +300,6 @@ int HierarchyBuilder::buildPart(int gPrime, int owner, int lane) {
     vn.type = HierNode::Type::kV;
     vn.lanes = {lane};
     vn.u = designated_[static_cast<std::size_t>(lane)];
-    vn.inTerm.set(lane, vn.u);
-    vn.outTerm.set(lane, vn.u);
     const int id = newNode(std::move(vn));
     growTreeArrays();
     return id;
@@ -276,26 +307,111 @@ int HierarchyBuilder::buildPart(int gPrime, int owner, int lane) {
   return wrapSubtree(childToward(gPrime, owner));
 }
 
+void HierarchyBuilder::fillTerminals(int id) {
+  HierNode& n = nodes_[static_cast<std::size_t>(id)];
+  switch (n.type) {
+    case HierNode::Type::kV:
+      n.inTerm.set(n.lanes[0], n.u);
+      n.outTerm.set(n.lanes[0], n.u);
+      break;
+    case HierNode::Type::kE:
+      n.inTerm.set(n.laneI, n.u);
+      n.outTerm.set(n.laneI, n.v);
+      break;
+    case HierNode::Type::kP:
+      // Path vertices are in lane order: vertex i is lane lanes[i]'s
+      // terminal on both sides.
+      for (std::size_t i = 0; i < n.lanes.size(); ++i) {
+        n.inTerm.set(n.lanes[i], n.pathVertices[i]);
+        n.outTerm.set(n.lanes[i], n.pathVertices[i]);
+      }
+      break;
+    case HierNode::Type::kB:
+      for (int part : {n.children[0], n.children[1]}) {
+        const HierNode& pn = nodes_[static_cast<std::size_t>(part)];
+        for (int lane : pn.lanes) {
+          n.inTerm.set(lane, pn.inTerm.at(lane));
+          n.outTerm.set(lane, pn.outTerm.at(lane));
+        }
+      }
+      break;
+    case HierNode::Type::kT: {
+      const int rootChild =
+          n.children[static_cast<std::size_t>(n.rootChildPos)];
+      n.inTerm = nodes_[static_cast<std::size_t>(rootChild)].inTerm;
+      const std::vector<VertexId>& outDesig =
+          tOutDesig_[static_cast<std::size_t>(id)];
+      for (std::size_t i = 0; i < n.lanes.size(); ++i) {
+        n.outTerm.set(n.lanes[i], outDesig[i]);
+      }
+      break;
+    }
+  }
+}
+
+void HierarchyBuilder::materializeTerminals() {
+  const std::size_t n = nodes_.size();
+  // Bottom-up wave per node (children have smaller ids, one forward scan).
+  std::vector<int> wave(n, 0);
+  int numWaves = 0;
+  for (std::size_t id = 0; id < n; ++id) {
+    int w = 0;
+    for (int c : nodes_[id].children) {
+      w = std::max(w, wave[static_cast<std::size_t>(c)] + 1);
+    }
+    wave[id] = w;
+    numWaves = std::max(numWaves, w + 1);
+  }
+  std::vector<std::vector<int>> levels(static_cast<std::size_t>(numWaves));
+  for (std::size_t id = 0; id < n; ++id) {
+    levels[static_cast<std::size_t>(wave[id])].push_back(static_cast<int>(id));
+  }
+  // Tiny levels are not worth a fork-join round trip.
+  constexpr std::size_t kParallelCutoff = 64;
+  for (const std::vector<int>& level : levels) {
+    if (exec_ != nullptr && level.size() >= kParallelCutoff) {
+      exec_->forShards(level.size(),
+                       [&](std::size_t, std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           fillTerminals(level[i]);
+                         }
+                       });
+    } else {
+      for (int id : level) fillTerminals(id);
+    }
+  }
+}
+
 HierarchyResult HierarchyBuilder::run() {
   const ReplayResult replay = replayConstruction(seq_);  // validates
   const int w = seq_.numLanes();
   std::vector<int> edgeOwner(static_cast<std::size_t>(replay.graph.numEdges()), -1);
+
+  // Worst-case node count: the initial P, at most three nodes per E-insert
+  // (two parts + the B), one per V-insert, and the final T.  Reserving it
+  // keeps the node array address-stable, which the streaming feed requires.
+  std::size_t maxNodes = 2;
+  for (const ConstructionOp& op : seq_.ops) {
+    maxNodes += op.kind == ConstructionOp::Kind::kVInsert ? 1 : 3;
+  }
+  nodes_.reserve(maxNodes);
+  tOutDesig_.reserve(maxNodes);
 
   // Initial P-node over the initial path.
   HierNode p;
   p.type = HierNode::Type::kP;
   for (int i = 0; i < w; ++i) p.lanes.push_back(i);
   p.pathVertices = seq_.initialPath;
-  for (int i = 0; i < w; ++i) {
-    p.inTerm.set(i, seq_.initialPath[static_cast<std::size_t>(i)]);
-    p.outTerm.set(i, seq_.initialPath[static_cast<std::size_t>(i)]);
-  }
   const int pNode = newNode(std::move(p));
   growTreeArrays();
   attach(pNode, -1);
   inTree_[static_cast<std::size_t>(pNode)] = 1;
   for (std::size_t i = 0; i < replay.initialPathEdges.size(); ++i) {
     edgeOwner[static_cast<std::size_t>(replay.initialPathEdges[i])] = pNode;
+  }
+  if (feed_ != nullptr) {
+    feed_->open(nodes_.data());
+    publishNodes();
   }
 
   designated_ = seq_.initialPath;
@@ -313,8 +429,6 @@ HierarchyResult HierarchyBuilder::run() {
       e.laneI = op.i;
       e.u = designated_[static_cast<std::size_t>(op.i)];  // glued side (τ_in)
       e.v = op.vertex;                                    // new designated (τ_out)
-      e.inTerm.set(op.i, e.u);
-      e.outTerm.set(op.i, e.v);
       const int id = newNode(std::move(e));
       growTreeArrays();
       attach(id, owner);
@@ -338,11 +452,7 @@ HierarchyResult HierarchyBuilder::run() {
       b.children = {part1, part2};
       for (int part : {part1, part2}) {
         const HierNode& pn = nodes_[static_cast<std::size_t>(part)];
-        for (int lane : pn.lanes) {
-          b.lanes.push_back(lane);
-          b.inTerm.set(lane, pn.inTerm.at(lane));
-          b.outTerm.set(lane, pn.outTerm.at(lane));
-        }
+        for (int lane : pn.lanes) b.lanes.push_back(lane);
       }
       std::sort(b.lanes.begin(), b.lanes.end());
       if (std::adjacent_find(b.lanes.begin(), b.lanes.end()) != b.lanes.end()) {
@@ -359,11 +469,21 @@ HierarchyResult HierarchyBuilder::run() {
       }
       edgeOwner[static_cast<std::size_t>(replay.eInsertEdges[eEdgeIdx++])] = id;
     }
+    publishNodes();
   }
 
   // Final T-node over everything still in the working tree.
   const int root = wrapSubtree(pNode);
   nodes_[static_cast<std::size_t>(root)].parent = -1;
+  assert(nodes_.size() <= maxNodes);
+
+  // All structure is final: release the streaming consumer, then fill the
+  // terminals it never reads (level-parallel when an executor is present).
+  if (feed_ != nullptr) {
+    publishNodes();
+    feed_->close();
+  }
+  materializeTerminals();
 
   return HierarchyResult{Hierarchy(std::move(nodes_), root), replay.graph,
                          std::move(edgeOwner), designated_};
@@ -372,7 +492,20 @@ HierarchyResult HierarchyBuilder::run() {
 }  // namespace
 
 HierarchyResult buildHierarchy(const ConstructionSequence& seq) {
-  return HierarchyBuilder(seq).run();
+  return buildHierarchy(seq, nullptr, nullptr);
+}
+
+HierarchyResult buildHierarchy(const ConstructionSequence& seq,
+                               StageFeed<HierNode>* feed,
+                               ParallelExecutor* exec) {
+  try {
+    return HierarchyBuilder(seq, feed, exec).run();
+  } catch (...) {
+    // A streaming consumer must never be left waiting on a feed whose
+    // producer died; fail it with the same exception.
+    if (feed != nullptr) feed->fail(std::current_exception());
+    throw;
+  }
 }
 
 }  // namespace lanecert

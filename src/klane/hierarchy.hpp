@@ -14,6 +14,7 @@
 // Every root-to-leaf path of the result has at most 2w nodes, where w is
 // the number of lanes (Observation 5.5); tests assert this bound.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,10 @@
 #include "lanewidth/lanewidth.hpp"
 
 namespace lanecert {
+
+class ParallelExecutor;
+template <typename T>
+class StageFeed;
 
 /// A sparse lane -> vertex mapping for in-/out-terminals.
 class TerminalMap {
@@ -69,6 +74,9 @@ struct HierNode {
 /// An immutable hierarchical decomposition (tree of HierNodes).
 class Hierarchy {
  public:
+  /// Empty decomposition (root() == -1); assignable, so plan structs that
+  /// are filled stage-by-stage can default-construct one.
+  Hierarchy() = default;
   Hierarchy(std::vector<HierNode> nodes, int root)
       : nodes_(std::move(nodes)), root_(root) {}
 
@@ -77,17 +85,12 @@ class Hierarchy {
   [[nodiscard]] const HierNode& node(int id) const {
     return nodes_[static_cast<std::size_t>(id)];
   }
+  /// All nodes, indexed by id (children precede parents).
+  [[nodiscard]] std::span<const HierNode> nodes() const { return nodes_; }
 
   /// Maximum number of nodes on a root-to-leaf path (Observation 5.5
   /// bounds this by 2w).
   [[nodiscard]] int depth() const;
-
-  /// Bottom-up wave index per node: leaves are wave 0, every inner node is
-  /// one more than its deepest child.  All nodes of one wave depend only on
-  /// strictly smaller waves, so a level-synchronous scheduler may process a
-  /// wave's nodes in parallel.  Relies on (and asserts) the builder's
-  /// topological id order: children precede parents.
-  [[nodiscard]] std::vector<int> bottomUpWaves() const;
 
   /// All vertices of the subgraph associated with node `id` (sorted).
   [[nodiscard]] std::vector<VertexId> materializeVertices(int id) const;
@@ -117,5 +120,22 @@ struct HierarchyResult {
 /// sequence.  Throws std::invalid_argument on malformed sequences (same
 /// validation as replayConstruction).
 [[nodiscard]] HierarchyResult buildHierarchy(const ConstructionSequence& seq);
+
+/// Pipelined overload: the STRUCTURAL replay streams finalized nodes
+/// through `feed` (published in id order; the node array is address-stable
+/// for the whole build), and the level-by-level materialization of the
+/// per-node terminal maps runs bottom-up through `exec` after the replay.
+/// Either argument may be null (no streaming / serial materialization); the
+/// result is bit-identical to the plain overload in every combination.
+///
+/// Feed contract: a published node's structural fields (type, lanes, tree
+/// links, vertices) are final; `parent` is backfilled and `inTerm`/`outTerm`
+/// are materialized only after the feed CLOSES, so a streaming consumer may
+/// read everything the prover's hom-state pass needs but must not read
+/// terminals or parents until the build returns.  On error the feed fails
+/// with the thrown exception before it escapes.
+[[nodiscard]] HierarchyResult buildHierarchy(const ConstructionSequence& seq,
+                                             StageFeed<HierNode>* feed,
+                                             ParallelExecutor* exec);
 
 }  // namespace lanecert

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 #include "graph/algorithms.hpp"
@@ -13,42 +14,31 @@ namespace lanecert {
 
 namespace {
 
-using VertexPair = std::pair<VertexId, VertexId>;
-
-VertexPair key(VertexId u, VertexId v) {
-  return {std::min(u, v), std::max(u, v)};
-}
-
-/// Removes loops from a walk, producing a simple path whose edge set is a
-/// subset of the walk's edges (so congestion only decreases).  Theorem 1's
-/// embedding certificates require simple paths.
-std::vector<VertexId> simplifyWalk(const std::vector<VertexId>& walk) {
-  std::vector<VertexId> out;
-  std::map<VertexId, std::size_t> posOf;
-  for (VertexId v : walk) {
-    const auto it = posOf.find(v);
-    if (it != posOf.end()) {
-      // Revisit: drop the loop since the previous occurrence.
-      while (out.size() > it->second + 1) {
-        posOf.erase(out.back());
-        out.pop_back();
-      }
-    } else {
-      posOf[v] = out.size();
-      out.push_back(v);
-    }
-  }
-  return out;
+/// Unordered endpoint pair packed into one hashable word.
+std::uint64_t key(VertexId u, VertexId v) {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (lo << 32) | hi;
 }
 
 /// Recursive builder implementing the induction of Proposition 4.6.
+///
+/// All per-recursion membership/index lookups run over epoch-stamped
+/// arrays (one int read) instead of per-call std::maps — the plan builder
+/// is the single largest slice of the prover's serial head, and these
+/// lookups dominate it.  Epochs never reset, so marks from finished
+/// recursion levels are simply stale, never wrong.
 class PlanBuilder {
  public:
   PlanBuilder(const Graph& g, const IntervalRepresentation& rep)
       : g_(g),
         rep_(rep),
         compEpochOf_(static_cast<std::size_t>(g.numVertices()), 0),
-        sEpochOf_(static_cast<std::size_t>(g.numVertices()), 0) {}
+        sEpochOf_(static_cast<std::size_t>(g.numVertices()), 0),
+        sPosOnP_(static_cast<std::size_t>(g.numVertices()), 0),
+        sIndexOf_(static_cast<std::size_t>(g.numVertices()), 0),
+        seenEpochOf_(static_cast<std::size_t>(g.numVertices()), 0),
+        seenVal_(static_cast<std::size_t>(g.numVertices()), 0) {}
 
   LanePlan build();
 
@@ -66,7 +56,12 @@ class PlanBuilder {
   }
 
   /// BFS path s -> t restricted to vertices with the given epoch mark.
-  std::vector<VertexId> bfsPathWithin(VertexId s, VertexId t, int epoch) const;
+  std::vector<VertexId> bfsPathWithin(VertexId s, VertexId t, int epoch);
+
+  /// Removes loops from a walk, producing a simple path whose edge set is
+  /// a subset of the walk's edges (so congestion only decreases).
+  /// Theorem 1's embedding certificates require simple paths.
+  std::vector<VertexId> simplifyWalk(const std::vector<VertexId>& walk);
 
   /// Records the embedding path for completion edge {u, v}.
   void emitPath(VertexId u, VertexId v, std::vector<VertexId> path);
@@ -80,26 +75,45 @@ class PlanBuilder {
   const IntervalRepresentation& rep_;
   std::vector<int> compEpochOf_;
   std::vector<int> sEpochOf_;
+  /// Valid where sEpochOf_ carries the CURRENT recursion's S epoch: the
+  /// vertex's position on the spine P, and its index in S (for parity).
+  /// Child recursions mark disjoint S sets, so a level's values survive
+  /// the recursive calls that run between marking and the junction pass.
+  std::vector<int> sPosOnP_;
+  std::vector<int> sIndexOf_;
+  /// Generic epoch-stamped scratch map (BFS parents, walk positions).
+  std::vector<int> seenEpochOf_;
+  std::vector<std::int64_t> seenVal_;
   int epochCounter_ = 0;
-  std::map<VertexPair, std::vector<VertexId>> paths_;
+  std::unordered_map<std::uint64_t, std::vector<VertexId>> paths_;
 };
 
 std::vector<VertexId> PlanBuilder::bfsPathWithin(VertexId s, VertexId t,
-                                                 int epoch) const {
+                                                 int epoch) {
   if (s == t) return {s};
-  std::map<VertexId, VertexId> parent;
+  const int seenEpoch = ++epochCounter_;
+  const auto seen = [&](VertexId v) {
+    return seenEpochOf_[static_cast<std::size_t>(v)] == seenEpoch;
+  };
+  const auto setParent = [&](VertexId v, VertexId par) {
+    seenEpochOf_[static_cast<std::size_t>(v)] = seenEpoch;
+    seenVal_[static_cast<std::size_t>(v)] = par;
+  };
   std::queue<VertexId> q;
-  parent[s] = kNoVertex;
+  setParent(s, kNoVertex);
   q.push(s);
   while (!q.empty()) {
     const VertexId u = q.front();
     q.pop();
     for (const Arc& a : g_.arcs(u)) {
-      if (!inEpoch(a.to, epoch) || parent.count(a.to) != 0) continue;
-      parent[a.to] = u;
+      if (!inEpoch(a.to, epoch) || seen(a.to)) continue;
+      setParent(a.to, u);
       if (a.to == t) {
         std::vector<VertexId> path;
-        for (VertexId w = t; w != kNoVertex; w = parent[w]) path.push_back(w);
+        for (VertexId w = t; w != kNoVertex;
+             w = static_cast<VertexId>(seenVal_[static_cast<std::size_t>(w)])) {
+          path.push_back(w);
+        }
         std::reverse(path.begin(), path.end());
         return path;
       }
@@ -107,6 +121,33 @@ std::vector<VertexId> PlanBuilder::bfsPathWithin(VertexId s, VertexId t,
     }
   }
   throw std::logic_error("bfsPathWithin: target unreachable inside component");
+}
+
+std::vector<VertexId> PlanBuilder::simplifyWalk(
+    const std::vector<VertexId>& walk) {
+  std::vector<VertexId> out;
+  const int posEpoch = ++epochCounter_;
+  const auto posOf = [&](VertexId v) -> std::int64_t {
+    return seenEpochOf_[static_cast<std::size_t>(v)] == posEpoch
+               ? seenVal_[static_cast<std::size_t>(v)]
+               : -1;
+  };
+  for (VertexId v : walk) {
+    const std::int64_t pos = posOf(v);
+    if (pos >= 0) {
+      // Revisit: drop the loop since the previous occurrence.
+      while (out.size() > static_cast<std::size_t>(pos) + 1) {
+        seenEpochOf_[static_cast<std::size_t>(out.back())] = 0;
+        out.pop_back();
+      }
+    } else {
+      seenEpochOf_[static_cast<std::size_t>(v)] = posEpoch;
+      seenVal_[static_cast<std::size_t>(v)] =
+          static_cast<std::int64_t>(out.size());
+      out.push_back(v);
+    }
+  }
+  return out;
 }
 
 void PlanBuilder::emitPath(VertexId u, VertexId v, std::vector<VertexId> path) {
@@ -174,19 +215,21 @@ std::vector<std::vector<VertexId>> PlanBuilder::recurse(
     }
   }
 
-  // Mark S membership and remember each skeleton vertex's position on P.
+  // Mark S membership and remember each skeleton vertex's position on P
+  // and index in S (parity) — child recursions mark disjoint S sets, so
+  // these survive until the junction pass below.
   const int sEpoch = ++epochCounter_;
-  std::map<VertexId, int> posOnP;
   for (std::size_t i = 0; i < S.size(); ++i) {
     sEpochOf_[static_cast<std::size_t>(S[i])] = sEpoch;
-    posOnP[S[i]] = Spos[i];
+    sPosOnP_[static_cast<std::size_t>(S[i])] = Spos[i];
+    sIndexOf_[static_cast<std::size_t>(S[i])] = static_cast<int>(i);
   }
   auto inS = [&](VertexId v) {
     return sEpochOf_[static_cast<std::size_t>(v)] == sEpoch;
   };
   auto pSlice = [&](VertexId a, VertexId b) {
-    int pa = posOnP.at(a);
-    int pb = posOnP.at(b);
+    int pa = sPosOnP_[static_cast<std::size_t>(a)];
+    int pb = sPosOnP_[static_cast<std::size_t>(b)];
     std::vector<VertexId> slice;
     if (pa <= pb) {
       for (int i = pa; i <= pb; ++i) slice.push_back(P[static_cast<std::size_t>(i)]);
@@ -222,20 +265,26 @@ std::vector<std::vector<VertexId>> PlanBuilder::recurse(
   std::vector<SubComp> comps;
   {
     std::vector<VertexId> stack;
-    std::map<VertexId, char> visited;
+    const int visitEpoch = ++epochCounter_;
+    const auto visited = [&](VertexId v) {
+      return seenEpochOf_[static_cast<std::size_t>(v)] == visitEpoch;
+    };
+    const auto visit = [&](VertexId v) {
+      seenEpochOf_[static_cast<std::size_t>(v)] = visitEpoch;
+    };
     for (VertexId root : comp) {
-      if (inS(root) || visited.count(root) != 0) continue;
+      if (inS(root) || visited(root)) continue;
       SubComp c;
       stack.push_back(root);
-      visited[root] = 1;
+      visit(root);
       while (!stack.empty()) {
         const VertexId u = stack.back();
         stack.pop_back();
         c.verts.push_back(u);
         for (const Arc& a : g_.arcs(u)) {
           if (!inEpoch(a.to, compEpoch) || inS(a.to)) continue;
-          if (visited.count(a.to) != 0) continue;
-          visited[a.to] = 1;
+          if (visited(a.to)) continue;
+          visit(a.to);
           stack.push_back(a.to);
         }
       }
@@ -244,8 +293,6 @@ std::vector<std::vector<VertexId>> PlanBuilder::recurse(
   }
   // Spans and anchors. Prefer an edge to S1; otherwise S2 must work since
   // the component is connected to the rest of comp only through S.
-  std::map<VertexId, int> sIndex;  // S vertex -> index in S (for parity)
-  for (std::size_t i = 0; i < S.size(); ++i) sIndex[S[i]] = static_cast<int>(i);
   for (SubComp& c : comps) {
     c.span = iv(c.verts[0]);
     for (VertexId v : c.verts) {
@@ -257,7 +304,8 @@ std::vector<std::vector<VertexId>> PlanBuilder::recurse(
     for (VertexId v : c.verts) {
       for (const Arc& a : g_.arcs(v)) {
         if (!inEpoch(a.to, compEpoch) || !inS(a.to)) continue;
-        const bool odd = sIndex.at(a.to) % 2 == 0;  // S1 holds even indices
+        // S1 holds even S indices.
+        const bool odd = sIndexOf_[static_cast<std::size_t>(a.to)] % 2 == 0;
         if (odd) {
           c.uStar = v;
           c.vStar = a.to;

@@ -103,6 +103,10 @@ class ParallelExecutor {
 
   [[nodiscard]] int numThreads() const { return numThreads_; }
 
+  /// The underlying pool (owned or borrowed) — pipelined stages post
+  /// overlap tasks here (see runtime/pipeline.hpp).  Never null.
+  [[nodiscard]] WorkerPool& workerPool() const { return *pool_; }
+
   /// fn(shard, begin, end): shard `s` covers the half-open index range
   /// [begin, end).  Shards partition [0, n) contiguously in order, one per
   /// thread slot; fn is invoked at most once per shard, possibly

@@ -1,0 +1,164 @@
+#pragma once
+// Deterministic pipelined-stage helpers on top of the WorkerPool/
+// ParallelExecutor seam: the building blocks the prover uses to overlap its
+// serial head (plan + hierarchy construction) with wave execution.
+//
+//  * StageFeed<T> — a single-producer single-consumer publication channel
+//    over an EXTERNALLY owned, address-stable item array.  The producer
+//    appends items and publishes a monotonically growing count; the
+//    consumer awaits new items and reads them directly (no copies, no
+//    queue).  Publication happens under a mutex, so every field of a
+//    published item is visible to the consumer (happens-before); the
+//    contract is that the producer never rewrites a published item's
+//    consumer-visible fields and never reallocates the array (reserve the
+//    upper bound up front).
+//
+//  * StealableTask — a one-shot task that is POSTED to a WorkerPool for
+//    overlap but can be CLAIMED inline by whoever joins it first.  This is
+//    the deadlock-free shape for pipelined stages on a shared pool: if
+//    every worker is busy (or the pool has none), join() runs the task on
+//    the joining thread and the pipeline degrades to the serial order
+//    instead of waiting on a thread that will never come.
+//
+// Neither helper imposes an execution order beyond publish/await, so any
+// stage graph built from them computes the same values as its serial
+// schedule — determinism lives in the stages themselves (pure per-slot
+// writes), exactly like ParallelExecutor::forShards.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "runtime/executor.hpp"
+
+namespace lanecert {
+
+/// Single-producer single-consumer publication of a growing item array.
+template <typename T>
+class StageFeed {
+ public:
+  /// Consumer-side snapshot of the feed.
+  struct Progress {
+    std::size_t published = 0;  ///< items safe to read
+    bool done = false;          ///< no further publications will come
+  };
+
+  /// Producer: attaches the address-stable item array.  Must precede the
+  /// first publish; the array must stay valid (and never reallocate) until
+  /// the consumer is joined.
+  void open(const T* items) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_ = items;
+  }
+
+  /// Producer: makes items [0, count) visible.  Monotone; idempotent.
+  void publish(std::size_t count) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (count <= published_) return;
+      published_ = count;
+    }
+    cv_.notify_all();
+  }
+
+  /// Producer: no more items will be published.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Producer: aborts the feed; the consumer's next await rethrows `e`.
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::move(e);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Consumer: the attached array (valid once anything was published).
+  [[nodiscard]] const T* items() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_;
+  }
+
+  /// Consumer: blocks until more than `have` items are published or the
+  /// feed is closed; rethrows the producer's error if it failed.
+  [[nodiscard]] Progress awaitBeyond(std::size_t have) const {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return published_ > have || closed_; });
+    if (error_) std::rethrow_exception(error_);
+    return Progress{published_, closed_ && published_ <= have};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  const T* items_ = nullptr;
+  std::size_t published_ = 0;
+  bool closed_ = false;
+  std::exception_ptr error_;
+};
+
+/// One-shot stage task: post it to a pool for overlap, join it to steal it
+/// inline if no worker picked it up yet.  Create via std::make_shared (the
+/// posted closure keeps the task alive past the owner's scope).
+class StealableTask : public std::enable_shared_from_this<StealableTask> {
+ public:
+  explicit StealableTask(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+  /// Posts a claim-and-run wrapper at the BACK of the pool queue, behind
+  /// in-flight fork-join helpers (overlap is opportunistic — a busy pool
+  /// simply leaves the task for join() to steal).
+  void postTo(WorkerPool& pool) {
+    pool.post([self = shared_from_this()] {
+      if (self->tryClaim()) self->runClaimed();
+    });
+  }
+
+  /// Runs the task inline if it is still unclaimed, then blocks until it
+  /// has finished (wherever it ran) and rethrows its exception, if any.
+  void join() {
+    if (tryClaim()) runClaimed();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return done_; });
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  [[nodiscard]] bool tryClaim() {
+    return !claimed_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  void runClaimed() {
+    try {
+      fn_();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::function<void()> fn_;
+  std::atomic<bool> claimed_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace lanecert

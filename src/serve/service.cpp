@@ -28,37 +28,27 @@ void LaneCertService::bump(std::uint64_t ServiceStats::* counter) {
   ++(stats_.*counter);
 }
 
-std::shared_ptr<const ProvePlan> LaneCertService::planFor(
-    const Graph& g, const IntervalRepresentation* rep) {
-  if (!options_.enablePlanCache) {
-    return std::make_shared<const ProvePlan>(buildProvePlan(g, rep));
-  }
-  const std::string key = planKey(g, rep);
+void LaneCertService::publishPlan(
+    const std::string& key,
+    const std::shared_ptr<std::promise<std::shared_ptr<const ProvePlan>>>&
+        promise,
+    const std::shared_ptr<const ProvePlan>& plan) {
   {
     std::lock_guard<std::mutex> lock(planMu_);
-    const auto it = plans_.find(key);
-    if (it != plans_.end()) {
-      bump(&ServiceStats::planCacheHits);
-      return it->second;
+    const auto [it, inserted] = plans_.try_emplace(key, plan);
+    if (inserted) {
+      planOrder_.push_back(key);
+      // Capacity clamps to >= 1 so eviction can never remove the entry
+      // just inserted.
+      const std::size_t cap = std::max<std::size_t>(1, options_.maxCachedPlans);
+      while (planOrder_.size() > cap) {
+        plans_.erase(planOrder_.front());
+        planOrder_.pop_front();
+      }
     }
+    planInFlight_.erase(key);
   }
-  // Built outside the lock: planning is the expensive part.  Two jobs
-  // racing here build identical plans (buildProvePlan is deterministic);
-  // the first insert wins and the loser's copy is dropped.
-  auto plan = std::make_shared<const ProvePlan>(buildProvePlan(g, rep));
-  std::lock_guard<std::mutex> lock(planMu_);
-  const auto [it, inserted] = plans_.try_emplace(key, std::move(plan));
-  if (inserted) {
-    planOrder_.push_back(key);
-    // Capacity clamps to >= 1 so eviction can never remove the entry just
-    // inserted (which `it` still refers to).
-    const std::size_t cap = std::max<std::size_t>(1, options_.maxCachedPlans);
-    while (planOrder_.size() > cap) {
-      plans_.erase(planOrder_.front());
-      planOrder_.pop_front();
-    }
-  }
-  return it->second;
+  promise->set_value(plan);
 }
 
 CoreProveResult LaneCertService::runProve(const ProveJob& job) {
@@ -68,9 +58,73 @@ CoreProveResult LaneCertService::runProve(const ProveJob& job) {
     // short-circuits them identically.
     return proveCore(job.graph, job.ids, *job.property, rep, 1);
   }
-  const std::shared_ptr<const ProvePlan> plan = planFor(job.graph, rep);
   ParallelExecutor exec(pool_);
-  return proveCore(job.graph, job.ids, *job.property, *plan, exec);
+  if (!options_.enablePlanCache) {
+    bump(&ServiceStats::planBuilds);
+    return proveCorePipelined(job.graph, job.ids, *job.property, rep, exec);
+  }
+
+  const std::string key = planKey(job.graph, rep);
+  std::shared_ptr<const ProvePlan> plan;
+  std::shared_future<std::shared_ptr<const ProvePlan>> inFlight;
+  std::shared_ptr<std::promise<std::shared_ptr<const ProvePlan>>> promise;
+  {
+    std::lock_guard<std::mutex> lock(planMu_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      plan = it->second;
+    } else {
+      const auto fit = planInFlight_.find(key);
+      if (fit != planInFlight_.end()) {
+        inFlight = fit->second;
+      } else {
+        promise =
+            std::make_shared<std::promise<std::shared_ptr<const ProvePlan>>>();
+        planInFlight_.emplace(key, promise->get_future().share());
+      }
+    }
+  }
+  if (plan) {
+    bump(&ServiceStats::planCacheHits);
+    return proveCore(job.graph, job.ids, *job.property, *plan, exec);
+  }
+  if (inFlight.valid()) {
+    // Coalesce onto the running head build.  The future resolves at HEAD
+    // completion (the builder keeps running its waves), and the builder is
+    // an admitted job that always makes progress even when every worker is
+    // blocked here — its forShards degrade to caller-executed shards — so
+    // this wait cannot deadlock.  A failed build rethrows the builder's
+    // error into every coalesced job; retries start a fresh build.
+    bump(&ServiceStats::planBuildsCoalesced);
+    plan = inFlight.get();
+    return proveCore(job.graph, job.ids, *job.property, *plan, exec);
+  }
+  // Builder role: run the pipelined head; coalesced waiters get the plan
+  // through the promise the moment the head is complete.
+  bump(&ServiceStats::planBuilds);
+  bool published = false;
+  try {
+    return proveCorePipelined(
+        job.graph, job.ids, *job.property, rep, exec,
+        [this, &key, &promise,
+         &published](const std::shared_ptr<const ProvePlan>& built) {
+          publishPlan(key, promise, built);
+          published = true;
+        });
+  } catch (...) {
+    // Clean up ONLY when the head build itself failed.  After publishPlan
+    // the promise is satisfied and the in-flight slot is gone — a same-key
+    // entry found then would belong to a NEWER build (cache-evicted plan,
+    // fresh miss) and must not be torn down by this job's wave error.
+    if (!published) {
+      {
+        std::lock_guard<std::mutex> lock(planMu_);
+        planInFlight_.erase(key);
+      }
+      promise->set_exception(std::current_exception());
+    }
+    throw;
+  }
 }
 
 SimulationResult LaneCertService::runVerify(const VerifyJob& job) {

@@ -19,7 +19,12 @@
 //  * plan cache — the property-independent prover head (interval
 //    representation, lane plan, construction sequence, hierarchy) keyed by
 //    exact graph + supplied-representation bytes; one graph served under
-//    many properties or id assignments plans once;
+//    many properties or id assignments plans once.  Cache MISSES coalesce
+//    too: the first job runs the PIPELINED head (hierarchy streaming into
+//    its waves) and publishes the plan the moment the head completes, so a
+//    concurrent miss storm on one graph performs exactly one head build
+//    and the waiters start their waves while the builder's are still
+//    running;
 //  * result cache + request coalescing — identical requests (exact content
 //    key, never hash-only) share one computation and one result, whether
 //    they arrive concurrently (coalesced) or after completion (cache hit).
@@ -90,6 +95,13 @@ struct ServiceStats {
   std::uint64_t verifyJobsCompleted = 0;
   std::uint64_t planCacheHits = 0;
   std::uint64_t resultCacheHits = 0;  ///< includes coalesced in-flight hits
+  /// Prover head builds actually RUN (pipelined, on a cache miss).  A
+  /// cache-miss storm on one graph bumps this exactly once.
+  std::uint64_t planBuilds = 0;
+  /// Cache-miss jobs that joined an IN-FLIGHT head build instead of
+  /// running their own (they receive the plan the moment the builder's
+  /// head completes, before its waves finish).
+  std::uint64_t planBuildsCoalesced = 0;
   /// Cancelled requests: one per discarded prove/verify job, one per
   /// reverify batch failed by a discarded session driver.
   std::uint64_t cancelledJobs = 0;
@@ -181,8 +193,12 @@ class LaneCertService {
 
   CoreProveResult runProve(const ProveJob& job);
   SimulationResult runVerify(const VerifyJob& job);
-  std::shared_ptr<const ProvePlan> planFor(const Graph& g,
-                                           const IntervalRepresentation* rep);
+  /// Completes an in-flight head build: stores the plan in the completed
+  /// cache (with eviction), drops the in-flight entry, and wakes waiters.
+  void publishPlan(const std::string& key,
+                   const std::shared_ptr<std::promise<
+                       std::shared_ptr<const ProvePlan>>>& promise,
+                   const std::shared_ptr<const ProvePlan>& plan);
   [[nodiscard]] std::shared_ptr<VerifySessionEntry> findSession(
       std::uint64_t session) const;
   void runSessionDriver(const std::shared_ptr<VerifySessionEntry>& entry);
@@ -203,6 +219,12 @@ class LaneCertService {
   std::mutex planMu_;
   std::unordered_map<std::string, std::shared_ptr<const ProvePlan>> plans_;
   std::deque<std::string> planOrder_;
+  /// Head builds currently running: cache-miss storms on one graph
+  /// coalesce onto the first job's pipelined build through these futures
+  /// (fulfilled at HEAD completion, not job completion).
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const ProvePlan>>>
+      planInFlight_;
 
   ResultCache<CoreProveResult> proveCache_;
   ResultCache<SimulationResult> verifyCache_;

@@ -207,6 +207,47 @@ TEST(Serve, PlanCacheAmortizesAcrossPropertiesAndIds) {
   EXPECT_EQ(r4.labels, proveCore(bp.graph, idsB, *makeForest(), nullptr, 1).labels);
 }
 
+TEST(Serve, PlanCacheMissStormCoalescesToOneHeadBuild) {
+  // A burst of CONCURRENT cache-miss jobs on one graph (distinct ids and
+  // properties, so nothing result-coalesces) must run exactly ONE pipelined
+  // head build: whichever job wins the in-flight slot builds, every other
+  // job either joins that build (planBuildsCoalesced) or arrives after it
+  // completed (planCacheHits) — timing decides the split, never the sum,
+  // and never the results.
+  Rng rng(41);
+  auto bp = randomBoundedPathwidth(40, 2, 0.4, rng);
+  const int kJobs = 8;
+  LaneCertService service(
+      ServiceOptions{.numThreads = 4, .maxConcurrentJobs = 4});
+  std::vector<std::shared_future<CoreProveResult>> futures;
+  std::vector<IdAssignment> ids;
+  std::vector<PropertyPtr> props;
+  for (int i = 0; i < kJobs; ++i) {
+    ids.push_back(IdAssignment::random(40, 100 + static_cast<unsigned>(i)));
+    props.push_back(i % 2 == 0 ? makeConnectivity() : makeForest());
+    futures.push_back(
+        service.submitProve(ProveJob{bp.graph, ids.back(), props.back(), {}}));
+  }
+  std::vector<CoreProveResult> results;
+  for (auto& f : futures) results.push_back(f.get());
+  service.drain();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.planBuilds, 1u);
+  EXPECT_EQ(stats.planCacheHits + stats.planBuildsCoalesced,
+            static_cast<std::uint64_t>(kJobs - 1));
+  // Every storm participant's output is byte-identical to the standalone
+  // single-thread prover.
+  for (int i = 0; i < kJobs; ++i) {
+    const auto expected =
+        proveCore(bp.graph, ids[static_cast<std::size_t>(i)],
+                  *props[static_cast<std::size_t>(i)], nullptr, 1);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].labels, expected.labels);
+    EXPECT_EQ(results[static_cast<std::size_t>(i)].propertyHolds,
+              expected.propertyHolds);
+  }
+}
+
 TEST(Serve, ResultCacheCoalescesDuplicateRequests) {
   const Graph g = pathGraph(24);
   const auto ids = IdAssignment::random(24, 3);
