@@ -2,35 +2,39 @@
 
 #include <algorithm>
 
+#include "core/simd.hpp"
+
 namespace lanecert {
 
 namespace {
 
-int slotIndexOf(const std::vector<std::uint64_t>& slots, std::uint64_t id) {
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slots[i] == id) return static_cast<int>(i);
-  }
-  throw DecodeError{};
+// The folds below run concurrently from the wave-parallel prover and the
+// sharded verifier, so all scratch is thread-local and staged in the
+// struct-of-arrays FoldScratch: each helper works on one contiguous u64
+// lane, which is what lets the simd:: kernels vectorize the scans.
+FoldScratch& foldScratch() {
+  thread_local FoldScratch s;
+  return s;
 }
 
-// The folds below run concurrently from the wave-parallel prover and the
-// sharded verifier, so every scratch buffer is thread-local: sorted flat
-// vectors replace the node-based std::set of earlier revisions (no heap
-// traffic in steady state, and still O(n log n) on adversarial certificate
-// sizes).
+int slotIndexOf(std::span<const std::uint64_t> slots, std::uint64_t id) {
+  const std::ptrdiff_t i = simd::findU64(slots.data(), slots.size(), id);
+  if (i < 0) throw DecodeError{};
+  return static_cast<int>(i);
+}
 
-/// Sorted copy of `ids` in a reusable thread-local buffer; valid until the
-/// next call from the same thread.
-std::span<const std::uint64_t> sortedScratch(std::span<const std::uint64_t> ids) {
-  thread_local std::vector<std::uint64_t> buf;
+/// Sorted copy of `ids` in the scratch sort lane; valid until the next call
+/// from the same thread.
+std::span<const std::uint64_t> sortedLane(std::span<const std::uint64_t> ids) {
+  std::vector<std::uint64_t>& buf = foldScratch().sorted;
   buf.assign(ids.begin(), ids.end());
   std::sort(buf.begin(), buf.end());
   return buf;
 }
 
 void requireDistinct(std::span<const std::uint64_t> ids) {
-  const auto sorted = sortedScratch(ids);
-  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+  const auto sorted = sortedLane(ids);
+  if (simd::hasAdjacentDupU64(sorted.data(), sorted.size())) {
     throw DecodeError{};
   }
 }
@@ -120,8 +124,9 @@ NodeData LaneAlgebra::parentMerge(const NodeData& child,
                      child.lanes.begin(), child.lanes.end())) {
     throw DecodeError{};  // T(child) ⊆ T(parent)
   }
+  FoldScratch& fs = foldScratch();
   // Gluing points: child's in-terminal IS the parent's out-terminal.
-  thread_local std::vector<std::uint64_t> glueIds;
+  std::vector<std::uint64_t>& glueIds = fs.glue;
   glueIds.clear();
   for (int lane : child.lanes) {
     const std::uint64_t g = parent.outTerm.at(lane);
@@ -129,12 +134,12 @@ NodeData LaneAlgebra::parentMerge(const NodeData& child,
     glueIds.push_back(g);
   }
   std::sort(glueIds.begin(), glueIds.end());
-  if (std::adjacent_find(glueIds.begin(), glueIds.end()) != glueIds.end()) {
+  if (simd::hasAdjacentDupU64(glueIds.data(), glueIds.size())) {
     throw DecodeError{};  // two lanes glued through one vertex
   }
   // The parts may share vertices ONLY at the gluing points.
   {
-    const auto parentSorted = sortedScratch(parent.slots);
+    const auto parentSorted = sortedLane(parent.slots);
     for (std::uint64_t id : child.slots) {
       if (std::binary_search(parentSorted.begin(), parentSorted.end(), id) &&
           !std::binary_search(glueIds.begin(), glueIds.end(), id)) {
@@ -153,29 +158,30 @@ NodeData LaneAlgebra::parentMerge(const NodeData& child,
   }
 
   HomState s = prop_.join(parent.state, child.state);
-  std::vector<std::uint64_t> slots = parent.slots;
+  // The merged slot layout evolves in the scratch id lane (identify/forget
+  // below mirror the property's slot shifting with erases on this lane).
+  std::vector<std::uint64_t>& slots = fs.ids;
+  slots.assign(parent.slots.begin(), parent.slots.end());
   slots.insert(slots.end(), child.slots.begin(), child.slots.end());
   // Glue lane by lane (ascending) — each identify removes the child-side
   // occurrence of the shared identifier.
   for (int lane : child.lanes) {
     const std::uint64_t g = parent.outTerm.at(lane);
-    int first = -1;
-    int last = -1;
-    int count = 0;
-    for (std::size_t i = 0; i < slots.size(); ++i) {
-      if (slots[i] == g) {
-        if (first < 0) first = static_cast<int>(i);
-        last = static_cast<int>(i);
-        ++count;
-      }
+    if (simd::countU64(slots.data(), slots.size(), g) != 2) {
+      throw DecodeError{};
     }
-    if (count != 2) throw DecodeError{};
-    s = prop_.identify(s, first, last);
-    slots.erase(slots.begin() + last);
+    const auto first =
+        static_cast<std::size_t>(simd::findU64(slots.data(), slots.size(), g));
+    const auto last = first + 1 +
+                      static_cast<std::size_t>(simd::findU64(
+                          slots.data() + first + 1, slots.size() - first - 1,
+                          g));
+    s = prop_.identify(s, static_cast<int>(first), static_cast<int>(last));
+    slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(last));
   }
   requireDistinct(slots);
   // Demote everything that is no longer a terminal of the merged graph.
-  thread_local std::vector<std::uint64_t> keep;
+  std::vector<std::uint64_t>& keep = fs.keep;
   keep.clear();
   for (const auto& [l, id] : d.inTerm.entries) keep.push_back(id);
   for (const auto& [l, id] : d.outTerm.entries) keep.push_back(id);
@@ -190,7 +196,7 @@ NodeData LaneAlgebra::parentMerge(const NodeData& child,
   }
   // Every terminal must survive as a slot.
   for (std::uint64_t id : keep) (void)slotIndexOf(slots, id);
-  d.slots = std::move(slots);
+  d.slots.assign(slots.begin(), slots.end());
   d.state = std::move(s);
   return d;
 }
@@ -205,8 +211,9 @@ NodeData LaneAlgebra::fromSummary(const SummaryRec& rec) const {
   d.outTerm = rec.outTerm;
   d.slots.assign(rec.slotOrder.begin(), rec.slotOrder.end());
   requireDistinct(d.slots);
+  FoldScratch& fs = foldScratch();
   // Terminals defined exactly on the lane set; slots = terminal vertex set.
-  thread_local std::vector<std::uint64_t> termIds;
+  std::vector<std::uint64_t>& termIds = fs.terms;
   termIds.clear();
   for (const LaneTerms* t : {&rec.inTerm, &rec.outTerm}) {
     if (t->entries.size() != rec.lanes.size()) throw DecodeError{};
@@ -219,17 +226,23 @@ NodeData LaneAlgebra::fromSummary(const SummaryRec& rec) const {
   }
   std::sort(termIds.begin(), termIds.end());
   termIds.erase(std::unique(termIds.begin(), termIds.end()), termIds.end());
-  // requireDistinct passed, so comparing the sorted slot list against the
-  // deduplicated terminal list decides set equality.
-  thread_local std::vector<std::uint64_t> slotsSorted;
+  // requireDistinct passed, so comparing the sorted slot lane against the
+  // deduplicated terminal lane decides set equality (u64 lanes: one
+  // contiguous byte compare).
+  std::vector<std::uint64_t>& slotsSorted = fs.ids;
   slotsSorted.assign(d.slots.begin(), d.slots.end());
   std::sort(slotsSorted.begin(), slotsSorted.end());
-  if (termIds != slotsSorted) throw DecodeError{};
+  if (termIds.size() != slotsSorted.size() ||
+      !simd::equalBytes(termIds.data(), slotsSorted.data(),
+                        termIds.size() * sizeof(std::uint64_t))) {
+    throw DecodeError{};
+  }
   d.state = prop_.decodeState(rec.stateBytes);
   // Canonicality: re-encoding must reproduce the bytes, and the state's
   // internal slot count must match the layout.
-  if (std::string_view(d.state.encoding()) !=
-      std::string_view(rec.stateBytes)) {
+  const std::string& enc = d.state.encoding();
+  if (enc.size() != rec.stateBytes.size() ||
+      !simd::equalBytes(enc.data(), rec.stateBytes.data(), enc.size())) {
     throw DecodeError{};
   }
   if (prop_.slotCount(d.state) != static_cast<int>(d.slots.size())) {

@@ -33,6 +33,21 @@ struct NodeData {
   HomState state;
 };
 
+/// Per-thread struct-of-arrays scratch for the fold kernels.  Earlier
+/// revisions kept one ad-hoc thread_local vector per helper; the folds now
+/// stage every intermediate quantity in SEPARATE contiguous lanes — vertex
+/// identifiers, sort copies, gluing ids, surviving terminals — so the
+/// SIMD kernels (core/simd.hpp) scan flat u64 arrays instead of walking
+/// record structs.  One instance lives per thread inside algebra.cpp;
+/// every lane is assign()ed before use, so no state crosses calls.
+struct FoldScratch {
+  std::vector<std::uint64_t> ids;     ///< merged slot-id lane (parentMerge)
+  std::vector<std::uint64_t> sorted;  ///< sort/distinctness lane
+  std::vector<std::uint64_t> glue;    ///< gluing-id lane (parentMerge)
+  std::vector<std::uint64_t> keep;    ///< surviving-terminal lane
+  std::vector<std::uint64_t> terms;   ///< declared-terminal lane (fromSummary)
+};
+
 /// Composition algebra for one property.
 class LaneAlgebra {
  public:

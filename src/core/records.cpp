@@ -132,6 +132,7 @@ void ChainEntry::encodeTo(Encoder& enc) const {
 ChainEntry ChainEntry::decodeFrom(Decoder& dec,
                                   std::pmr::memory_resource* mr) {
   ChainEntry e(mr);
+  const std::size_t begin = dec.pos();
   const std::uint64_t k = dec.u64();
   if (k > 3) throw DecodeError{};
   e.kind = static_cast<Kind>(k);
@@ -169,6 +170,11 @@ ChainEntry ChainEntry::decodeFrom(Decoder& dec,
       }
       break;
     }
+  }
+  // Memoization key for the verifier's caches: only when the buffer
+  // outlives the decoder (borrowed label bytes) may the span be kept.
+  if (dec.borrowsBuffer()) {
+    e.srcBytes = dec.buffer().substr(begin, dec.pos() - begin);
   }
   return e;
 }
@@ -247,6 +253,10 @@ EdgeLabel EdgeLabel::decode(std::string_view bytes) {
     l.through.push_back(PathThrough::decodeFrom(dec));
   }
   if (!dec.atEnd()) throw DecodeError{};
+  // This variant promises a result that does NOT alias `bytes` (callers may
+  // drop the buffer); scrub the decode-provenance spans.
+  l.own.rootEntry.srcBytes = {};
+  for (ChainEntry& e : l.own.chain) e.srcBytes = {};
   return l;
 }
 

@@ -115,13 +115,32 @@ struct ChainEntry {
   SummaryRec subtree;            ///< B(Tree-merge(T_c))
   std::pmr::vector<SummaryRec> treeChildren;  ///< B(TM(T_d)) per tree child
 
+  /// Source bytes this entry was decoded from, recorded by decodeFrom when
+  /// the decoder BORROWS its buffer (the verifier's zero-copy label path);
+  /// empty otherwise.  NOT serialized and NOT part of equality — it is a
+  /// memoization key: byte-equal encodings decode to structurally equal
+  /// entries (decodeFrom is a pure function of the bytes), so the sweep
+  /// cache and the per-thread read memo compare this one contiguous lane
+  /// with the SIMD byte kernel instead of walking the record graph.  The
+  /// converse does not hold (padded varints), so byte INEQUALITY only ever
+  /// causes a conservative re-validation, never a verdict change.
+  std::string_view srcBytes;
+
   void encodeTo(Encoder& enc) const;
   static ChainEntry decodeFrom(
       Decoder& dec,
       std::pmr::memory_resource* mr = std::pmr::get_default_resource());
   /// Structural equality; encodeTo is deterministic and injective, so this
   /// agrees with comparing encodings (the verifier relies on that).
-  friend bool operator==(const ChainEntry&, const ChainEntry&) = default;
+  /// srcBytes is excluded — it is provenance, not content.
+  friend bool operator==(const ChainEntry& a, const ChainEntry& b) {
+    return a.kind == b.kind && a.self == b.self && a.eReal == b.eReal &&
+           a.pReal == b.pReal && a.laneI == b.laneI && a.laneJ == b.laneJ &&
+           a.bridgeReal == b.bridgeReal && a.part0 == b.part0 &&
+           a.part1 == b.part1 && a.childId == b.childId &&
+           a.childIsRoot == b.childIsRoot && a.childSelf == b.childSelf &&
+           a.subtree == b.subtree && a.treeChildren == b.treeChildren;
+  }
 };
 
 /// Certificate of one completion edge.

@@ -1,0 +1,162 @@
+#pragma once
+// Portable SIMD kernels for the verifier's lane-algebra hot loops.
+//
+// The per-vertex check is dominated by small dense scans over
+// struct-of-arrays fold scratch: finding a vertex identifier in a slot
+// lane, counting occurrences of a gluing id, checking a sorted id lane for
+// duplicates, and comparing canonical hom-state byte strings.  All of them
+// are exact integer/byte predicates — no floating point — so a vectorized
+// run is bit-identical to the scalar one by construction.
+//
+// Two implementations live here:
+//
+//  * `simd::scalar::*` — the reference loops, always compiled, used by the
+//    dispatched kernels when SIMD is configured off and by the property
+//    tests that assert dispatched == scalar on every input.
+//  * the dispatched `simd::*` kernels — blockwise loops annotated with
+//    `#pragma omp simd` (enabled by -fopenmp-simd, no OpenMP runtime).
+//    Selection is at CONFIGURE time: -DLANECERT_SIMD=OFF builds the
+//    dispatched names as thin aliases of the scalar loops, and CI runs
+//    ctest in both modes (plus a byte-identical certificate check across
+//    the two builds in scripts/verify.sh --ci).
+//
+// Keep kernels branch-light inside the vector loop: reductions accumulate
+// a mask/count and the (rare) hit position is resolved after the block.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#ifndef LANECERT_SIMD
+#define LANECERT_SIMD 1
+#endif
+
+#if LANECERT_SIMD
+// _Pragma takes ONE string literal and is evaluated before adjacent-literal
+// concatenation, so the operand is built by stringizing the whole token
+// sequence in one step.
+#define LANECERT_PRAGMA_(tokens) _Pragma(#tokens)
+#define LANECERT_PRAGMA_SIMD LANECERT_PRAGMA_(omp simd)
+#define LANECERT_PRAGMA_SIMD_REDUCTION(op, var) \
+  LANECERT_PRAGMA_(omp simd reduction(op : var))
+#else
+#define LANECERT_PRAGMA_SIMD
+#define LANECERT_PRAGMA_SIMD_REDUCTION(op, var)
+#endif
+
+namespace lanecert::simd {
+
+/// Which kernel set the dispatched names resolve to (diagnostics / README).
+[[nodiscard]] constexpr const char* backendName() {
+#if LANECERT_SIMD
+  return "omp-simd";
+#else
+  return "scalar";
+#endif
+}
+inline constexpr bool kEnabled = LANECERT_SIMD != 0;
+
+namespace scalar {
+
+/// Index of the first element equal to `key`, or -1.
+[[nodiscard]] inline std::ptrdiff_t findU64(const std::uint64_t* data,
+                                            std::size_t n,
+                                            std::uint64_t key) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (data[i] == key) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+/// Number of elements equal to `key`.
+[[nodiscard]] inline std::size_t countU64(const std::uint64_t* data,
+                                          std::size_t n, std::uint64_t key) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += data[i] == key ? 1 : 0;
+  return count;
+}
+
+/// True iff a SORTED lane contains two equal adjacent elements.
+[[nodiscard]] inline bool hasAdjacentDupU64(const std::uint64_t* data,
+                                            std::size_t n) {
+  for (std::size_t i = 1; i < n; ++i) {
+    if (data[i - 1] == data[i]) return true;
+  }
+  return false;
+}
+
+/// Byte-string equality (the hom-state / entry-encoding compare kernel).
+/// n == 0 is always equal (and must not reach memcmp: empty vectors may
+/// hand out null data pointers).
+[[nodiscard]] inline bool equalBytes(const void* a, const void* b,
+                                     std::size_t n) {
+  return n == 0 || std::memcmp(a, b, n) == 0;
+}
+
+}  // namespace scalar
+
+#if LANECERT_SIMD
+
+/// Block width for the vector loops: 8 u64 lanes covers AVX-512 and gives
+/// the compiler two full vectors on 256-bit targets.
+inline constexpr std::size_t kBlock = 8;
+
+[[nodiscard]] inline std::ptrdiff_t findU64(const std::uint64_t* data,
+                                            std::size_t n,
+                                            std::uint64_t key) {
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    std::uint64_t any = 0;
+    LANECERT_PRAGMA_SIMD_REDUCTION(|, any)
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      any |= data[i + j] == key ? 1u : 0u;
+    }
+    if (any != 0) {
+      for (std::size_t j = 0; j < kBlock; ++j) {
+        if (data[i + j] == key) return static_cast<std::ptrdiff_t>(i + j);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (data[i] == key) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+[[nodiscard]] inline std::size_t countU64(const std::uint64_t* data,
+                                          std::size_t n, std::uint64_t key) {
+  std::size_t count = 0;
+  LANECERT_PRAGMA_SIMD_REDUCTION(+, count)
+  for (std::size_t i = 0; i < n; ++i) count += data[i] == key ? 1 : 0;
+  return count;
+}
+
+[[nodiscard]] inline bool hasAdjacentDupU64(const std::uint64_t* data,
+                                            std::size_t n) {
+  if (n < 2) return false;
+  std::uint64_t any = 0;
+  LANECERT_PRAGMA_SIMD_REDUCTION(|, any)
+  for (std::size_t i = 1; i < n; ++i) {
+    any |= data[i - 1] == data[i] ? 1u : 0u;
+  }
+  return any != 0;
+}
+
+[[nodiscard]] inline bool equalBytes(const void* a, const void* b,
+                                     std::size_t n) {
+  // libc memcmp is already the vectorized kernel on every target we build
+  // for; routing through the dispatch point keeps call sites uniform and
+  // lets the scalar-fallback build pin down any libc divergence.
+  return n == 0 || std::memcmp(a, b, n) == 0;
+}
+
+#else  // scalar fallback build: dispatched names ARE the reference loops
+
+using scalar::countU64;
+using scalar::equalBytes;
+using scalar::findU64;
+using scalar::hasAdjacentDupU64;
+
+#endif  // LANECERT_SIMD
+
+}  // namespace lanecert::simd

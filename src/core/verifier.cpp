@@ -3,18 +3,77 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <deque>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/algebra.hpp"
 #include "core/records.hpp"
+#include "core/simd.hpp"
 #include "lane/bounds.hpp"
 #include "pls/pointer.hpp"
 #include "runtime/arena.hpp"
 #include "runtime/flat_map.hpp"
 
 namespace lanecert {
+
+namespace {
+
+/// Byte-equality over two encodings (size gate + the SIMD compare kernel).
+bool bytesEq(std::string_view a, std::string_view b) {
+  return a.size() == b.size() && simd::equalBytes(a.data(), b.data(), a.size());
+}
+
+}  // namespace
+
+/// Per-thread read-side memo in front of the shared SweepEntryCache:
+/// validated entry ENCODINGS this thread has already seen.  Near-root
+/// entries are shared by most vertices AND hash to few stripes, so without
+/// this layer heavily threaded sweeps serialize on the same stripe locks
+/// for exactly the hottest entries; a memo hit touches no lock at all.
+/// Epoch-synced: SweepEntryCache::clear() bumps its epoch, and the memo
+/// self-invalidates on the next vertex check (stale POSITIVE memo entries
+/// are sound — validation outcomes are forced — but dropping them keeps
+/// the memory bound tied to the live cache).
+struct SweepReadMemo {
+  FlatMap<std::int64_t, std::vector<std::string>> validated;
+  std::size_t total = 0;
+  std::uint64_t epoch = 0;
+  /// Growth backstop, same spirit as the shared cache's: stop retaining,
+  /// never stop serving.
+  static constexpr std::size_t kMaxEntries = std::size_t{1} << 13;
+
+  [[nodiscard]] bool contains(std::int64_t nodeId,
+                              std::string_view entryBytes) const {
+    const auto* variants = validated.find(nodeId);
+    if (variants == nullptr) return false;
+    for (const std::string& v : *variants) {
+      if (bytesEq(v, entryBytes)) return true;
+    }
+    return false;
+  }
+
+  void insert(std::int64_t nodeId, std::string_view entryBytes) {
+    if (total >= kMaxEntries) return;
+    std::vector<std::string>& variants =
+        *validated.tryEmplace(nodeId, {}).first;
+    for (const std::string& v : variants) {
+      if (bytesEq(v, entryBytes)) return;
+    }
+    variants.emplace_back(entryBytes);
+    ++total;
+  }
+
+  void syncEpoch(std::uint64_t cacheEpoch) {
+    if (epoch == cacheEpoch) return;
+    validated.clear();
+    total = 0;
+    epoch = cacheEpoch;
+  }
+};
 
 /// Reusable per-thread buffers: a vertex check decodes every incident label
 /// once into `labels` and tracks all cross-certificate state in flat
@@ -38,12 +97,21 @@ struct VerifierScratch {
   std::vector<const ChainEntry*> allTreeEntries;
   /// Per B-node id: the unique chain-lower node id entering it (one part).
   FlatMap<std::int64_t, std::int64_t> bridgeLower;
-  /// Per node id: entries already fully validated at this vertex.  Chains
-  /// of different incident edges share their upper T/B entries, so most
-  /// validateEntry calls are byte-identical repeats — replaying even the
-  /// bookkeeping for them is pure waste.
-  FlatMap<std::int64_t, std::vector<const ChainEntry*>> validatedEntries;
+  /// Per node id: ENCODINGS of entries already fully validated at this
+  /// vertex.  Chains of different incident edges share their upper T/B
+  /// entries, so most validateEntry calls are byte-identical repeats —
+  /// replaying even the bookkeeping for them is pure waste.  Views alias
+  /// label bytes (or `encStable` below), stable for the vertex check.
+  FlatMap<std::int64_t, std::vector<std::string_view>> validatedEntries;
+  /// Stable backing for re-encoded entries that carry no srcBytes (never
+  /// hit on the borrowed-decoder label path; defensive).
+  std::deque<std::string> encStable;
   std::vector<int> laneScratch;
+  /// Struct-of-arrays id lane for the baseP replay (path vertex ids),
+  /// mirroring algebra.cpp's FoldScratch lanes on the verifier side.
+  std::vector<std::uint64_t> foldIds;
+  /// Cross-vertex read memo (NOT reset per vertex — that is its point).
+  SweepReadMemo memo;
 
   void reset() {
     // Containers holding arena-backed records are cleared BEFORE the arena
@@ -58,7 +126,9 @@ struct VerifierScratch {
     allTreeEntries.clear();
     bridgeLower.clear();
     validatedEntries.clear();
+    encStable.clear();
     laneScratch.clear();
+    foldIds.clear();
     arena.reset();
   }
 };
@@ -72,19 +142,26 @@ struct SweepEntryCache::Impl {
   /// n = 4096 produces ~18k distinct entries, so the cap leaves an order
   /// of magnitude of headroom; long-lived verifiers cycling through many
   /// labelings (soundness benches, reused closures) stay bounded instead
-  /// of deep-copying every entry they ever saw.  VerifySession::applyEdits
+  /// of copying every entry they ever saw.  VerifySession::applyEdits
   /// additionally clears on a graph-scaled cap, which keeps ITS cache
   /// relevant; stop-at-cap here avoids clear/refill thrash for closures
   /// that have no edit signal to hook.
   static constexpr std::size_t kMaxEntries = 1 << 16;
   std::atomic<std::size_t> total{0};
+  /// Bumped per clear(); per-thread read memos compare against it and drop
+  /// their (now unbounded-growth-risky) copies.
+  std::atomic<std::uint64_t> epoch{0};
+  // Counters are relaxed: they are diagnostics, never synchronization.
+  mutable std::atomic<std::uint64_t> hits{0};
+  mutable std::atomic<std::uint64_t> misses{0};
+  mutable std::atomic<std::uint64_t> contention{0};
   struct Stripe {
     mutable std::mutex mu;
-    /// nodeId -> validated entry variants (usually exactly one).  Stored
-    /// entries are deep copies on the global heap: the pmr copy
-    /// constructors select the default resource, so a probe decoded into a
-    /// per-thread arena never leaks an arena pointer into the cache.
-    FlatMap<std::int64_t, std::vector<ChainEntry>> validated;
+    /// nodeId -> validated entry ENCODINGS (usually exactly one).  Flat
+    /// byte strings on the global heap: a probe decoded into a per-thread
+    /// arena never leaks an arena pointer into the cache, and a lookup is
+    /// one contiguous compare instead of a record-graph walk.
+    FlatMap<std::int64_t, std::vector<std::string>> validated;
   };
   std::array<Stripe, kStripes> stripes;
 
@@ -100,29 +177,43 @@ struct SweepEntryCache::Impl {
 SweepEntryCache::SweepEntryCache() : impl_(std::make_unique<Impl>()) {}
 SweepEntryCache::~SweepEntryCache() = default;
 
-bool SweepEntryCache::containsValidated(const ChainEntry& e) const {
-  const Impl::Stripe& s = impl_->stripes[Impl::stripeOf(e.self.nodeId)];
-  std::lock_guard<std::mutex> lock(s.mu);
-  const auto* variants = s.validated.find(e.self.nodeId);
-  if (variants == nullptr) return false;
-  for (const ChainEntry& c : *variants) {
-    if (c == e) return true;
+bool SweepEntryCache::containsValidated(std::int64_t nodeId,
+                                        std::string_view entryBytes) const {
+  const Impl::Stripe& s = impl_->stripes[Impl::stripeOf(nodeId)];
+  // try_lock first purely to MEASURE contention (the satellite counters
+  // exist to justify the read memo with data); the probe then waits like
+  // any lock_guard would.
+  std::unique_lock<std::mutex> lock(s.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    impl_->contention.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
   }
+  const auto* variants = s.validated.find(nodeId);
+  if (variants != nullptr) {
+    for (const std::string& v : *variants) {
+      if (bytesEq(v, entryBytes)) {
+        impl_->hits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
-void SweepEntryCache::markValidated(const ChainEntry& e) {
+void SweepEntryCache::markValidated(std::int64_t nodeId,
+                                    std::string_view entryBytes) {
   if (impl_->total.load(std::memory_order_relaxed) >= Impl::kMaxEntries) {
     return;  // backstop: full caches stop growing, never stop serving
   }
-  Impl::Stripe& s = impl_->stripes[Impl::stripeOf(e.self.nodeId)];
+  Impl::Stripe& s = impl_->stripes[Impl::stripeOf(nodeId)];
   std::lock_guard<std::mutex> lock(s.mu);
-  std::vector<ChainEntry>& variants =
-      *s.validated.tryEmplace(e.self.nodeId, {}).first;
-  for (const ChainEntry& c : variants) {
-    if (c == e) return;  // raced with another thread: already recorded
+  std::vector<std::string>& variants =
+      *s.validated.tryEmplace(nodeId, {}).first;
+  for (const std::string& v : variants) {
+    if (bytesEq(v, entryBytes)) return;  // raced: already recorded
   }
-  variants.push_back(e);  // deep copy onto the global heap
+  variants.emplace_back(entryBytes);  // flat copy onto the global heap
   impl_->total.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -143,6 +234,20 @@ void SweepEntryCache::clear() {
     s.validated.clear();
   }
   impl_->total.store(0, std::memory_order_relaxed);
+  impl_->epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SweepEntryCache::epoch() const {
+  return impl_->epoch.load(std::memory_order_relaxed);
+}
+
+SweepCacheStats SweepEntryCache::stats() const {
+  SweepCacheStats s;
+  s.hits = impl_->hits.load(std::memory_order_relaxed);
+  s.misses = impl_->misses.load(std::memory_order_relaxed);
+  s.stripeContention = impl_->contention.load(std::memory_order_relaxed);
+  s.entries = size();
+  return s;
 }
 
 namespace {
@@ -162,7 +267,7 @@ void require(bool cond) {
 /// plain heap containers, certificate record fields are pmr (arena-backed
 /// on the decode path) — different types to the language, same bytes here.
 bool sameBytes(const std::string& a, const std::pmr::string& b) {
-  return std::string_view(a) == std::string_view(b);
+  return bytesEq(a, std::string_view(b.data(), b.size()));
 }
 template <typename T, typename A1, typename A2>
 bool sameSeq(const std::vector<T, A1>& a, const std::vector<T, A2>& b) {
@@ -183,9 +288,17 @@ class Checker {
         s_(scratch),
         sweepCache_(sweepCache) {
     s_.reset();
+    // The read memo is NOT reset per vertex — it persists for the thread —
+    // but it must drop its copies when the shared cache was cleared, so the
+    // combined footprint stays bounded by the live cache.
+    if (sweepCache_ != nullptr) s_.memo.syncEpoch(sweepCache_->epoch());
   }
 
   bool run();
+
+  /// Read-memo hits this vertex check; the engine flushes them into its
+  /// (atomic) counter once per check rather than once per hit.
+  [[nodiscard]] std::uint64_t memoHits() const { return memoHits_; }
 
  private:
   void validateSummaryCommon(const SummaryRec& s) const;
@@ -196,18 +309,32 @@ class Checker {
   void recordNodeSummary(const SummaryRec& s);
   void recordTmSummary(const SummaryRec& s);
   void topologyChecks();
+  std::string_view entryBytes(const ChainEntry& e);
 
   const LaneAlgebra& alg_;
   const CoreVerifierParams& params_;
   const EdgeView& view_;
   VerifierScratch& s_;
   SweepEntryCache* sweepCache_;
+  std::uint64_t memoHits_ = 0;
 
   bool bridgeConflict_ = false;   ///< two chain parts entered one B-node
   std::int64_t rootTNode_ = -1;
   std::int64_t rootChildNode_ = -1;
   const ChainEntry* rootEntry_ = nullptr;
 };
+
+/// The memoization key of an entry: its source encoding.  Every entry on
+/// the verifier path decodes from borrowed label bytes (labels live in the
+/// store, virtual-edge payloads alias labels), so srcBytes is populated;
+/// the re-encode fallback only defends against future owning-decoder
+/// callers and parks its bytes in deque-stable scratch storage.
+std::string_view Checker::entryBytes(const ChainEntry& e) {
+  if (!e.srcBytes.empty()) return e.srcBytes;
+  Encoder enc;
+  e.encodeTo(enc);
+  return s_.encStable.emplace_back(enc.take());
+}
 
 void Checker::validateSummaryCommon(const SummaryRec& s) const {
   require(!s.lanes.empty());
@@ -248,7 +375,11 @@ void Checker::validateEntryPure(const ChainEntry& e) const {
     }
     case ChainEntry::Kind::kBaseP: {
       require(e.self.type == kTypeP);
-      std::vector<std::uint64_t> pathIds;
+      // SoA id lane reused across entries (like laneScratch): the baseP
+      // replay is the hottest fold, and a per-entry vector allocation here
+      // was the last steady-state allocation on the validate path.
+      std::vector<std::uint64_t>& pathIds = s_.foldIds;
+      pathIds.clear();
       for (int lane : e.self.lanes) {
         const std::uint64_t id = e.self.inTerm.at(lane);
         require(e.self.outTerm.at(lane) == id);
@@ -338,13 +469,17 @@ void Checker::validateEntryPure(const ChainEntry& e) const {
 }
 
 void Checker::validateEntry(const ChainEntry& e) {
-  // Per-vertex memo: a structurally identical entry that already passed at
-  // this vertex needs no recomputation — only the bookkeeping side effect
-  // (tree entries feed the gluing checks) is replayed.
-  std::vector<const ChainEntry*>& seen =
+  const std::string_view bytes = entryBytes(e);
+  // Per-vertex memo: a byte-identical entry that already passed at this
+  // vertex needs no recomputation — only the bookkeeping side effect (tree
+  // entries feed the gluing checks) is replayed.  Byte identity is finer
+  // than structural equality (padded varints key separately), so the only
+  // possible divergence from the old structural memo is a conservative
+  // replay of checks that are idempotent by construction.
+  std::vector<std::string_view>& seen =
       *s_.validatedEntries.tryEmplace(e.self.nodeId, {}).first;
-  for (const ChainEntry* p : seen) {
-    if (*p == e) {
+  for (std::string_view p : seen) {
+    if (bytesEq(p, bytes)) {
       if (e.kind == ChainEntry::Kind::kTree) s_.allTreeEntries.push_back(&e);
       return;
     }
@@ -372,12 +507,29 @@ void Checker::validateEntry(const ChainEntry& e) {
   // The pure half runs once per distinct entry per SWEEP, not per vertex:
   // upper chain entries are shared by most edges, and the sweep cache
   // remembers the (deterministic) outcome across vertices and threads.
-  if (sweepCache_ == nullptr || !sweepCache_->containsValidated(e)) {
+  // Probe order: per-thread read memo (no lock), then the striped shared
+  // cache, then the full algebra replay.  A cache hit of either kind only
+  // skips recomputation whose outcome is forced, so verdicts never depend
+  // on memo/cache state.
+  bool alreadyValidated = false;
+  if (sweepCache_ != nullptr) {
+    if (params_.readMemo && s_.memo.contains(e.self.nodeId, bytes)) {
+      ++memoHits_;
+      alreadyValidated = true;
+    } else if (sweepCache_->containsValidated(e.self.nodeId, bytes)) {
+      alreadyValidated = true;
+      if (params_.readMemo) s_.memo.insert(e.self.nodeId, bytes);
+    }
+  }
+  if (!alreadyValidated) {
     validateEntryPure(e);
-    if (sweepCache_ != nullptr) sweepCache_->markValidated(e);
+    if (sweepCache_ != nullptr) {
+      sweepCache_->markValidated(e.self.nodeId, bytes);
+      if (params_.readMemo) s_.memo.insert(e.self.nodeId, bytes);
+    }
   }
   if (e.kind == ChainEntry::Kind::kTree) s_.allTreeEntries.push_back(&e);
-  seen.push_back(&e);
+  seen.push_back(bytes);
 }
 
 void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
@@ -406,7 +558,15 @@ void Checker::validateCert(const EdgeCert& cert, bool isVirtual) {
     require(cert.rootTNode == rootTNode_);
     require(cert.rootChildNode == rootChildNode_);
     if (cert.hasRootEntry) {
-      require(cert.rootEntry == *rootEntry_);
+      // Byte-equal encodings ARE structurally equal (decode is pure), so
+      // the single contiguous compare settles the common honest case; only
+      // byte-distinct encodings fall back to the structural walk, which
+      // must stay — padded varints may encode the SAME root entry, and
+      // rejecting an honest re-encoding would change verdicts.
+      const bool fastEq = !cert.rootEntry.srcBytes.empty() &&
+                          !rootEntry_->srcBytes.empty() &&
+                          bytesEq(cert.rootEntry.srcBytes, rootEntry_->srcBytes);
+      require(fastEq || cert.rootEntry == *rootEntry_);
     }
   }
 
@@ -694,17 +854,28 @@ CoreVerifierEngine::~CoreVerifierEngine() = default;
 
 bool CoreVerifierEngine::check(const EdgeView& view, ThreadState& state) const {
   if (!state.impl_) state.impl_ = std::make_unique<VerifierScratch>();
+  Checker checker(*algebra_, params_, view, *state.impl_, &cache_);
+  bool ok = false;
   try {
-    Checker checker(*algebra_, params_, view, *state.impl_, &cache_);
-    return checker.run();
+    ok = checker.run();
   } catch (const std::exception&) {
-    return false;
+    ok = false;
   }
+  if (checker.memoHits() != 0) {
+    memoHits_.fetch_add(checker.memoHits(), std::memory_order_relaxed);
+  }
+  return ok;
 }
 
 std::size_t CoreVerifierEngine::sweepCacheSize() const { return cache_.size(); }
 
 void CoreVerifierEngine::clearSweepCache() { cache_.clear(); }
+
+SweepCacheStats CoreVerifierEngine::cacheStats() const {
+  SweepCacheStats s = cache_.stats();
+  s.memoHits = memoHits_.load(std::memory_order_relaxed);
+  return s;
+}
 
 CoreVerifierParams theorem1Params(int k) {
   CoreVerifierParams p;

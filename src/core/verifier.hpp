@@ -47,8 +47,11 @@
 // (core/verify_session.hpp) owns an engine plus per-shard states to make
 // sweeps resumable.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string_view>
 
 #include "mso/property.hpp"
 #include "pls/scheme.hpp"
@@ -69,15 +72,39 @@ struct CoreVerifierParams {
   /// Max embedding paths through one edge (0 = unlimited); h(k+1) bounds
   /// honest labelings.
   int maxThrough = 0;
+  /// Per-thread read-side memo in front of the sweep cache: validated
+  /// entry encodings a thread has already seen hit WITHOUT touching the
+  /// striped locks (near-root entries hash to few stripes, so heavily
+  /// threaded sweeps would otherwise serialize there).  Verdicts are
+  /// independent of this flag (cache hits only skip forced recomputation);
+  /// the property tests flip it to assert exactly that.
+  bool readMemo = true;
+};
+
+/// Monotonic counters of the sweep cache + read memo (diagnostics; the
+/// contention claim behind the per-thread memo is measured, not assumed).
+struct SweepCacheStats {
+  std::uint64_t hits = 0;       ///< shared-cache probes that hit
+  std::uint64_t misses = 0;     ///< shared-cache probes that missed
+  std::uint64_t memoHits = 0;   ///< read-memo hits (no stripe lock taken)
+  /// Stripe-lock acquisitions that found the lock held (try_lock failed
+  /// and the probe had to wait).
+  std::uint64_t stripeContention = 0;
+  std::size_t entries = 0;      ///< distinct validated encodings held
 };
 
 /// Sweep-level memo of chain entries whose pure (vertex-independent)
-/// validation already passed.  Keyed by ENTRY IDENTITY — full structural
-/// equality of the decoded record, which agrees with comparing encodings
-/// (encodeTo is deterministic and injective) — so a hit can never conflate
-/// two entries that differ in any byte.  Thread-safe: lookups and inserts
-/// take a stripe lock hashed on the entry's node id; stored entries are
-/// deep copies on the global heap, so they outlive the per-thread decode
+/// validation already passed.  Keyed by ENTRY ENCODING — decodeFrom is a
+/// pure function of the bytes, so byte-equal encodings are structurally
+/// equal entries and validate to the same (deterministic) verdict; a hit
+/// can never conflate two entries that differ in any decoded field.
+/// Non-canonical encodings of the same entry (padded varints) key
+/// separately, which only ever costs a conservative re-validation.
+/// Storing one contiguous byte string per entry also makes lookups a
+/// single SIMD byte compare instead of a record-graph walk, and inserts a
+/// flat copy instead of a deep pmr clone.  Thread-safe: lookups and
+/// inserts take a stripe lock hashed on the entry's node id; stored
+/// strings live on the global heap, so they outlive the per-thread decode
 /// arenas the probes point into.  Entries stay valid for the lifetime of
 /// the algebra/params they were validated under (the owning engine never
 /// changes either), which is why a session can keep its cache warm across
@@ -90,14 +117,23 @@ class SweepEntryCache {
   SweepEntryCache(const SweepEntryCache&) = delete;
   SweepEntryCache& operator=(const SweepEntryCache&) = delete;
 
-  /// True if an entry structurally equal to `e` already passed validation.
-  [[nodiscard]] bool containsValidated(const ChainEntry& e) const;
-  /// Records `e` as validated (deep copy; no-op if already present).
-  void markValidated(const ChainEntry& e);
-  /// Number of distinct validated entries held.
+  /// True if an entry with this exact encoding already passed validation
+  /// for node `nodeId`.  Counts a hit or miss, and counts stripe
+  /// contention when the stripe lock was held by another thread.
+  [[nodiscard]] bool containsValidated(std::int64_t nodeId,
+                                       std::string_view entryBytes) const;
+  /// Records an encoding as validated (flat copy; no-op if present).
+  void markValidated(std::int64_t nodeId, std::string_view entryBytes);
+  /// Number of distinct validated encodings held.
   [[nodiscard]] std::size_t size() const;
-  /// Drops every entry (bounds memory; never required for correctness).
+  /// Drops every entry (bounds memory; never required for correctness) and
+  /// bumps the epoch so per-thread read memos self-invalidate.
   void clear();
+  /// Bumped once per clear(); read memos compare against it.
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Hit/miss/contention counters + entry count (memoHits stays 0 here;
+  /// the engine folds in the per-thread memo counter).
+  [[nodiscard]] SweepCacheStats stats() const;
 
  private:
   struct Impl;
@@ -140,12 +176,17 @@ class CoreVerifierEngine {
   [[nodiscard]] std::size_t sweepCacheSize() const;
   /// Drops the sweep cache (memory bound only; verdicts never depend on it).
   void clearSweepCache();
+  /// Sweep cache counters with the per-thread read-memo hits folded in.
+  [[nodiscard]] SweepCacheStats cacheStats() const;
 
  private:
   PropertyPtr prop_;
   CoreVerifierParams params_;
   std::shared_ptr<const LaneAlgebra> algebra_;
   mutable SweepEntryCache cache_;
+  /// Read-memo hits across every ThreadState that checked through this
+  /// engine (flushed once per vertex check, not per hit).
+  mutable std::atomic<std::uint64_t> memoHits_{0};
 };
 
 /// Builds the local verifier for `prop`: a thin closure over a shared

@@ -72,7 +72,7 @@ class Encoder {
 class Decoder {
  public:
   explicit Decoder(std::string data) : owned_(std::move(data)), data_(owned_) {}
-  explicit Decoder(std::string_view data) : data_(data) {}
+  explicit Decoder(std::string_view data) : data_(data), borrows_(true) {}
   // Forbidden: the string/string_view overloads are ambiguous for char
   // pointers, and strlen semantics would truncate binary input at NUL
   // bytes anyway.  Wrap literals in std::string or std::string_view.
@@ -116,11 +116,21 @@ class Decoder {
     return data_[pos_++] != '\0';
   }
   [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
+  /// Current read offset into the buffer.
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  /// True when this decoder BORROWS its buffer (string_view constructor):
+  /// spans of the buffer outlive the decoder.  Record-decoding code uses
+  /// this to decide whether source-byte spans may be handed out.
+  [[nodiscard]] bool borrowsBuffer() const { return borrows_; }
+  /// The full buffer being decoded; with borrowsBuffer(), substrings of it
+  /// stay valid for the lifetime of the underlying bytes.
+  [[nodiscard]] std::string_view buffer() const { return data_; }
 
  private:
   std::string owned_;      ///< backing copy when constructed from std::string
   std::string_view data_;  ///< the bytes being decoded
   std::size_t pos_ = 0;
+  bool borrows_ = false;   ///< string_view ctor: data_ outlives the decoder
 };
 
 }  // namespace lanecert

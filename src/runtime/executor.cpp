@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "runtime/topology.hpp"
+
 namespace lanecert {
 
 int resolveThreadCount(int requested) {
@@ -15,10 +17,23 @@ int resolveThreadCount(int requested) {
 // ---------------------------------------------------------------------------
 // WorkerPool
 
-WorkerPool::WorkerPool(int workers) {
+WorkerPool::WorkerPool(int workers, const NumaTopology* pinTopology) {
   workers_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+  // Pinning only pays (and only restricts) across nodes; a single-node
+  // topology leaves the scheduler free.  The worker pins ITSELF before its
+  // first task so every task it ever runs sees the final placement.
+  const bool pin = pinTopology != nullptr && pinTopology->multiNode();
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    if (pin) {
+      const std::size_t node =
+          pinTopology->nodeOfShard(static_cast<std::size_t>(i) + 1);
+      workers_.emplace_back([this, topo = *pinTopology, node] {
+        pinThreadToNode(topo, node);  // advisory; failure changes nothing
+        workerLoop();
+      });
+    } else {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
   }
 }
 
@@ -114,9 +129,10 @@ struct ParallelExecutor::Job {
   }
 };
 
-ParallelExecutor::ParallelExecutor(int numThreads)
+ParallelExecutor::ParallelExecutor(int numThreads,
+                                   const NumaTopology* pinTopology)
     : numThreads_(resolveThreadCount(numThreads)) {
-  owned_ = std::make_unique<WorkerPool>(numThreads_ - 1);
+  owned_ = std::make_unique<WorkerPool>(numThreads_ - 1, pinTopology);
   pool_ = owned_.get();
 }
 

@@ -1,0 +1,44 @@
+#include "runtime/numa_mirror.hpp"
+
+#include "runtime/executor.hpp"
+
+namespace lanecert {
+
+namespace {
+
+std::vector<std::string> copyViews(const LabelStore& primary) {
+  std::vector<std::string> labels;
+  labels.reserve(primary.size());
+  for (std::size_t i = 0; i < primary.size(); ++i) {
+    labels.emplace_back(primary.view(i));
+  }
+  return labels;
+}
+
+}  // namespace
+
+NumaLabelMirror::Replica::Replica(const Graph& g, const LabelStore& primary,
+                                  ParallelExecutor& exec)
+    : labels(copyViews(primary)), store(labels) {
+  index = buildIncidentEdgeIndex(g, store, exec);
+}
+
+NumaLabelMirror::NumaLabelMirror(const Graph& g, const LabelStore& primary,
+                                 std::size_t replicas, ParallelExecutor& exec) {
+  replicas_.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    replicas_.push_back(std::make_unique<Replica>(g, primary, exec));
+  }
+}
+
+NumaLabelMirror::~NumaLabelMirror() = default;
+
+void NumaLabelMirror::applyEdits(const Graph& g,
+                                 std::span<const EdgeLabelEdit> edits) {
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    const std::vector<VertexId> dirty = r->store.applyEdits(g, edits);
+    refreshIncidentEdgeRows(r->index, g, r->store, dirty);
+  }
+}
+
+}  // namespace lanecert

@@ -1,0 +1,88 @@
+#pragma once
+// Per-NUMA-node replicas of the read-only label plane.
+//
+// A verification sweep is read-dominated: every vertex check streams its
+// incident labels' bytes through the decoder.  On a multi-node machine a
+// single LabelStore parks every label on the allocating node, so half the
+// sweep's reads cross the interconnect.  NumaLabelMirror clones the label
+// plane — label bytes, the versioned LabelStore over them, and the CSR
+// vertex index — once per extra node; shards pinned to node k read their
+// node's copy and never touch remote label memory.  First-touch placement
+// does the actual locating: each replica's bytes are copied (and its index
+// built) by the sweep threads of the node that will read them.
+//
+// Correctness is by construction, not by trust: a replica is maintained
+// through the SAME applyEdits entry point as the primary store, so replica
+// k's views are byte-identical to the primary's at every version — the
+// coherence tests assert exactly that.  Re-mirroring after an edit batch is
+// INCREMENTAL: LabelStore::applyEdits rewrites only the edited labels and
+// returns the dirty vertex rows, and refreshIncidentEdgeRows re-sorts only
+// those rows, so a small edit batch costs O(dirty) per replica, never a
+// full re-clone.
+//
+// The single-node machines this code usually runs on never construct a
+// mirror at all (VerifySession gates on multiNode()); tests force replicas
+// through a synthetic topology.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "runtime/label_store.hpp"
+
+namespace lanecert {
+
+class ParallelExecutor;
+
+class NumaLabelMirror {
+ public:
+  /// Clones `primary`'s CURRENT views into `replicas` independent label
+  /// planes and builds each replica's incident-edge index over `exec`.
+  /// `replicas` = extra nodes (the primary store serves node 0).
+  NumaLabelMirror(const Graph& g, const LabelStore& primary,
+                  std::size_t replicas, ParallelExecutor& exec);
+  ~NumaLabelMirror();
+
+  NumaLabelMirror(const NumaLabelMirror&) = delete;
+  NumaLabelMirror& operator=(const NumaLabelMirror&) = delete;
+
+  [[nodiscard]] std::size_t replicaCount() const { return replicas_.size(); }
+  /// Replica r's CSR index (rows byte-identical to the primary's).
+  [[nodiscard]] const VertexLabelIndex& index(std::size_t r) const {
+    return replicas_[r]->index;
+  }
+  /// Replica r's bytes of edge `e`'s label.
+  [[nodiscard]] std::string_view label(std::size_t r, EdgeId e) const {
+    return replicas_[r]->store.view(static_cast<std::size_t>(e));
+  }
+  /// Version of replica r's store (tracks the primary: one bump per
+  /// mirrored non-empty batch).
+  [[nodiscard]] std::uint64_t version(std::size_t r) const {
+    return replicas_[r]->store.version();
+  }
+
+  /// Mirrors one edit batch into every replica — the same batch the caller
+  /// just applied to the primary, so every plane converges on identical
+  /// views.  Incremental: only edited labels are rewritten and only dirty
+  /// rows re-sorted, per replica.
+  void applyEdits(const Graph& g, std::span<const EdgeLabelEdit> edits);
+
+ private:
+  struct Replica {
+    std::vector<std::string> labels;  ///< replica-owned byte copies
+    LabelStore store;                 ///< views over `labels` (then edits)
+    VertexLabelIndex index;
+
+    Replica(const Graph& g, const LabelStore& primary, ParallelExecutor& exec);
+  };
+
+  /// unique_ptr per replica: LabelStore views alias the sibling `labels`
+  /// vector, so replicas must never relocate once built.
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+}  // namespace lanecert

@@ -9,7 +9,9 @@ namespace lanecert::serve {
 
 LaneCertService::LaneCertService(ServiceOptions options)
     : options_(options),
-      pool_(std::max(1, resolveThreadCount(options.numThreads))),
+      topo_(options.numaAware ? NumaTopology::detect()
+                              : NumaTopology::singleNode()),
+      pool_(std::max(1, resolveThreadCount(options.numThreads)), &topo_),
       sched_(pool_, options.maxConcurrentJobs) {}
 
 LaneCertService::~LaneCertService() = default;  // sched_ drains first
@@ -19,8 +21,23 @@ void LaneCertService::drain() { sched_.drain(); }
 std::size_t LaneCertService::cancelPending() { return sched_.cancelPending(); }
 
 ServiceStats LaneCertService::stats() const {
-  std::lock_guard<std::mutex> lock(statsMu_);
-  return stats_;
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(statsMu_);
+    s = stats_;
+  }
+  // Sweep-cache counters live in the session engines (relaxed atomics);
+  // sum the open sessions at snapshot time.  Reading a session's counters
+  // needs no entry->mu — they are engine atomics, safe during a sweep.
+  std::lock_guard<std::mutex> lock(sessionsMu_);
+  for (const auto& [id, entry] : sessions_) {
+    const SweepCacheStats cs = entry->session->cacheStats();
+    s.sweepCacheHits += cs.hits;
+    s.sweepCacheMisses += cs.misses;
+    s.sweepCacheMemoHits += cs.memoHits;
+    s.sweepCacheStripeContention += cs.stripeContention;
+  }
+  return s;
 }
 
 void LaneCertService::bump(std::uint64_t ServiceStats::* counter) {
@@ -220,6 +237,10 @@ std::uint64_t LaneCertService::openVerifySession(VerifyJob job) {
   entry->session = std::make_unique<VerifySession>(
       std::move(job.graph), std::move(job.ids), *job.labels,
       std::move(job.property), job.params);
+  // Hand every session the service's detected topology (or the blind
+  // single node when numaAware is off) so sessions never re-read sysfs and
+  // all place replicas identically.
+  entry->session->setTopology(topo_);
   std::uint64_t id = 0;
   {
     std::lock_guard<std::mutex> lock(sessionsMu_);
@@ -245,6 +266,11 @@ std::uint64_t LaneCertService::sessionStoreVersion(
   const std::shared_ptr<VerifySessionEntry> entry = findSession(session);
   std::lock_guard<std::mutex> lock(entry->mu);
   return entry->versionMirror;
+}
+
+SweepCacheStats LaneCertService::sessionCacheStats(
+    std::uint64_t session) const {
+  return findSession(session)->session->cacheStats();
 }
 
 void LaneCertService::closeVerifySession(std::uint64_t session) {

@@ -65,6 +65,7 @@
 #include "core/verify_session.hpp"
 #include "pls/scheme.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/topology.hpp"
 #include "serve/batch_scheduler.hpp"
 #include "serve/job.hpp"
 
@@ -87,6 +88,13 @@ struct ServiceOptions {
   bool enableResultCache = true;
   std::size_t maxCachedPlans = 16;
   std::size_t maxCachedResults = 64;
+  /// Topology awareness: detect the machine's NUMA layout at construction,
+  /// pin pool workers round-robin across nodes, and hand the topology to
+  /// every verification session (which mirrors its label plane per node —
+  /// see runtime/numa_mirror.hpp).  Single-node machines make all of it a
+  /// no-op; results are bit-identical either way, so the switch exists for
+  /// A/B measurement, not safety.
+  bool numaAware = true;
 };
 
 /// Monotonic service counters (snapshot via stats()).
@@ -107,6 +115,17 @@ struct ServiceStats {
   std::uint64_t cancelledJobs = 0;
   std::uint64_t sessionsOpened = 0;
   std::uint64_t reverifyBatchesCompleted = 0;
+  /// Sweep-entry-cache counters summed over the OPEN verification sessions
+  /// at snapshot time (each session's engine keeps its own monotonic
+  /// counters; closing a session drops its contribution).
+  std::uint64_t sweepCacheHits = 0;
+  std::uint64_t sweepCacheMisses = 0;
+  /// Per-thread read-memo hits: validations skipped without touching the
+  /// striped locks at all.
+  std::uint64_t sweepCacheMemoHits = 0;
+  /// Stripe-lock probes that found the lock held (the contention the read
+  /// memo exists to avoid).
+  std::uint64_t sweepCacheStripeContention = 0;
 };
 
 class LaneCertService {
@@ -137,6 +156,10 @@ class LaneCertService {
   std::shared_future<SimulationResult> submitReverify(ReverifyJob job);
   /// Current store version of an open session (0 = never edited).
   [[nodiscard]] std::uint64_t sessionStoreVersion(std::uint64_t session) const;
+  /// Sweep-cache counters of ONE open session (throws std::invalid_argument
+  /// for an unknown/closed handle).  Snapshot of relaxed atomics: exact
+  /// once the session is quiescent, approximate while a sweep runs.
+  [[nodiscard]] SweepCacheStats sessionCacheStats(std::uint64_t session) const;
   /// Closes a session: the handle becomes invalid for NEW submissions;
   /// batches already queued still complete.  Idempotent.
   void closeVerifySession(std::uint64_t session);
@@ -214,6 +237,9 @@ class LaneCertService {
   void bump(std::uint64_t ServiceStats::* counter);
 
   const ServiceOptions options_;
+  /// Detected once at construction (numaAware only); declared before the
+  /// pool so worker pinning can read it during pool construction.
+  const NumaTopology topo_;
   WorkerPool pool_;
 
   std::mutex planMu_;

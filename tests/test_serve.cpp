@@ -388,6 +388,41 @@ TEST(Serve, VerifySessionReverifyMatchesStandalone) {
   }
 }
 
+TEST(Serve, SessionSweepCacheStatsSurfaced) {
+  Rng rng(57);
+  auto bp = randomBoundedPathwidth(40, 2, 0.4, rng);
+  const auto ids = IdAssignment::random(40, 15);
+  const auto prop = makeConnectivity();
+  const auto proved = proveCore(bp.graph, ids, *prop, nullptr, 1);
+  const auto payload =
+      std::make_shared<const std::vector<std::string>>(proved.labels);
+
+  LaneCertService service(ServiceOptions{.numThreads = 2});
+  const std::uint64_t sid =
+      service.openVerifySession(VerifyJob{bp.graph, ids, payload, prop, {}});
+  // Before any sweep the session's engine has seen nothing.
+  EXPECT_EQ(service.sessionCacheStats(sid).entries, 0u);
+
+  (void)service.submitReverify(ReverifyJob{sid, {}}).get();  // full sweep
+  const SweepCacheStats after = service.sessionCacheStats(sid);
+  EXPECT_GT(after.entries, 0u);
+  EXPECT_GT(after.misses, 0u);       // first validation of each entry
+  EXPECT_GT(after.hits + after.memoHits, 0u);  // shared upper entries reused
+
+  // The aggregate counters mirror the (single) open session's numbers.
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.sweepCacheHits, after.hits);
+  EXPECT_EQ(stats.sweepCacheMisses, after.misses);
+  EXPECT_EQ(stats.sweepCacheMemoHits, after.memoHits);
+  EXPECT_EQ(stats.sweepCacheStripeContention, after.stripeContention);
+
+  // Closing the session drops its contribution and invalidates the handle.
+  service.closeVerifySession(sid);
+  EXPECT_THROW((void)service.sessionCacheStats(sid), std::invalid_argument);
+  service.drain();
+  EXPECT_EQ(service.stats().sweepCacheMisses, 0u);
+}
+
 TEST(Serve, ReverifyBatchesRunInSubmissionOrder) {
   // Fire a pipeline of batches without waiting on any future; every future
   // must match the fresh sweep of its PREFIX state — smallest-first
