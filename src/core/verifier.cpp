@@ -34,13 +34,20 @@ bool bytesEq(std::string_view a, std::string_view b) {
 /// entries are shared by most vertices AND hash to few stripes, so without
 /// this layer heavily threaded sweeps serialize on the same stripe locks
 /// for exactly the hottest entries; a memo hit touches no lock at all.
-/// Epoch-synced: SweepEntryCache::clear() bumps its epoch, and the memo
-/// self-invalidates on the next vertex check (stale POSITIVE memo entries
-/// are sound — validation outcomes are forced — but dropping them keeps
-/// the memory bound tied to the live cache).
+/// Synced to the cache's (id, epoch) pair on every vertex check.  The id
+/// guard is a SOUNDNESS requirement, not a memory bound: the memo lives in
+/// thread_local scratch shared by every engine that checks on this thread
+/// (e.g. per-job verifier closures multiplexed over one worker pool), and
+/// entries validated under one engine's algebra/params say nothing about
+/// another's — serving them across engines could skip validateEntryPure
+/// for an entry the current engine would reject.  The epoch guard handles
+/// clear() within one cache; stale POSITIVE same-cache entries are sound
+/// (validation outcomes are forced) but dropping them keeps the memory
+/// bound tied to the live cache.
 struct SweepReadMemo {
   FlatMap<std::int64_t, std::vector<std::string>> validated;
   std::size_t total = 0;
+  std::uint64_t cacheId = 0;  ///< 0 = never synced; real ids start at 1
   std::uint64_t epoch = 0;
   /// Growth backstop, same spirit as the shared cache's: stop retaining,
   /// never stop serving.
@@ -67,10 +74,11 @@ struct SweepReadMemo {
     ++total;
   }
 
-  void syncEpoch(std::uint64_t cacheEpoch) {
-    if (epoch == cacheEpoch) return;
+  void syncTo(std::uint64_t id, std::uint64_t cacheEpoch) {
+    if (cacheId == id && epoch == cacheEpoch) return;
     validated.clear();
     total = 0;
+    cacheId = id;
     epoch = cacheEpoch;
   }
 };
@@ -151,6 +159,14 @@ struct SweepEntryCache::Impl {
   /// Bumped per clear(); per-thread read memos compare against it and drop
   /// their (now unbounded-growth-risky) copies.
   std::atomic<std::uint64_t> epoch{0};
+  /// Process-unique, never reused (a freed-and-reallocated cache at the
+  /// same address still gets a fresh id); read memos key on it so they can
+  /// never serve entries validated under a DIFFERENT engine's cache.
+  const std::uint64_t id = nextId();
+  static std::uint64_t nextId() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }
   // Counters are relaxed: they are diagnostics, never synchronization.
   mutable std::atomic<std::uint64_t> hits{0};
   mutable std::atomic<std::uint64_t> misses{0};
@@ -241,6 +257,8 @@ std::uint64_t SweepEntryCache::epoch() const {
   return impl_->epoch.load(std::memory_order_relaxed);
 }
 
+std::uint64_t SweepEntryCache::id() const { return impl_->id; }
+
 SweepCacheStats SweepEntryCache::stats() const {
   SweepCacheStats s;
   s.hits = impl_->hits.load(std::memory_order_relaxed);
@@ -289,9 +307,13 @@ class Checker {
         sweepCache_(sweepCache) {
     s_.reset();
     // The read memo is NOT reset per vertex — it persists for the thread —
-    // but it must drop its copies when the shared cache was cleared, so the
-    // combined footprint stays bounded by the live cache.
-    if (sweepCache_ != nullptr) s_.memo.syncEpoch(sweepCache_->epoch());
+    // but it must drop its copies when the cache identity changed (the
+    // scratch is shared by every engine on this thread, and memo contents
+    // are only meaningful against the engine that validated them) or when
+    // the same cache was cleared (memory bound).
+    if (sweepCache_ != nullptr) {
+      s_.memo.syncTo(sweepCache_->id(), sweepCache_->epoch());
+    }
   }
 
   bool run();
@@ -854,15 +876,24 @@ CoreVerifierEngine::~CoreVerifierEngine() = default;
 
 bool CoreVerifierEngine::check(const EdgeView& view, ThreadState& state) const {
   if (!state.impl_) state.impl_ = std::make_unique<VerifierScratch>();
-  Checker checker(*algebra_, params_, view, *state.impl_, &cache_);
   bool ok = false;
+  std::uint64_t hits = 0;
+  // Construction stays inside a try as well: scratch reset can in principle
+  // throw (allocation), and check() is documented never to throw — reject
+  // instead.  Rejecting runs still flush their memo hits.
   try {
-    ok = checker.run();
+    Checker checker(*algebra_, params_, view, *state.impl_, &cache_);
+    try {
+      ok = checker.run();
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    hits = checker.memoHits();
   } catch (const std::exception&) {
     ok = false;
   }
-  if (checker.memoHits() != 0) {
-    memoHits_.fetch_add(checker.memoHits(), std::memory_order_relaxed);
+  if (hits != 0) {
+    memoHits_.fetch_add(hits, std::memory_order_relaxed);
   }
   return ok;
 }
@@ -890,7 +921,10 @@ EdgeVerifier makeCoreVerifier(PropertyPtr prop, CoreVerifierParams params) {
   return [engine = std::move(engine)](const EdgeView& view) -> bool {
     // One scratch per OS thread, shared by every verifier closure on that
     // thread (each check resets it), so concurrent sweeps stay allocation-
-    // free in steady state without per-closure state.
+    // free in steady state without per-closure state.  The cross-vertex
+    // read memo inside is keyed to the engine's cache identity, so a thread
+    // interleaving checks for several engines (per-job closures over one
+    // pool) never serves one engine's memoized validations to another.
     static thread_local CoreVerifierEngine::ThreadState state;
     return engine->check(view, state);
   };

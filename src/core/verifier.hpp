@@ -131,6 +131,12 @@ class SweepEntryCache {
   void clear();
   /// Bumped once per clear(); read memos compare against it.
   [[nodiscard]] std::uint64_t epoch() const;
+  /// Process-unique identity of this cache instance (never reused, unlike
+  /// the `this` pointer).  Thread-local read memos key on (id, epoch): the
+  /// memo scratch is shared by every engine that checks on a thread, and
+  /// distinct engines validate under distinct algebras/params, so a memo
+  /// filled against one cache must never answer probes for another.
+  [[nodiscard]] std::uint64_t id() const;
   /// Hit/miss/contention counters + entry count (memoHits stays 0 here;
   /// the engine folds in the per-thread memo counter).
   [[nodiscard]] SweepCacheStats stats() const;

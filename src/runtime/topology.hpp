@@ -38,8 +38,9 @@ struct NumaNode {
 
 class NumaTopology {
  public:
-  /// Default: the topology-blind single node (no CPUs listed — pinning
-  /// no-ops).  Use detect() for the real machine.
+  /// Default: the topology-blind singleNode() — one node owning every CPU
+  /// the OS reports.  multiNode() is false, so pinning and replica
+  /// mirroring are skipped.  Use detect() for the real machine.
   NumaTopology() : NumaTopology(singleNode()) {}
 
   /// Reads /sys/devices/system/node; falls back to singleNode() when the

@@ -34,6 +34,7 @@
 #include "mso/properties.hpp"
 #include "pls/scheme.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/label_store.hpp"
 #include "runtime/numa_mirror.hpp"
 #include "runtime/topology.hpp"
 
@@ -182,6 +183,60 @@ TEST(SimdSweeps, CacheStatsCountHitsMissesAndMemoHits) {
                       noMemo);
   EXPECT_TRUE(blind.verifyAll(2).allAccept);
   EXPECT_EQ(blind.cacheStats().memoHits, 0u);
+}
+
+TEST(SimdSweeps, ReadMemoNeverLeaksAcrossEngines) {
+  // The per-thread read memo lives in scratch shared by EVERY engine that
+  // checks on a thread (makeCoreVerifier's thread_local state; per-job
+  // closures multiplexed over one worker pool).  A memo filled against
+  // engine A must never answer probes for engine B — B's entries have to be
+  // validated under B's own algebra/params.  Regression: the memo used to
+  // sync on epoch NUMBER alone, so two engines both at epoch 0 shared
+  // entries; B's cold sweep "hit" the stale memo for every shared entry,
+  // skipped validateEntryPure, and left B's own cache empty.
+  Rng rng(41);
+  auto bp = randomBoundedPathwidth(32, 2, 0.5, rng);
+  const Graph& g = bp.graph;
+  const IdAssignment ids = IdAssignment::random(g.numVertices(), 7);
+  const auto proved = proveCore(g, ids, *makeConnectivity(), nullptr);
+
+  const LabelStore store(proved.labels);
+  ParallelExecutor exec(1);
+  const VertexLabelIndex index = buildIncidentEdgeIndex(g, store, exec);
+
+  CoreVerifierEngine a(makeConnectivity());
+  CoreVerifierEngine b(makeConnectivity());
+  CoreVerifierEngine::ThreadState shared;  // plays the thread_local's role
+
+  const auto sweep = [&](const CoreVerifierEngine& engine) {
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+      EdgeView view;
+      view.selfId = ids.id(v);
+      view.incidentLabels = index.row(v);
+      EXPECT_TRUE(engine.check(view, shared)) << "vertex " << v;
+    }
+  };
+
+  sweep(a);
+  ASSERT_GT(a.sweepCacheSize(), 0u);
+
+  // B reuses A's scratch (and thus its memo) but is a distinct engine with
+  // a cold cache: its first sweep must validate every entry itself, so its
+  // cache ends up exactly as full as A's and its probes actually reached it
+  // (with the leak, every probe "hit" A's leftover memo instead — B's cache
+  // stayed empty and its miss counter stayed zero).  Memo hits B earns
+  // against entries it validated itself during this sweep are fine.
+  sweep(b);
+  EXPECT_EQ(b.sweepCacheSize(), a.sweepCacheSize());
+  EXPECT_GT(b.cacheStats().misses, 0u);
+
+  // Back on the same engine the memo is legitimate again: a warm repeat
+  // sweep serves shared upper entries without re-validating them.
+  const SweepCacheStats before = a.cacheStats();
+  sweep(a);
+  const SweepCacheStats after = a.cacheStats();
+  EXPECT_GT(after.hits + after.memoHits, before.hits + before.memoHits);
+  EXPECT_EQ(a.sweepCacheSize(), before.entries);
 }
 
 // --- 3. Topology detection + NUMA replica coherence -----------------------
