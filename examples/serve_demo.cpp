@@ -3,19 +3,41 @@
 //
 //   $ ./serve_demo
 //
-// A small "catalog" of graphs is served under several properties at once:
-// prove requests for every (graph, property) pair plus verify requests over
-// the proved labels, all submitted up front and resolved through futures.
-// The service amortizes thread wake-ups across requests, plans each graph
-// once (plan cache), and coalesces the duplicate requests a real front-end
-// produces under retries.
+// Act 1 — throughput: a small "catalog" of graphs is served under several
+// properties at once: prove requests for every (graph, property) pair plus
+// verify requests over the proved labels, all submitted up front and
+// resolved through futures.  The service amortizes thread wake-ups across
+// requests, plans each graph once (plan cache), and coalesces the
+// duplicate requests a real front-end produces under retries.
+//
+// Act 2 — fault tolerance and shutdown under load, exercising the error
+// taxonomy of serve/errors.hpp.  Every failure a client can see is one of
+// four types, so handlers branch on WHAT failed instead of parsing
+// messages:
+//
+//   RejectedError          synchronous from submit*: admission control
+//                          turned the request away at maxQueueDepth; carries
+//                          a retry-after hint scaled by the backlog
+//   DeadlineExceededError  through the future: the job's deadline passed
+//                          before dispatch; the work never ran
+//   CancelledError         through the future: cancelPending() discarded
+//                          the job before it started
+//   TransientError         retryable; session drivers retry it up to
+//                          JobOptions::maxAttempts with doubling backoff
+//                          before it ever reaches a future
+//
+// Anything else (DecodeError, std::invalid_argument, ...) is a permanent
+// failure — retrying the identical request would fail identically.
 
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/verifier.hpp"
 #include "graph/generators.hpp"
 #include "mso/properties.hpp"
+#include "serve/errors.hpp"
 #include "serve/service.hpp"
 
 using namespace lanecert;
@@ -87,5 +109,81 @@ int main() {
       static_cast<unsigned long long>(stats.verifyJobsCompleted),
       static_cast<unsigned long long>(stats.resultCacheHits),
       static_cast<unsigned long long>(stats.planCacheHits));
-  return allAccept ? 0 : 1;
+
+  // ---- Act 2: fault tolerance + shutdown under load ----------------------
+  // A deliberately tiny service (one worker, shallow queue, no result
+  // cache — every request is real work) so the failure paths actually fire.
+  serve::ServiceOptions tight;
+  tight.numThreads = 1;
+  tight.maxConcurrentJobs = 1;
+  tight.enableResultCache = false;
+  tight.maxQueueDepth = 4;
+  serve::LaneCertService loaded(tight);
+  const Graph burstGraph = pathGraph(160);
+  const IdAssignment burstIds = IdAssignment::random(160, 99);
+  const PropertyPtr conn = makeConnectivity();
+
+  // Backpressure: hammer submit until admission control pushes back.  A
+  // production client would sleep retryAfter() and resubmit; the demo just
+  // counts the rejections.
+  std::vector<std::shared_future<CoreProveResult>> burst;
+  std::size_t rejected = 0;
+  std::chrono::milliseconds lastHint{0};
+  for (int i = 0; i < 16; ++i) {
+    serve::ProveJob job{burstGraph, burstIds, conn, {}};
+    // Distinct deadlines defeat request coalescing, so every accepted
+    // submission occupies its own queue slot (and a generous deadline
+    // keeps the accepted jobs dispatchable).
+    job.options.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::seconds(60 + i);
+    try {
+      burst.push_back(loaded.submitProve(std::move(job)));
+    } catch (const serve::RejectedError& e) {
+      ++rejected;
+      lastHint = e.retryAfter();
+    }
+  }
+  std::printf("  burst  16 submitted -> %zu queued, %zu rejected "
+              "(last retry-after hint %lldms)\n",
+              burst.size(), rejected,
+              static_cast<long long>(lastHint.count()));
+
+  // Shutdown under load: discard everything that has not started, then
+  // drain what is running.  EVERY future still resolves — with a result
+  // for jobs that ran, with CancelledError for the discarded ones; nothing
+  // is left hanging for the destructor to surprise.
+  const std::size_t discarded = loaded.cancelPending();
+  loaded.drain();
+  std::size_t completed = 0;
+  std::size_t cancelled = 0;
+  for (auto& f : burst) {
+    try {
+      (void)f.get();
+      ++completed;
+    } catch (const serve::CancelledError&) {
+      ++cancelled;
+    }
+  }
+  std::printf("  shutdown: cancelPending discarded %zu; of %zu queued "
+              "futures %zu completed, %zu cancelled — all resolved\n",
+              discarded, burst.size(), completed, cancelled);
+  const bool accounted = completed + cancelled == burst.size();
+
+  // Deadlines: an already-expired job fails fast with
+  // DeadlineExceededError — the work never runs, the future still resolves.
+  // (On the now-idle service, so backpressure cannot preempt the demo.)
+  serve::ProveJob late{burstGraph, burstIds, conn, {}};
+  late.options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  bool deadlineFired = false;
+  try {
+    (void)loaded.submitProve(std::move(late)).get();
+  } catch (const serve::DeadlineExceededError&) {
+    deadlineFired = true;
+  }
+  std::printf("  deadline-expired job -> %s\n",
+              deadlineFired ? "DeadlineExceededError (work never ran)"
+                            : "ran anyway?!");
+
+  return allAccept && accounted && deadlineFired ? 0 : 1;
 }

@@ -26,6 +26,9 @@
 #   5  test failure
 #   6  benchmark smoke failure
 #   7  SIMD/scalar cross-build certificate divergence (--ci only)
+#   8  certificate fuzz regression (--ci only): the deterministic fuzz
+#      campaign found a verifier crash/hang or an accepted corrupting
+#      mutation; reproduction artifacts are left in build/fuzz-artifacts
 set -uo pipefail
 
 # Run from the repository root regardless of the caller's cwd (works when
@@ -185,6 +188,29 @@ if [ "${CI_MODE}" -eq 1 ]; then
   fi
 else
   ci_report simd-cross-build skip 7
+fi
+
+# --- Certificate fuzz regression (--ci only): a deterministic slice of the
+# structure-aware fuzz campaign (fixed seed, bounded budget).  Any
+# violation — a crash, a hang past the budget, an accepted semantically
+# corrupting mutation on a false instance — fails with its own exit class;
+# fuzz_cert leaves crash-*.bin/.txt artifacts plus a --replay line for O(1)
+# reproduction.  The ctest smoke already runs a smaller slice on every
+# build; this leg is the longer standing campaign.
+if [ "${CI_MODE}" -eq 1 ]; then
+  if [ -x build/fuzz_cert ]; then
+    mkdir -p build/fuzz-artifacts
+    if ! build/fuzz_cert --seed 7 --iters 40000 --budget-seconds 100 \
+         --artifact-dir build/fuzz-artifacts; then
+      fail cert-fuzz 8 "certificate fuzz campaign failed (artifacts in build/fuzz-artifacts)"
+    fi
+    ci_report cert-fuzz ok 8
+  else
+    echo "verify.sh: build/fuzz_cert missing; skipping fuzz regression check"
+    ci_report cert-fuzz skip 8
+  fi
+else
+  ci_report cert-fuzz skip 8
 fi
 
 echo "verify.sh: OK"

@@ -1,0 +1,249 @@
+#include "core/fuzz_mutator.hpp"
+
+#include <algorithm>
+
+#include "core/records.hpp"
+#include "pls/codec.hpp"
+
+namespace lanecert {
+
+const char* fuzzKindName(FuzzKind kind) {
+  switch (kind) {
+    case FuzzKind::kBitFlip:
+      return "bitFlip";
+    case FuzzKind::kByteSet:
+      return "byteSet";
+    case FuzzKind::kTruncate:
+      return "truncate";
+    case FuzzKind::kVarintPad:
+      return "varintPad";
+    case FuzzKind::kVarintBump:
+      return "varintBump";
+    case FuzzKind::kLengthLie:
+      return "lengthLie";
+    case FuzzKind::kZeroLength:
+      return "zeroLength";
+    case FuzzKind::kSplice:
+      return "splice";
+    case FuzzKind::kChunkDup:
+      return "chunkDup";
+    case FuzzKind::kChunkDrop:
+      return "chunkDrop";
+    case FuzzKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::vector<VarintSite> scanVarints(std::string_view bytes) {
+  std::vector<VarintSite> sites;
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    VarintSite site;
+    site.offset = pos;
+    std::uint64_t value = 0;
+    int shift = 0;
+    std::size_t len = 0;
+    while (pos + len < bytes.size() && len < 10) {
+      const auto b = static_cast<unsigned char>(bytes[pos + len]);
+      if (shift < 64) {
+        value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      }
+      shift += 7;
+      ++len;
+      if ((b & 0x80) == 0) break;  // terminator
+    }
+    site.length = len;
+    site.value = value;
+    // A token is a plausible length prefix when reading `value` bytes after
+    // it stays inside the buffer (the decoder's bytesView bound check).
+    const std::size_t after = pos + len;
+    site.plausibleLength =
+        value > 0 && after < bytes.size() && value <= bytes.size() - after;
+    sites.push_back(site);
+    pos = after;
+  }
+  return sites;
+}
+
+std::string encodeVarint(std::uint64_t value, std::size_t width) {
+  std::string out;
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+  // Redundant padding: rewrite the terminator as a continuation byte and
+  // append zero groups; the decoded value is unchanged, only the width is.
+  while (out.size() < width) {
+    out.back() = static_cast<char>(static_cast<unsigned char>(out.back()) | 0x80);
+    out.push_back('\0');
+  }
+  return out;
+}
+
+namespace {
+
+/// Uniform index in [0, n); requires n > 0.
+std::size_t pickIndex(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<int>(n) - 1));
+}
+
+/// A random site, biased toward plausible length prefixes when requested
+/// (falls back to any site when none qualifies).
+const VarintSite* pickSite(Rng& rng, const std::vector<VarintSite>& sites,
+                           bool wantLength) {
+  if (sites.empty()) return nullptr;
+  if (wantLength) {
+    std::vector<const VarintSite*> lengths;
+    for (const VarintSite& s : sites) {
+      if (s.plausibleLength) lengths.push_back(&s);
+    }
+    if (!lengths.empty()) return lengths[pickIndex(rng, lengths.size())];
+  }
+  return &sites[pickIndex(rng, sites.size())];
+}
+
+/// Replaces bytes [offset, offset + oldLen) with `repl`.
+std::string spliceBytes(std::string_view in, std::size_t offset,
+                        std::size_t oldLen, std::string_view repl) {
+  std::string out;
+  out.reserve(in.size() - oldLen + repl.size());
+  out.append(in.substr(0, offset));
+  out.append(repl);
+  out.append(in.substr(offset + oldLen));
+  return out;
+}
+
+}  // namespace
+
+std::string FuzzMutator::mutate(std::string_view original,
+                                std::string_view donor, FuzzKind kind) {
+  std::string out(original);
+  if (out.empty()) return out;
+  const std::vector<VarintSite> sites = scanVarints(original);
+  switch (kind) {
+    case FuzzKind::kBitFlip: {
+      const std::size_t i = pickIndex(rng_, out.size());
+      out[i] = static_cast<char>(static_cast<unsigned char>(out[i]) ^
+                                 (1u << rng_.uniformInt(0, 7)));
+      return out;
+    }
+    case FuzzKind::kByteSet: {
+      const std::size_t i = pickIndex(rng_, out.size());
+      out[i] = static_cast<char>(rng_.uniformInt(0, 255));
+      return out;
+    }
+    case FuzzKind::kTruncate: {
+      // Half the time cut INSIDE a multi-byte varint (mid-token), otherwise
+      // anywhere — both ends of the decoder's truncation handling.
+      std::size_t cut = pickIndex(rng_, out.size());
+      if (rng_.flip(0.5)) {
+        for (const VarintSite& s : sites) {
+          if (s.length > 1) {
+            cut = s.offset + 1 + pickIndex(rng_, s.length - 1);
+            break;
+          }
+        }
+      }
+      out.resize(cut);
+      return out;
+    }
+    case FuzzKind::kVarintPad: {
+      const VarintSite* s = pickSite(rng_, sites, /*wantLength=*/false);
+      if (s == nullptr) return out;
+      // Pad to anywhere between one extra byte and 11 bytes: 10 exercises
+      // the exact cap (legal iff the value fits), 11 must always reject.
+      const std::size_t width = s->length + static_cast<std::size_t>(
+          rng_.uniformInt(1, static_cast<int>(11 - s->length > 0
+                                                  ? 11 - s->length
+                                                  : 1)));
+      return spliceBytes(original, s->offset, s->length,
+                         encodeVarint(s->value, width));
+    }
+    case FuzzKind::kVarintBump: {
+      const VarintSite* s = pickSite(rng_, sites, /*wantLength=*/false);
+      if (s == nullptr) return out;
+      const std::uint64_t delta =
+          static_cast<std::uint64_t>(rng_.uniformInt(1, 4));
+      const std::uint64_t value =
+          rng_.flip(0.5) ? s->value + delta : s->value - delta;
+      return spliceBytes(original, s->offset, s->length, encodeVarint(value));
+    }
+    case FuzzKind::kLengthLie: {
+      const VarintSite* s = pickSite(rng_, sites, /*wantLength=*/true);
+      if (s == nullptr) return out;
+      // Lie big (up to claiming far past the end) or lie small.
+      const std::uint64_t lie =
+          rng_.flip(0.5) ? s->value + 1 +
+                               static_cast<std::uint64_t>(
+                                   rng_.uniformInt(0, 1 << 20))
+                         : s->value / 2;
+      return spliceBytes(original, s->offset, s->length, encodeVarint(lie));
+    }
+    case FuzzKind::kZeroLength: {
+      const VarintSite* s = pickSite(rng_, sites, /*wantLength=*/true);
+      if (s == nullptr) return out;
+      return spliceBytes(original, s->offset, s->length, encodeVarint(0));
+    }
+    case FuzzKind::kSplice: {
+      if (donor.empty()) return out;
+      // Overwrite a random window with a random donor chunk (lengths may
+      // differ, shifting the rest of the grammar).
+      const std::size_t dstOff = pickIndex(rng_, out.size());
+      const std::size_t dstLen =
+          std::min(out.size() - dstOff,
+                   static_cast<std::size_t>(rng_.uniformInt(1, 64)));
+      const std::size_t srcOff = pickIndex(rng_, donor.size());
+      const std::size_t srcLen =
+          std::min(donor.size() - srcOff,
+                   static_cast<std::size_t>(rng_.uniformInt(1, 64)));
+      return spliceBytes(original, dstOff, dstLen,
+                         donor.substr(srcOff, srcLen));
+    }
+    case FuzzKind::kChunkDup: {
+      const std::size_t off = pickIndex(rng_, out.size());
+      const std::size_t len =
+          std::min(out.size() - off,
+                   static_cast<std::size_t>(rng_.uniformInt(1, 32)));
+      return spliceBytes(original, off, 0, original.substr(off, len));
+    }
+    case FuzzKind::kChunkDrop: {
+      const std::size_t off = pickIndex(rng_, out.size());
+      const std::size_t len =
+          std::min(out.size() - off,
+                   static_cast<std::size_t>(rng_.uniformInt(1, 32)));
+      return spliceBytes(original, off, len, {});
+    }
+    case FuzzKind::kCount:
+      break;
+  }
+  return out;
+}
+
+std::string FuzzMutator::mutateRandom(std::string_view original,
+                                      std::string_view donor,
+                                      FuzzKind* pickedKind) {
+  const auto kind = static_cast<FuzzKind>(
+      rng_.uniformInt(0, static_cast<int>(FuzzKind::kCount) - 1));
+  if (pickedKind != nullptr) *pickedKind = kind;
+  return mutate(original, donor, kind);
+}
+
+FuzzVerdictClass classifyMutation(std::string_view original,
+                                  std::string_view mutant) {
+  std::string mutantCanonical;
+  try {
+    mutantCanonical = EdgeLabel::decode(mutant).encoded();
+  } catch (const DecodeError&) {
+    return FuzzVerdictClass::kMalformed;
+  }
+  // encodeTo is deterministic and injective, so canonical re-encodings are
+  // equal iff the decoded labels are structurally equal.
+  const std::string originalCanonical = EdgeLabel::decode(original).encoded();
+  return mutantCanonical == originalCanonical ? FuzzVerdictClass::kNoop
+                                              : FuzzVerdictClass::kSemanticChange;
+}
+
+}  // namespace lanecert

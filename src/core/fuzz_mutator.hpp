@@ -1,0 +1,115 @@
+#pragma once
+// Structure-aware mutation engine for ENCODED certificates.
+//
+// The soundness story of the whole scheme is "a verifier that rejects every
+// tampered certificate while staying strictly local" — and tampering happens
+// on the wire, i.e. on the encoded bytes, not on decoded records.  The
+// structured attacks in tests/test_core_attacks.cpp forge one decoded field
+// and re-encode; this engine instead mutates the byte stream itself, which
+// reaches the code paths re-encoding attacks cannot: the LEB128 varint
+// decoder (10-byte cap, truncation mid-varint, non-canonical padding),
+// length-prefix handling (lying lengths, zero-length payloads), and the
+// record-grammar error paths of decodeFrom.
+//
+// Structure awareness: label encodings are a soup of LEB128 varints,
+// length-prefixed byte strings, and single-byte booleans.  scanVarints
+// segments a buffer into maximal LEB128 tokens (each run of continuation
+// bytes up to a terminator), which lets mutations target exactly the places
+// the decoder branches on — token boundaries, token values, and tokens that
+// plausibly act as length prefixes — instead of wasting the budget on
+// payload bytes the decoder copies blindly.  The scan is a heuristic (raw
+// payload bytes parse as pseudo-varints too), which is fine: mutation needs
+// interesting POSITIONS, not a faithful schema walk.
+//
+// Every mutation is a deterministic function of (input bytes, donor bytes,
+// kind, rng state), so a fuzz campaign is reproducible from its seed and
+// iteration number alone — the replay contract tools/fuzz_cert.cpp builds
+// its crash artifacts on.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/generators.hpp"
+
+namespace lanecert {
+
+/// Mutation kinds over encoded certificate bytes.
+enum class FuzzKind : std::uint8_t {
+  kBitFlip = 0,     ///< flip one random bit
+  kByteSet,         ///< overwrite one byte with a random value
+  kTruncate,        ///< drop a suffix, cut chosen to land mid-varint often
+  kVarintPad,       ///< re-encode one varint with redundant 0x80 padding
+                    ///< (sometimes past the 10-byte cap — must then reject)
+  kVarintBump,      ///< +/- small delta on one varint value (canonical)
+  kLengthLie,       ///< rewrite a plausible length prefix to a lying value
+  kZeroLength,      ///< set a plausible length prefix to zero, keep payload
+  kSplice,          ///< overwrite a chunk with bytes from the donor label
+  kChunkDup,        ///< duplicate a chunk in place (grows the buffer)
+  kChunkDrop,       ///< remove an interior chunk
+  kCount            ///< number of kinds (not a mutation)
+};
+
+[[nodiscard]] const char* fuzzKindName(FuzzKind kind);
+
+/// One LEB128 token found by the scanner.
+struct VarintSite {
+  std::size_t offset = 0;   ///< first byte of the token
+  std::size_t length = 0;   ///< bytes up to and including the terminator
+  std::uint64_t value = 0;  ///< decoded value (low 64 bits)
+  /// True when interpreting `value` as a byte-string length prefix stays
+  /// inside the buffer — the sites kLengthLie / kZeroLength target.
+  bool plausibleLength = false;
+};
+
+/// Segments `bytes` into maximal LEB128 tokens.  Tokens longer than 10
+/// bytes are truncated at 10 (mirroring the decoder's cap); the final token
+/// may be unterminated (buffer ends mid-varint) — its `length` then runs to
+/// the end of the buffer.
+[[nodiscard]] std::vector<VarintSite> scanVarints(std::string_view bytes);
+
+/// Canonical LEB128 encoding of `value`, optionally padded with redundant
+/// continuation bytes to exactly `width` bytes (0 = canonical width).
+/// Padding beyond 10 bytes produces an encoding the decoder must REJECT.
+[[nodiscard]] std::string encodeVarint(std::uint64_t value,
+                                       std::size_t width = 0);
+
+/// How a mutant relates to its original, decided by decoding both.
+enum class FuzzVerdictClass : std::uint8_t {
+  kMalformed,      ///< mutant no longer decodes: sweep must reject
+  kSemanticChange, ///< decodes to different content: corruption
+  kNoop,           ///< decodes to identical content (e.g. padded varints):
+                   ///< the sweep verdict must be UNCHANGED
+};
+
+class FuzzMutator {
+ public:
+  explicit FuzzMutator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Applies `kind` to `original`; `donor` feeds kSplice (pass any other
+  /// encoded label — ideally from a different graph or property).  Returns
+  /// the mutated bytes; a mutation that degenerates to a no-op on this
+  /// input (e.g. splicing identical bytes) is still returned — the
+  /// classifier sorts it out.
+  [[nodiscard]] std::string mutate(std::string_view original,
+                                   std::string_view donor, FuzzKind kind);
+
+  /// Picks a random kind and applies it.
+  [[nodiscard]] std::string mutateRandom(std::string_view original,
+                                         std::string_view donor,
+                                         FuzzKind* pickedKind = nullptr);
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// Classifies `mutant` against `original` by decoding both as EdgeLabels.
+/// `original` must itself decode (honest input).
+[[nodiscard]] FuzzVerdictClass classifyMutation(std::string_view original,
+                                                std::string_view mutant);
+
+}  // namespace lanecert

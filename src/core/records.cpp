@@ -8,8 +8,14 @@ namespace {
 
 constexpr std::uint64_t kMaxListLen = 1 << 16;  ///< decode sanity cap
 
-void checkLen(std::uint64_t n) {
-  if (n > kMaxListLen) throw DecodeError{};
+/// List-length gate: the sanity cap PLUS a buffer bound.  Every list
+/// element consumes at least one byte, so a claimed count beyond the bytes
+/// left to read is provably malformed — rejecting BEFORE the reserve/alloc
+/// below means a hostile length prefix on a near-empty buffer can never
+/// buy a large allocation (the fuzzer's kLengthLie mutation exercises
+/// exactly this).
+void checkLen(std::uint64_t n, const Decoder& dec) {
+  if (n > kMaxListLen || n > dec.remaining()) throw DecodeError{};
 }
 
 }  // namespace
@@ -50,7 +56,7 @@ void LaneTerms::encodeTo(Encoder& enc) const {
 LaneTerms LaneTerms::decodeFrom(Decoder& dec, std::pmr::memory_resource* mr) {
   LaneTerms t(mr);
   const std::uint64_t n = dec.u64();
-  checkLen(n);
+  checkLen(n, dec);
   t.entries.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     const int lane = static_cast<int>(dec.u64());
@@ -80,7 +86,7 @@ SummaryRec SummaryRec::decodeFrom(Decoder& dec,
   r.type = static_cast<std::uint8_t>(dec.u64());
   if (r.type > 4) throw DecodeError{};
   const std::uint64_t nl = dec.u64();
-  checkLen(nl);
+  checkLen(nl, dec);
   r.lanes.reserve(static_cast<std::size_t>(nl));
   for (std::uint64_t i = 0; i < nl; ++i) {
     r.lanes.push_back(static_cast<int>(dec.u64()));
@@ -92,7 +98,7 @@ SummaryRec SummaryRec::decodeFrom(Decoder& dec,
   r.inTerm = LaneTerms::decodeFrom(dec, mr);
   r.outTerm = LaneTerms::decodeFrom(dec, mr);
   const std::uint64_t ns = dec.u64();
-  checkLen(ns);
+  checkLen(ns, dec);
   r.slotOrder.reserve(static_cast<std::size_t>(ns));
   for (std::uint64_t i = 0; i < ns; ++i) r.slotOrder.push_back(dec.u64());
   const std::string_view state = dec.bytesView();
@@ -143,7 +149,7 @@ ChainEntry ChainEntry::decodeFrom(Decoder& dec,
       break;
     case Kind::kBaseP: {
       const std::uint64_t n = dec.u64();
-      checkLen(n);
+      checkLen(n, dec);
       e.pReal.reserve(static_cast<std::size_t>(n));
       for (std::uint64_t i = 0; i < n; ++i) {
         e.pReal.push_back(dec.boolean() ? 1 : 0);
@@ -163,7 +169,7 @@ ChainEntry ChainEntry::decodeFrom(Decoder& dec,
       e.childSelf = SummaryRec::decodeFrom(dec, mr);
       e.subtree = SummaryRec::decodeFrom(dec, mr);
       const std::uint64_t n = dec.u64();
-      checkLen(n);
+      checkLen(n, dec);
       e.treeChildren.reserve(static_cast<std::size_t>(n));
       for (std::uint64_t i = 0; i < n; ++i) {
         e.treeChildren.push_back(SummaryRec::decodeFrom(dec, mr));
@@ -201,7 +207,7 @@ EdgeCert EdgeCert::decodeFrom(Decoder& dec, std::pmr::memory_resource* mr) {
   c.hasRootEntry = dec.boolean();
   if (c.hasRootEntry) c.rootEntry = ChainEntry::decodeFrom(dec, mr);
   const std::uint64_t n = dec.u64();
-  checkLen(n);
+  checkLen(n, dec);
   c.chain.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     c.chain.push_back(ChainEntry::decodeFrom(dec, mr));
@@ -248,7 +254,7 @@ EdgeLabel EdgeLabel::decode(std::string_view bytes) {
   l.own = EdgeCert::decodeFrom(dec);
   l.pointer = PointerRecord::decodeFrom(dec);
   const std::uint64_t n = dec.u64();
-  checkLen(n);
+  checkLen(n, dec);
   for (std::uint64_t i = 0; i < n; ++i) {
     l.through.push_back(PathThrough::decodeFrom(dec));
   }
@@ -279,7 +285,7 @@ EdgeLabelView EdgeLabelView::decode(std::string_view bytes, Arena& arena) {
                   PointerRecord::decodeFrom(dec),
                   {}};
   const std::uint64_t n = dec.u64();
-  checkLen(n);
+  checkLen(n, dec);
   const std::span<PathThroughView> through =
       arena.allocSpan<PathThroughView>(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {

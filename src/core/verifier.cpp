@@ -145,16 +145,20 @@ struct VerifierScratch {
 
 struct SweepEntryCache::Impl {
   static constexpr std::size_t kStripes = 16;
-  /// Growth backstop: once this many distinct entries are held, new ones
-  /// validate normally but are no longer retained.  A single labeling at
-  /// n = 4096 produces ~18k distinct entries, so the cap leaves an order
-  /// of magnitude of headroom; long-lived verifiers cycling through many
-  /// labelings (soundness benches, reused closures) stay bounded instead
-  /// of copying every entry they ever saw.  VerifySession::applyEdits
-  /// additionally clears on a graph-scaled cap, which keeps ITS cache
-  /// relevant; stop-at-cap here avoids clear/refill thrash for closures
-  /// that have no edit signal to hook.
+  /// Growth bound: once a stripe holds kMaxEntries / kStripes encodings, a
+  /// capped insert first evicts the stripe's least-recently-PROBED quarter
+  /// (batch eviction amortizes the scan; per-entry LRU lists would double
+  /// the memory just to avoid it).  A single labeling at n = 4096 produces
+  /// ~18k distinct entries, so the cap leaves an order of magnitude of
+  /// headroom; long-lived verifiers cycling through many labelings (soak
+  /// runs, soundness benches, reused closures) keep their hot working set
+  /// instead of freezing whatever happened to arrive first.  Eviction is
+  /// memory management only, never invalidation: validation is a pure
+  /// function of the entry bytes, so a per-thread read memo that still
+  /// remembers an evicted encoding serves a CORRECT hit — which is why
+  /// eviction does not bump the epoch.
   static constexpr std::size_t kMaxEntries = 1 << 16;
+  static constexpr std::size_t kStripeCap = kMaxEntries / kStripes;
   std::atomic<std::size_t> total{0};
   /// Bumped per clear(); per-thread read memos compare against it and drop
   /// their (now unbounded-growth-risky) copies.
@@ -171,15 +175,55 @@ struct SweepEntryCache::Impl {
   mutable std::atomic<std::uint64_t> hits{0};
   mutable std::atomic<std::uint64_t> misses{0};
   mutable std::atomic<std::uint64_t> contention{0};
+  mutable std::atomic<std::uint64_t> evictions{0};
+  /// One validated encoding + its recency stamp (stripe-local tick; bigger
+  /// is more recent, refreshed on every successful probe).
+  struct Variant {
+    std::string bytes;
+    std::uint64_t stamp = 0;
+  };
   struct Stripe {
     mutable std::mutex mu;
     /// nodeId -> validated entry ENCODINGS (usually exactly one).  Flat
     /// byte strings on the global heap: a probe decoded into a per-thread
     /// arena never leaks an arena pointer into the cache, and a lookup is
     /// one contiguous compare instead of a record-graph walk.
-    FlatMap<std::int64_t, std::vector<std::string>> validated;
+    FlatMap<std::int64_t, std::vector<Variant>> validated;
+    /// Recency clock; advanced under mu on inserts and probe hits.
+    std::uint64_t tick = 0;
+    /// Live encodings in this stripe (FlatMap keys whose vectors were
+    /// emptied by eviction linger as tombstones, bounded by the distinct
+    /// nodeIds of the decomposition, so they are not counted here).
+    std::size_t count = 0;
   };
   std::array<Stripe, kStripes> stripes;
+
+  /// Drops the least-recently-probed quarter of `s` (at least one entry).
+  /// Requires s.mu held.  FlatMap has no erase, so emptied variant vectors
+  /// stay as (string-free) tombstones.
+  void evictOldestLocked(Stripe& s) {
+    std::vector<std::uint64_t> stamps;
+    stamps.reserve(s.count);
+    for (const auto& [nodeId, variants] : s.validated) {
+      for (const Variant& v : variants) stamps.push_back(v.stamp);
+    }
+    if (stamps.empty()) return;
+    const std::size_t drop = std::max<std::size_t>(1, stamps.size() / 4);
+    std::nth_element(stamps.begin(), stamps.begin() + (drop - 1),
+                     stamps.end());
+    const std::uint64_t cutoff = stamps[drop - 1];  // evict stamp <= cutoff
+    std::size_t dropped = 0;
+    for (auto& [nodeId, variants] : s.validated) {
+      auto keep = std::remove_if(
+          variants.begin(), variants.end(),
+          [&](const Variant& v) { return v.stamp <= cutoff; });
+      dropped += static_cast<std::size_t>(variants.end() - keep);
+      variants.erase(keep, variants.end());
+    }
+    s.count -= dropped;
+    total.fetch_sub(dropped, std::memory_order_relaxed);
+    evictions.fetch_add(dropped, std::memory_order_relaxed);
+  }
 
   static std::size_t stripeOf(std::int64_t nodeId) {
     auto x = static_cast<std::uint64_t>(nodeId);
@@ -195,7 +239,7 @@ SweepEntryCache::~SweepEntryCache() = default;
 
 bool SweepEntryCache::containsValidated(std::int64_t nodeId,
                                         std::string_view entryBytes) const {
-  const Impl::Stripe& s = impl_->stripes[Impl::stripeOf(nodeId)];
+  Impl::Stripe& s = impl_->stripes[Impl::stripeOf(nodeId)];
   // try_lock first purely to MEASURE contention (the satellite counters
   // exist to justify the read memo with data); the probe then waits like
   // any lock_guard would.
@@ -204,10 +248,11 @@ bool SweepEntryCache::containsValidated(std::int64_t nodeId,
     impl_->contention.fetch_add(1, std::memory_order_relaxed);
     lock.lock();
   }
-  const auto* variants = s.validated.find(nodeId);
+  auto* variants = s.validated.find(nodeId);
   if (variants != nullptr) {
-    for (const std::string& v : *variants) {
-      if (bytesEq(v, entryBytes)) {
+    for (Impl::Variant& v : *variants) {
+      if (bytesEq(v.bytes, entryBytes)) {
+        v.stamp = ++s.tick;  // refresh recency: hot entries outlive eviction
         impl_->hits.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
@@ -219,17 +264,22 @@ bool SweepEntryCache::containsValidated(std::int64_t nodeId,
 
 void SweepEntryCache::markValidated(std::int64_t nodeId,
                                     std::string_view entryBytes) {
-  if (impl_->total.load(std::memory_order_relaxed) >= Impl::kMaxEntries) {
-    return;  // backstop: full caches stop growing, never stop serving
-  }
   Impl::Stripe& s = impl_->stripes[Impl::stripeOf(nodeId)];
   std::lock_guard<std::mutex> lock(s.mu);
-  std::vector<std::string>& variants =
+  std::vector<Impl::Variant>& variants =
       *s.validated.tryEmplace(nodeId, {}).first;
-  for (const std::string& v : variants) {
-    if (bytesEq(v, entryBytes)) return;  // raced: already recorded
+  for (Impl::Variant& v : variants) {
+    if (bytesEq(v.bytes, entryBytes)) {
+      v.stamp = ++s.tick;
+      return;  // raced: already recorded
+    }
   }
-  variants.emplace_back(entryBytes);  // flat copy onto the global heap
+  if (s.count >= Impl::kStripeCap) impl_->evictOldestLocked(s);
+  // Flat copy onto the global heap.  NOTE: evictOldestLocked may have
+  // shuffled `variants` but never reallocates the FlatMap, so the
+  // reference is still valid.
+  variants.push_back(Impl::Variant{std::string(entryBytes), ++s.tick});
+  ++s.count;
   impl_->total.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -237,9 +287,7 @@ std::size_t SweepEntryCache::size() const {
   std::size_t total = 0;
   for (const Impl::Stripe& s : impl_->stripes) {
     std::lock_guard<std::mutex> lock(s.mu);
-    for (const auto& [nodeId, variants] : s.validated) {
-      total += variants.size();
-    }
+    total += s.count;
   }
   return total;
 }
@@ -248,6 +296,7 @@ void SweepEntryCache::clear() {
   for (Impl::Stripe& s : impl_->stripes) {
     std::lock_guard<std::mutex> lock(s.mu);
     s.validated.clear();
+    s.count = 0;
   }
   impl_->total.store(0, std::memory_order_relaxed);
   impl_->epoch.fetch_add(1, std::memory_order_relaxed);
@@ -264,6 +313,7 @@ SweepCacheStats SweepEntryCache::stats() const {
   s.hits = impl_->hits.load(std::memory_order_relaxed);
   s.misses = impl_->misses.load(std::memory_order_relaxed);
   s.stripeContention = impl_->contention.load(std::memory_order_relaxed);
+  s.evictions = impl_->evictions.load(std::memory_order_relaxed);
   s.entries = size();
   return s;
 }

@@ -90,6 +90,10 @@ struct SweepCacheStats {
   /// Stripe-lock acquisitions that found the lock held (try_lock failed
   /// and the probe had to wait).
   std::uint64_t stripeContention = 0;
+  /// Encodings dropped by capacity eviction (least-recently-probed batch
+  /// eviction; a nonzero value means the cache hit its growth bound and is
+  /// recycling, not an error).
+  std::uint64_t evictions = 0;
   std::size_t entries = 0;      ///< distinct validated encodings held
 };
 
@@ -122,7 +126,10 @@ class SweepEntryCache {
   /// contention when the stripe lock was held by another thread.
   [[nodiscard]] bool containsValidated(std::int64_t nodeId,
                                        std::string_view entryBytes) const;
-  /// Records an encoding as validated (flat copy; no-op if present).
+  /// Records an encoding as validated (flat copy; refreshes recency if
+  /// present).  A full cache evicts its least-recently-probed entries in
+  /// batches instead of growing without bound — pure memory management,
+  /// never invalidation, so verdicts are unaffected.
   void markValidated(std::int64_t nodeId, std::string_view entryBytes);
   /// Number of distinct validated encodings held.
   [[nodiscard]] std::size_t size() const;

@@ -107,6 +107,30 @@ std::vector<VertexId> VerifySession::applyEdits(
                         static_cast<std::size_t>(g_.numEdges())) +
                    1024;
   if (engine_.sweepCacheSize() > cap) engine_.clearSweepCache();
+  // Fold epoch garbage: every size-changing rewrite appends a fresh slot,
+  // so a sustained edit stream grows the store even though only one slot
+  // per label is ever live.  Compact once garbage clearly dominates (the
+  // +64 slack keeps short-lived sessions compaction-free); moved labels'
+  // endpoint rows are refreshed so the CSR index never aliases freed
+  // bytes.  Content is unchanged — verdicts and the store version are
+  // unaffected.
+  if (store_.epochSlots() > 2 * store_.ownedLabels() + 64) {
+    const std::vector<std::size_t> moved = store_.compactEpochs();
+    if (!moved.empty() && indexBuilt_) {
+      std::vector<VertexId> touched;
+      touched.reserve(moved.size() * 2);
+      for (const std::size_t e : moved) {
+        const Edge& edge = g_.edge(static_cast<EdgeId>(e));
+        touched.push_back(edge.u);
+        touched.push_back(edge.v);
+      }
+      std::sort(touched.begin(), touched.end());
+      touched.erase(std::unique(touched.begin(), touched.end()),
+                    touched.end());
+      refreshIncidentEdgeRows(index_, g_, store_, touched);
+    }
+    if (mirror_) mirror_->compactEpochs(g_);
+  }
   return dirty;
 }
 

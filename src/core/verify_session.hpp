@@ -103,6 +103,11 @@ class VerifySession {
   [[nodiscard]] SweepCacheStats cacheStats() const {
     return engine_.cacheStats();
   }
+  /// Epoch slots held by the owned store (primary plane only).  Bounded
+  /// under a sustained edit stream: applyEdits folds garbage slots via
+  /// LabelStore::compactEpochs once they dominate the live set — the soak
+  /// bench charts this to prove memory does not creep.
+  [[nodiscard]] std::size_t epochSlots() const { return store_.epochSlots(); }
 
   /// Overrides the NUMA topology used for label-plane placement (by
   /// default detect() runs lazily before the first sweep).  On a

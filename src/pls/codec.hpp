@@ -118,6 +118,12 @@ class Decoder {
   [[nodiscard]] bool atEnd() const { return pos_ == data_.size(); }
   /// Current read offset into the buffer.
   [[nodiscard]] std::size_t pos() const { return pos_; }
+  /// Bytes left to read.  Decode loops clamp container reserve() calls to
+  /// this: a hostile length prefix may claim up to the list sanity cap,
+  /// but every element consumes at least one byte, so pre-reserving more
+  /// than remaining() elements can only ever buy memory for input that is
+  /// guaranteed to reject.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   /// True when this decoder BORROWS its buffer (string_view constructor):
   /// spans of the buffer outlive the decoder.  Record-decoding code uses
   /// this to decide whether source-byte spans may be handed out.

@@ -69,6 +69,35 @@ std::vector<VertexId> LabelStore::applyEdits(
   return dirty;
 }
 
+std::size_t LabelStore::ownedLabels() const {
+  std::size_t live = 0;
+  for (const std::int32_t s : slot_) live += (s >= 0) ? 1u : 0u;
+  return live;
+}
+
+std::size_t LabelStore::epochBytes() const {
+  std::size_t bytes = 0;
+  for (const std::string& s : owned_) bytes += s.size();
+  return bytes;
+}
+
+std::vector<std::size_t> LabelStore::compactEpochs() {
+  const std::size_t live = ownedLabels();
+  if (owned_.size() == live) return {};  // no garbage: keep addresses stable
+  std::deque<std::string> packed;
+  std::vector<std::size_t> moved;
+  moved.reserve(live);
+  for (std::size_t i = 0; i < slot_.size(); ++i) {
+    if (slot_[i] < 0) continue;  // still aliases the construction vector
+    packed.push_back(std::move(owned_[static_cast<std::size_t>(slot_[i])]));
+    slot_[i] = static_cast<std::int32_t>(packed.size() - 1);
+    views_[i] = packed.back();
+    moved.push_back(i);
+  }
+  owned_ = std::move(packed);
+  return moved;
+}
+
 namespace {
 
 /// Shared skeleton: one row per vertex, one entry per arc, entry chosen by

@@ -94,6 +94,26 @@ class LabelStore {
   std::vector<VertexId> applyEdits(const Graph& g,
                                    std::span<const EdgeLabelEdit> edits);
 
+  /// Epoch slots currently held: live (referenced by some label) plus
+  /// garbage (superseded by a later size-changing edit of the same label).
+  /// Grows monotonically between compactions under a sustained edit
+  /// stream — the soak metric compactEpochs() exists to bound.
+  [[nodiscard]] std::size_t epochSlots() const { return owned_.size(); }
+  /// Labels whose CURRENT bytes live in store-owned epoch slots (the live
+  /// slot count; epochSlots() - ownedLabels() is reclaimable garbage).
+  [[nodiscard]] std::size_t ownedLabels() const;
+  /// Bytes held across all epoch slots, live and garbage.
+  [[nodiscard]] std::size_t epochBytes() const;
+
+  /// Folds the epoch deque: drops every superseded slot and re-packs the
+  /// live ones.  Returns the label indices whose bytes MOVED (every
+  /// store-owned label) — the caller must refresh any index rows aliasing
+  /// those labels before the next sweep reads them.  Content is unchanged,
+  /// so the version does NOT bump (downstream result caches stay valid);
+  /// a store with no garbage returns empty and moves nothing.  NOT safe
+  /// concurrently with sweeps over this store.
+  std::vector<std::size_t> compactEpochs();
+
  private:
   std::vector<std::string_view> views_;
   /// Label index -> slot in `owned_`, or -1 while the label still aliases

@@ -1,5 +1,7 @@
 #include "runtime/numa_mirror.hpp"
 
+#include <algorithm>
+
 #include "runtime/executor.hpp"
 
 namespace lanecert {
@@ -39,6 +41,31 @@ void NumaLabelMirror::applyEdits(const Graph& g,
     const std::vector<VertexId> dirty = r->store.applyEdits(g, edits);
     refreshIncidentEdgeRows(r->index, g, r->store, dirty);
   }
+}
+
+void NumaLabelMirror::compactEpochs(const Graph& g) {
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    const std::vector<std::size_t> moved = r->store.compactEpochs();
+    if (moved.empty()) continue;
+    std::vector<VertexId> touched;
+    touched.reserve(moved.size() * 2);
+    for (const std::size_t e : moved) {
+      const Edge& edge = g.edge(static_cast<EdgeId>(e));
+      touched.push_back(edge.u);
+      touched.push_back(edge.v);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    refreshIncidentEdgeRows(r->index, g, r->store, touched);
+  }
+}
+
+std::size_t NumaLabelMirror::epochSlots() const {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Replica>& r : replicas_) {
+    total += r->store.epochSlots();
+  }
+  return total;
 }
 
 }  // namespace lanecert

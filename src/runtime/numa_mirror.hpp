@@ -71,6 +71,15 @@ class NumaLabelMirror {
   /// rows re-sorted, per replica.
   void applyEdits(const Graph& g, std::span<const EdgeLabelEdit> edits);
 
+  /// Folds every replica's epoch garbage (LabelStore::compactEpochs) and
+  /// refreshes the index rows of moved labels' endpoints.  Called by the
+  /// session whenever it compacts the primary, so replica memory tracks
+  /// the primary's bound.  Views stay byte-identical; versions unchanged.
+  void compactEpochs(const Graph& g);
+
+  /// Epoch slots summed over replicas (soak diagnostics).
+  [[nodiscard]] std::size_t epochSlots() const;
+
  private:
   struct Replica {
     std::vector<std::string> labels;  ///< replica-owned byte copies

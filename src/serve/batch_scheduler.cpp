@@ -55,6 +55,11 @@ void BatchScheduler::drain() {
   idle_.wait(lock, [&] { return inFlight_ == 0 && pending_.empty(); });
 }
 
+std::size_t BatchScheduler::pendingCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
 std::size_t BatchScheduler::cancelPending() {
   std::vector<Entry> cancelled;
   {

@@ -64,6 +64,10 @@ class BatchScheduler {
 
   [[nodiscard]] int maxConcurrent() const { return maxConcurrent_; }
 
+  /// Jobs admitted but not yet started (the backlog admission control in
+  /// LaneCertService bounds).  Running jobs do not count.
+  [[nodiscard]] std::size_t pendingCount();
+
   /// Dispatches that may bypass the oldest pending job before it is forced
   /// to the front of the queue.
   static constexpr std::size_t kMaxBypass = 4;

@@ -1,0 +1,56 @@
+#include "serve/fault.hpp"
+
+#include <mutex>
+#include <utility>
+
+namespace lanecert::serve {
+
+namespace {
+
+std::atomic<bool> gArmed{false};
+std::mutex gMu;
+FaultInjector::Hook gHook;  // guarded by gMu
+
+}  // namespace
+
+const char* faultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kDecode:
+      return "decode";
+    case FaultSite::kPlanBuild:
+      return "planBuild";
+    case FaultSite::kSweep:
+      return "sweep";
+  }
+  return "?";
+}
+
+void FaultInjector::arm(Hook hook) {
+  std::lock_guard<std::mutex> lock(gMu);
+  gHook = std::move(hook);
+  gArmed.store(static_cast<bool>(gHook), std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(gMu);
+  gHook = nullptr;
+  gArmed.store(false, std::memory_order_release);
+}
+
+void FaultInjector::fire(FaultSite site) {
+  if (!gArmed.load(std::memory_order_acquire)) return;
+  // Copy under the lock, call outside it: a hook that sleeps (latency
+  // injection) must not serialize every other site behind it.
+  Hook hook;
+  {
+    std::lock_guard<std::mutex> lock(gMu);
+    hook = gHook;
+  }
+  if (hook) hook(site);
+}
+
+bool FaultInjector::armed() {
+  return gArmed.load(std::memory_order_acquire);
+}
+
+}  // namespace lanecert::serve

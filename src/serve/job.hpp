@@ -15,6 +15,7 @@
 // representation), which is why one cached ProvePlan serves every
 // (property, ids) pair over the same graph.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -28,6 +29,30 @@
 
 namespace lanecert::serve {
 
+/// Per-job fault-tolerance knobs, shared by every request kind.
+struct JobOptions {
+  /// Latest time the job may still be DISPATCHED.  Checked when the
+  /// scheduler hands the job to a worker (and per batch in session
+  /// drivers): an expired job fails its future with DeadlineExceededError
+  /// without running any work.  Running jobs are never interrupted — the
+  /// sweep/prove is the unit of work.  Absent = no deadline.
+  ///
+  /// Jobs carrying a deadline are excluded from result caching and request
+  /// coalescing: sharing one computation between requests with different
+  /// deadlines would let one caller's deadline fail another's future.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Total attempts for TransientError failures (session drivers only —
+  /// prove/verify jobs are pure and cheap to resubmit from the client).
+  /// 1 = no retry.
+  int maxAttempts = 1;
+  /// Sleep before the first retry; doubles per subsequent attempt.
+  std::chrono::milliseconds retryBackoff{1};
+
+  [[nodiscard]] bool expired() const {
+    return deadline && std::chrono::steady_clock::now() > *deadline;
+  }
+};
+
 /// "Label this graph for property φ" — the centralized prover as a request.
 struct ProveJob {
   Graph graph;
@@ -36,6 +61,7 @@ struct ProveJob {
   /// Known interval representation (e.g. from the generator that produced
   /// the graph); the prover computes one when absent.
   std::optional<IntervalRepresentation> rep;
+  JobOptions options;
 };
 
 /// "Run the distributed verifier over this labeling" as a request.
@@ -59,6 +85,7 @@ struct VerifyJob {
   /// verify hits instead of serving them.  Callers that never mutate can
   /// leave it 0 — identity alone then pins the bytes as before.
   std::uint64_t labelsVersion = 0;
+  JobOptions options;
 };
 
 /// "Apply this edit batch to an open verification session and re-check the
@@ -71,6 +98,7 @@ struct VerifyJob {
 struct ReverifyJob {
   std::uint64_t session = 0;
   std::vector<EdgeLabelEdit> edits;
+  JobOptions options;
 };
 
 /// Scheduling weight: rough single-thread work estimate used by the batch

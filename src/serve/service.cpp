@@ -1,9 +1,12 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/verifier.hpp"
+#include "serve/fault.hpp"
 
 namespace lanecert::serve {
 
@@ -45,6 +48,19 @@ void LaneCertService::bump(std::uint64_t ServiceStats::* counter) {
   ++(stats_.*counter);
 }
 
+void LaneCertService::admitOrReject() {
+  if (options_.maxQueueDepth == 0) return;
+  const std::size_t backlog = sched_.pendingCount();
+  if (backlog < options_.maxQueueDepth) return;
+  bump(&ServiceStats::rejectedJobs);
+  // Retry-after scales with how far past the limit the backlog is: a just-
+  // saturated queue suggests an immediate retry, a deep one a longer pause.
+  // A hint, not a reservation — the client may still be rejected again.
+  const auto hint = std::chrono::milliseconds(
+      1 + (backlog - options_.maxQueueDepth) * 2);
+  throw RejectedError(hint);
+}
+
 void LaneCertService::publishPlan(
     const std::string& key,
     const std::shared_ptr<std::promise<std::shared_ptr<const ProvePlan>>>&
@@ -78,6 +94,7 @@ CoreProveResult LaneCertService::runProve(const ProveJob& job) {
   ParallelExecutor exec(pool_);
   if (!options_.enablePlanCache) {
     bump(&ServiceStats::planBuilds);
+    FaultInjector::fire(FaultSite::kPlanBuild);
     return proveCorePipelined(job.graph, job.ids, *job.property, rep, exec);
   }
 
@@ -121,6 +138,9 @@ CoreProveResult LaneCertService::runProve(const ProveJob& job) {
   bump(&ServiceStats::planBuilds);
   bool published = false;
   try {
+    // Fired INSIDE the try: a fault here follows the failed-build path, so
+    // coalesced waiters see the error and a retry starts a fresh build.
+    FaultInjector::fire(FaultSite::kPlanBuild);
     return proveCorePipelined(
         job.graph, job.ids, *job.property, rep, exec,
         [this, &key, &promise,
@@ -148,7 +168,9 @@ SimulationResult LaneCertService::runVerify(const VerifyJob& job) {
   if (!job.labels) {
     throw std::invalid_argument("VerifyJob: null label payload");
   }
+  FaultInjector::fire(FaultSite::kDecode);
   ParallelExecutor exec(pool_);
+  FaultInjector::fire(FaultSite::kSweep);
   return simulateEdgeScheme(job.graph, job.ids, *job.labels,
                             makeCoreVerifier(job.property, job.params), exec);
 }
@@ -195,6 +217,12 @@ std::shared_future<T> LaneCertService::submitImpl(
       [this, &cache, keyPtr, job = std::move(job), prom, run] {
         bool success = false;
         try {
+          // Dispatch-time deadline: an expired job fails without running
+          // (the work itself is the unit of interruption, never split).
+          if (job->options.expired()) {
+            bump(&ServiceStats::deadlineExpiredJobs);
+            throw DeadlineExceededError{};
+          }
           prom->set_value(run(*job));
           success = true;
         } catch (...) {
@@ -212,8 +240,12 @@ std::shared_future<T> LaneCertService::submitImpl(
 }
 
 std::shared_future<CoreProveResult> LaneCertService::submitProve(ProveJob job) {
-  std::string key =
-      options_.enableResultCache ? proveJobKey(job) : std::string{};
+  admitOrReject();
+  // Deadline-carrying jobs never share results: one caller's deadline must
+  // not fail a future another caller coalesced onto.
+  std::string key = options_.enableResultCache && !job.options.deadline
+                        ? proveJobKey(job)
+                        : std::string{};
   auto jobPtr = std::make_shared<const ProveJob>(std::move(job));
   return submitImpl<CoreProveResult>(
       proveCache_, std::move(key), /*pin=*/nullptr, std::move(jobPtr),
@@ -228,6 +260,7 @@ std::uint64_t LaneCertService::openVerifySession(VerifyJob job) {
   if (!job.labels) {
     throw std::invalid_argument("VerifyJob: null label payload");
   }
+  FaultInjector::fire(FaultSite::kDecode);
   auto entry = std::make_shared<VerifySessionEntry>();
   entry->fullSweepCost = estimatedCost(job);
   // The session copies the payload into its own store (the VerifySession
@@ -273,6 +306,10 @@ SweepCacheStats LaneCertService::sessionCacheStats(
   return findSession(session)->session->cacheStats();
 }
 
+std::size_t LaneCertService::sessionEpochSlots(std::uint64_t session) const {
+  return findSession(session)->session->epochSlots();
+}
+
 void LaneCertService::closeVerifySession(std::uint64_t session) {
   std::lock_guard<std::mutex> lock(sessionsMu_);
   sessions_.erase(session);  // drivers hold shared_ptrs; state stays valid
@@ -280,9 +317,11 @@ void LaneCertService::closeVerifySession(std::uint64_t session) {
 
 std::shared_future<SimulationResult> LaneCertService::submitReverify(
     ReverifyJob job) {
+  admitOrReject();
   const std::shared_ptr<VerifySessionEntry> entry = findSession(job.session);
-  std::string key =
-      options_.enableResultCache ? reverifyJobKey(job) : std::string{};
+  std::string key = options_.enableResultCache && !job.options.deadline
+                        ? reverifyJobKey(job)
+                        : std::string{};
   std::lock_guard<std::mutex> lock(entry->mu);
   // Until the session has COMPLETED a full sweep (not merely had one
   // queued — a cancelled or failed first batch leaves it unswept), any
@@ -302,7 +341,8 @@ std::shared_future<SimulationResult> LaneCertService::submitReverify(
   auto prom = std::make_shared<std::promise<SimulationResult>>();
   std::shared_future<SimulationResult> fut = prom->get_future().share();
   entry->queue.push_back(VerifySessionEntry::PendingBatch{
-      std::move(job.edits), std::move(key), std::move(prom), fut});
+      std::move(job.edits), std::move(key), job.options, std::move(prom),
+      fut});
   if (!entry->running) {
     // One driver per session at a time keeps batches FIFO whatever the
     // scheduler's cost order does to OTHER jobs, and makes the "small
@@ -332,12 +372,36 @@ void LaneCertService::runSessionDriver(
     bool success = false;
     std::exception_ptr error;
     SimulationResult result;
-    try {
-      ParallelExecutor exec(pool_);
-      result = entry->session->reverifyEdits(batch.edits, exec);
-      success = true;
-    } catch (...) {
-      error = std::current_exception();
+    // Bounded retry for TRANSIENT failures only.  Safe to re-run: an edit
+    // batch is a list of absolute label rewrites, so re-applying it after a
+    // partial attempt converges to the same store state, and the session's
+    // dirty tracking re-checks the same rows.  Permanent errors (decode
+    // failures, bad arguments) fail the batch on the first attempt.
+    const int attempts = std::max(1, batch.options.maxAttempts);
+    std::chrono::milliseconds backoff = batch.options.retryBackoff;
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+      if (batch.options.expired()) {
+        bump(&ServiceStats::deadlineExpiredJobs);
+        error = std::make_exception_ptr(DeadlineExceededError{});
+        break;
+      }
+      if (attempt > 0) {
+        bump(&ServiceStats::transientRetries);
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+      }
+      try {
+        FaultInjector::fire(FaultSite::kSweep);
+        ParallelExecutor exec(pool_);
+        result = entry->session->reverifyEdits(batch.edits, exec);
+        success = true;
+        break;
+      } catch (const TransientError&) {
+        error = std::current_exception();  // retried until attempts run out
+      } catch (...) {
+        error = std::current_exception();
+        break;
+      }
     }
     {
       // Mirror BEFORE resolving the promise, so a client that just
@@ -373,8 +437,10 @@ void LaneCertService::cancelSessionQueue(
 
 std::shared_future<SimulationResult> LaneCertService::submitVerify(
     VerifyJob job) {
-  std::string key =
-      options_.enableResultCache ? verifyJobKey(job) : std::string{};
+  admitOrReject();
+  std::string key = options_.enableResultCache && !job.options.deadline
+                        ? verifyJobKey(job)
+                        : std::string{};
   auto jobPtr = std::make_shared<const VerifyJob>(std::move(job));
   // The label payload is identity-keyed, so the cache entry must keep it
   // alive for as long as the key exists.

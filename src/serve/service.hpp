@@ -49,6 +49,16 @@
 // future becomes ready.  cancelPending() instead discards jobs that have
 // not started; their futures fail with CancelledError (for a discarded
 // session driver, every batch queued on that session fails).
+//
+// Fault tolerance (see serve/errors.hpp for the taxonomy): per-job
+// deadlines fail un-dispatched jobs with DeadlineExceededError; admission
+// control (ServiceOptions::maxQueueDepth) turns submit* calls away with a
+// synchronous RejectedError + retry-after hint; session drivers retry
+// TransientError batch failures up to JobOptions::maxAttempts with doubling
+// backoff (edit batches are absolute label rewrites, so re-running one is
+// idempotent).  The invariant all of it preserves: every future the service
+// ever RETURNED resolves — with a value or a typed error — even under
+// injected faults (serve/fault.hpp) at every stage boundary.
 
 #include <cstddef>
 #include <cstdint>
@@ -67,15 +77,10 @@
 #include "runtime/executor.hpp"
 #include "runtime/topology.hpp"
 #include "serve/batch_scheduler.hpp"
+#include "serve/errors.hpp"
 #include "serve/job.hpp"
 
 namespace lanecert::serve {
-
-/// Raised through the futures of jobs discarded by cancelPending().
-class CancelledError : public std::runtime_error {
- public:
-  CancelledError() : std::runtime_error("serve: job cancelled before start") {}
-};
 
 struct ServiceOptions {
   /// Worker threads of the shared pool; <= 0 resolves to the hardware
@@ -95,6 +100,11 @@ struct ServiceOptions {
   /// no-op; results are bit-identical either way, so the switch exists for
   /// A/B measurement, not safety.
   bool numaAware = true;
+  /// Admission control: when > 0 and the scheduler backlog (admitted, not
+  /// yet started jobs) has reached this depth, submit* throws RejectedError
+  /// synchronously instead of queueing — with a retry-after hint scaled by
+  /// the backlog.  0 = unlimited (the pre-backpressure behaviour).
+  std::size_t maxQueueDepth = 0;
 };
 
 /// Monotonic service counters (snapshot via stats()).
@@ -113,6 +123,14 @@ struct ServiceStats {
   /// Cancelled requests: one per discarded prove/verify job, one per
   /// reverify batch failed by a discarded session driver.
   std::uint64_t cancelledJobs = 0;
+  /// submit* calls turned away by admission control (RejectedError).
+  std::uint64_t rejectedJobs = 0;
+  /// Jobs/batches whose deadline passed before dispatch
+  /// (DeadlineExceededError; the work never ran).
+  std::uint64_t deadlineExpiredJobs = 0;
+  /// TransientError retries performed by session drivers (attempts beyond
+  /// each batch's first).
+  std::uint64_t transientRetries = 0;
   std::uint64_t sessionsOpened = 0;
   std::uint64_t reverifyBatchesCompleted = 0;
   /// Sweep-entry-cache counters summed over the OPEN verification sessions
@@ -138,9 +156,11 @@ class LaneCertService {
   LaneCertService& operator=(const LaneCertService&) = delete;
 
   /// Queues a prove request; the future carries the full CoreProveResult
-  /// (or the prover's exception).  Safe to call from any thread.
+  /// (or the prover's exception).  Safe to call from any thread.  Throws
+  /// RejectedError synchronously when admission control is on and the
+  /// backlog is full.
   std::shared_future<CoreProveResult> submitProve(ProveJob job);
-  /// Queues a verification request.
+  /// Queues a verification request.  Throws RejectedError like submitProve.
   std::shared_future<SimulationResult> submitVerify(VerifyJob job);
 
   /// Opens a persistent verification session over the job's configuration;
@@ -160,6 +180,10 @@ class LaneCertService {
   /// for an unknown/closed handle).  Snapshot of relaxed atomics: exact
   /// once the session is quiescent, approximate while a sweep runs.
   [[nodiscard]] SweepCacheStats sessionCacheStats(std::uint64_t session) const;
+  /// Epoch slots held by ONE open session's label store (soak memory
+  /// metric; bounded by the session's auto-compaction).  Same handle and
+  /// quiescence caveats as sessionCacheStats.
+  [[nodiscard]] std::size_t sessionEpochSlots(std::uint64_t session) const;
   /// Closes a session: the handle becomes invalid for NEW submissions;
   /// batches already queued still complete.  Idempotent.
   void closeVerifySession(std::uint64_t session);
@@ -183,6 +207,7 @@ class LaneCertService {
     struct PendingBatch {
       std::vector<EdgeLabelEdit> edits;
       std::string key;  ///< reverifyJobKey, empty when caching is off
+      JobOptions options;
       std::shared_ptr<std::promise<SimulationResult>> promise;
       std::shared_future<SimulationResult> future;
     };
@@ -235,6 +260,9 @@ class LaneCertService {
   void finishCacheEntry(ResultCache<T>& cache, const std::string& key,
                         bool success);
   void bump(std::uint64_t ServiceStats::* counter);
+  /// Admission control: throws RejectedError (and bumps rejectedJobs) when
+  /// maxQueueDepth > 0 and the scheduler backlog has reached it.
+  void admitOrReject();
 
   const ServiceOptions options_;
   /// Detected once at construction (numaAware only); declared before the

@@ -298,5 +298,107 @@ TEST(VerifySession, SharedExecutorAndDirectDirtyListMatchFreshSweeps) {
   EXPECT_EQ(session.storeVersion(), 1u);
 }
 
+// --- Epoch compaction ------------------------------------------------------
+
+TEST(LabelStore, CompactEpochsFoldsGarbageAndKeepsViews) {
+  const Graph g = pathGraph(4);  // edges 0:{0,1} 1:{1,2} 2:{2,3}
+  const std::vector<std::string> labels = {"aa", "bb", "cc"};
+  LabelStore store(labels);
+
+  // Nothing owned yet: compaction is a no-op.
+  EXPECT_TRUE(store.compactEpochs().empty());
+  EXPECT_EQ(store.epochSlots(), 0u);
+
+  // Alternate sizes on two edges: every rewrite is size-changing, so each
+  // appends a fresh epoch slot and strands the previous one as garbage.
+  for (int round = 0; round < 10; ++round) {
+    const bool wide = (round % 2) == 0;
+    const std::vector<EdgeLabelEdit> batch = {
+        {0, wide ? "wide-0" : "n0"}, {2, wide ? "wide-2" : "n2"}};
+    (void)store.applyEdits(g, batch);
+  }
+  EXPECT_EQ(store.epochSlots(), 20u);
+  EXPECT_EQ(store.ownedLabels(), 2u);
+  const std::uint64_t version = store.version();
+  const std::string v0(store.view(0)), v1(store.view(1)), v2(store.view(2));
+
+  const std::vector<std::size_t> moved = store.compactEpochs();
+  EXPECT_EQ(moved, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(store.epochSlots(), 2u);
+  EXPECT_EQ(store.ownedLabels(), 2u);
+  EXPECT_EQ(store.epochBytes(), v0.size() + v2.size());
+  // Content identical, version untouched (result caches stay valid).
+  EXPECT_EQ(store.view(0), v0);
+  EXPECT_EQ(store.view(1), v1);
+  EXPECT_EQ(store.view(2), v2);
+  EXPECT_EQ(store.version(), version);
+
+  // Already compact: no-op again (addresses must stay stable).
+  const char* addr = store.view(0).data();
+  EXPECT_TRUE(store.compactEpochs().empty());
+  EXPECT_EQ(store.view(0).data(), addr);
+}
+
+TEST(VerifySession, SustainedEditsStayBoundedAndExact) {
+  // A long alternating-size edit stream (the soak workload in miniature):
+  // without compaction the store would hold one epoch slot per past edit.
+  // The session must (a) keep epochSlots bounded by the live set, and
+  // (b) stay byte-identical to a fresh sweep after every batch.
+  Rng rng(21);
+  auto bp = randomBoundedPathwidth(32, 2, 0.4, rng);
+  const Graph& g = bp.graph;
+  const auto ids = IdAssignment::random(g.numVertices(), 9);
+  const auto prop = makeConnectivity();
+  const auto proved = proveCore(g, ids, *prop, nullptr, 1);
+  ASSERT_TRUE(proved.propertyHolds);
+  const auto verifier = makeCoreVerifier(prop);
+
+  VerifySession session(g, ids, proved.labels, prop);
+  // Synthetic two-node topology forces the replica path, so replica
+  // compaction coherence is exercised too.
+  NumaNode n0, n1;
+  n0.id = 0;
+  n0.cpus = {0};
+  n1.id = 1;
+  n1.cpus = {0};
+  session.setTopology(NumaTopology::forTesting({n0, n1}));
+  session.verifyAll(2);
+  ASSERT_EQ(session.labelReplicaCount(), 2u);
+
+  std::vector<std::string> labels = proved.labels;
+  const std::vector<EdgeId> edited = {1, 4, 7};
+  std::size_t maxSlots = 0;
+  for (int round = 0; round < 120; ++round) {
+    std::vector<EdgeLabelEdit> batch;
+    for (const EdgeId e : edited) {
+      // Grow on even rounds, restore the honest bytes on odd rounds: every
+      // rewrite changes size, the worst case for epoch growth.
+      labels[static_cast<std::size_t>(e)] =
+          (round % 2 == 0)
+              ? proved.labels[static_cast<std::size_t>(e)] + "garbage"
+              : proved.labels[static_cast<std::size_t>(e)];
+      batch.push_back({e, labels[static_cast<std::size_t>(e)]});
+    }
+    session.reverifyEdits(batch, 2);
+    maxSlots = std::max(maxSlots, session.epochSlots());
+  }
+  // Bound: at most 2 * live + slack (the compaction trigger), never the
+  // ~360 slots the stream generated.
+  EXPECT_LE(maxSlots, 2 * edited.size() + 64 + edited.size());
+
+  // Exactness after the storm, against a fresh sweep AND after restoring
+  // the honest labels entirely.
+  expectSameResult(session.reverifyEdits({}, 2),
+                   simulateEdgeScheme(g, ids, labels, verifier));
+  std::vector<EdgeLabelEdit> restore;
+  for (const EdgeId e : edited) {
+    restore.push_back({e, proved.labels[static_cast<std::size_t>(e)]});
+  }
+  const SimulationResult healed = session.reverifyEdits(restore, 2);
+  EXPECT_TRUE(healed.allAccept);
+  expectSameResult(healed,
+                   simulateEdgeScheme(g, ids, proved.labels, verifier));
+}
+
 }  // namespace
 }  // namespace lanecert

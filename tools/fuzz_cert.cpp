@@ -1,0 +1,355 @@
+// Structure-aware certificate fuzzing harness.
+//
+// Mutates ENCODED labels of honest certificates (src/core/fuzz_mutator.hpp)
+// and sweeps the verifier over each mutant, asserting the soundness
+// contract:
+//   * malformed mutants (decode throws)            -> sweep must reject
+//   * no-op mutants (decode-identical re-encoding) -> verdict unchanged
+//   * on the FALSE instance (is-path labels on a cycle — the E7 pair, where
+//     the lower-bound theorem says NO labeling can be accepted): every
+//     mutant of every class must keep rejecting
+//   * semantically-changed mutants on TRUE instances -> expected to reject;
+//     the rare accept is an ALTERNATIVE VALID PROOF of a true property
+//     (same phenomenon bench_soundness.cpp documents for E6 — e.g. renaming
+//     the unused-side part summary of a bridge entry to a fresh node id
+//     yields a non-canonical but internally consistent certificate).  These
+//     are counted, dumped as `finding-*` artifacts for audit, and fatal
+//     only under --strict.
+//
+// Reproducibility contract: every iteration derives its own Rng from
+// (seed, iteration), so any mutant regenerates in O(1) from those two
+// numbers.  Before each sweep the harness overwrites --progress-file with
+// "seed iter", so a sanitizer abort leaves a pointer to the fatal input;
+// `fuzz_cert --seed S --replay I` re-runs exactly that iteration verbosely.
+// Contract violations (not crashes) dump the mutant bytes + metadata under
+// --artifact-dir and make the run exit nonzero.
+//
+// Usage:
+//   fuzz_cert [--seed N] [--iters N] [--budget-seconds S]
+//             [--artifact-dir DIR] [--progress-file PATH]
+//             [--replay ITER] [--quiet]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/fuzz_mutator.hpp"
+#include "core/prover.hpp"
+#include "core/verifier.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+#include "pls/scheme.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
+
+struct CorpusEntry {
+  const char* name;
+  Graph g;
+  IdAssignment ids;
+  std::vector<std::string> labels;
+  EdgeVerifier verifier;
+  bool trueInstance;  ///< baseline sweep verdict over `labels`
+};
+
+std::vector<CorpusEntry> buildCorpus() {
+  std::vector<CorpusEntry> corpus;
+
+  auto addTrue = [&corpus](const char* name, Graph g, PropertyPtr prop) {
+    const auto n = g.numVertices();
+    CorpusEntry e{name, std::move(g), IdAssignment::random(n, 5), {},
+                  makeCoreVerifier(prop), true};
+    auto proved = proveCore(e.g, e.ids, *prop);
+    if (!proved.propertyHolds) {
+      std::fprintf(stderr, "corpus %s: property unexpectedly fails\n", name);
+      std::exit(2);
+    }
+    e.labels = std::move(proved.labels);
+    corpus.push_back(std::move(e));
+  };
+
+  addTrue("cycle16/isCycle", cycleGraph(16), makeCycleProperty());
+  addTrue("path24/isPath", pathGraph(24), makePathProperty());
+  {
+    Rng rng(11);
+    addTrue("tree20/forest", randomTree(20, rng), makeForest());
+  }
+  addTrue("grid4x4/connected", gridGraph(4, 4), makeConnectivity());
+
+  // The E7 false instance: honest is-path labels transplanted onto a cycle.
+  // The lower-bound theorem says NO labeling makes the path verifier accept
+  // a cycle, so here every mutant — of any class — must keep rejecting.
+  {
+    const int n = 16;
+    CorpusEntry e{"cycle16/pathLabels", cycleGraph(n),
+                  IdAssignment::random(n, 3), {},
+                  makeCoreVerifier(makePathProperty()), false};
+    auto proved = proveCore(pathGraph(n), e.ids, *makePathProperty());
+    e.labels = std::move(proved.labels);
+    e.labels.push_back(e.labels.front());  // path has n-1 edges, cycle has n
+    corpus.push_back(std::move(e));
+  }
+  return corpus;
+}
+
+std::size_t pick(Rng& rng, std::size_t n) {
+  return static_cast<std::size_t>(rng.uniformInt(0, static_cast<int>(n) - 1));
+}
+
+struct IterationOutcome {
+  std::size_t corpusIdx = 0;
+  std::size_t labelIdx = 0;
+  FuzzKind kind = FuzzKind::kBitFlip;
+  FuzzVerdictClass cls = FuzzVerdictClass::kNoop;
+  std::string mutant;
+  bool accepted = false;
+  bool violation = false;
+  /// True instance + semantic change + accepted: an alternative valid proof
+  /// of a true property (audited, fatal only under --strict).
+  bool alternativeProof = false;
+  const char* expectation = "";
+};
+
+/// Runs iteration `iter` of campaign `seed` against `corpus`.  Deterministic:
+/// same (seed, iter, corpus) -> same mutant, same verdict.
+IterationOutcome runIteration(std::uint64_t seed, std::uint64_t iter,
+                              std::vector<CorpusEntry>& corpus) {
+  IterationOutcome out;
+  FuzzMutator mut(seed ^ (kGolden * (iter + 1)));
+  Rng& rng = mut.rng();
+
+  out.corpusIdx = pick(rng, corpus.size());
+  CorpusEntry& entry = corpus[out.corpusIdx];
+  out.labelIdx = pick(rng, entry.labels.size());
+  const CorpusEntry& donorEntry =
+      corpus[(out.corpusIdx + 1 + pick(rng, corpus.size() - 1)) %
+             corpus.size()];
+  const std::string& donor =
+      donorEntry.labels[pick(rng, donorEntry.labels.size())];
+
+  out.mutant =
+      mut.mutateRandom(entry.labels[out.labelIdx], donor, &out.kind);
+  out.cls = classifyMutation(entry.labels[out.labelIdx], out.mutant);
+
+  std::vector<std::string> labels = entry.labels;
+  labels[out.labelIdx] = out.mutant;
+  out.accepted =
+      simulateEdgeScheme(entry.g, entry.ids, labels, entry.verifier)
+          .allAccept;
+
+  if (!entry.trueInstance) {
+    out.expectation = "reject (false instance, any mutation)";
+    out.violation = out.accepted;
+  } else if (out.cls == FuzzVerdictClass::kNoop) {
+    out.expectation = "accept (no-op re-encoding of honest label)";
+    out.violation = !out.accepted;
+  } else if (out.cls == FuzzVerdictClass::kMalformed) {
+    out.expectation = "reject (malformed label)";
+    out.violation = out.accepted;
+  } else {
+    out.expectation = "reject (semantic corruption)";
+    out.alternativeProof = out.accepted;
+  }
+  return out;
+}
+
+const char* className(FuzzVerdictClass c) {
+  switch (c) {
+    case FuzzVerdictClass::kMalformed:
+      return "malformed";
+    case FuzzVerdictClass::kSemanticChange:
+      return "semanticChange";
+    case FuzzVerdictClass::kNoop:
+      return "noop";
+  }
+  return "?";
+}
+
+void dumpArtifact(const std::string& dir, const char* prefix,
+                  std::uint64_t seed, std::uint64_t iter,
+                  const CorpusEntry& entry, const IterationOutcome& out) {
+  const std::string stem =
+      dir + "/" + prefix + "-seed" + std::to_string(seed) + "-iter" +
+      std::to_string(iter);
+  {
+    std::ofstream bin(stem + ".bin", std::ios::binary);
+    bin.write(out.mutant.data(),
+              static_cast<std::streamsize>(out.mutant.size()));
+  }
+  std::ofstream meta(stem + ".txt");
+  meta << "seed " << seed << "\niter " << iter << "\ncorpus " << entry.name
+       << "\nlabelIdx " << out.labelIdx << "\nkind "
+       << fuzzKindName(out.kind) << "\nclass " << className(out.cls)
+       << "\nexpected " << out.expectation << "\ngot "
+       << (out.accepted ? "accept" : "reject")
+       << "\nreplay fuzz_cert --seed " << seed << " --replay " << iter
+       << "\n";
+  std::fprintf(stderr, "%s at iter %llu: wrote %s.{bin,txt}\n",
+               out.violation ? "VIOLATION" : "finding",
+               static_cast<unsigned long long>(iter), stem.c_str());
+}
+
+void hexDump(const std::string& bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::printf("%02x%s", static_cast<unsigned char>(bytes[i]),
+                (i + 1) % 16 == 0 ? "\n" : " ");
+  }
+  if (bytes.size() % 16 != 0) std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  std::uint64_t iters = 100000;
+  double budgetSeconds = 0;  // 0 = no wall-clock budget
+  std::string artifactDir = ".";
+  std::string progressFile;
+  long long replayIter = -1;
+  bool quiet = false;
+  bool strict = false;  // alternative proofs on true instances become fatal
+
+  for (int i = 1; i < argc; ++i) {
+    auto needsValue = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (needsValue("--seed")) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (needsValue("--iters")) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (needsValue("--budget-seconds")) {
+      budgetSeconds = std::strtod(argv[++i], nullptr);
+    } else if (needsValue("--artifact-dir")) {
+      artifactDir = argv[++i];
+    } else if (needsValue("--progress-file")) {
+      progressFile = argv[++i];
+    } else if (needsValue("--replay")) {
+      replayIter = std::strtoll(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_cert [--seed N] [--iters N] "
+                   "[--budget-seconds S] [--artifact-dir DIR] "
+                   "[--progress-file PATH] [--replay ITER] [--strict] "
+                   "[--quiet]\n");
+      return 2;
+    }
+  }
+
+  std::vector<CorpusEntry> corpus = buildCorpus();
+
+  // Sanity: baseline verdicts must match the corpus annotations, otherwise
+  // every downstream assertion is meaningless.
+  for (const CorpusEntry& e : corpus) {
+    const bool ok =
+        simulateEdgeScheme(e.g, e.ids, e.labels, e.verifier).allAccept;
+    if (ok != e.trueInstance) {
+      std::fprintf(stderr, "corpus %s: baseline verdict %d != expected %d\n",
+                   e.name, ok ? 1 : 0, e.trueInstance ? 1 : 0);
+      return 2;
+    }
+  }
+
+  if (replayIter >= 0) {
+    const auto out = runIteration(
+        seed, static_cast<std::uint64_t>(replayIter), corpus);
+    std::printf("replay seed=%llu iter=%lld\n",
+                static_cast<unsigned long long>(seed), replayIter);
+    std::printf("corpus   %s\nlabelIdx %zu\nkind     %s\nclass    %s\n",
+                corpus[out.corpusIdx].name, out.labelIdx,
+                fuzzKindName(out.kind), className(out.cls));
+    std::printf("expected %s\ngot      %s\n", out.expectation,
+                out.accepted ? "accept" : "reject");
+    const std::string& orig = corpus[out.corpusIdx].labels[out.labelIdx];
+    std::printf("original %zu bytes:\n", orig.size());
+    hexDump(orig);
+    std::printf("mutant   %zu bytes:\n", out.mutant.size());
+    hexDump(out.mutant);
+    if (out.alternativeProof) {
+      std::printf("note: accepted alternative proof of a true instance\n");
+    }
+    return (out.violation || (strict && out.alternativeProof)) ? 1 : 0;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t done = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t alternativeProofs = 0;
+  std::uint64_t byClass[3] = {0, 0, 0};
+  std::uint64_t byKind[static_cast<int>(FuzzKind::kCount)] = {};
+  std::uint64_t rejectedSemantic = 0;
+  std::uint64_t totalSemantic = 0;
+
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    if (budgetSeconds > 0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() >= budgetSeconds) break;
+    }
+    if (!progressFile.empty()) {
+      // Overwritten BEFORE the sweep: if the verifier crashes under ASan,
+      // this file points at the fatal (seed, iter) pair.
+      std::ofstream p(progressFile, std::ios::trunc);
+      p << seed << " " << iter << "\n";
+    }
+    const auto out = runIteration(seed, iter, corpus);
+    ++done;
+    ++byClass[static_cast<int>(out.cls)];
+    ++byKind[static_cast<int>(out.kind)];
+    if (out.cls == FuzzVerdictClass::kSemanticChange) {
+      ++totalSemantic;
+      if (!out.accepted) ++rejectedSemantic;
+    }
+    if (out.violation) {
+      ++violations;
+      dumpArtifact(artifactDir, "crash", seed, iter, corpus[out.corpusIdx],
+                   out);
+    } else if (out.alternativeProof) {
+      ++alternativeProofs;
+      if (strict) ++violations;
+      dumpArtifact(artifactDir, strict ? "crash" : "finding", seed, iter,
+                   corpus[out.corpusIdx], out);
+    }
+  }
+
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  if (!quiet) {
+    std::printf("fuzz_cert: %llu mutants in %.1fs (seed %llu)\n",
+                static_cast<unsigned long long>(done), elapsed.count(),
+                static_cast<unsigned long long>(seed));
+    std::printf("  classes: malformed %llu, semanticChange %llu, noop %llu\n",
+                static_cast<unsigned long long>(byClass[0]),
+                static_cast<unsigned long long>(byClass[1]),
+                static_cast<unsigned long long>(byClass[2]));
+    std::printf("  semantic rejection: %llu/%llu (%llu alternative proofs)\n",
+                static_cast<unsigned long long>(rejectedSemantic),
+                static_cast<unsigned long long>(totalSemantic),
+                static_cast<unsigned long long>(alternativeProofs));
+    for (int k = 0; k < static_cast<int>(FuzzKind::kCount); ++k) {
+      std::printf("  kind %-10s %llu\n",
+                  fuzzKindName(static_cast<FuzzKind>(k)),
+                  static_cast<unsigned long long>(byKind[k]));
+    }
+    std::printf("  violations: %llu\n",
+                static_cast<unsigned long long>(violations));
+  }
+  if (!progressFile.empty()) std::remove(progressFile.c_str());
+  return violations == 0 ? 0 : 1;
+}
