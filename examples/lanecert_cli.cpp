@@ -19,33 +19,17 @@
 #include "graph/algorithms.hpp"
 #include "graph/io.hpp"
 #include "mso/properties.hpp"
+#include "net/protocol.hpp"
 #include "pathwidth/pathwidth.hpp"
 
 using namespace lanecert;
 
 namespace {
 
+// The wire protocol's property-name grammar is the one the CLI always
+// used; both now resolve through the same table.
 PropertyPtr parseProperty(const std::string& name) {
-  auto intSuffix = [&name](const char* prefix) -> int {
-    const std::size_t len = std::string(prefix).size();
-    if (name.rfind(prefix, 0) != 0) return -1;
-    return std::atoi(name.c_str() + len);
-  };
-  if (name == "forest") return makeForest();
-  if (name == "connectivity") return makeConnectivity();
-  if (name == "bipartite" || name == "2col") return makeColorability(2);
-  if (name == "3col") return makeColorability(3);
-  if (name == "is-path") return makePathProperty();
-  if (name == "is-cycle") return makeCycleProperty();
-  if (name == "matching") return makePerfectMatching();
-  if (name == "ham-cycle") return makeHamiltonianCycle();
-  if (name == "ham-path") return makeHamiltonianPath();
-  if (name == "triangle-free") return makeTriangleFree();
-  if (int c = intSuffix("vc:"); c >= 0) return makeVertexCover(c);
-  if (int c = intSuffix("dom:"); c >= 0) return makeDominatingSet(c);
-  if (int c = intSuffix("ind:"); c >= 0) return makeIndependentSet(c);
-  if (int d = intSuffix("maxdeg:"); d >= 0) return makeMaxDegree(d);
-  return nullptr;
+  return net::propertyByName(name);
 }
 
 void listProperties() {

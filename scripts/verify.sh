@@ -29,6 +29,10 @@
 #   8  certificate fuzz regression (--ci only): the deterministic fuzz
 #      campaign found a verifier crash/hang or an accepted corrupting
 #      mutation; reproduction artifacts are left in build/fuzz-artifacts
+#   9  wire smoke failure (--ci only): the loopback serving daemon failed
+#      to boot, the streamed certificate differed from the in-process
+#      bytes, the load driver fell below its throughput floor, or the
+#      SIGTERM drain did not complete (scripts/wire_smoke.sh)
 set -uo pipefail
 
 # Run from the repository root regardless of the caller's cwd (works when
@@ -211,6 +215,26 @@ if [ "${CI_MODE}" -eq 1 ]; then
   fi
 else
   ci_report cert-fuzz skip 8
+fi
+
+# --- Wire-level serving smoke (--ci only): boot the daemon on loopback,
+# byte-compare a streamed certificate against the in-process encoding,
+# sustain mixed load above the CI throughput floor, and SIGTERM-drain.
+# scripts/wire_smoke.sh is the single implementation; the CI wire-smoke
+# job calls the same script.
+if [ "${CI_MODE}" -eq 1 ]; then
+  if [ -x build/lanecert_serverd ] && [ -x build/load_driver ] \
+     && [ -x build/wire_fetch ]; then
+    if ! bash scripts/wire_smoke.sh build 4 1000; then
+      fail wire-smoke 9 "wire serving smoke (scripts/wire_smoke.sh)"
+    fi
+    ci_report wire-smoke ok 9
+  else
+    echo "verify.sh: wire tools missing in build/; skipping wire smoke"
+    ci_report wire-smoke skip 9
+  fi
+else
+  ci_report wire-smoke skip 9
 fi
 
 echo "verify.sh: OK"

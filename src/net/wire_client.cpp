@@ -1,0 +1,218 @@
+#include "net/wire_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace lanecert::net {
+
+void WireClient::connect(const std::string& host, std::uint16_t port,
+                         int recvTimeoutMs) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("WireClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("WireClient: bad host " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close();
+    throw std::runtime_error(std::string("WireClient: connect failed: ") +
+                             std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recvTimeoutMs > 0) {
+    timeval tv{};
+    tv.tv_sec = recvTimeoutMs / 1000;
+    tv.tv_usec = (recvTimeoutMs % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+}
+
+void WireClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  parser_ = FrameParser{kDefaultMaxFrameBytes};
+  completed_.clear();
+  streams_.clear();
+}
+
+void WireClient::sendRaw(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("WireClient: send failed: ") +
+                               std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t WireClient::sendPing() {
+  const std::uint64_t id = nextId_++;
+  sendRaw(encodeFrame(encodePingRequest(id)));
+  return id;
+}
+
+std::uint64_t WireClient::sendProve(const Graph& g,
+                                    std::string_view property) {
+  const std::uint64_t id = nextId_++;
+  sendRaw(encodeFrame(encodeProveRequest(id, g, property)));
+  return id;
+}
+
+std::uint64_t WireClient::sendVerify(const Graph& g,
+                                     std::string_view property,
+                                     const std::vector<std::string>& labels) {
+  const std::uint64_t id = nextId_++;
+  sendRaw(encodeFrame(encodeVerifyRequest(id, g, property, labels, false)));
+  return id;
+}
+
+std::uint64_t WireClient::sendOpenSession(
+    const Graph& g, std::string_view property,
+    const std::vector<std::string>& labels) {
+  const std::uint64_t id = nextId_++;
+  sendRaw(encodeFrame(encodeVerifyRequest(id, g, property, labels, true)));
+  return id;
+}
+
+std::uint64_t WireClient::sendReverify(
+    std::uint64_t session, const std::vector<EdgeLabelEdit>& edits) {
+  const std::uint64_t id = nextId_++;
+  sendRaw(encodeFrame(encodeReverifyRequest(id, session, edits)));
+  return id;
+}
+
+std::uint64_t WireClient::sendCloseSession(std::uint64_t session) {
+  const std::uint64_t id = nextId_++;
+  sendRaw(encodeFrame(encodeCloseSessionRequest(id, session)));
+  return id;
+}
+
+bool WireClient::pump() {
+  char buf[64 * 1024];
+  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n == 0) return false;
+  if (n < 0) {
+    if (errno == EINTR) return true;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw std::runtime_error("WireClient: recv timeout");
+    }
+    throw std::runtime_error(std::string("WireClient: recv failed: ") +
+                             std::strerror(errno));
+  }
+  std::vector<std::string> frames;
+  if (!parser_.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                    frames)) {
+    throw std::runtime_error("WireClient: framing error: " + parser_.error());
+  }
+  for (const std::string& frame : frames) processFrame(frame);
+  return true;
+}
+
+void WireClient::processFrame(std::string_view frame) {
+  const WireResponse resp = decodeResponse(frame);
+  switch (resp.status) {
+    case Status::kStreamBegin: {
+      Decoder dec{std::string_view(resp.body)};
+      StreamState st;
+      st.announced = dec.u64();
+      streams_[resp.requestId] = std::move(st);
+      return;
+    }
+    case Status::kChunk: {
+      auto it = streams_.find(resp.requestId);
+      if (it == streams_.end()) {
+        throw std::runtime_error("WireClient: chunk without stream-begin");
+      }
+      Decoder dec{std::string_view(resp.body)};
+      const std::uint64_t offset = dec.u64();
+      if (offset != it->second.bytes.size()) {
+        throw std::runtime_error("WireClient: non-contiguous chunk offset");
+      }
+      it->second.bytes.append(resp.body.substr(dec.pos()));
+      if (it->second.bytes.size() > it->second.announced) {
+        throw std::runtime_error("WireClient: stream overflows announcement");
+      }
+      return;
+    }
+    case Status::kStreamEnd: {
+      auto it = streams_.find(resp.requestId);
+      if (it == streams_.end()) {
+        throw std::runtime_error("WireClient: stream-end without begin");
+      }
+      if (it->second.bytes.size() != it->second.announced) {
+        throw std::runtime_error("WireClient: stream shorter than announced");
+      }
+      Reply reply;
+      reply.status = Status::kOk;
+      reply.stream = std::move(it->second.bytes);
+      streams_.erase(it);
+      completed_[resp.requestId] = std::move(reply);
+      return;
+    }
+    case Status::kOk: {
+      Reply reply;
+      reply.status = Status::kOk;
+      reply.body = resp.body;
+      completed_[resp.requestId] = std::move(reply);
+      return;
+    }
+    case Status::kRejected: {
+      Reply reply;
+      reply.status = Status::kRejected;
+      reply.retryAfterMs = decodeRetryAfterMs(resp.body);
+      completed_[resp.requestId] = std::move(reply);
+      return;
+    }
+    case Status::kError: {
+      Reply reply;
+      reply.status = Status::kError;
+      Decoder dec{std::string_view(resp.body)};
+      reply.error = dec.bytes();
+      completed_[resp.requestId] = std::move(reply);
+      return;
+    }
+    case Status::kCancelled:
+    case Status::kShuttingDown: {
+      Reply reply;
+      reply.status = resp.status;
+      completed_[resp.requestId] = std::move(reply);
+      return;
+    }
+  }
+  throw std::runtime_error("WireClient: unknown response status");
+}
+
+WireClient::Reply WireClient::wait(std::uint64_t requestId) {
+  while (true) {
+    if (const auto it = completed_.find(requestId); it != completed_.end()) {
+      Reply reply = std::move(it->second);
+      completed_.erase(it);
+      return reply;
+    }
+    if (fd_ < 0) throw std::runtime_error("WireClient: not connected");
+    if (!pump()) {
+      throw std::runtime_error(
+          "WireClient: connection closed before response");
+    }
+  }
+}
+
+}  // namespace lanecert::net

@@ -1,0 +1,96 @@
+#pragma once
+// WireClient — blocking, pipelining-capable client for the wire protocol.
+//
+// One client owns one connection.  send*() writes a request frame and
+// returns its requestId immediately, so any number of requests can be in
+// flight; wait(id) reads frames (reassembling certificate streams chunk
+// by chunk, checking offsets are contiguous) until THAT request reaches a
+// terminal status.  Single-threaded by design: the load driver runs one
+// client per worker thread, the demo and tests use one inline.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace lanecert::net {
+
+class WireClient {
+ public:
+  WireClient() = default;
+  ~WireClient() { close(); }
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Connects (throws std::runtime_error on failure).  `recvTimeoutMs`
+  /// bounds every blocking read; 0 = no timeout.
+  void connect(const std::string& host, std::uint16_t port,
+               int recvTimeoutMs = 30000);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  // --- pipelined sends (return the requestId to wait on) ------------------
+  std::uint64_t sendPing();
+  std::uint64_t sendProve(const Graph& g, std::string_view property);
+  std::uint64_t sendVerify(const Graph& g, std::string_view property,
+                           const std::vector<std::string>& labels);
+  std::uint64_t sendOpenSession(const Graph& g, std::string_view property,
+                                const std::vector<std::string>& labels);
+  std::uint64_t sendReverify(std::uint64_t session,
+                             const std::vector<EdgeLabelEdit>& edits);
+  std::uint64_t sendCloseSession(std::uint64_t session);
+
+  /// A terminal reply.  For kOk, `body` holds the op-specific bytes; for
+  /// a streamed certificate, `stream` holds the reassembled bytes
+  /// (byte-identical to the server's single encode).
+  struct Reply {
+    Status status = Status::kOk;
+    std::string body;
+    std::string stream;
+    std::uint64_t retryAfterMs = 0;
+    std::string error;
+
+    [[nodiscard]] bool ok() const { return status == Status::kOk; }
+  };
+
+  /// Blocks until `requestId` completes (throws std::runtime_error on
+  /// connection loss, protocol violation, or recv timeout).  Replies of
+  /// OTHER pipelined requests arriving first are retained and returned by
+  /// their own wait() calls.
+  Reply wait(std::uint64_t requestId);
+
+  // --- blocking conveniences ----------------------------------------------
+  Reply ping() { return wait(sendPing()); }
+  Reply prove(const Graph& g, std::string_view property) {
+    return wait(sendProve(g, property));
+  }
+  Reply verify(const Graph& g, std::string_view property,
+               const std::vector<std::string>& labels) {
+    return wait(sendVerify(g, property, labels));
+  }
+
+  /// Raw frame write — fuzz harnesses use this to inject hostile bytes.
+  void sendRaw(std::string_view bytes);
+
+ private:
+  struct StreamState {
+    std::string bytes;
+    std::uint64_t announced = 0;
+  };
+
+  /// Reads one socket chunk and processes every completed frame; returns
+  /// false on clean EOF.
+  bool pump();
+  void processFrame(std::string_view frame);
+
+  int fd_ = -1;
+  std::uint64_t nextId_ = 1;
+  FrameParser parser_{kDefaultMaxFrameBytes};
+  std::unordered_map<std::uint64_t, Reply> completed_;
+  std::unordered_map<std::uint64_t, StreamState> streams_;
+};
+
+}  // namespace lanecert::net

@@ -1,0 +1,700 @@
+#include "net/wire_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+
+#include "serve/job.hpp"
+
+namespace lanecert::net {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+void setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void setNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// The requestId prefix of a frame we could not fully decode — enough to
+/// answer kError instead of killing the connection (the FRAME boundary is
+/// intact, so the stream stays in sync even when the body is garbage).
+std::optional<std::uint64_t> tryRequestId(std::string_view frame) {
+  try {
+    Decoder dec{frame};
+    return dec.u64();
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+/// Wake fd for the signal handler (one server per process installs it).
+std::atomic<int> g_signalWakeFd{-1};
+
+void signalDrainHandler(int) {
+  const int fd = g_signalWakeFd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char c = 'D';
+    [[maybe_unused]] const auto n = ::write(fd, &c, 1);
+  }
+}
+
+}  // namespace
+
+WireServer::WireServer(WireServerOptions options)
+    : options_(std::move(options)), service_(options_.service) {
+  listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd_ < 0) throw std::runtime_error("WireServer: socket() failed");
+  int one = 1;
+  ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bindAddress.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listenFd_);
+    throw std::runtime_error("WireServer: bad bind address " +
+                             options_.bindAddress);
+  }
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listenFd_);
+    throw std::runtime_error(std::string("WireServer: bind failed: ") +
+                             std::strerror(errno));
+  }
+  if (::listen(listenFd_, 128) < 0) {
+    ::close(listenFd_);
+    throw std::runtime_error("WireServer: listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listenFd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  setNonBlocking(listenFd_);
+
+  int pipeFds[2];
+  if (::pipe(pipeFds) != 0) {
+    ::close(listenFd_);
+    throw std::runtime_error("WireServer: pipe failed");
+  }
+  wakeRead_ = pipeFds[0];
+  wakeWrite_ = pipeFds[1];
+  setNonBlocking(wakeRead_);
+  setNonBlocking(wakeWrite_);
+}
+
+WireServer::~WireServer() {
+  stop();
+  // run() may have been used without start(); make sure the loop is gone
+  // before the fds go away.
+  if (listenFd_ >= 0) ::close(listenFd_);
+  if (wakeRead_ >= 0) ::close(wakeRead_);
+  if (wakeWrite_ >= 0) ::close(wakeWrite_);
+  // service_ drains on destruction.
+}
+
+void WireServer::installSignalDrain() {
+  g_signalWakeFd.store(wakeWrite_, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = signalDrainHandler;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+void WireServer::run() {
+  loopRunning_.store(true, std::memory_order_release);
+  loop();
+  loopRunning_.store(false, std::memory_order_release);
+}
+
+void WireServer::start() {
+  loopThread_ = std::thread([this] { run(); });
+}
+
+void WireServer::requestDrain() {
+  const char c = 'D';
+  [[maybe_unused]] const auto n = ::write(wakeWrite_, &c, 1);
+}
+
+void WireServer::stop() {
+  if (loopThread_.joinable()) {
+    const char c = 'S';
+    [[maybe_unused]] const auto n = ::write(wakeWrite_, &c, 1);
+    loopThread_.join();
+  }
+}
+
+WireServerStats WireServer::stats() const {
+  std::lock_guard<std::mutex> lock(statsMu_);
+  return stats_;
+}
+
+void WireServer::beginDrain() {
+  if (drainStarted_) return;
+  drainStarted_ = true;
+  draining_.store(true, std::memory_order_relaxed);
+  drainDeadline_ = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(options_.drainGraceMs);
+  {
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++stats_.drains;
+  }
+  // Stop accepting; surface the service's cancelPending — every discarded
+  // job's future fails with CancelledError, which pollCompletions turns
+  // into kCancelled frames, so every read request still gets a terminal
+  // response.  Running jobs finish normally and respond normally.
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+  service_.cancelPending();
+}
+
+void WireServer::loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Conn>> polled;
+  while (true) {
+    fds.clear();
+    polled.clear();
+    fds.push_back(pollfd{wakeRead_, POLLIN, 0});
+    if (!drainStarted_ && listenFd_ >= 0) {
+      fds.push_back(pollfd{listenFd_, POLLIN, 0});
+    }
+    for (auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn->out.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{fd, events, 0});
+      polled.push_back(conn);
+    }
+
+    int timeoutMs = -1;
+    if (!pending_.empty()) {
+      timeoutMs = 1;  // completion scan cadence; futures have no callback
+    } else if (drainStarted_) {
+      timeoutMs = 20;
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeoutMs);
+    if (rc < 0 && errno != EINTR) break;
+
+    // Wake pipe: drain it; 'D' begins the graceful drain, 'S' is the
+    // hard stop (close everything now).
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      ssize_t n;
+      bool drain = false, hardStop = false;
+      while ((n = ::read(wakeRead_, buf, sizeof(buf))) > 0) {
+        for (ssize_t i = 0; i < n; ++i) {
+          drain = drain || buf[i] == 'D';
+          hardStop = hardStop || buf[i] == 'S';
+        }
+      }
+      if (hardStop) {
+        shutdownNow();
+        return;
+      }
+      if (drain) beginDrain();
+    }
+
+    std::size_t idx = 1;
+    if (!drainStarted_ && listenFd_ >= 0) {
+      if (fds[idx].revents & POLLIN) acceptReady();
+      ++idx;
+    }
+    for (std::size_t c = 0; c < polled.size(); ++c, ++idx) {
+      const auto& conn = polled[c];
+      if (conn->fd < 0) continue;  // closed earlier this tick
+      const short rev = idx < fds.size() ? fds[idx].revents : 0;
+      if (rev & (POLLERR | POLLHUP | POLLNVAL)) {
+        closeConn(conn);
+        continue;
+      }
+      if (rev & POLLIN) readReady(conn);
+      if (conn->fd >= 0 && (rev & POLLOUT)) flushWrites(conn);
+    }
+
+    pollCompletions();
+
+    // Slow-consumer cap: a client that keeps requesting but never reads
+    // accumulates output; past the cap it is cut off rather than buffered
+    // without bound.
+    {
+      std::vector<std::shared_ptr<Conn>> over;
+      for (const auto& [fd, conn] : conns_) {
+        if (conn->queuedBytes > options_.maxQueuedBytesPerConn) {
+          over.push_back(conn);
+        }
+      }
+      for (const auto& conn : over) closeConn(conn);
+    }
+
+    if (drainStarted_) {
+      bool flushed = pending_.empty();
+      for (const auto& [fd, conn] : conns_) {
+        flushed = flushed && conn->out.empty();
+      }
+      if (flushed && !lingering_) {
+        // Every terminal frame is in the kernel's hands.  Do NOT close
+        // yet — close() with unread bytes in OUR receive buffer turns
+        // into an RST, and an RST discards the PEER's unread receive
+        // buffer: the replies just flushed.  Send FIN and keep reading
+        // until each peer closes.
+        lingering_ = true;
+        for (const auto& [fd, conn] : conns_) ::shutdown(fd, SHUT_WR);
+      }
+      const bool graceOver =
+          std::chrono::steady_clock::now() >= drainDeadline_;
+      if ((lingering_ && conns_.empty()) || graceOver) {
+        shutdownNow();
+        return;
+      }
+    }
+  }
+}
+
+void WireServer::shutdownNow() {
+  std::vector<std::shared_ptr<Conn>> toClose;
+  toClose.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) toClose.push_back(conn);
+  for (const auto& conn : toClose) closeConn(conn);
+  pending_.clear();
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+  }
+}
+
+void WireServer::acceptReady() {
+  while (true) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EINTR: done for this tick
+    if (conns_.size() >=
+        static_cast<std::size_t>(std::max(1, options_.maxConnections))) {
+      ::close(fd);
+      continue;
+    }
+    setNonBlocking(fd);
+    setNoDelay(fd);
+    auto conn = std::make_shared<Conn>(options_.maxFrameBytes);
+    conn->fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++stats_.connectionsAccepted;
+  }
+}
+
+void WireServer::readReady(const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  if (lingering_) {
+    // Write side is already FIN'd — nothing can be answered.  Read and
+    // discard until the peer's own close shows up as EOF.
+    while (conn->fd >= 0) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) continue;
+      if (n < 0 &&
+          (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        return;
+      }
+      closeConn(conn);
+      return;
+    }
+    return;
+  }
+  std::vector<std::string> frames;
+  while (conn->fd >= 0) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {  // peer closed
+      closeConn(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      closeConn(conn);
+      return;
+    }
+    frames.clear();
+    if (!conn->parser.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                           frames)) {
+      // Framing violation (oversized/zero/malformed length): the stream
+      // can never resync — fail the connection.  The quota case rejected
+      // BEFORE any payload reserve.
+      {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.protocolErrors;
+      }
+      closeConn(conn);
+      return;
+    }
+    for (std::string& frame : frames) {
+      {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.framesRead;
+      }
+      handleFrame(conn, frame);
+      if (conn->fd < 0) return;
+    }
+  }
+}
+
+void WireServer::handleFrame(const std::shared_ptr<Conn>& conn,
+                             std::string_view frame) {
+  WireRequest req;
+  try {
+    req = decodeRequest(frame);
+  } catch (const std::exception& e) {
+    // A body that does not parse is a per-request failure when the
+    // requestId prefix is readable (the frame boundary holds, the stream
+    // stays usable); otherwise the envelope itself is broken.
+    if (const auto id = tryRequestId(frame)) {
+      {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.requestErrors;
+      }
+      queueFrame(*conn, encodeErrorResponse(*id, e.what()));
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.protocolErrors;
+      }
+      closeConn(conn);
+    }
+    return;
+  }
+  dispatch(conn, std::move(req));
+}
+
+void WireServer::dispatch(const std::shared_ptr<Conn>& conn,
+                          WireRequest&& req) {
+  const std::uint64_t id = req.requestId;
+  if (drainStarted_) {
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.shuttingDownRejected;
+    }
+    queueFrame(*conn, encodeResponseHead(id, Status::kShuttingDown));
+    return;
+  }
+
+  // Per-connection in-flight quota: applies to the async ops (the ones
+  // that hold service capacity).  The retry-after hint scales with how
+  // far over quota the pipeline already is.
+  const bool asyncOp = req.op == Op::kProve || req.op == Op::kVerify ||
+                       req.op == Op::kReverify;
+  if (asyncOp && options_.maxInflightPerConn > 0 &&
+      conn->inflight >= options_.maxInflightPerConn) {
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.quotaRejected;
+    }
+    queueFrame(*conn,
+               encodeRejected(id, 1 + static_cast<std::uint64_t>(
+                                          conn->inflight)));
+    return;
+  }
+
+  try {
+    switch (req.op) {
+      case Op::kPing:
+        queueFrame(*conn, encodeResponseHead(id, Status::kOk));
+        {
+          std::lock_guard<std::mutex> lock(statsMu_);
+          ++stats_.requestsCompleted;
+        }
+        return;
+      case Op::kProve: {
+        const PropertyPtr prop = propertyByName(req.property);
+        if (!prop) throw WireError("unknown property '" + req.property + "'");
+        serve::ProveJob job{req.graph,
+                            IdAssignment::identity(req.graph.numVertices()),
+                            prop,
+                            {},
+                            {}};
+        PendingJob pend;
+        pend.conn = conn;
+        pend.requestId = id;
+        pend.op = Op::kProve;
+        pend.streamKey = serve::proveJobKey(job);
+        pend.prove = service_.submitProve(std::move(job));
+        pending_.push_back(std::move(pend));
+        ++conn->inflight;
+        return;
+      }
+      case Op::kVerify:
+      case Op::kOpenSession: {
+        const PropertyPtr prop = propertyByName(req.property);
+        if (!prop) throw WireError("unknown property '" + req.property + "'");
+        serve::VerifyJob job{
+            req.graph,
+            IdAssignment::identity(req.graph.numVertices()),
+            std::make_shared<const std::vector<std::string>>(
+                std::move(req.labels)),
+            prop,
+            {},
+            0,
+            {}};
+        if (req.op == Op::kOpenSession) {
+          const std::uint64_t session =
+              service_.openVerifySession(std::move(job));
+          conn->sessions.push_back(session);
+          queueFrame(*conn, encodeSessionResponse(id, session));
+          std::lock_guard<std::mutex> lock(statsMu_);
+          ++stats_.requestsCompleted;
+          return;
+        }
+        PendingJob pend;
+        pend.conn = conn;
+        pend.requestId = id;
+        pend.op = Op::kVerify;
+        pend.verify = service_.submitVerify(std::move(job));
+        pending_.push_back(std::move(pend));
+        ++conn->inflight;
+        return;
+      }
+      case Op::kReverify: {
+        PendingJob pend;
+        pend.conn = conn;
+        pend.requestId = id;
+        pend.op = Op::kReverify;
+        pend.verify = service_.submitReverify(
+            serve::ReverifyJob{req.session, std::move(req.edits), {}});
+        pending_.push_back(std::move(pend));
+        ++conn->inflight;
+        return;
+      }
+      case Op::kCloseSession: {
+        service_.closeVerifySession(req.session);
+        auto& sessions = conn->sessions;
+        for (auto it = sessions.begin(); it != sessions.end(); ++it) {
+          if (*it == req.session) {
+            sessions.erase(it);
+            break;
+          }
+        }
+        queueFrame(*conn, encodeResponseHead(id, Status::kOk));
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.requestsCompleted;
+        return;
+      }
+    }
+  } catch (const serve::RejectedError& e) {
+    // Service backpressure: surfaced as the wire-level retry-after code.
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.serviceRejected;
+    }
+    queueFrame(*conn,
+               encodeRejected(id, static_cast<std::uint64_t>(
+                                      e.retryAfter().count())));
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.requestErrors;
+    }
+    queueFrame(*conn, encodeErrorResponse(id, e.what()));
+  }
+}
+
+void WireServer::pollCompletions() {
+  for (std::size_t i = 0; i < pending_.size();) {
+    PendingJob& job = pending_[i];
+    const bool ready =
+        job.op == Op::kProve
+            ? job.prove.wait_for(0s) == std::future_status::ready
+            : job.verify.wait_for(0s) == std::future_status::ready;
+    if (!ready) {
+      ++i;
+      continue;
+    }
+    const std::shared_ptr<Conn> conn = job.conn.lock();
+    if (conn && conn->fd >= 0) {
+      --conn->inflight;
+      if (job.op == Op::kProve) {
+        completeProve(conn, job);
+      } else {
+        completeVerify(conn, job);
+      }
+    }
+    pending_[i] = std::move(pending_.back());
+    pending_.pop_back();
+  }
+}
+
+void WireServer::completeProve(const std::shared_ptr<Conn>& conn,
+                               PendingJob& job) {
+  try {
+    const CoreProveResult& result = job.prove.get();
+    const auto cert = encodedStreamFor(job.streamKey, result);
+    queueCertificateStream(*conn, job.requestId, cert);
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++stats_.requestsCompleted;
+    ++stats_.streamsSent;
+  } catch (const serve::CancelledError&) {
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.cancelledResponses;
+    }
+    queueFrame(*conn, encodeResponseHead(job.requestId, Status::kCancelled));
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.requestErrors;
+    }
+    queueFrame(*conn, encodeErrorResponse(job.requestId, e.what()));
+  }
+}
+
+void WireServer::completeVerify(const std::shared_ptr<Conn>& conn,
+                                PendingJob& job) {
+  try {
+    const SimulationResult& result = job.verify.get();
+    queueFrame(*conn, encodeVerifyResponse(job.requestId, result));
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++stats_.requestsCompleted;
+  } catch (const serve::CancelledError&) {
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.cancelledResponses;
+    }
+    queueFrame(*conn, encodeResponseHead(job.requestId, Status::kCancelled));
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.requestErrors;
+    }
+    queueFrame(*conn, encodeErrorResponse(job.requestId, e.what()));
+  }
+}
+
+std::shared_ptr<const std::string> WireServer::encodedStreamFor(
+    const std::string& key, const CoreProveResult& result) {
+  if (const auto it = streamMemo_.find(key); it != streamMemo_.end()) {
+    if (auto cert = it->second.lock()) {
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.streamEncodeReuses;
+      return cert;
+    }
+  }
+  auto cert = std::make_shared<const std::string>(
+      encodeCertificateStream(result.propertyHolds, result.labels));
+  streamMemo_[key] = cert;
+  if (streamMemo_.size() > 128) {
+    for (auto it = streamMemo_.begin(); it != streamMemo_.end();) {
+      it = it->second.expired() ? streamMemo_.erase(it) : std::next(it);
+    }
+  }
+  std::lock_guard<std::mutex> lock(statsMu_);
+  ++stats_.streamEncodes;
+  return cert;
+}
+
+void WireServer::queueFrame(Conn& conn, std::string payload) {
+  if (conn.fd < 0) return;
+  OutSeg seg;
+  seg.owned = encodeFrame(payload);
+  conn.queuedBytes += seg.owned.size();
+  conn.out.push_back(std::move(seg));
+}
+
+void WireServer::queueCertificateStream(
+    Conn& conn, std::uint64_t requestId,
+    const std::shared_ptr<const std::string>& cert) {
+  if (conn.fd < 0) return;
+  {
+    Encoder head;
+    head.u64(requestId);
+    head.u64(static_cast<std::uint64_t>(Status::kStreamBegin));
+    head.u64(cert->size());
+    queueFrame(conn, head.take());
+  }
+  const std::size_t chunk = std::max<std::size_t>(1, options_.chunkBytes);
+  std::uint64_t chunks = 0;
+  for (std::size_t off = 0; off < cert->size(); off += chunk) {
+    const std::size_t len = std::min(chunk, cert->size() - off);
+    // Per-client bytes: ONLY this little header.  The payload slice
+    // references the shared encoded stream — scatter, not copy.
+    Encoder head;
+    head.u64(requestId);
+    head.u64(static_cast<std::uint64_t>(Status::kChunk));
+    head.u64(off);
+    const std::string headBytes = head.take();
+
+    OutSeg headSeg;
+    Encoder framed;
+    framed.u64(headBytes.size() + len);  // frame length prefix
+    framed.raw(headBytes);
+    headSeg.owned = framed.take();
+    conn.queuedBytes += headSeg.owned.size();
+    conn.out.push_back(std::move(headSeg));
+
+    OutSeg payloadSeg;
+    payloadSeg.backing = cert;
+    payloadSeg.begin = off;
+    payloadSeg.end = off + len;
+    conn.queuedBytes += len;
+    conn.out.push_back(std::move(payloadSeg));
+    ++chunks;
+  }
+  queueFrame(conn, encodeResponseHead(requestId, Status::kStreamEnd));
+  std::lock_guard<std::mutex> lock(statsMu_);
+  stats_.chunksQueued += chunks;
+  stats_.certificateBytesQueued += cert->size();
+}
+
+void WireServer::flushWrites(const std::shared_ptr<Conn>& conn) {
+  while (conn->fd >= 0 && !conn->out.empty()) {
+    OutSeg& seg = conn->out.front();
+    const std::string_view view = seg.view();
+    const std::size_t left = view.size() - seg.written;
+    const ssize_t n = ::send(conn->fd, view.data() + seg.written, left,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      closeConn(conn);
+      return;
+    }
+    conn->queuedBytes -= static_cast<std::size_t>(n);
+    if (static_cast<std::size_t>(n) < left) {
+      seg.written += static_cast<std::size_t>(n);
+      std::lock_guard<std::mutex> lock(statsMu_);
+      ++stats_.shortWrites;
+      return;
+    }
+    conn->out.pop_front();
+  }
+}
+
+void WireServer::closeConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->fd < 0) return;
+  // Resource hygiene: sessions die with their connection (idempotent on
+  // the service side; queued batches still complete).
+  for (const std::uint64_t session : conn->sessions) {
+    service_.closeVerifySession(session);
+  }
+  conn->sessions.clear();
+  conns_.erase(conn->fd);
+  ::close(conn->fd);
+  conn->fd = -1;
+  conn->out.clear();
+  conn->queuedBytes = 0;
+  std::lock_guard<std::mutex> lock(statsMu_);
+  ++stats_.connectionsClosed;
+}
+
+}  // namespace lanecert::net

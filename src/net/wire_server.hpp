@@ -1,0 +1,221 @@
+#pragma once
+// WireServer — the async socket front-end over LaneCertService.
+//
+// One server owns one listening socket, one poll(2) event loop, and one
+// LaneCertService; the loop thread does no certificate work itself — it
+// parses frames, submits jobs to the service (whose shared worker pool
+// does the heavy lifting), and scatters results back to connections.
+// Clients pipeline freely: responses complete in service-completion
+// order, correlated by requestId.
+//
+// Streaming without per-client copies: a prove result's certificate
+// stream is encoded ONCE into a shared immutable buffer (memoized by the
+// job's exact content key, the same identity the service's result cache
+// coalesces on), then every subscriber's write queue holds SLICES of that
+// buffer — per-chunk frame headers are the only per-client bytes.  A
+// thousand clients asking for one labeling cost one encode and zero
+// payload copies.
+//
+// Admission control, layered:
+//   * per-connection in-flight quota (maxInflightPerConn) — one greedy
+//     pipeliner cannot monopolize the service queue; excess requests get
+//     an immediate kRejected frame with a retry-after hint;
+//   * the service's own maxQueueDepth backpressure — RejectedError maps
+//     to the same kRejected frame, carrying the service's retryAfter();
+//   * per-connection write-queue cap — a subscriber that stops reading
+//     while certificates stream at it is closed, not buffered forever.
+//
+// Graceful drain (SIGTERM or requestDrain()): stop accepting connections,
+// answer new requests with kShuttingDown, surface the service's
+// cancelPending() — discarded jobs fail their futures with
+// CancelledError, which reaches clients as kCancelled frames — then flush
+// every write queue, send FIN (shutdown of the write side), and linger
+// reading until each peer closes or the grace deadline passes.  The
+// linger matters: an abrupt close() can turn into an RST, and an RST
+// discards the peer's unread receive buffer — the very replies that were
+// just flushed.  Every request that was ever read gets a terminal frame;
+// the service destructor's drain-on-destruct covers whatever was already
+// running.  stop() is the hard variant (immediate close), for teardown.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace lanecert::net {
+
+struct WireServerOptions {
+  std::string bindAddress = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via port() immediately
+  /// after construction (the listener is created in the constructor).
+  std::uint16_t port = 0;
+  int maxConnections = 256;
+  /// Per-connection frame quota: a frame header claiming more than this
+  /// fails the connection BEFORE any buffer reserve.
+  std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  /// Per-connection in-flight request quota (async ops); excess requests
+  /// are answered with kRejected + retry-after.  <= 0 disables the quota.
+  int maxInflightPerConn = 64;
+  /// Certificate streams are scattered in chunks of this many bytes.
+  std::size_t chunkBytes = 64 * 1024;
+  /// Slow-consumer bound: a connection whose unsent output exceeds this
+  /// is closed (it has stopped reading while results stream at it).
+  std::size_t maxQueuedBytesPerConn = 256u << 20;
+  /// Drain grace: after requestDrain(), connections that still cannot
+  /// flush within this window are force-closed so shutdown terminates.
+  int drainGraceMs = 5000;
+  /// Options of the owned LaneCertService.
+  serve::ServiceOptions service;
+};
+
+/// Monotonic counters, snapshot via stats().
+struct WireServerStats {
+  std::uint64_t connectionsAccepted = 0;
+  std::uint64_t connectionsClosed = 0;
+  std::uint64_t framesRead = 0;
+  std::uint64_t requestsCompleted = 0;  ///< terminal non-error responses
+  std::uint64_t quotaRejected = 0;      ///< per-connection in-flight quota
+  std::uint64_t serviceRejected = 0;    ///< service backpressure (retry-after)
+  std::uint64_t shuttingDownRejected = 0;
+  std::uint64_t protocolErrors = 0;  ///< framing violations (connection dies)
+  std::uint64_t requestErrors = 0;   ///< kError responses (connection lives)
+  std::uint64_t cancelledResponses = 0;
+  std::uint64_t streamsSent = 0;
+  std::uint64_t streamEncodes = 0;       ///< distinct certificate encodes
+  std::uint64_t streamEncodeReuses = 0;  ///< scatters served from the memo
+  std::uint64_t chunksQueued = 0;
+  std::uint64_t certificateBytesQueued = 0;
+  std::uint64_t shortWrites = 0;  ///< partial socket writes (backpressure)
+  std::uint64_t drains = 0;
+};
+
+class WireServer {
+ public:
+  /// Binds and listens immediately (throws std::runtime_error on failure);
+  /// the event loop starts with run()/start().
+  explicit WireServer(WireServerOptions options = {});
+  /// stop()s, then drains the owned service.
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// The owned service — for tests and stats; jobs submitted directly
+  /// here share the pool and caches with wire traffic.
+  [[nodiscard]] serve::LaneCertService& service() { return service_; }
+
+  /// Runs the event loop on the CALLING thread until a drain completes.
+  void run();
+  /// Runs the event loop on a background thread; pair with stop().
+  void start();
+  /// Initiates graceful drain from any thread or a signal handler
+  /// (async-signal-safe: one write to the wake pipe).
+  void requestDrain();
+  /// Hard stop: closes every connection immediately (no drain linger) and
+  /// joins the start() thread.  No-op when not started.
+  void stop();
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs a SIGTERM + SIGINT handler that requestDrain()s THIS server
+  /// (one server per process — the handler holds a static wake fd).
+  void installSignalDrain();
+
+  [[nodiscard]] WireServerStats stats() const;
+
+ private:
+  /// One out-queue segment: either small owned header bytes, or a slice
+  /// of a shared certificate stream (no payload copy per client).
+  struct OutSeg {
+    std::string owned;
+    std::shared_ptr<const std::string> backing;  ///< null => owned bytes
+    std::size_t begin = 0, end = 0;              ///< slice when backing
+    std::size_t written = 0;
+
+    [[nodiscard]] std::string_view view() const {
+      return backing ? std::string_view(*backing).substr(begin, end - begin)
+                     : std::string_view(owned);
+    }
+  };
+
+  struct Conn {
+    int fd = -1;
+    FrameParser parser;
+    std::deque<OutSeg> out;
+    std::size_t queuedBytes = 0;
+    int inflight = 0;
+    std::vector<std::uint64_t> sessions;  ///< closed with the connection
+
+    explicit Conn(std::size_t maxFrame) : parser(maxFrame) {}
+  };
+
+  struct PendingJob {
+    std::weak_ptr<Conn> conn;
+    std::uint64_t requestId = 0;
+    Op op = Op::kProve;
+    std::shared_future<CoreProveResult> prove;
+    std::shared_future<SimulationResult> verify;
+    std::string streamKey;  ///< prove: encode-memo key (exact job content)
+  };
+
+  void loop();
+  void acceptReady();
+  void readReady(const std::shared_ptr<Conn>& conn);
+  void handleFrame(const std::shared_ptr<Conn>& conn, std::string_view frame);
+  void dispatch(const std::shared_ptr<Conn>& conn, WireRequest&& req);
+  void pollCompletions();
+  void completeProve(const std::shared_ptr<Conn>& conn, PendingJob& job);
+  void completeVerify(const std::shared_ptr<Conn>& conn, PendingJob& job);
+  void queueFrame(Conn& conn, std::string payload);
+  void queueCertificateStream(Conn& conn, std::uint64_t requestId,
+                              const std::shared_ptr<const std::string>& cert);
+  void flushWrites(const std::shared_ptr<Conn>& conn);
+  void closeConn(const std::shared_ptr<Conn>& conn);
+  void beginDrain();
+  /// Hard teardown: closes every connection and the listener, drops
+  /// pending jobs (their futures die with the service drain).
+  void shutdownNow();
+  [[nodiscard]] std::shared_ptr<const std::string> encodedStreamFor(
+      const std::string& key, const CoreProveResult& result);
+
+  const WireServerOptions options_;
+  serve::LaneCertService service_;
+
+  int listenFd_ = -1;
+  int wakeRead_ = -1;
+  int wakeWrite_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  std::vector<PendingJob> pending_;
+  /// Exact-job-key -> encoded certificate stream; weak so memory follows
+  /// the last subscriber out, pruned opportunistically.
+  std::unordered_map<std::string, std::weak_ptr<const std::string>>
+      streamMemo_;
+
+  std::atomic<bool> draining_{false};
+  bool drainStarted_ = false;
+  /// Drain phase two: all terminal frames flushed, FIN sent, now reading
+  /// until the peers close (or the grace deadline force-closes).
+  bool lingering_ = false;
+  std::chrono::steady_clock::time_point drainDeadline_{};
+  std::thread loopThread_;
+  std::atomic<bool> loopRunning_{false};
+
+  mutable std::mutex statsMu_;
+  WireServerStats stats_;
+};
+
+}  // namespace lanecert::net

@@ -1,0 +1,84 @@
+// lanecert_serverd — the wire-protocol serving daemon.
+//
+// Binds, prints "listening <addr> <port>" on stdout (flushed, so scripts
+// can scrape the ephemeral port), installs the SIGTERM/SIGINT graceful
+// drain, and runs the event loop on the main thread until the drain
+// completes.  Exit prints a one-line stats summary to stderr.
+//
+// Usage:
+//   lanecert_serverd [--bind ADDR] [--port P] [--threads N]
+//                    [--max-inflight N] [--chunk-bytes N]
+//                    [--drain-grace-ms N] [--max-queue-depth N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/wire_server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lanecert;
+
+  net::WireServerOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    auto needsValue = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (needsValue("--bind")) {
+      opts.bindAddress = argv[++i];
+    } else if (needsValue("--port")) {
+      opts.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (needsValue("--threads")) {
+      opts.service.numThreads = std::atoi(argv[++i]);
+    } else if (needsValue("--max-inflight")) {
+      opts.maxInflightPerConn = std::atoi(argv[++i]);
+    } else if (needsValue("--chunk-bytes")) {
+      opts.chunkBytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (needsValue("--drain-grace-ms")) {
+      opts.drainGraceMs = std::atoi(argv[++i]);
+    } else if (needsValue("--max-queue-depth")) {
+      opts.service.maxQueueDepth = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: lanecert_serverd [--bind ADDR] [--port P] "
+                   "[--threads N] [--max-inflight N] [--chunk-bytes N] "
+                   "[--drain-grace-ms N] [--max-queue-depth N]\n");
+      return 2;
+    }
+  }
+
+  try {
+    net::WireServer server(opts);
+    std::printf("listening %s %u\n", opts.bindAddress.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    server.installSignalDrain();
+    server.run();
+    const net::WireServerStats s = server.stats();
+    std::fprintf(stderr,
+                 "serverd: drained; conns %llu/%llu frames %llu completed "
+                 "%llu rejected %llu+%llu cancelled %llu errors %llu+%llu "
+                 "streams %llu (encodes %llu reuses %llu)\n",
+                 static_cast<unsigned long long>(s.connectionsAccepted),
+                 static_cast<unsigned long long>(s.connectionsClosed),
+                 static_cast<unsigned long long>(s.framesRead),
+                 static_cast<unsigned long long>(s.requestsCompleted),
+                 static_cast<unsigned long long>(s.quotaRejected),
+                 static_cast<unsigned long long>(s.serviceRejected),
+                 static_cast<unsigned long long>(s.cancelledResponses),
+                 static_cast<unsigned long long>(s.protocolErrors),
+                 static_cast<unsigned long long>(s.requestErrors),
+                 static_cast<unsigned long long>(s.streamsSent),
+                 static_cast<unsigned long long>(s.streamEncodes),
+                 static_cast<unsigned long long>(s.streamEncodeReuses));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serverd: %s\n", e.what());
+    return 1;
+  }
+}

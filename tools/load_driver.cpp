@@ -1,0 +1,363 @@
+// load_driver — sustained mixed-traffic load generator for the wire server.
+//
+// Opens N connections (one thread each), primes a certificate + a verify
+// session per connection, then drives a deterministic prove/verify/reverify
+// mix for the requested duration, measuring per-request latency from the
+// send() to the terminal reply.  Reports throughput and p50/p90/p99
+// latency overall and per op, and optionally enforces a throughput floor
+// (--min-throughput, the CI gate).
+//
+// The prove traffic intentionally repeats a small set of distinct jobs:
+// that is the serving hot path — the service's result cache coalesces, the
+// server's stream memo scatters — and what a fleet of subscribers looks
+// like.  --distinct N controls how many distinct graphs rotate through.
+//
+// Usage:
+//   load_driver --port P [--host H] [--connections N] [--duration-seconds S]
+//               [--rate R] [--pipeline D] [--distinct N] [--vertices N]
+//               [--seed N] [--min-throughput R] [--json PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "net/wire_client.hpp"
+
+namespace {
+
+using namespace lanecert;
+using Clock = std::chrono::steady_clock;
+
+struct DriverOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  int connections = 8;
+  double durationSeconds = 5.0;
+  double rate = 0;     // total target req/s across all connections; 0 = max
+  int pipeline = 4;    // in-flight requests per connection
+  int distinct = 4;    // distinct graphs rotating through the mix
+  int vertices = 64;   // workload graph size
+  std::uint64_t seed = 42;
+  double minThroughput = 0;  // req/s floor; nonzero makes the run a gate
+  std::string jsonPath;
+};
+
+struct Workload {
+  Graph graph;
+  std::vector<std::string> labels;  ///< honest certificate for verify ops
+};
+
+enum OpClass { kOpProve = 0, kOpVerify = 1, kOpReverify = 2, kOpClassCount };
+
+const char* opClassName(int c) {
+  switch (c) {
+    case kOpProve:
+      return "prove";
+    case kOpVerify:
+      return "verify";
+    case kOpReverify:
+      return "reverify";
+  }
+  return "?";
+}
+
+struct ThreadResult {
+  std::vector<double> latencyMs[kOpClassCount];
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::string error;  ///< nonempty = the thread died
+};
+
+/// One closed-loop worker: keeps `pipeline` requests in flight, paces to
+/// `ratePerConn` when nonzero, classifies each reply.
+void runWorker(const DriverOptions& opts, const std::vector<Workload>& work,
+               int threadIdx, double ratePerConn, Clock::time_point deadline,
+               ThreadResult* result) {
+  try {
+    net::WireClient client;
+    client.connect(opts.host, opts.port);
+
+    // One live verify session per connection feeds the reverify traffic.
+    const Workload& sessionWork = work[threadIdx % work.size()];
+    const net::WireClient::Reply opened = client.wait(client.sendOpenSession(
+        sessionWork.graph, "connectivity", sessionWork.labels));
+    if (!opened.ok()) {
+      result->error = "open-session failed: " + opened.error;
+      return;
+    }
+    const std::uint64_t session = net::decodeSessionHandle(opened.body);
+
+    Rng rng(opts.seed + 1000 + static_cast<std::uint64_t>(threadIdx));
+    struct Inflight {
+      Clock::time_point sentAt;
+      int opClass;
+    };
+    std::unordered_map<std::uint64_t, Inflight> inflight;
+    std::vector<std::uint64_t> order;  // completion pops the oldest first
+
+    const auto interval =
+        ratePerConn > 0
+            ? std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(1.0 / ratePerConn))
+            : Clock::duration::zero();
+    Clock::time_point nextSend = Clock::now();
+
+    auto sendOne = [&]() {
+      const Workload& w = work[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<int>(work.size()) - 1))];
+      const int r = rng.uniformInt(0, 9);
+      int opClass;
+      std::uint64_t id;
+      if (r < 5) {
+        opClass = kOpProve;
+        id = client.sendProve(w.graph, "connectivity");
+      } else if (r < 8) {
+        opClass = kOpVerify;
+        id = client.sendVerify(w.graph, "connectivity", w.labels);
+      } else {
+        opClass = kOpReverify;
+        std::vector<EdgeLabelEdit> edits;
+        const auto edge = static_cast<EdgeId>(rng.uniformInt(
+            0, sessionWork.graph.numEdges() - 1));
+        edits.push_back({edge, sessionWork.labels[static_cast<std::size_t>(
+                                   edge)]});  // honest rewrite: stays green
+        id = client.sendReverify(session, edits);
+      }
+      inflight.emplace(id, Inflight{Clock::now(), opClass});
+      order.push_back(id);
+      ++result->sent;
+    };
+
+    while (Clock::now() < deadline) {
+      while (static_cast<int>(inflight.size()) < std::max(1, opts.pipeline) &&
+             Clock::now() < deadline) {
+        if (ratePerConn > 0) {
+          if (Clock::now() < nextSend) break;
+          nextSend += interval;
+        }
+        sendOne();
+      }
+      if (order.empty()) {
+        if (ratePerConn > 0) std::this_thread::sleep_until(nextSend);
+        continue;
+      }
+      const std::uint64_t id = order.front();
+      order.erase(order.begin());
+      const net::WireClient::Reply reply = client.wait(id);
+      const auto it = inflight.find(id);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - it->second.sentAt)
+                            .count();
+      if (reply.status == net::Status::kRejected) {
+        ++result->rejected;
+      } else if (reply.ok()) {
+        result->latencyMs[it->second.opClass].push_back(ms);
+        ++result->completed;
+      } else {
+        result->error = "unexpected status " +
+                        std::string(net::statusName(reply.status)) +
+                        (reply.error.empty() ? "" : ": " + reply.error);
+        return;
+      }
+      inflight.erase(it);
+    }
+
+    // Drain whatever is still in flight so the server is not left with
+    // half-read streams.
+    for (const std::uint64_t id : order) {
+      const net::WireClient::Reply reply = client.wait(id);
+      const auto it = inflight.find(id);
+      if (reply.ok()) {
+        result->latencyMs[it->second.opClass].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      it->second.sentAt)
+                .count());
+        ++result->completed;
+      } else if (reply.status == net::Status::kRejected) {
+        ++result->rejected;
+      }
+      inflight.erase(it);
+    }
+    client.wait(client.sendCloseSession(session));
+  } catch (const std::exception& e) {
+    result->error = e.what();
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1,
+                       p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DriverOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    auto needsValue = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (needsValue("--host")) {
+      opts.host = argv[++i];
+    } else if (needsValue("--port")) {
+      opts.port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (needsValue("--connections")) {
+      opts.connections = std::atoi(argv[++i]);
+    } else if (needsValue("--duration-seconds")) {
+      opts.durationSeconds = std::strtod(argv[++i], nullptr);
+    } else if (needsValue("--rate")) {
+      opts.rate = std::strtod(argv[++i], nullptr);
+    } else if (needsValue("--pipeline")) {
+      opts.pipeline = std::atoi(argv[++i]);
+    } else if (needsValue("--distinct")) {
+      opts.distinct = std::atoi(argv[++i]);
+    } else if (needsValue("--vertices")) {
+      opts.vertices = std::atoi(argv[++i]);
+    } else if (needsValue("--seed")) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (needsValue("--min-throughput")) {
+      opts.minThroughput = std::strtod(argv[++i], nullptr);
+    } else if (needsValue("--json")) {
+      opts.jsonPath = argv[++i];
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: load_driver --port P [--host H] [--connections N] "
+          "[--duration-seconds S] [--rate R] [--pipeline D] [--distinct N] "
+          "[--vertices N] [--seed N] [--min-throughput R] [--json PATH]\n");
+      return 2;
+    }
+  }
+  if (opts.port == 0) {
+    std::fprintf(stderr, "load_driver: --port is required\n");
+    return 2;
+  }
+
+  // Build the workload set; the honest labels come over the wire (one
+  // prove per distinct graph), so the driver also smoke-checks streaming
+  // before the clock starts.
+  std::vector<Workload> work;
+  try {
+    net::WireClient primer;
+    primer.connect(opts.host, opts.port);
+    Rng rng(opts.seed);
+    for (int i = 0; i < std::max(1, opts.distinct); ++i) {
+      Workload w;
+      w.graph = randomBoundedPathwidth(opts.vertices, 2, 0.4, rng).graph;
+      const net::WireClient::Reply reply =
+          primer.prove(w.graph, "connectivity");
+      if (!reply.ok()) {
+        std::fprintf(stderr, "load_driver: priming prove failed: %s\n",
+                     reply.error.c_str());
+        return 1;
+      }
+      const net::CertificateStream cert =
+          net::decodeCertificateStream(reply.stream);
+      if (!cert.propertyHolds) {
+        std::fprintf(stderr, "load_driver: priming graph not connected\n");
+        return 1;
+      }
+      w.labels = cert.labels;
+      work.push_back(std::move(w));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "load_driver: priming failed: %s\n", e.what());
+    return 1;
+  }
+
+  const int conns = std::max(1, opts.connections);
+  const double ratePerConn = opts.rate > 0 ? opts.rate / conns : 0;
+  std::vector<ThreadResult> results(static_cast<std::size_t>(conns));
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(opts.durationSeconds));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(conns));
+    for (int t = 0; t < conns; ++t) {
+      threads.emplace_back(runWorker, std::cref(opts), std::cref(work), t,
+                           ratePerConn, deadline, &results[t]);
+    }
+    for (std::thread& th : threads) th.join();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::uint64_t sent = 0, completed = 0, rejected = 0;
+  std::vector<double> all;
+  std::vector<double> perOp[kOpClassCount];
+  for (const ThreadResult& r : results) {
+    if (!r.error.empty()) {
+      std::fprintf(stderr, "load_driver: worker failed: %s\n",
+                   r.error.c_str());
+      return 1;
+    }
+    sent += r.sent;
+    completed += r.completed;
+    rejected += r.rejected;
+    for (int c = 0; c < kOpClassCount; ++c) {
+      perOp[c].insert(perOp[c].end(), r.latencyMs[c].begin(),
+                      r.latencyMs[c].end());
+      all.insert(all.end(), r.latencyMs[c].begin(), r.latencyMs[c].end());
+    }
+  }
+  std::sort(all.begin(), all.end());
+  const double throughput = elapsed > 0 ? completed / elapsed : 0;
+  const double p50 = percentile(all, 0.50);
+  const double p90 = percentile(all, 0.90);
+  const double p99 = percentile(all, 0.99);
+
+  std::printf(
+      "load_driver: %d conns x pipeline %d, %.1fs: %llu sent, %llu ok, "
+      "%llu rejected\n",
+      conns, opts.pipeline, elapsed, static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(rejected));
+  std::printf("  throughput %.0f req/s, latency p50 %.3fms p90 %.3fms p99 %.3fms\n",
+              throughput, p50, p90, p99);
+  for (int c = 0; c < kOpClassCount; ++c) {
+    std::sort(perOp[c].begin(), perOp[c].end());
+    std::printf("  %-8s %7zu ok, p50 %.3fms p99 %.3fms\n", opClassName(c),
+                perOp[c].size(), percentile(perOp[c], 0.50),
+                percentile(perOp[c], 0.99));
+  }
+
+  if (!opts.jsonPath.empty()) {
+    std::ofstream out(opts.jsonPath);
+    out << "{\n  \"connections\": " << conns
+        << ",\n  \"pipeline\": " << opts.pipeline
+        << ",\n  \"elapsed_s\": " << elapsed << ",\n  \"sent\": " << sent
+        << ",\n  \"completed\": " << completed
+        << ",\n  \"rejected\": " << rejected
+        << ",\n  \"throughput_rps\": " << throughput
+        << ",\n  \"p50_ms\": " << p50 << ",\n  \"p90_ms\": " << p90
+        << ",\n  \"p99_ms\": " << p99 << "\n}\n";
+  }
+
+  if (opts.minThroughput > 0 && throughput < opts.minThroughput) {
+    std::fprintf(stderr,
+                 "load_driver: throughput %.0f req/s below floor %.0f\n",
+                 throughput, opts.minThroughput);
+    return 1;
+  }
+  return 0;
+}

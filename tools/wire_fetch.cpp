@@ -1,0 +1,100 @@
+// wire_fetch — fetch a certificate stream over the wire, or produce the
+// in-process reference bytes, so scripts can byte-compare the two.
+//
+//   wire_fetch fetch <host> <port> <edgelist> <property> <out>
+//   wire_fetch local <edgelist> <property> <out>
+//
+// `fetch` connects, proves over the wire, and writes the reassembled
+// certificate stream verbatim.  `local` runs proveCore with the identity
+// id assignment (the server-side convention) and encodes the same stream
+// in-process.  The CI wire smoke asserts `cmp` equality of the two files:
+// the network boundary must add exactly nothing to the bytes.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/prover.hpp"
+#include "graph/io.hpp"
+#include "net/protocol.hpp"
+#include "net/wire_client.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+Graph loadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return fromEdgeList(buf.str());
+}
+
+void writeBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+int cmdFetch(const std::string& host, std::uint16_t port,
+             const std::string& edgelist, const std::string& property,
+             const std::string& outPath) {
+  const Graph g = loadGraph(edgelist);
+  net::WireClient client;
+  client.connect(host, port);
+  const net::WireClient::Reply reply = client.prove(g, property);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "wire_fetch: prove failed (%s): %s\n",
+                 net::statusName(reply.status), reply.error.c_str());
+    return 1;
+  }
+  writeBytes(outPath, reply.stream);
+  std::printf("wire_fetch: %zu stream bytes -> %s\n", reply.stream.size(),
+              outPath.c_str());
+  return 0;
+}
+
+int cmdLocal(const std::string& edgelist, const std::string& property,
+             const std::string& outPath) {
+  const Graph g = loadGraph(edgelist);
+  const PropertyPtr prop = net::propertyByName(property);
+  if (!prop) {
+    std::fprintf(stderr, "wire_fetch: unknown property '%s'\n",
+                 property.c_str());
+    return 2;
+  }
+  const CoreProveResult r =
+      proveCore(g, IdAssignment::identity(g.numVertices()), *prop);
+  const std::string stream =
+      net::encodeCertificateStream(r.propertyHolds, r.labels);
+  writeBytes(outPath, stream);
+  std::printf("wire_fetch: %zu reference bytes -> %s\n", stream.size(),
+              outPath.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc == 7 && std::strcmp(argv[1], "fetch") == 0) {
+      return cmdFetch(argv[2],
+                      static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)),
+                      argv[4], argv[5], argv[6]);
+    }
+    if (argc == 5 && std::strcmp(argv[1], "local") == 0) {
+      return cmdLocal(argv[2], argv[3], argv[4]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "wire_fetch: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wire_fetch fetch <host> <port> <edgelist> <property> <out>\n"
+               "  wire_fetch local <edgelist> <property> <out>\n");
+  return 2;
+}
