@@ -1,6 +1,6 @@
 #include "net/protocol.hpp"
 
-#include <cstdlib>
+#include <charconv>
 #include <limits>
 
 #include "mso/properties.hpp"
@@ -27,11 +27,19 @@ void encodeGraph(Encoder& enc, const Graph& g) {
   }
 }
 
-Graph decodeGraph(Decoder& dec) {
+Graph decodeGraph(Decoder& dec, std::size_t maxVertices) {
   const std::uint64_t n = dec.u64();
   const std::uint64_t m = dec.u64();
   if (n > static_cast<std::uint64_t>(std::numeric_limits<VertexId>::max())) {
     throw WireError("graph: vertex count out of range");
+  }
+  // Edges are paid for in wire bytes (checkCount below), but vertices are
+  // free on the wire while Graph(n) materializes n adjacency vectors — a
+  // tiny hostile header must not buy gigabytes, so cap n BEFORE the
+  // construction.
+  if (n > maxVertices) {
+    throw WireError("graph: vertex count " + std::to_string(n) +
+                    " exceeds server cap " + std::to_string(maxVertices));
   }
   checkCount(m, dec, 2);  // an edge is at least two 1-byte varints
   Graph g(static_cast<VertexId>(n));
@@ -58,10 +66,17 @@ void decodeLabels(Decoder& dec, std::vector<std::string>& labels) {
 }  // namespace
 
 PropertyPtr propertyByName(const std::string& name) {
+  // The whole suffix must be a non-negative decimal integer — "vc:",
+  // "vc:garbage", and "vc:3x" are unknown names, not vertex cover of 0.
   auto intSuffix = [&name](const char* prefix) -> int {
     const std::size_t len = std::string(prefix).size();
     if (name.rfind(prefix, 0) != 0) return -1;
-    return std::atoi(name.c_str() + len);
+    const char* first = name.data() + len;
+    const char* last = name.data() + name.size();
+    int value = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || ptr != last || value < 0) return -1;
+    return value;
   };
   if (name == "forest") return makeForest();
   if (name == "connectivity") return makeConnectivity();
@@ -232,7 +247,8 @@ std::string encodeCloseSessionRequest(std::uint64_t requestId,
   return enc.take();
 }
 
-WireRequest decodeRequest(std::string_view framePayload) {
+WireRequest decodeRequest(std::string_view framePayload,
+                          std::size_t maxVertices) {
   Decoder dec{framePayload};
   WireRequest req;
   req.requestId = dec.u64();
@@ -245,12 +261,12 @@ WireRequest decodeRequest(std::string_view framePayload) {
     case Op::kPing:
       break;
     case Op::kProve:
-      req.graph = decodeGraph(dec);
+      req.graph = decodeGraph(dec, maxVertices);
       req.property = dec.bytes();
       break;
     case Op::kVerify:
     case Op::kOpenSession:
-      req.graph = decodeGraph(dec);
+      req.graph = decodeGraph(dec, maxVertices);
       req.property = dec.bytes();
       decodeLabels(dec, req.labels);
       if (req.labels.size() !=

@@ -90,6 +90,14 @@ enum class Status : std::uint8_t {
 /// cannot claim unbounded memory.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
 
+/// Default cap on the vertex count of a decoded graph.  The edge list is
+/// already bounded by the frame quota (every edge costs wire bytes), but
+/// vertices are free on the wire — Graph(n) materializes n adjacency
+/// vectors, so a ~12-byte frame claiming n = 2^31-1 would buy gigabytes.
+/// The cap bounds that transient allocation; servers can tune it via
+/// WireServerOptions::maxVertices.
+inline constexpr std::size_t kDefaultMaxVertices = 1u << 20;
+
 /// Wraps `payload` in a length-prefixed frame.
 [[nodiscard]] std::string encodeFrame(std::string_view payload);
 
@@ -158,8 +166,11 @@ struct WireRequest {
 /// Parses one frame payload into a request.  Throws DecodeError on
 /// truncated/hostile bytes and WireError on grammar violations (unknown
 /// op, invalid graph, label-count mismatch).  Every list count is bounded
-/// by the decoder's remaining() before any reserve.
-[[nodiscard]] WireRequest decodeRequest(std::string_view framePayload);
+/// by the decoder's remaining() before any reserve, and graph vertex
+/// counts are bounded by `maxVertices` before any Graph construction.
+[[nodiscard]] WireRequest decodeRequest(
+    std::string_view framePayload,
+    std::size_t maxVertices = kDefaultMaxVertices);
 
 // --- Response encoding (server side) / decoding (client side) -------------
 /// Response header shared by every status.

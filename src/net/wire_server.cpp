@@ -175,7 +175,8 @@ void WireServer::loop() {
     fds.clear();
     polled.clear();
     fds.push_back(pollfd{wakeRead_, POLLIN, 0});
-    if (!drainStarted_ && listenFd_ >= 0) {
+    const bool hadListener = !drainStarted_ && listenFd_ >= 0;
+    if (hadListener) {
       fds.push_back(pollfd{listenFd_, POLLIN, 0});
     }
     for (auto& [fd, conn] : conns_) {
@@ -213,9 +214,14 @@ void WireServer::loop() {
       if (drain) beginDrain();
     }
 
+    // Index with the SAME flag the fds were built under: the wake handler
+    // above may have run beginDrain() (drainStarted_ flips, listenFd_
+    // closes), but the listener pollfd is still at index 1 this tick — a
+    // re-evaluated condition would shift every connection onto its
+    // neighbor's revents and close the wrong one on a POLLHUP.
     std::size_t idx = 1;
-    if (!drainStarted_ && listenFd_ >= 0) {
-      if (fds[idx].revents & POLLIN) acceptReady();
+    if (hadListener) {
+      if (!drainStarted_ && (fds[idx].revents & POLLIN)) acceptReady();
       ++idx;
     }
     for (std::size_t c = 0; c < polled.size(); ++c, ++idx) {
@@ -357,7 +363,7 @@ void WireServer::handleFrame(const std::shared_ptr<Conn>& conn,
                              std::string_view frame) {
   WireRequest req;
   try {
-    req = decodeRequest(frame);
+    req = decodeRequest(frame, options_.maxVertices);
   } catch (const std::exception& e) {
     // A body that does not parse is a per-request failure when the
     // requestId prefix is readable (the frame boundary holds, the stream

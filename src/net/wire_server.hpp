@@ -63,6 +63,10 @@ struct WireServerOptions {
   /// Per-connection frame quota: a frame header claiming more than this
   /// fails the connection BEFORE any buffer reserve.
   std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  /// Cap on the vertex count of any decoded request graph — edges cost
+  /// wire bytes, vertices do not, so this bounds what a tiny hostile
+  /// header can make Graph(n) allocate.  Rejected requests get kError.
+  std::size_t maxVertices = kDefaultMaxVertices;
   /// Per-connection in-flight request quota (async ops); excess requests
   /// are answered with kRejected + retry-after.  <= 0 disables the quota.
   int maxInflightPerConn = 64;

@@ -192,6 +192,49 @@ TEST(NetProtocol, HostileRequestBytesReject) {
   }
 }
 
+TEST(NetProtocol, HostileVertexCountRejectsBeforeGraphConstruction) {
+  // A ~12-byte frame claiming n = 2^31-1, m = 0 passes the edge-count
+  // quota (zero edges need zero bytes) but must NOT buy ~2^31 adjacency
+  // vectors: the vertex cap rejects before Graph(n) is constructed.
+  for (const Op op : {Op::kProve, Op::kVerify}) {
+    Encoder enc;
+    enc.u64(1);
+    enc.u64(static_cast<std::uint64_t>(op));
+    enc.u64((std::uint64_t{1} << 31) - 1);  // n
+    enc.u64(0);                             // m
+    enc.bytes("forest");
+    if (op == Op::kVerify) enc.u64(0);  // label count
+    EXPECT_THROW((void)decodeRequest(enc.str()), WireError);
+  }
+  // The cap is a parameter: n just over rejects, n at the cap decodes.
+  {
+    Encoder enc;
+    enc.u64(1);
+    enc.u64(static_cast<std::uint64_t>(Op::kProve));
+    enc.u64(9);  // n
+    enc.u64(0);  // m
+    enc.bytes("forest");
+    EXPECT_THROW((void)decodeRequest(enc.str(), 8), WireError);
+    const WireRequest r = decodeRequest(enc.str(), 9);
+    EXPECT_EQ(r.graph.numVertices(), 9);
+  }
+}
+
+TEST(NetProtocol, PropertyNameSuffixGrammarIsStrict) {
+  // Well-formed parameterized names resolve...
+  EXPECT_NE(propertyByName("vc:3"), nullptr);
+  EXPECT_NE(propertyByName("dom:0"), nullptr);
+  EXPECT_NE(propertyByName("maxdeg:12"), nullptr);
+  // ...but a malformed suffix is an UNKNOWN name, never parameter 0.
+  EXPECT_EQ(propertyByName("vc:"), nullptr);
+  EXPECT_EQ(propertyByName("vc:garbage"), nullptr);
+  EXPECT_EQ(propertyByName("vc:3x"), nullptr);
+  EXPECT_EQ(propertyByName("vc:-1"), nullptr);
+  EXPECT_EQ(propertyByName("vc: 3"), nullptr);
+  EXPECT_EQ(propertyByName("maxdeg:999999999999999999999"), nullptr);
+  EXPECT_EQ(propertyByName("bogus"), nullptr);
+}
+
 TEST(NetProtocol, CertificateStreamRoundTrips) {
   std::vector<std::string> labels = {"", "a", std::string(300, 'q'),
                                      std::string("\x80\x00", 2)};

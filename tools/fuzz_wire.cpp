@@ -52,6 +52,10 @@ constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ull;
 /// Small on purpose: the padding flood that resolves length lies on the
 /// live server is 2x this.
 constexpr std::size_t kFuzzMaxFrame = 64 * 1024;
+// Tight vertex cap for the campaign: corpus graphs are tiny, so any
+// mutant claiming more vertices than this must be REJECTED, not
+// materialized as adjacency vectors.
+constexpr std::size_t kFuzzMaxVertices = 1u << 12;
 
 struct CorpusEntry {
   const char* name;
@@ -212,7 +216,7 @@ void checkInProcess(IterationOutcome& out, Rng& rng) {
   std::size_t decoded = 0, rejectedBodies = 0;
   for (const std::string& frame : frames) {
     try {
-      (void)net::decodeRequest(frame);
+      (void)net::decodeRequest(frame, kFuzzMaxVertices);
       ++decoded;
     } catch (const DecodeError&) {
       ++rejectedBodies;
@@ -362,6 +366,7 @@ int main(int argc, char** argv) {
     if (!server) {
       net::WireServerOptions sopts;
       sopts.maxFrameBytes = kFuzzMaxFrame;
+      sopts.maxVertices = kFuzzMaxVertices;
       sopts.service.numThreads = 1;
       sopts.service.numaAware = false;
       server = std::make_unique<net::WireServer>(sopts);
