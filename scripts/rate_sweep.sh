@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Open-loop rate sweep over the wire-serving daemon: boots serverd on
+# loopback once, then drives load_driver at a ladder of --rate targets and
+# merges the per-rate JSON reports into one artifact showing where the
+# latency/throughput knee sits (offered rate vs achieved throughput vs
+# p50/p99 latency).
+#
+# Open-loop means senders pace by the clock, NOT by replies: when the
+# service saturates, achieved throughput plateaus below the offered rate
+# and tail latency climbs — the knee a closed-loop driver (which slows
+# down with the server) structurally cannot see.
+#
+# Usage: scripts/rate_sweep.sh [build-dir] [out.json] [duration-s] [rates...]
+#   build-dir   default build
+#   out.json    merged artifact path, default build/rate_sweep.json
+#   duration-s  per-rate measurement window, default 3
+#   rates...    offered req/s ladder, default "500 1000 2000 4000 8000"
+#
+# Exit nonzero if the daemon fails to boot/drain or any load_driver run
+# errors (a rate merely not being achieved is DATA, not an error).
+set -uo pipefail
+
+build="${1:-build}"
+out="${2:-${build}/rate_sweep.json}"
+duration="${3:-3}"
+shift $(( $# > 3 ? 3 : $# )) || true
+rates=("$@")
+if [ "${#rates[@]}" -eq 0 ]; then
+  rates=(500 1000 2000 4000 8000)
+fi
+
+for bin in lanecert_serverd load_driver; do
+  if [ ! -x "${build}/${bin}" ]; then
+    echo "rate_sweep: ${build}/${bin} missing (build it first)" >&2
+    exit 1
+  fi
+done
+
+tmp="$(mktemp -d)"
+serverd_pid=""
+cleanup() {
+  if [ -n "${serverd_pid}" ] && kill -0 "${serverd_pid}" 2>/dev/null; then
+    kill -KILL "${serverd_pid}" 2>/dev/null
+  fi
+  rm -rf "${tmp}"
+}
+trap cleanup EXIT
+
+"${build}/lanecert_serverd" --drain-grace-ms 3000 \
+  > "${tmp}/serverd.out" 2> "${tmp}/serverd.err" &
+serverd_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "${serverd_pid}" 2>/dev/null; then
+    cat "${tmp}/serverd.err" >&2
+    echo "rate_sweep: serverd died before binding" >&2
+    exit 1
+  fi
+  port="$(awk '/^listening/ {print $3}' "${tmp}/serverd.out" 2>/dev/null)"
+  [ -n "${port}" ] && break
+  sleep 0.1
+done
+if [ -z "${port}" ]; then
+  echo "rate_sweep: serverd never reported its port" >&2
+  exit 1
+fi
+echo "rate_sweep: serverd pid ${serverd_pid} on 127.0.0.1:${port}"
+
+# One warm-up burst so the sweep measures steady state, not first-prove
+# plan builds.
+"${build}/load_driver" --port "${port}" --connections 2 --pipeline 4 \
+  --vertices 24 --duration-seconds 1 >/dev/null 2>&1 || true
+
+mkdir -p "$(dirname "${out}")"
+{
+  echo '{'
+  echo '  "description": "open-loop rate sweep: offered req/s vs achieved throughput and latency percentiles; the knee is where throughput_rps stops tracking offered_rps and p99_ms inflects",'
+  echo "  \"duration_seconds\": ${duration},"
+  echo '  "points": ['
+} > "${out}"
+
+first=1
+for rate in "${rates[@]}"; do
+  echo "rate_sweep: offered ${rate} req/s for ${duration}s"
+  if ! "${build}/load_driver" --port "${port}" --connections 4 --pipeline 8 \
+       --vertices 24 --rate "${rate}" --duration-seconds "${duration}" \
+       --json "${tmp}/rate-${rate}.json" > "${tmp}/rate-${rate}.log" 2>&1; then
+    cat "${tmp}/rate-${rate}.log" >&2
+    echo "rate_sweep: load_driver failed at rate ${rate}" >&2
+    exit 1
+  fi
+  [ "${first}" -eq 0 ] && echo ',' >> "${out}"
+  first=0
+  # Embed the per-rate report under its offered rate, indented two levels.
+  {
+    printf '    { "offered_rps": %s, "report":\n' "${rate}"
+    sed 's/^/    /' "${tmp}/rate-${rate}.json"
+    printf '    }'
+  } >> "${out}"
+done
+{
+  echo ''
+  echo '  ]'
+  echo '}'
+} >> "${out}"
+
+kill -TERM "${serverd_pid}"
+drained=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "${serverd_pid}" 2>/dev/null; then
+    drained=0
+    break
+  fi
+  sleep 0.1
+done
+if [ "${drained}" -ne 0 ]; then
+  echo "rate_sweep: serverd did not drain within 10s of SIGTERM" >&2
+  exit 1
+fi
+wait "${serverd_pid}"
+rc=$?
+serverd_pid=""
+if [ "${rc}" -ne 0 ]; then
+  cat "${tmp}/serverd.err" >&2
+  echo "rate_sweep: serverd exited ${rc} after SIGTERM" >&2
+  exit 1
+fi
+
+echo "rate_sweep: wrote $(wc -c < "${out}") bytes to ${out}"

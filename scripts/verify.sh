@@ -33,6 +33,10 @@
 #      to boot, the streamed certificate differed from the in-process
 #      bytes, the load driver fell below its throughput floor, or the
 #      SIGTERM drain did not complete (scripts/wire_smoke.sh)
+#  10  snapshot round-trip divergence (--ci only): a warm-started prove
+#      (plan loaded from a persisted snapshot, snapshot_tool --require-hit)
+#      produced different certificate bytes than a cold prove of the same
+#      graph, or the warm path failed to actually hit the snapshot
 set -uo pipefail
 
 # Run from the repository root regardless of the caller's cwd (works when
@@ -235,6 +239,50 @@ if [ "${CI_MODE}" -eq 1 ]; then
   fi
 else
   ci_report wire-smoke skip 9
+fi
+
+# --- Snapshot warm-start round trip (--ci only): persist the plan for a
+# fixed graph, prove it warm (plan MUST come from the snapshot —
+# --require-hit fails unless snapshotHits >= 1 and planBuilds == 0), prove
+# it cold in a separate directory-less run, and byte-compare the
+# certificates.  Warm-start is only correct if a snapshot-loaded plan is
+# indistinguishable from a freshly built one all the way to the label bytes.
+if [ "${CI_MODE}" -eq 1 ]; then
+  if [ -x build/snapshot_tool ]; then
+    snap_tmp="$(mktemp -d)"
+    trap 'rm -rf "${snap_tmp}" ${simd_tmp:+"${simd_tmp}"}' EXIT
+    # Fixed graph: 64-vertex path with chords every fourth vertex —
+    # deterministic, connected, small pathwidth.
+    awk 'BEGIN {
+      n = 64; m = 0;
+      for (i = 0; i + 1 < n; ++i) { eu[m] = i; ev[m] = i + 1; ++m; }
+      for (i = 0; i + 3 < n; i += 4) { eu[m] = i; ev[m] = i + 3; ++m; }
+      print n, m;
+      for (i = 0; i < m; ++i) print eu[i], ev[i];
+    }' > "${snap_tmp}/graph.txt"
+    if ! build/snapshot_tool persist "${snap_tmp}/graph.txt" \
+         "${snap_tmp}/snaps" >/dev/null; then
+      fail snapshot-roundtrip 10 "snapshot_tool persist failed"
+    fi
+    if ! build/snapshot_tool prove "${snap_tmp}/graph.txt" connectivity \
+         "${snap_tmp}/warm.cert" --snapshot-dir "${snap_tmp}/snaps" \
+         --require-hit >/dev/null; then
+      fail snapshot-roundtrip 10 "warm prove missed the snapshot (or failed)"
+    fi
+    if ! build/snapshot_tool prove "${snap_tmp}/graph.txt" connectivity \
+         "${snap_tmp}/cold.cert" >/dev/null; then
+      fail snapshot-roundtrip 10 "cold prove failed"
+    fi
+    if ! cmp -s "${snap_tmp}/warm.cert" "${snap_tmp}/cold.cert"; then
+      fail snapshot-roundtrip 10 "warm and cold certificates differ"
+    fi
+    ci_report snapshot-roundtrip ok 10
+  else
+    echo "verify.sh: build/snapshot_tool missing; skipping snapshot round trip"
+    ci_report snapshot-roundtrip skip 10
+  fi
+else
+  ci_report snapshot-roundtrip skip 10
 fi
 
 echo "verify.sh: OK"

@@ -583,8 +583,10 @@ CoreProveResult proveDegenerate(const Graph& g, const Property& prop) {
 
 }  // namespace
 
-ProvePlan buildProvePlan(const Graph& g, const IntervalRepresentation* rep) {
-  IntervalRepresentation r = rep != nullptr ? *rep : bestIntervalRepresentation(g);
+ProvePlan buildProvePlan(const Graph& g, const IntervalRepresentation* rep,
+                         ParallelExecutor* exec) {
+  IntervalRepresentation r =
+      rep != nullptr ? *rep : bestIntervalRepresentation(g, 18, exec);
   LanePlan plan = buildLanePlan(g, r);
   ConstructionSequence seq = buildConstruction(g, r, plan.lanes);
   HierarchyResult hier = buildHierarchy(seq);
@@ -633,7 +635,7 @@ CoreProveResult proveCorePipelined(const Graph& g, const IdAssignment& ids,
 
   // Head front: representation -> lane plan -> construction sequence.
   auto plan = std::make_shared<ProvePlan>();
-  plan->rep = rep != nullptr ? *rep : bestIntervalRepresentation(g);
+  plan->rep = rep != nullptr ? *rep : bestIntervalRepresentation(g, 18, &exec);
   plan->plan = buildLanePlan(g, plan->rep);
   plan->seq = buildConstruction(g, plan->rep, plan->plan.lanes);
 

@@ -61,9 +61,11 @@ struct ProvePlan {
 
 /// Builds the plan stage.  `rep` may supply a known interval representation
 /// (e.g. from a generator); otherwise one is computed (exact for small
-/// graphs, greedy otherwise).
-[[nodiscard]] ProvePlan buildProvePlan(const Graph& g,
-                                       const IntervalRepresentation* rep = nullptr);
+/// graphs, greedy otherwise — a non-null `exec` parallelizes the greedy
+/// candidate scans with output identical to serial).
+[[nodiscard]] ProvePlan buildProvePlan(
+    const Graph& g, const IntervalRepresentation* rep = nullptr,
+    ParallelExecutor* exec = nullptr);
 
 /// Runs the full prover.  `rep` may supply a known interval representation
 /// (e.g. from a generator); otherwise one is computed (exact for small

@@ -34,6 +34,16 @@ class TerminalMap {
   [[nodiscard]] VertexId at(int lane) const;
   /// Sets (or overwrites) the terminal of `lane`.
   void set(int lane, VertexId v);
+  /// Bulk construction from entries ALREADY sorted ascending by lane with
+  /// distinct lanes — the exact shape entries() returns.  The snapshot
+  /// loader rebuilds 10^5 maps per plan; adopting the validated vector
+  /// skips set()'s per-insert scan-and-sort.
+  [[nodiscard]] static TerminalMap fromSortedEntries(
+      std::vector<std::pair<int, VertexId>> entries) {
+    TerminalMap t;
+    t.entries_ = std::move(entries);
+    return t;
+  }
   /// All (lane, vertex) entries, sorted by lane.
   [[nodiscard]] const std::vector<std::pair<int, VertexId>>& entries() const {
     return entries_;

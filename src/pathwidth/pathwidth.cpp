@@ -5,10 +5,17 @@
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "runtime/executor.hpp"
 
 namespace lanecert {
 
 namespace {
+
+/// Below this vertex count a parallel candidate scan costs more in shard
+/// wake-ups than the scan itself; the greedy loop stays serial.
+constexpr int kParallelGreedyMinVertices = 256;
 
 /// Neighbor bitmasks for graphs with <= 32 vertices.
 std::vector<std::uint32_t> neighborMasks(const Graph& g) {
@@ -82,7 +89,7 @@ std::optional<Layout> exactVertexSeparation(const Graph& g, int maxN) {
   return out;
 }
 
-Layout greedyVertexSeparation(const Graph& g) {
+Layout greedyVertexSeparation(const Graph& g, ParallelExecutor* exec) {
   const int n = g.numVertices();
   Layout out;
   std::vector<char> inPrefix(static_cast<std::size_t>(n), 0);
@@ -104,16 +111,51 @@ Layout greedyVertexSeparation(const Graph& g) {
     return delta;
   };
 
-  for (int step = 0; step < n; ++step) {
+  // First minimum over [lo, hi): strict `<` keeps the smallest id on ties,
+  // matching the serial scan exactly on any subrange.
+  auto scanRange = [&](VertexId lo, VertexId hi) {
     VertexId best = kNoVertex;
     int bestCost = std::numeric_limits<int>::max();
-    for (VertexId v = 0; v < n; ++v) {
+    for (VertexId v = lo; v < hi; ++v) {
       if (inPrefix[static_cast<std::size_t>(v)]) continue;
       const int cost = boundary + deltaOfAdding(v);
       if (cost < bestCost) {
         bestCost = cost;
         best = v;
       }
+    }
+    return std::pair<int, VertexId>{bestCost, best};
+  };
+
+  const bool parallel = exec != nullptr && exec->numThreads() > 1 &&
+                        n >= kParallelGreedyMinVertices;
+  std::vector<std::pair<int, VertexId>> shardBest;
+  if (parallel) {
+    shardBest.resize(static_cast<std::size_t>(exec->numThreads()));
+  }
+
+  for (int step = 0; step < n; ++step) {
+    VertexId best = kNoVertex;
+    int bestCost = std::numeric_limits<int>::max();
+    if (parallel) {
+      // Shards cover [0, n) contiguously in ascending vertex order; merging
+      // shard-local first-minima in shard order with strict `<` reproduces
+      // the serial first-minimum (smallest id among minimum-cost vertices).
+      exec->forShards(static_cast<std::size_t>(n),
+                      [&](std::size_t shard, std::size_t begin,
+                          std::size_t end) {
+                        shardBest[shard] =
+                            scanRange(static_cast<VertexId>(begin),
+                                      static_cast<VertexId>(end));
+                      });
+      for (const auto& [cost, v] : shardBest) {
+        if (v != kNoVertex && cost < bestCost) {
+          bestCost = cost;
+          best = v;
+        }
+      }
+    } else {
+      std::tie(bestCost, best) = scanRange(0, n);
     }
     inPrefix[static_cast<std::size_t>(best)] = 1;
     // `best` is no longer outside: every neighbor loses one outside
@@ -199,9 +241,10 @@ std::optional<int> exactPathwidth(const Graph& g, int maxN) {
   return layout->cost;
 }
 
-IntervalRepresentation bestIntervalRepresentation(const Graph& g, int exactMaxN) {
+IntervalRepresentation bestIntervalRepresentation(const Graph& g, int exactMaxN,
+                                                  ParallelExecutor* exec) {
   auto layout = exactVertexSeparation(g, exactMaxN);
-  if (!layout) layout = greedyVertexSeparation(g);
+  if (!layout) layout = greedyVertexSeparation(g, exec);
   return layoutToIntervalRep(g, layout->order);
 }
 

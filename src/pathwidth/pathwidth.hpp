@@ -23,6 +23,8 @@
 
 namespace lanecert {
 
+class ParallelExecutor;
+
 /// A vertex ordering together with its vertex-separation cost.
 struct Layout {
   std::vector<VertexId> order;  ///< permutation of 0..n-1
@@ -36,7 +38,15 @@ struct Layout {
 
 /// Greedy heuristic: repeatedly append the vertex minimizing the boundary
 /// of the extended prefix (ties: smaller id).  Upper-bounds pathwidth.
-[[nodiscard]] Layout greedyVertexSeparation(const Graph& g);
+///
+/// With a non-null `exec`, each step's candidate argmin runs as a
+/// deterministic shard scan over the executor: shard-local first-minima are
+/// merged in ascending shard order with a strict `<`, which picks exactly
+/// the smallest-id global minimum — the same vertex the serial loop picks —
+/// so the ordering is bit-identical for every thread count.  Small graphs
+/// stay serial (shard wake-ups would dominate the O(n deg) scan).
+[[nodiscard]] Layout greedyVertexSeparation(const Graph& g,
+                                            ParallelExecutor* exec = nullptr);
 
 /// The vertex-separation cost of a given ordering (max boundary size).
 [[nodiscard]] int layoutCost(const Graph& g, const std::vector<VertexId>& order);
@@ -52,7 +62,9 @@ struct Layout {
 
 /// Best interval representation we can compute: exact for small graphs,
 /// greedy otherwise.  Always valid for g; width <= returned rep's width().
-[[nodiscard]] IntervalRepresentation bestIntervalRepresentation(const Graph& g,
-                                                                int exactMaxN = 18);
+/// `exec` (optional) parallelizes the greedy path — see
+/// greedyVertexSeparation; the result is identical with or without it.
+[[nodiscard]] IntervalRepresentation bestIntervalRepresentation(
+    const Graph& g, int exactMaxN = 18, ParallelExecutor* exec = nullptr);
 
 }  // namespace lanecert

@@ -21,6 +21,8 @@ const char* faultSiteName(FaultSite site) {
       return "planBuild";
     case FaultSite::kSweep:
       return "sweep";
+    case FaultSite::kSnapshotLoad:
+      return "snapshotLoad";
   }
   return "?";
 }

@@ -31,6 +31,8 @@ enum class FaultSite {
   kPlanBuild,  ///< prover head build about to run (runProve, miss path)
   kSweep,      ///< verification sweep about to run (runVerify, session
                ///< driver batch)
+  kSnapshotLoad,  ///< plan snapshot about to be loaded (runProve, miss
+                  ///< path; a fault here degrades to a fresh build)
 };
 
 [[nodiscard]] const char* faultSiteName(FaultSite site);

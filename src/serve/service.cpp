@@ -7,6 +7,7 @@
 
 #include "core/verifier.hpp"
 #include "serve/fault.hpp"
+#include "snapshot/snapshot.hpp"
 
 namespace lanecert::serve {
 
@@ -15,11 +16,44 @@ LaneCertService::LaneCertService(ServiceOptions options)
       topo_(options.numaAware ? NumaTopology::detect()
                               : NumaTopology::singleNode()),
       pool_(std::max(1, resolveThreadCount(options.numThreads)), &topo_),
+      snapshots_(options.snapshotDir.empty()
+                     ? nullptr
+                     : std::make_unique<snapshot::SnapshotStore>(
+                           options.snapshotDir)),
       sched_(pool_, options.maxConcurrentJobs) {}
 
 LaneCertService::~LaneCertService() = default;  // sched_ drains first
 
 void LaneCertService::drain() { sched_.drain(); }
+
+void LaneCertService::flushSnapshotWrites() {
+  if (snapshots_) snapshots_->flushWrites();
+}
+
+std::shared_ptr<const ProvePlan> LaneCertService::loadSnapshot(
+    const Graph& g, const IntervalRepresentation* rep) {
+  if (!snapshots_) return nullptr;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::shared_ptr<const ProvePlan> plan;
+  try {
+    // Fired INSIDE the try: a snapshot fault (or any load error) must
+    // degrade to a fresh build, never fail the prove.
+    FaultInjector::fire(FaultSite::kSnapshotLoad);
+    plan = snapshots_->tryLoad(g, rep);
+  } catch (...) {
+    plan = nullptr;
+  }
+  const std::chrono::duration<double, std::milli> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  std::lock_guard<std::mutex> lock(statsMu_);
+  stats_.snapshotLoadMs += elapsed.count();
+  if (plan != nullptr) {
+    ++stats_.snapshotHits;
+  } else {
+    ++stats_.snapshotMisses;
+  }
+  return plan;
+}
 
 std::size_t LaneCertService::cancelPending() { return sched_.cancelPending(); }
 
@@ -93,9 +127,20 @@ CoreProveResult LaneCertService::runProve(const ProveJob& job) {
   }
   ParallelExecutor exec(pool_);
   if (!options_.enablePlanCache) {
+    if (auto snap = loadSnapshot(job.graph, rep)) {
+      return proveCore(job.graph, job.ids, *job.property, *snap, exec);
+    }
     bump(&ServiceStats::planBuilds);
     FaultInjector::fire(FaultSite::kPlanBuild);
-    return proveCorePipelined(job.graph, job.ids, *job.property, rep, exec);
+    if (!snapshots_) {
+      return proveCorePipelined(job.graph, job.ids, *job.property, rep, exec);
+    }
+    return proveCorePipelined(
+        job.graph, job.ids, *job.property, rep, exec,
+        [this, &job, rep](const std::shared_ptr<const ProvePlan>& built) {
+          snapshots_->persistAsync(snapshot::planSnapshotKey(job.graph, rep),
+                                   built);
+        });
   }
 
   const std::string key = planKey(job.graph, rep);
@@ -133,8 +178,14 @@ CoreProveResult LaneCertService::runProve(const ProveJob& job) {
     plan = inFlight.get();
     return proveCore(job.graph, job.ids, *job.property, *plan, exec);
   }
-  // Builder role: run the pipelined head; coalesced waiters get the plan
-  // through the promise the moment the head is complete.
+  // Builder role: answer from the snapshot store when a valid on-disk plan
+  // exists (warm start: the whole head — including the interval
+  // decomposition — is skipped), otherwise run the pipelined head;
+  // coalesced waiters get the plan through the promise either way.
+  if (auto snap = loadSnapshot(job.graph, rep)) {
+    publishPlan(key, promise, snap);
+    return proveCore(job.graph, job.ids, *job.property, *snap, exec);
+  }
   bump(&ServiceStats::planBuilds);
   bool published = false;
   try {
@@ -143,10 +194,16 @@ CoreProveResult LaneCertService::runProve(const ProveJob& job) {
     FaultInjector::fire(FaultSite::kPlanBuild);
     return proveCorePipelined(
         job.graph, job.ids, *job.property, rep, exec,
-        [this, &key, &promise,
-         &published](const std::shared_ptr<const ProvePlan>& built) {
+        [this, &key, &promise, &published, &job,
+         rep](const std::shared_ptr<const ProvePlan>& built) {
           publishPlan(key, promise, built);
           published = true;
+          // Write-behind: encode + write happen on the store's own writer
+          // thread, off the serving path.
+          if (snapshots_) {
+            snapshots_->persistAsync(
+                snapshot::planSnapshotKey(job.graph, rep), built);
+          }
         });
   } catch (...) {
     // Clean up ONLY when the head build itself failed.  After publishPlan

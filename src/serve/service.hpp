@@ -80,6 +80,10 @@
 #include "serve/errors.hpp"
 #include "serve/job.hpp"
 
+namespace lanecert::snapshot {
+class SnapshotStore;
+}  // namespace lanecert::snapshot
+
 namespace lanecert::serve {
 
 struct ServiceOptions {
@@ -105,6 +109,14 @@ struct ServiceOptions {
   /// synchronously instead of queueing — with a retry-after hint scaled by
   /// the backlog.  0 = unlimited (the pre-backpressure behaviour).
   std::size_t maxQueueDepth = 0;
+  /// Warm-start persistence (src/snapshot): non-empty enables a
+  /// content-addressed plan snapshot store in this directory.  On a plan
+  /// cache miss the service tries to mmap the plan from disk BEFORE
+  /// building (stats: snapshotHits/snapshotMisses/snapshotLoadMs); after a
+  /// fresh build it persists the plan write-behind on the store's own
+  /// writer thread.  Corrupt, truncated, or stale files are rejected by
+  /// the loader and degrade to a fresh build — never an error.
+  std::string snapshotDir;
 };
 
 /// Monotonic service counters (snapshot via stats()).
@@ -144,6 +156,15 @@ struct ServiceStats {
   /// Stripe-lock probes that found the lock held (the contention the read
   /// memo exists to avoid).
   std::uint64_t sweepCacheStripeContention = 0;
+  /// Plan snapshot store (zero unless ServiceOptions::snapshotDir is set):
+  /// plan-cache misses answered from a validated on-disk snapshot...
+  std::uint64_t snapshotHits = 0;
+  /// ...and misses that fell through to a fresh build (no file, or the
+  /// loader rejected it).
+  std::uint64_t snapshotMisses = 0;
+  /// Cumulative wall-clock ms spent in snapshot load attempts (hits AND
+  /// misses; divide by the counters for a mean).
+  double snapshotLoadMs = 0;
 };
 
 class LaneCertService {
@@ -190,6 +211,10 @@ class LaneCertService {
 
   /// Blocks until no job is pending or running.
   void drain();
+  /// Blocks until every write-behind snapshot persist enqueued so far is on
+  /// disk.  No-op without ServiceOptions::snapshotDir.  (The destructor
+  /// flushes implicitly — the store drains its own writer thread.)
+  void flushSnapshotWrites();
   /// Discards not-yet-started jobs (their futures throw CancelledError);
   /// returns how many were discarded.  Running jobs finish normally.
   std::size_t cancelPending();
@@ -241,6 +266,12 @@ class LaneCertService {
 
   CoreProveResult runProve(const ProveJob& job);
   SimulationResult runVerify(const VerifyJob& job);
+  /// Plan-cache-miss snapshot probe: null when no store is configured, the
+  /// file is absent, or validation rejects it.  Never throws (an injected
+  /// kSnapshotLoad fault or I/O error degrades to a miss); accounts
+  /// snapshotHits/snapshotMisses/snapshotLoadMs.
+  [[nodiscard]] std::shared_ptr<const ProvePlan> loadSnapshot(
+      const Graph& g, const IntervalRepresentation* rep);
   /// Completes an in-flight head build: stores the plan in the completed
   /// cache (with eviction), drops the in-flight entry, and wakes waiters.
   void publishPlan(const std::string& key,
@@ -269,6 +300,10 @@ class LaneCertService {
   /// pool so worker pinning can read it during pool construction.
   const NumaTopology topo_;
   WorkerPool pool_;
+  /// Null unless options_.snapshotDir is set.  Owns its own writer thread
+  /// (never the service pool); declared before sched_ so in-flight jobs can
+  /// still persist while the scheduler drains during destruction.
+  std::unique_ptr<snapshot::SnapshotStore> snapshots_;
 
   std::mutex planMu_;
   std::unordered_map<std::string, std::shared_ptr<const ProvePlan>> plans_;

@@ -1,0 +1,58 @@
+#pragma once
+// On-disk container format for prover-plan snapshots (see snapshot.hpp for
+// the subsystem overview).  A snapshot file is:
+//
+//   header (32 bytes, fixed-width little-endian):
+//     magic            8 bytes  "LANECSNP"
+//     formatVersion    u32      kFormatVersion
+//     sectionCount     u32      kSectionCount
+//     contentHash      u64      FNV-1a of the graph content (+ supplied rep)
+//     paramsFingerprint u64     FNV-1a of the plan-algorithm parameters
+//   section table (kSectionCount entries, 24 bytes each, in SectionId order):
+//     id               u32
+//     crc              u32      CRC-32 of the section payload
+//     offset           u64      absolute file offset of the payload
+//     length           u64      payload length in bytes
+//   payloads, contiguous in table order, ending exactly at end-of-file.
+//
+// Every field is validated BEFORE any payload byte is interpreted: magic,
+// version, both hashes, section ids/offsets/lengths (contiguous, in-bounds,
+// overflow-checked), and per-section CRCs.  Payloads are certificate-codec
+// varint streams decoded under the `Decoder::remaining()` discipline, so a
+// hostile or truncated file rejects before any proportional allocation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lanecert::snapshot {
+
+inline constexpr std::string_view kMagic{"LANECSNP", 8};
+
+/// Bump on ANY change to the container layout or a section encoding; old
+/// files then reject up front and the service rebuilds + rewrites them.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// The four sections of a ProvePlan, in file order.
+enum class SectionId : std::uint32_t {
+  kRep = 1,           ///< interval representation
+  kLanePlan = 2,      ///< lane partition + completion embeddings
+  kConstruction = 3,  ///< construction sequence
+  kHierarchy = 4,     ///< hierarchical decomposition + completion graph
+};
+inline constexpr std::size_t kSectionCount = 4;
+
+inline constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8;
+inline constexpr std::size_t kSectionEntryBytes = 4 + 4 + 8 + 8;
+inline constexpr std::size_t kPayloadOffset =
+    kHeaderBytes + kSectionCount * kSectionEntryBytes;
+
+/// CRC-32 (IEEE 802.3 polynomial, software table) of `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes);
+
+/// 64-bit FNV-1a of `bytes`, chained through `seed` (pass a previous hash to
+/// extend it; the default is the standard offset basis).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = 0xcbf29ce484222325ull);
+
+}  // namespace lanecert::snapshot

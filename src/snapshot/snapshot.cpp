@@ -1,0 +1,739 @@
+#include "snapshot/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "pls/codec.hpp"
+
+namespace lanecert::snapshot {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian header fields (endian-independent byte shifts).
+
+void putU32(std::string& out, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((x >> (8 * i)) & 0xff));
+  }
+}
+
+void putU64(std::string& out, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((x >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t getU32(std::string_view in, std::size_t pos) {
+  std::uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) {
+    x |= static_cast<std::uint32_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  return x;
+}
+
+std::uint64_t getU64(std::string_view in, std::size_t pos) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) {
+    x |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos + i]))
+         << (8 * i);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Bounds-checked decode helpers.  All failures throw DecodeError, which
+// decodeSnapshot translates into a null plan; nothing here allocates more
+// than the validated input can justify.
+
+/// List-length prefix, clamped by the remaining() discipline: every element
+/// consumes at least one byte, so a count exceeding the bytes left is a lie
+/// and rejects BEFORE any reserve.
+std::uint64_t checkedCount(Decoder& d) {
+  const std::uint64_t c = d.u64();
+  if (c > d.remaining()) throw DecodeError{};
+  return c;
+}
+
+int checkedInt(std::int64_t v) {
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    throw DecodeError{};
+  }
+  return static_cast<int>(v);
+}
+
+/// A vertex id in [0, n).
+VertexId checkedVertex(std::int64_t v, VertexId n) {
+  if (v < 0 || v >= n) throw DecodeError{};
+  return static_cast<VertexId>(v);
+}
+
+/// A vertex id in [0, n) or the kNoVertex sentinel.
+VertexId checkedVertexOrNone(std::int64_t v, VertexId n) {
+  if (v == kNoVertex) return kNoVertex;
+  return checkedVertex(v, n);
+}
+
+/// An index in [0, bound) or -1.
+int checkedIndexOrNone(std::int64_t v, std::int64_t bound) {
+  if (v < -1 || v >= bound) throw DecodeError{};
+  return static_cast<int>(v);
+}
+
+// ---------------------------------------------------------------------------
+// Section payload codecs.  Encoders write exactly what the matching decoder
+// reads; the decoders enforce structural agreement with the graph being
+// served (sizes, index ranges) so even a CRC-colliding file cannot steer an
+// out-of-bounds access downstream.
+
+void encodeRep(Encoder& e, const IntervalRepresentation& rep) {
+  e.u64(static_cast<std::uint64_t>(rep.numVertices()));
+  for (const Interval& iv : rep.intervals()) {
+    e.i64(iv.l);
+    e.i64(iv.r);
+  }
+}
+
+IntervalRepresentation decodeRep(Decoder& d, VertexId n) {
+  if (checkedCount(d) != static_cast<std::uint64_t>(n)) throw DecodeError{};
+  std::vector<Interval> intervals;
+  intervals.reserve(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    const int l = checkedInt(d.i64());
+    const int r = checkedInt(d.i64());
+    if (l > r) throw DecodeError{};  // intervals are non-empty by definition
+    intervals.push_back(Interval{l, r});
+  }
+  return IntervalRepresentation(std::move(intervals));
+}
+
+void encodeLanePlan(Encoder& e, const LanePlan& plan) {
+  e.u64(static_cast<std::uint64_t>(plan.lanes.numLanes()));
+  for (const auto& lane : plan.lanes.lanes()) {
+    e.u64(lane.size());
+    for (VertexId v : lane) e.u64(static_cast<std::uint64_t>(v));
+  }
+  e.u64(plan.embeddings.size());
+  for (const EmbeddedEdge& emb : plan.embeddings) {
+    e.i64(emb.edge.u);
+    e.i64(emb.edge.v);
+    e.u64(static_cast<std::uint64_t>(emb.edge.kind));
+    e.i64(emb.edge.lane);
+    e.u64(emb.path.size());
+    for (VertexId v : emb.path) e.u64(static_cast<std::uint64_t>(v));
+  }
+  e.u64(plan.congestion.size());
+  for (int c : plan.congestion) e.i64(c);
+  e.i64(plan.maxCongestion);
+  e.i64(plan.width);
+}
+
+LanePlan decodeLanePlan(Decoder& d, const Graph& g) {
+  const VertexId n = g.numVertices();
+  LanePlan plan;
+  const std::uint64_t numLanes = checkedCount(d);
+  std::vector<std::vector<VertexId>> lanes;
+  lanes.reserve(numLanes);
+  for (std::uint64_t i = 0; i < numLanes; ++i) {
+    const std::uint64_t sz = checkedCount(d);
+    std::vector<VertexId> lane;
+    lane.reserve(sz);
+    for (std::uint64_t j = 0; j < sz; ++j) {
+      lane.push_back(checkedVertex(static_cast<std::int64_t>(d.u64()), n));
+    }
+    lanes.push_back(std::move(lane));
+  }
+  plan.lanes = LanePartition(std::move(lanes));
+  const std::uint64_t numEmb = checkedCount(d);
+  plan.embeddings.reserve(numEmb);
+  for (std::uint64_t i = 0; i < numEmb; ++i) {
+    EmbeddedEdge emb;
+    emb.edge.u = checkedVertex(d.i64(), n);
+    emb.edge.v = checkedVertex(d.i64(), n);
+    const std::uint64_t kind = d.u64();
+    if (kind > static_cast<std::uint64_t>(CompletionEdge::Kind::kInit)) {
+      throw DecodeError{};
+    }
+    emb.edge.kind = static_cast<CompletionEdge::Kind>(kind);
+    emb.edge.lane = checkedIndexOrNone(d.i64(), static_cast<std::int64_t>(numLanes));
+    const std::uint64_t pathLen = checkedCount(d);
+    emb.path.reserve(pathLen);
+    for (std::uint64_t j = 0; j < pathLen; ++j) {
+      emb.path.push_back(checkedVertex(static_cast<std::int64_t>(d.u64()), n));
+    }
+    plan.embeddings.push_back(std::move(emb));
+  }
+  if (checkedCount(d) != static_cast<std::uint64_t>(g.numEdges())) {
+    throw DecodeError{};  // congestion is per EdgeId of the served graph
+  }
+  plan.congestion.reserve(static_cast<std::size_t>(g.numEdges()));
+  for (EdgeId e = 0; e < g.numEdges(); ++e) {
+    plan.congestion.push_back(checkedInt(d.i64()));
+  }
+  plan.maxCongestion = checkedInt(d.i64());
+  plan.width = checkedInt(d.i64());
+  return plan;
+}
+
+void encodeConstruction(Encoder& e, const ConstructionSequence& seq) {
+  e.u64(static_cast<std::uint64_t>(seq.numVertices));
+  e.u64(seq.initialPath.size());
+  for (VertexId v : seq.initialPath) e.u64(static_cast<std::uint64_t>(v));
+  e.u64(seq.ops.size());
+  for (const ConstructionOp& op : seq.ops) {
+    e.u64(static_cast<std::uint64_t>(op.kind));
+    e.i64(op.i);
+    e.i64(op.j);
+    e.i64(op.vertex);
+  }
+}
+
+ConstructionSequence decodeConstruction(Decoder& d, VertexId n) {
+  ConstructionSequence seq;
+  if (d.u64() != static_cast<std::uint64_t>(n)) throw DecodeError{};
+  seq.numVertices = n;
+  const std::uint64_t pathLen = checkedCount(d);
+  seq.initialPath.reserve(pathLen);
+  for (std::uint64_t i = 0; i < pathLen; ++i) {
+    seq.initialPath.push_back(
+        checkedVertex(static_cast<std::int64_t>(d.u64()), n));
+  }
+  const std::int64_t numLanes = static_cast<std::int64_t>(pathLen);
+  const std::uint64_t numOps = checkedCount(d);
+  seq.ops.reserve(numOps);
+  for (std::uint64_t i = 0; i < numOps; ++i) {
+    ConstructionOp op;
+    const std::uint64_t kind = d.u64();
+    if (kind > static_cast<std::uint64_t>(ConstructionOp::Kind::kEInsert)) {
+      throw DecodeError{};
+    }
+    op.kind = static_cast<ConstructionOp::Kind>(kind);
+    op.i = checkedIndexOrNone(d.i64(), numLanes);
+    op.j = checkedIndexOrNone(d.i64(), numLanes);
+    op.vertex = checkedVertexOrNone(d.i64(), n);
+    seq.ops.push_back(op);
+  }
+  return seq;
+}
+
+void encodeTerminalMap(Encoder& e, const TerminalMap& t) {
+  e.u64(t.entries().size());
+  for (const auto& [lane, v] : t.entries()) {
+    e.i64(lane);
+    e.i64(v);
+  }
+}
+
+TerminalMap decodeTerminalMap(Decoder& d, VertexId n,
+                              std::int64_t laneBound) {
+  const std::uint64_t count = checkedCount(d);
+  std::vector<std::pair<int, VertexId>> entries;
+  entries.reserve(count);
+  int prevLane = -1;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t lane = d.i64();
+    // Entries are stored sorted with distinct lanes; enforcing strict
+    // ascent here is exactly the precondition fromSortedEntries needs, and
+    // makes the rebuilt storage identical to what set() would produce.
+    if (lane <= prevLane || lane >= laneBound) throw DecodeError{};
+    prevLane = static_cast<int>(lane);
+    entries.emplace_back(prevLane, checkedVertex(d.i64(), n));
+  }
+  return TerminalMap::fromSortedEntries(std::move(entries));
+}
+
+void encodeHierarchy(Encoder& e, const HierarchyResult& hier) {
+  e.u64(static_cast<std::uint64_t>(hier.hierarchy.size()));
+  for (const HierNode& node : hier.hierarchy.nodes()) {
+    e.u64(static_cast<std::uint64_t>(node.type));
+    e.u64(node.lanes.size());
+    for (int lane : node.lanes) e.i64(lane);
+    encodeTerminalMap(e, node.inTerm);
+    encodeTerminalMap(e, node.outTerm);
+    e.i64(node.parent);
+    e.u64(node.children.size());
+    for (int c : node.children) e.i64(c);
+    e.i64(node.u);
+    e.i64(node.v);
+    e.i64(node.laneI);
+    e.i64(node.laneJ);
+    e.u64(node.pathVertices.size());
+    for (VertexId v : node.pathVertices) e.u64(static_cast<std::uint64_t>(v));
+    e.u64(node.treeParentPos.size());
+    for (int p : node.treeParentPos) e.i64(p);
+    e.i64(node.rootChildPos);
+  }
+  e.i64(hier.hierarchy.root());
+  // The replayed completion graph: same vertex set as G, superset edges.
+  e.u64(static_cast<std::uint64_t>(hier.graph.numVertices()));
+  e.u64(static_cast<std::uint64_t>(hier.graph.numEdges()));
+  for (const Edge& edge : hier.graph.edges()) {
+    e.u64(static_cast<std::uint64_t>(edge.u));
+    e.u64(static_cast<std::uint64_t>(edge.v));
+  }
+  e.u64(hier.edgeOwner.size());
+  for (int owner : hier.edgeOwner) e.i64(owner);
+  e.u64(hier.designated.size());
+  for (VertexId v : hier.designated) e.i64(v);
+}
+
+HierarchyResult decodeHierarchy(Decoder& d, const Graph& g,
+                                std::int64_t laneBound) {
+  const VertexId n = g.numVertices();
+  HierarchyResult hier;
+  const std::uint64_t nodeCount = checkedCount(d);
+  const auto nodeBound = static_cast<std::int64_t>(nodeCount);
+  std::vector<HierNode> nodes;
+  nodes.reserve(nodeCount);
+  for (std::uint64_t i = 0; i < nodeCount; ++i) {
+    HierNode node;
+    const std::uint64_t type = d.u64();
+    if (type > static_cast<std::uint64_t>(HierNode::Type::kT)) {
+      throw DecodeError{};
+    }
+    node.type = static_cast<HierNode::Type>(type);
+    const std::uint64_t numLanes = checkedCount(d);
+    node.lanes.reserve(numLanes);
+    for (std::uint64_t j = 0; j < numLanes; ++j) {
+      const int lane = checkedIndexOrNone(d.i64(), laneBound);
+      if (lane < 0) throw DecodeError{};
+      node.lanes.push_back(lane);
+    }
+    node.inTerm = decodeTerminalMap(d, n, laneBound);
+    node.outTerm = decodeTerminalMap(d, n, laneBound);
+    node.parent = checkedIndexOrNone(d.i64(), nodeBound);
+    const std::uint64_t numChildren = checkedCount(d);
+    node.children.reserve(numChildren);
+    for (std::uint64_t j = 0; j < numChildren; ++j) {
+      const int c = checkedIndexOrNone(d.i64(), nodeBound);
+      if (c < 0) throw DecodeError{};  // children are real node ids
+      node.children.push_back(c);
+    }
+    node.u = checkedVertexOrNone(d.i64(), n);
+    node.v = checkedVertexOrNone(d.i64(), n);
+    node.laneI = checkedIndexOrNone(d.i64(), laneBound);
+    node.laneJ = checkedIndexOrNone(d.i64(), laneBound);
+    const std::uint64_t pathLen = checkedCount(d);
+    node.pathVertices.reserve(pathLen);
+    for (std::uint64_t j = 0; j < pathLen; ++j) {
+      node.pathVertices.push_back(
+          checkedVertex(static_cast<std::int64_t>(d.u64()), n));
+    }
+    const std::uint64_t treeLen = checkedCount(d);
+    if (treeLen != 0 && treeLen != numChildren) throw DecodeError{};
+    node.treeParentPos.reserve(treeLen);
+    for (std::uint64_t j = 0; j < treeLen; ++j) {
+      node.treeParentPos.push_back(checkedIndexOrNone(
+          d.i64(), static_cast<std::int64_t>(numChildren)));
+    }
+    node.rootChildPos =
+        checkedIndexOrNone(d.i64(), static_cast<std::int64_t>(numChildren));
+    nodes.push_back(std::move(node));
+  }
+  const int root = checkedIndexOrNone(d.i64(), nodeBound);
+  hier.hierarchy = Hierarchy(std::move(nodes), root);
+  if (d.u64() != static_cast<std::uint64_t>(n)) throw DecodeError{};
+  const std::uint64_t numEdges = d.u64();
+  if (numEdges > d.remaining()) throw DecodeError{};  // >= 2 bytes per edge
+  Graph completion(n);
+  for (std::uint64_t i = 0; i < numEdges; ++i) {
+    const VertexId u = checkedVertex(static_cast<std::int64_t>(d.u64()), n);
+    const VertexId v = checkedVertex(static_cast<std::int64_t>(d.u64()), n);
+    // addEdge itself rejects self-loops and duplicates (throws).
+    (void)completion.addEdge(u, v);
+  }
+  hier.graph = std::move(completion);
+  if (checkedCount(d) != numEdges) throw DecodeError{};
+  hier.edgeOwner.reserve(numEdges);
+  for (std::uint64_t i = 0; i < numEdges; ++i) {
+    hier.edgeOwner.push_back(checkedIndexOrNone(d.i64(), nodeBound));
+  }
+  const std::uint64_t numDesignated = checkedCount(d);
+  hier.designated.reserve(numDesignated);
+  for (std::uint64_t i = 0; i < numDesignated; ++i) {
+    hier.designated.push_back(checkedVertexOrNone(d.i64(), n));
+  }
+  return hier;
+}
+
+// ---------------------------------------------------------------------------
+// mmap helper: read-only view of a file, with an owned-buffer fallback when
+// mmap is unavailable (e.g. an empty file or an exotic filesystem).
+
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0) return;
+    struct stat st{};
+    if (::fstat(fd_, &st) != 0 || st.st_size < 0) return;
+    size_ = static_cast<std::size_t>(st.st_size);
+    valid_ = true;
+    if (size_ == 0) return;  // empty view; decode rejects on length
+    void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd_, 0);
+    if (p != MAP_FAILED) {
+      map_ = p;
+      return;
+    }
+    // Fallback: plain read into an owned buffer.
+    fallback_.resize(size_);
+    std::size_t got = 0;
+    while (got < size_) {
+      const ssize_t r = ::read(fd_, fallback_.data() + got, size_ - got);
+      if (r <= 0) {
+        valid_ = false;
+        return;
+      }
+      got += static_cast<std::size_t>(r);
+    }
+  }
+  ~MappedFile() {
+    if (map_ != nullptr) ::munmap(map_, size_);
+    if (fd_ >= 0) ::close(fd_);
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  [[nodiscard]] bool valid() const { return valid_; }
+  [[nodiscard]] std::string_view view() const {
+    if (map_ != nullptr) return {static_cast<const char*>(map_), size_};
+    return {fallback_.data(), fallback_.size()};
+  }
+
+ private:
+  int fd_ = -1;
+  std::size_t size_ = 0;
+  void* map_ = nullptr;
+  std::string fallback_;
+  bool valid_ = false;
+};
+
+std::string hex16(std::uint64_t x) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[x & 0xf];
+    x >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  // Slicing-by-8: eight parallel tables let the loop consume 8 bytes per
+  // step with independent lookups (the classic Intel technique), ~6x the
+  // byte-at-a-time loop on the MB-sized hierarchy section.  Table 0 is the
+  // standard IEEE table, so values are identical to the scalar definition.
+  static const std::array<std::array<std::uint32_t, 256>, 8> kTables = [] {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = t[0][i];
+      for (std::size_t j = 1; j < 8; ++j) {
+        c = t[0][c & 0xffu] ^ (c >> 8);
+        t[j][i] = c;
+      }
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xffffffffu;
+  std::size_t i = 0;
+  for (; i + 8 <= bytes.size(); i += 8) {
+    std::uint32_t lo;
+    std::uint32_t hi;
+    std::memcpy(&lo, bytes.data() + i, 4);
+    std::memcpy(&hi, bytes.data() + i + 4, 4);
+    if constexpr (std::endian::native == std::endian::big) {
+      lo = __builtin_bswap32(lo);
+      hi = __builtin_bswap32(hi);
+    }
+    c ^= lo;
+    c = kTables[7][c & 0xffu] ^ kTables[6][(c >> 8) & 0xffu] ^
+        kTables[5][(c >> 16) & 0xffu] ^ kTables[4][c >> 24] ^
+        kTables[3][hi & 0xffu] ^ kTables[2][(hi >> 8) & 0xffu] ^
+        kTables[1][(hi >> 16) & 0xffu] ^ kTables[0][hi >> 24];
+  }
+  for (; i < bytes.size(); ++i) {
+    c = kTables[0][(c ^ static_cast<unsigned char>(bytes[i])) & 0xffu] ^
+        (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char ch : bytes) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+SnapshotKey planSnapshotKey(const Graph& g,
+                            const IntervalRepresentation* suppliedRep) {
+  Encoder content;
+  content.bytes("lanecert-snapshot-content");
+  content.u64(static_cast<std::uint64_t>(g.numVertices()));
+  content.u64(static_cast<std::uint64_t>(g.numEdges()));
+  for (const Edge& e : g.edges()) {
+    content.u64(static_cast<std::uint64_t>(e.u));
+    content.u64(static_cast<std::uint64_t>(e.v));
+  }
+  content.boolean(suppliedRep != nullptr);
+  if (suppliedRep != nullptr) {
+    for (const Interval& iv : suppliedRep->intervals()) {
+      content.i64(iv.l);
+      content.i64(iv.r);
+    }
+  }
+  // Everything that changes plan BYTES besides graph content: container
+  // revision plus the plan-algorithm parameters baked into buildProvePlan
+  // (the exact-DP cutoff of bestIntervalRepresentation).  Bump the params
+  // revision whenever a plan-stage algorithm changes its output.
+  Encoder params;
+  params.bytes("lanecert-plan-params");
+  params.u64(kFormatVersion);
+  params.u64(1);   // plan-algorithm revision
+  params.u64(18);  // bestIntervalRepresentation exactMaxN
+  return SnapshotKey{fnv1a64(content.str()), fnv1a64(params.str())};
+}
+
+std::string snapshotFileName(const SnapshotKey& key) {
+  return "plan-" + hex16(key.contentHash) + "-" + hex16(key.paramsFingerprint) +
+         ".lcsnp";
+}
+
+std::string encodeSnapshot(const SnapshotKey& key, const ProvePlan& plan) {
+  std::array<std::string, kSectionCount> sections;
+  {
+    Encoder e;
+    encodeRep(e, plan.rep);
+    sections[0] = e.take();
+    encodeLanePlan(e, plan.plan);
+    sections[1] = e.take();
+    encodeConstruction(e, plan.seq);
+    sections[2] = e.take();
+    encodeHierarchy(e, plan.hier);
+    sections[3] = e.take();
+  }
+  static constexpr std::array<SectionId, kSectionCount> kOrder = {
+      SectionId::kRep, SectionId::kLanePlan, SectionId::kConstruction,
+      SectionId::kHierarchy};
+  std::size_t total = kPayloadOffset;
+  for (const std::string& s : sections) total += s.size();
+  std::string out;
+  out.reserve(total);
+  out.append(kMagic);
+  putU32(out, kFormatVersion);
+  putU32(out, static_cast<std::uint32_t>(kSectionCount));
+  putU64(out, key.contentHash);
+  putU64(out, key.paramsFingerprint);
+  std::uint64_t offset = kPayloadOffset;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    putU32(out, static_cast<std::uint32_t>(kOrder[i]));
+    putU32(out, crc32(sections[i]));
+    putU64(out, offset);
+    putU64(out, sections[i].size());
+    offset += sections[i].size();
+  }
+  for (const std::string& s : sections) out += s;
+  return out;
+}
+
+std::shared_ptr<const ProvePlan> decodeSnapshot(std::string_view image,
+                                                const SnapshotKey& expect,
+                                                const Graph& g) {
+  // Header and section table: every guard runs before a payload byte is
+  // interpreted, and no allocation depends on unvalidated input.
+  if (image.size() < kPayloadOffset) return nullptr;
+  if (image.substr(0, kMagic.size()) != kMagic) return nullptr;
+  if (getU32(image, 8) != kFormatVersion) return nullptr;
+  if (getU32(image, 12) != kSectionCount) return nullptr;
+  if (getU64(image, 16) != expect.contentHash) return nullptr;
+  if (getU64(image, 24) != expect.paramsFingerprint) return nullptr;
+  static constexpr std::array<SectionId, kSectionCount> kOrder = {
+      SectionId::kRep, SectionId::kLanePlan, SectionId::kConstruction,
+      SectionId::kHierarchy};
+  std::array<std::string_view, kSectionCount> payloads;
+  std::uint64_t runningOffset = kPayloadOffset;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    const std::size_t entry = kHeaderBytes + i * kSectionEntryBytes;
+    if (getU32(image, entry) != static_cast<std::uint32_t>(kOrder[i])) {
+      return nullptr;
+    }
+    const std::uint32_t crc = getU32(image, entry + 4);
+    const std::uint64_t offset = getU64(image, entry + 8);
+    const std::uint64_t length = getU64(image, entry + 16);
+    // Canonical layout only: payloads are contiguous in table order, so a
+    // lying offset/length cannot alias the header or another section, and
+    // the overflow-prone offset+length sum is never formed.
+    if (offset != runningOffset) return nullptr;
+    if (length > image.size() - offset) return nullptr;
+    payloads[i] = image.substr(offset, length);
+    if (crc32(payloads[i]) != crc) return nullptr;
+    runningOffset = offset + length;
+  }
+  if (runningOffset != image.size()) return nullptr;  // trailing garbage
+  try {
+    auto plan = std::make_shared<ProvePlan>();
+    {
+      Decoder d(payloads[0]);
+      plan->rep = decodeRep(d, g.numVertices());
+      if (!d.atEnd()) return nullptr;
+    }
+    {
+      Decoder d(payloads[1]);
+      plan->plan = decodeLanePlan(d, g);
+      if (!d.atEnd()) return nullptr;
+    }
+    {
+      Decoder d(payloads[2]);
+      plan->seq = decodeConstruction(d, g.numVertices());
+      if (!d.atEnd()) return nullptr;
+    }
+    {
+      Decoder d(payloads[3]);
+      plan->hier = decodeHierarchy(
+          d, g, static_cast<std::int64_t>(plan->seq.initialPath.size()));
+      if (!d.atEnd()) return nullptr;
+    }
+    return plan;
+  } catch (const std::exception&) {
+    // DecodeError, Graph::addEdge rejection, bad_alloc — all mean the file
+    // is not a valid snapshot of this graph.
+    return nullptr;
+  }
+}
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best-effort
+  writer_ = std::thread([this] { writerLoop(); });
+}
+
+SnapshotStore::~SnapshotStore() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  writer_.join();
+}
+
+void SnapshotStore::writerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    wake_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      // stopping_ with an empty queue: every accepted write is on disk.
+      return;
+    }
+    auto [key, plan] = std::move(queue_.front());
+    queue_.pop_front();
+    lk.unlock();
+    (void)persistNow(key, *plan);
+    lk.lock();
+    --pending_;
+    if (pending_ == 0) idle_.notify_all();
+  }
+}
+
+std::shared_ptr<const ProvePlan> SnapshotStore::tryLoad(
+    const Graph& g, const IntervalRepresentation* rep) {
+  const SnapshotKey key = planSnapshotKey(g, rep);
+  const std::string path = dir_ + "/" + snapshotFileName(key);
+  MappedFile file(path);
+  if (!file.valid()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.misses;
+    return nullptr;
+  }
+  auto plan = decodeSnapshot(file.view(), key, g);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (plan != nullptr) {
+    ++stats_.hits;
+  } else {
+    ++stats_.rejects;
+  }
+  return plan;
+}
+
+void SnapshotStore::persistAsync(const SnapshotKey& key,
+                                 std::shared_ptr<const ProvePlan> plan) {
+  if (plan == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    queue_.emplace_back(key, std::move(plan));
+    ++pending_;
+  }
+  wake_.notify_one();
+}
+
+bool SnapshotStore::persistNow(const SnapshotKey& key, const ProvePlan& plan) {
+  const std::string name = snapshotFileName(key);
+  const std::string path = dir_ + "/" + name;
+  {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      // Content-addressed: an existing file for this key already holds
+      // these bytes; rewriting it buys nothing.
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.writeSkips;
+      return true;
+    }
+  }
+  const std::string image = encodeSnapshot(key, plan);
+  // Atomic publication: a concurrent loader sees the old state or the full
+  // file, never a torn write.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    ok = out.good();
+  }
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp.c_str());
+  std::lock_guard<std::mutex> lk(mu_);
+  if (ok) {
+    ++stats_.writes;
+  } else {
+    ++stats_.writeFailures;
+  }
+  return ok;
+}
+
+void SnapshotStore::flushWrites() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_.wait(lk, [&] { return pending_ == 0; });
+}
+
+SnapshotStoreStats SnapshotStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace lanecert::snapshot

@@ -1,0 +1,132 @@
+#pragma once
+// Content-addressed persistence for the property-independent prover plan.
+//
+// `buildProvePlan` output (interval representation -> lane plan ->
+// construction sequence -> hierarchy) is a pure function of graph content,
+// yet it dominates a restarted server's first prove.  This subsystem
+// persists plans as flat relocatable snapshot files keyed by
+// (graph content hash, plan-params fingerprint, format version) and loads
+// them back via mmap, so a warm start skips the whole head — including the
+// greedy interval decomposition — and answers its first prove from disk in
+// milliseconds.
+//
+// Trust model: snapshot files live on local disk and are CRC-guarded, but
+// the loader still treats them as UNTRUSTED input (a crashed writer, a
+// truncating filesystem, or a hostile tenant sharing the directory must
+// never crash the service).  `decodeSnapshot` validates the header, both
+// hashes, the section table, and per-section CRCs before interpreting a
+// payload byte; payload decoding bounds every list length by
+// `Decoder::remaining()` before reserving and range-checks every index
+// (vertex ids, node ids, lane entries) against the graph being served.  ANY
+// malformation returns null — callers fall back to a fresh build.
+//
+// `SnapshotStore` adds the serving discipline: `tryLoad` on plan-cache
+// miss, `persistAsync` write-behind after a fresh build (a dedicated writer
+// thread — never the service pool, so service teardown cannot discard
+// queued writes), atomic tmp+rename publication, and content-addressed
+// idempotence (a file that already exists is never rewritten).
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+#include "core/prover.hpp"
+#include "snapshot/format.hpp"
+
+namespace lanecert::snapshot {
+
+/// Identity of a snapshot: what the plan was computed FROM (graph content
+/// plus any caller-supplied representation) and HOW (algorithm parameters).
+struct SnapshotKey {
+  std::uint64_t contentHash = 0;
+  std::uint64_t paramsFingerprint = 0;
+
+  friend bool operator==(const SnapshotKey&, const SnapshotKey&) = default;
+};
+
+/// Key of the plan for `g` (with `suppliedRep` folded in when the caller
+/// provides one — plans built from a supplied representation are distinct
+/// content from plans whose representation was computed).
+[[nodiscard]] SnapshotKey planSnapshotKey(const Graph& g,
+                                          const IntervalRepresentation* suppliedRep);
+
+/// Deterministic file name for `key` (hex content hash + hex fingerprint).
+[[nodiscard]] std::string snapshotFileName(const SnapshotKey& key);
+
+/// Serializes `plan` into a complete snapshot file image (header + section
+/// table + CRC-guarded payloads).
+[[nodiscard]] std::string encodeSnapshot(const SnapshotKey& key,
+                                         const ProvePlan& plan);
+
+/// Strict loader over a complete file image.  Returns null on ANY
+/// malformation — wrong magic/version, stale hash, section-table lie,
+/// CRC mismatch, truncation, hostile count, out-of-range index — without
+/// throwing and without allocating proportionally to unvalidated input.
+/// `g` is the graph being served; structural sizes are cross-checked
+/// against it.
+[[nodiscard]] std::shared_ptr<const ProvePlan> decodeSnapshot(
+    std::string_view image, const SnapshotKey& expect, const Graph& g);
+
+/// Counters for the store (monotonic; snapshot under one lock).
+struct SnapshotStoreStats {
+  std::uint64_t hits = 0;          ///< tryLoad returned a plan
+  std::uint64_t misses = 0;        ///< no file for the key
+  std::uint64_t rejects = 0;       ///< file present but failed validation
+  std::uint64_t writes = 0;        ///< images published (tmp+rename)
+  std::uint64_t writeSkips = 0;    ///< file already existed (idempotent)
+  std::uint64_t writeFailures = 0; ///< I/O errors (best-effort: never fatal)
+};
+
+/// Directory-backed snapshot store with a single background writer thread.
+class SnapshotStore {
+ public:
+  /// Creates `dir` (and parents) best-effort; a missing or unwritable
+  /// directory degrades to misses + writeFailures, never errors.
+  explicit SnapshotStore(std::string dir);
+  /// Drains every queued write before returning.
+  ~SnapshotStore();
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// mmaps + validates the snapshot for (g, rep); null on miss or reject.
+  [[nodiscard]] std::shared_ptr<const ProvePlan> tryLoad(
+      const Graph& g, const IntervalRepresentation* rep);
+
+  /// Queues `plan` for write-behind persistence under `key`; returns
+  /// immediately.  The writer thread encodes and publishes atomically.
+  void persistAsync(const SnapshotKey& key,
+                    std::shared_ptr<const ProvePlan> plan);
+
+  /// Synchronous persist (tools/tests); true when the image is on disk
+  /// (written now or already present).
+  bool persistNow(const SnapshotKey& key, const ProvePlan& plan);
+
+  /// Blocks until every persistAsync enqueued so far has been written.
+  void flushWrites();
+
+  [[nodiscard]] SnapshotStoreStats stats() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  void writerLoop();
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_;  ///< writer wakeup (work or stop)
+  std::condition_variable idle_;  ///< flushWrites wakeup (pending_ == 0)
+  std::deque<std::pair<SnapshotKey, std::shared_ptr<const ProvePlan>>> queue_;
+  std::size_t pending_ = 0;  ///< queued + currently being written
+  bool stopping_ = false;
+  SnapshotStoreStats stats_;
+  std::thread writer_;  ///< last member: joins before the rest tears down
+};
+
+}  // namespace lanecert::snapshot

@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "pathwidth/pathwidth.hpp"
+#include "runtime/executor.hpp"
 
 namespace lanecert {
 namespace {
@@ -102,6 +105,62 @@ TEST(BestIntervalRepresentation, AlwaysValid) {
 TEST(LayoutCost, RejectsNonPermutation) {
   const Graph g = pathGraph(3);
   EXPECT_THROW((void)layoutCost(g, {0, 1}), std::invalid_argument);
+}
+
+// --- parallel-identity properties -----------------------------------------
+// greedyVertexSeparation's sharded argmin must pick the SAME vertex the
+// serial loop picks at every step, for every thread count, so the whole
+// downstream plan (and certificate) is bit-identical.  Graphs are >= 256
+// vertices so the parallel path actually engages (small graphs stay serial
+// by design), plus degenerate shapes that stress shard-boundary ties.
+
+void expectParallelIdentity(const Graph& g) {
+  const Layout serial = greedyVertexSeparation(g);
+  const IntervalRepresentation serialRep =
+      bestIntervalRepresentation(g, 18, nullptr);
+  for (int t : {1, 2, 4, 8}) {
+    ParallelExecutor exec(t);
+    const Layout par = greedyVertexSeparation(g, &exec);
+    EXPECT_EQ(par.order, serial.order) << "t=" << t;
+    EXPECT_EQ(par.cost, serial.cost) << "t=" << t;
+    const auto parRep = bestIntervalRepresentation(g, 18, &exec);
+    EXPECT_EQ(parRep.intervals(), serialRep.intervals()) << "t=" << t;
+  }
+}
+
+TEST(ParallelGreedy, IdenticalOnRandomBoundedPathwidth) {
+  for (std::uint64_t seed : {7u, 19u, 43u}) {
+    Rng rng(seed);
+    const auto bp = randomBoundedPathwidth(300, 5, 0.5, rng);
+    expectParallelIdentity(bp.graph);
+  }
+}
+
+TEST(ParallelGreedy, IdenticalOnPathAndCycle) {
+  // Maximal ties: every path vertex looks alike to the greedy scorer, so
+  // the smallest-id tie-break is exercised at every single step.
+  expectParallelIdentity(pathGraph(400));
+  expectParallelIdentity(cycleGraph(400));
+}
+
+TEST(ParallelGreedy, IdenticalOnDenseAndStarShapes) {
+  // Clique: all-equal scores again, but with dense boundaries.
+  expectParallelIdentity(completeGraph(64 * 5));
+  // Star: one hub dominates every shard's local view.
+  expectParallelIdentity(starGraph(399));
+}
+
+TEST(ParallelGreedy, IdenticalOnRandomConnected) {
+  Rng rng(5);
+  expectParallelIdentity(randomConnected(280, 0.02, rng));
+}
+
+TEST(ParallelGreedy, SmallGraphsStayIdenticalToo) {
+  // Below the parallel threshold the exec is ignored; the contract (same
+  // result with or without exec) must hold regardless.
+  Rng rng(11);
+  const auto bp = randomBoundedPathwidth(24, 3, 0.5, rng);
+  expectParallelIdentity(bp.graph);
 }
 
 }  // namespace

@@ -1,0 +1,416 @@
+// Tests for warm-start plan persistence (src/snapshot): canonical
+// round-trips, byte-identical certificates from snapshot-loaded plans,
+// strict rejection of hostile images, and the service-level load/persist
+// discipline including fault-injected degradation.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/prover.hpp"
+#include "graph/generators.hpp"
+#include "mso/properties.hpp"
+#include "runtime/executor.hpp"
+#include "serve/fault.hpp"
+#include "serve/service.hpp"
+#include "snapshot/snapshot.hpp"
+
+namespace lanecert {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed on destruction.
+struct ScratchDir {
+  fs::path path;
+  explicit ScratchDir(const char* tag) {
+    path = fs::temp_directory_path() /
+           (std::string("lanecert-test-snapshot-") + tag + "-" +
+            std::to_string(static_cast<long>(::getpid())));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+Graph testGraph(int n = 96) {
+  Rng rng(23);
+  return randomBoundedPathwidth(static_cast<VertexId>(n), 4, 0.5, rng).graph;
+}
+
+void putU32At(std::string& s, std::size_t off, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    s[off + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void putU64At(std::string& s, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    s[off + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint64_t getU64At(const std::string& s, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(s[off + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::size_t sectionEntry(std::size_t i) {
+  return snapshot::kHeaderBytes + i * snapshot::kSectionEntryBytes;
+}
+
+/// Recomputes section `sec`'s CRC over its current payload bytes so a
+/// payload corruption survives the CRC guard and reaches the structural
+/// decoder.
+void fixSectionCrc(std::string& image, std::size_t sec) {
+  const auto off =
+      static_cast<std::size_t>(getU64At(image, sectionEntry(sec) + 8));
+  const auto len =
+      static_cast<std::size_t>(getU64At(image, sectionEntry(sec) + 16));
+  putU32At(image, sectionEntry(sec) + 4,
+           snapshot::crc32(std::string_view(image).substr(off, len)));
+}
+
+TEST(SnapshotCodec, RoundTripIsByteIdenticalAndCanonical) {
+  const Graph g = testGraph();
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  const ProvePlan plan = buildProvePlan(g);
+  const std::string image = snapshot::encodeSnapshot(key, plan);
+
+  const auto decoded = snapshot::decodeSnapshot(image, key, g);
+  ASSERT_NE(decoded, nullptr);
+  // Canonical: re-encoding the decoded plan reproduces the exact bytes.
+  EXPECT_EQ(snapshot::encodeSnapshot(key, *decoded), image);
+}
+
+TEST(SnapshotCodec, SnapshotLoadedPlanProvesByteIdenticalCertificates) {
+  const Graph g = testGraph();
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  const ProvePlan plan = buildProvePlan(g);
+  const auto decoded =
+      snapshot::decodeSnapshot(snapshot::encodeSnapshot(key, plan), key, g);
+  ASSERT_NE(decoded, nullptr);
+
+  const IdAssignment ids = IdAssignment::identity(g.numVertices());
+  ParallelExecutor exec(2);
+  const auto fresh = proveCore(g, ids, *makeConnectivity(), plan, exec);
+  const auto warm = proveCore(g, ids, *makeConnectivity(), *decoded, exec);
+  ASSERT_TRUE(fresh.propertyHolds);
+  ASSERT_TRUE(warm.propertyHolds);
+  EXPECT_EQ(fresh.labels, warm.labels);
+}
+
+TEST(SnapshotCodec, SuppliedRepChangesTheKey) {
+  Rng rng(23);
+  auto bp = randomBoundedPathwidth(96, 4, 0.5, rng);
+  const auto rep = IntervalRepresentation::fromPairs(bp.intervals);
+  const auto bare = snapshot::planSnapshotKey(bp.graph, nullptr);
+  const auto withRep = snapshot::planSnapshotKey(bp.graph, &rep);
+  EXPECT_NE(bare, withRep);
+  EXPECT_EQ(bare.paramsFingerprint, withRep.paramsFingerprint);
+}
+
+TEST(SnapshotCodec, RejectsEveryTruncation) {
+  const Graph g = testGraph(48);
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  const std::string image =
+      snapshot::encodeSnapshot(key, buildProvePlan(g));
+  // The loader requires the file to end exactly at the last payload byte,
+  // so EVERY strictly shorter prefix must reject.  Step through densely
+  // near the header and sparsely through the payloads.
+  for (std::size_t cut = 0; cut < image.size();
+       cut += (cut < snapshot::kPayloadOffset + 64 ? 1 : 37)) {
+    EXPECT_EQ(snapshot::decodeSnapshot(image.substr(0, cut), key, g), nullptr)
+        << "truncation at " << cut << " accepted";
+  }
+}
+
+TEST(SnapshotCodec, RejectsHeaderAttacks) {
+  const Graph g = testGraph(48);
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  const std::string image =
+      snapshot::encodeSnapshot(key, buildProvePlan(g));
+
+  {  // wrong magic
+    std::string m = image;
+    m[0] ^= 0x01;
+    EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr);
+  }
+  {  // unknown format version
+    std::string m = image;
+    putU32At(m, 8, snapshot::kFormatVersion + 1);
+    EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr);
+  }
+  {  // stale content hash (file claims a different graph)
+    std::string m = image;
+    putU64At(m, 16, getU64At(m, 16) ^ 0x1ull);
+    EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr);
+  }
+  {  // stale params fingerprint (plan built by a different algorithm rev)
+    std::string m = image;
+    putU64At(m, 24, getU64At(m, 24) ^ 0x1ull);
+    EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr);
+  }
+  {  // expect-key mismatch with an honest file
+    snapshot::SnapshotKey other = key;
+    other.contentHash ^= 0xff;
+    EXPECT_EQ(snapshot::decodeSnapshot(image, other, g), nullptr);
+  }
+}
+
+TEST(SnapshotCodec, RejectsSectionTableLies) {
+  const Graph g = testGraph(48);
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  const std::string image =
+      snapshot::encodeSnapshot(key, buildProvePlan(g));
+
+  for (std::size_t sec = 0; sec < snapshot::kSectionCount; ++sec) {
+    {  // CRC bit flip
+      std::string m = image;
+      m[sectionEntry(sec) + 4] ^= 0x01;
+      EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr)
+          << "CRC flip in section " << sec;
+    }
+    {  // length lie: +1 breaks contiguity / end-of-file agreement
+      std::string m = image;
+      putU64At(m, sectionEntry(sec) + 16,
+               getU64At(m, sectionEntry(sec) + 16) + 1);
+      EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr)
+          << "length +1 in section " << sec;
+    }
+    {  // length lie: enormous (would over-reserve if trusted)
+      std::string m = image;
+      putU64At(m, sectionEntry(sec) + 16, 1ull << 60);
+      EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr)
+          << "huge length in section " << sec;
+    }
+    {  // offset lie: aliasing the header
+      std::string m = image;
+      putU64At(m, sectionEntry(sec) + 8, 0);
+      EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr)
+          << "zero offset in section " << sec;
+    }
+  }
+}
+
+TEST(SnapshotCodec, RejectsCrcFixedPayloadCorruption) {
+  const Graph g = testGraph(48);
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  const std::string image =
+      snapshot::encodeSnapshot(key, buildProvePlan(g));
+
+  // A hostile count at the head of a section, with the CRC recomputed so
+  // it reaches the structural decoder: the remaining() discipline must
+  // reject it before any reserve.  Section 0 (rep) starts with the vertex
+  // count; varint 0xff..0x7f spells a huge value.
+  {
+    std::string m = image;
+    const auto off =
+        static_cast<std::size_t>(getU64At(m, sectionEntry(0) + 8));
+    for (int i = 0; i < 9; ++i) {
+      m[off + static_cast<std::size_t>(i)] = static_cast<char>(0xff);
+    }
+    m[off + 9] = 0x7f;
+    fixSectionCrc(m, 0);
+    EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr);
+  }
+  // Out-of-range vertex ids inside the hierarchy payload: every index is
+  // range-checked against the served graph.
+  {
+    std::string m = image;
+    const auto off =
+        static_cast<std::size_t>(getU64At(m, sectionEntry(3) + 8));
+    const auto len =
+        static_cast<std::size_t>(getU64At(m, sectionEntry(3) + 16));
+    for (std::size_t i = 0; i < len; i += 97) {
+      m[off + i] = static_cast<char>(0xee);
+    }
+    fixSectionCrc(m, 3);
+    EXPECT_EQ(snapshot::decodeSnapshot(m, key, g), nullptr);
+  }
+}
+
+TEST(SnapshotStore, PersistAndLoadAcrossStores) {
+  const Graph g = testGraph();
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  const ProvePlan plan = buildProvePlan(g);
+  ScratchDir dir("store");
+
+  {
+    snapshot::SnapshotStore store(dir.str());
+    EXPECT_TRUE(store.persistNow(key, plan));
+    EXPECT_EQ(store.stats().writes, 1u);
+    // Content-addressed idempotence: second persist is a skip.
+    EXPECT_TRUE(store.persistNow(key, plan));
+    EXPECT_EQ(store.stats().writeSkips, 1u);
+  }
+  {  // a FRESH store (fresh process stand-in) loads it back
+    snapshot::SnapshotStore store(dir.str());
+    const auto loaded = store.tryLoad(g, nullptr);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(snapshot::encodeSnapshot(key, *loaded),
+              snapshot::encodeSnapshot(key, plan));
+    // A different graph misses cleanly.
+    const Graph other = pathGraph(12);
+    EXPECT_EQ(store.tryLoad(other, nullptr), nullptr);
+    EXPECT_EQ(store.stats().misses, 1u);
+  }
+}
+
+TEST(SnapshotStore, AsyncWritesDrainOnFlushAndDestruction) {
+  const Graph g = testGraph();
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  auto plan = std::make_shared<const ProvePlan>(buildProvePlan(g));
+  ScratchDir dir("async");
+
+  snapshot::SnapshotStore store(dir.str());
+  store.persistAsync(key, plan);
+  store.flushWrites();
+  EXPECT_EQ(store.stats().writes + store.stats().writeSkips, 1u);
+  EXPECT_TRUE(
+      fs::exists(dir.path / snapshot::snapshotFileName(key)));
+}
+
+TEST(SnapshotStore, RejectsCorruptFileOnDisk) {
+  const Graph g = testGraph();
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  ScratchDir dir("corrupt");
+
+  std::string image = snapshot::encodeSnapshot(key, buildProvePlan(g));
+  image[image.size() / 2] ^= 0x40;  // payload corruption, CRC now stale
+  {
+    std::ofstream out(dir.path / snapshot::snapshotFileName(key),
+                      std::ios::binary);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  snapshot::SnapshotStore store(dir.str());
+  EXPECT_EQ(store.tryLoad(g, nullptr), nullptr);
+  EXPECT_EQ(store.stats().rejects, 1u);
+}
+
+TEST(SnapshotStore, UnwritableDirectoryDegrades) {
+  const Graph g = testGraph(48);
+  snapshot::SnapshotStore store("/proc/lanecert-no-such-dir/x");
+  EXPECT_EQ(store.tryLoad(g, nullptr), nullptr);
+  EXPECT_FALSE(
+      store.persistNow(snapshot::planSnapshotKey(g, nullptr),
+                       buildProvePlan(g)));
+  const auto s = store.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.writeFailures, 1u);
+}
+
+serve::ProveJob makeProveJob(const Graph& g) {
+  serve::ProveJob job;
+  job.graph = g;
+  job.ids = IdAssignment::identity(g.numVertices());
+  job.property = makeConnectivity();
+  return job;
+}
+
+TEST(ServiceWarmStart, SecondServiceLoadsFirstServicesPlan) {
+  const Graph g = testGraph();
+  ScratchDir dir("service");
+
+  std::vector<std::string> coldLabels;
+  {
+    serve::ServiceOptions opts;
+    opts.numThreads = 2;
+    opts.snapshotDir = dir.str();
+    serve::LaneCertService service(opts);
+    const auto r = service.submitProve(makeProveJob(g)).get();
+    ASSERT_TRUE(r.propertyHolds);
+    coldLabels = r.labels;
+    service.flushSnapshotWrites();
+    const auto s = service.stats();
+    EXPECT_EQ(s.snapshotMisses, 1u);
+    EXPECT_EQ(s.snapshotHits, 0u);
+    EXPECT_EQ(s.planBuilds, 1u);
+  }
+  {  // restarted server: plan comes from disk, no fresh build
+    serve::ServiceOptions opts;
+    opts.numThreads = 2;
+    opts.snapshotDir = dir.str();
+    serve::LaneCertService service(opts);
+    const auto r = service.submitProve(makeProveJob(g)).get();
+    ASSERT_TRUE(r.propertyHolds);
+    EXPECT_EQ(r.labels, coldLabels);
+    const auto s = service.stats();
+    EXPECT_EQ(s.snapshotHits, 1u);
+    EXPECT_EQ(s.snapshotMisses, 0u);
+    EXPECT_EQ(s.planBuilds, 0u);
+    EXPECT_GE(s.snapshotLoadMs, 0.0);
+  }
+}
+
+TEST(ServiceWarmStart, CorruptSnapshotFallsBackToFreshBuild) {
+  const Graph g = testGraph();
+  const auto key = snapshot::planSnapshotKey(g, nullptr);
+  ScratchDir dir("fallback");
+
+  std::string image = snapshot::encodeSnapshot(key, buildProvePlan(g));
+  image.resize(image.size() - 7);  // torn write
+  {
+    std::ofstream out(dir.path / snapshot::snapshotFileName(key),
+                      std::ios::binary);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+  }
+  serve::ServiceOptions opts;
+  opts.numThreads = 2;
+  opts.snapshotDir = dir.str();
+  serve::LaneCertService service(opts);
+  const auto r = service.submitProve(makeProveJob(g)).get();
+  EXPECT_TRUE(r.propertyHolds);
+  const auto s = service.stats();
+  EXPECT_EQ(s.snapshotHits, 0u);
+  EXPECT_EQ(s.snapshotMisses, 1u);
+  EXPECT_EQ(s.planBuilds, 1u);
+}
+
+TEST(ServiceWarmStart, SnapshotLoadFaultDegradesToFreshBuild) {
+  const Graph g = testGraph();
+  ScratchDir dir("fault");
+  {  // seed the directory with a valid snapshot
+    snapshot::SnapshotStore store(dir.str());
+    ASSERT_TRUE(store.persistNow(snapshot::planSnapshotKey(g, nullptr),
+                                 buildProvePlan(g)));
+  }
+  serve::ServiceOptions opts;
+  opts.numThreads = 2;
+  opts.snapshotDir = dir.str();
+  serve::LaneCertService service(opts);
+
+  serve::FaultScope scope([](serve::FaultSite site) {
+    if (site == serve::FaultSite::kSnapshotLoad) {
+      throw std::runtime_error("injected snapshot-load fault");
+    }
+  });
+  const auto r = service.submitProve(makeProveJob(g)).get();
+  EXPECT_TRUE(r.propertyHolds);
+  service.drain();
+  const auto s = service.stats();
+  // The fault ate the load; the prove still succeeded via a fresh build.
+  EXPECT_EQ(s.snapshotHits, 0u);
+  EXPECT_EQ(s.planBuilds, 1u);
+}
+
+}  // namespace
+}  // namespace lanecert

@@ -9,6 +9,12 @@
 //   lanecert_serverd [--bind ADDR] [--port P] [--threads N]
 //                    [--max-inflight N] [--chunk-bytes N]
 //                    [--drain-grace-ms N] [--max-queue-depth N]
+//                    [--snapshot-dir DIR]
+//
+// --snapshot-dir enables warm-start persistence: prover plans are snapshot
+// to DIR after each fresh build and mmap-loaded on plan-cache misses, so a
+// restarted daemon answers its first prove over a known graph without
+// recomputing the plan head (see src/snapshot/snapshot.hpp).
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,11 +49,14 @@ int main(int argc, char** argv) {
       opts.drainGraceMs = std::atoi(argv[++i]);
     } else if (needsValue("--max-queue-depth")) {
       opts.service.maxQueueDepth = std::strtoull(argv[++i], nullptr, 10);
+    } else if (needsValue("--snapshot-dir")) {
+      opts.service.snapshotDir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: lanecert_serverd [--bind ADDR] [--port P] "
                    "[--threads N] [--max-inflight N] [--chunk-bytes N] "
-                   "[--drain-grace-ms N] [--max-queue-depth N]\n");
+                   "[--drain-grace-ms N] [--max-queue-depth N] "
+                   "[--snapshot-dir DIR]\n");
       return 2;
     }
   }

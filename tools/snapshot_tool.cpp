@@ -1,0 +1,197 @@
+// snapshot_tool — command-line driver for warm-start plan snapshots.
+//
+//   snapshot_tool persist <edgelist> <dir>
+//       Build the prover plan for the graph from scratch and persist it
+//       into <dir> as a content-addressed snapshot file.  Prints the file
+//       name so scripts can check it into artifact stores.
+//
+//   snapshot_tool prove <edgelist> <property> <out>
+//                 [--snapshot-dir DIR] [--require-hit]
+//       Run one prove through LaneCertService (the same path the daemon
+//       takes) and write certificates one hex line per edge — the exact
+//       format lanecert_cli emits, so warm and cold runs byte-compare with
+//       `cmp`.  With --snapshot-dir the service loads/persists snapshots;
+//       with --require-hit the tool exits 3 unless the plan came from a
+//       snapshot (snapshotHits >= 1 and no fresh plan build).
+//
+//   snapshot_tool info <snapshot-file>
+//       Decode and print the snapshot header (no graph cross-check).
+//
+// Used by scripts/verify.sh --ci (exit class 10): persist a fixed graph's
+// plan, prove warm with --require-hit, prove cold without a snapshot dir,
+// and byte-compare the two certificate files.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/prover.hpp"
+#include "graph/io.hpp"
+#include "net/protocol.hpp"
+#include "serve/service.hpp"
+#include "snapshot/snapshot.hpp"
+
+using namespace lanecert;
+
+namespace {
+
+Graph loadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return fromEdgeList(buf.str());
+}
+
+std::string toHex(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xf]);
+  }
+  return out;
+}
+
+int cmdPersist(const std::string& file, const std::string& dir) {
+  const Graph g = loadGraph(file);
+  const ProvePlan plan = buildProvePlan(g);
+  const snapshot::SnapshotKey key = snapshot::planSnapshotKey(g, nullptr);
+  snapshot::SnapshotStore store(dir);
+  if (!store.persistNow(key, plan)) {
+    std::fprintf(stderr, "persist failed (is %s writable?)\n", dir.c_str());
+    return 1;
+  }
+  std::printf("%s\n", snapshot::snapshotFileName(key).c_str());
+  return 0;
+}
+
+int cmdProve(const std::string& file, const std::string& propName,
+             const std::string& outFile, const std::string& snapshotDir,
+             bool requireHit) {
+  const Graph g = loadGraph(file);
+  const PropertyPtr prop = net::propertyByName(propName);
+  if (!prop) {
+    std::fprintf(stderr, "unknown property '%s'\n", propName.c_str());
+    return 2;
+  }
+
+  serve::ServiceOptions opts;
+  opts.numThreads = 2;
+  opts.snapshotDir = snapshotDir;
+  serve::LaneCertService service(opts);
+
+  serve::ProveJob job;
+  job.graph = g;
+  job.ids = IdAssignment::identity(g.numVertices());
+  job.property = prop;
+  const CoreProveResult r = service.submitProve(std::move(job)).get();
+  service.flushSnapshotWrites();
+  const serve::ServiceStats stats = service.stats();
+
+  if (!r.propertyHolds) {
+    std::fprintf(stderr, "property '%s' does NOT hold\n",
+                 prop->name().c_str());
+    return 1;
+  }
+  std::ofstream out(outFile);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", outFile.c_str());
+    return 2;
+  }
+  for (const std::string& l : r.labels) out << toHex(l) << '\n';
+  std::fprintf(stderr,
+               "proved '%s': %d labels; snapshotHits=%llu "
+               "snapshotMisses=%llu planBuilds=%llu loadMs=%.3f\n",
+               prop->name().c_str(), g.numEdges(),
+               static_cast<unsigned long long>(stats.snapshotHits),
+               static_cast<unsigned long long>(stats.snapshotMisses),
+               static_cast<unsigned long long>(stats.planBuilds),
+               stats.snapshotLoadMs);
+  if (requireHit && (stats.snapshotHits < 1 || stats.planBuilds > 0)) {
+    std::fprintf(stderr, "--require-hit: plan was NOT loaded from snapshot\n");
+    return 3;
+  }
+  return 0;
+}
+
+int cmdInfo(const std::string& file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", file.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string image = buf.str();
+  if (image.size() < snapshot::kHeaderBytes ||
+      image.compare(0, snapshot::kMagic.size(), snapshot::kMagic) != 0) {
+    std::fprintf(stderr, "not a snapshot file\n");
+    return 1;
+  }
+  auto u32 = [&](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(image[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  auto u64 = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(image[off + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  std::printf("formatVersion %u sections %u contentHash %016llx "
+              "paramsFingerprint %016llx bytes %zu\n",
+              u32(8), u32(12), static_cast<unsigned long long>(u64(16)),
+              static_cast<unsigned long long>(u64(24)), image.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.size() == 3 && args[0] == "persist") {
+      return cmdPersist(args[1], args[2]);
+    }
+    if (args.size() >= 4 && args[0] == "prove") {
+      std::string snapshotDir;
+      bool requireHit = false;
+      for (std::size_t i = 4; i < args.size(); ++i) {
+        if (args[i] == "--snapshot-dir" && i + 1 < args.size()) {
+          snapshotDir = args[++i];
+        } else if (args[i] == "--require-hit") {
+          requireHit = true;
+        } else {
+          std::fprintf(stderr, "unknown option '%s'\n", args[i].c_str());
+          return 2;
+        }
+      }
+      return cmdProve(args[1], args[2], args[3], snapshotDir, requireHit);
+    }
+    if (args.size() == 2 && args[0] == "info") return cmdInfo(args[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  snapshot_tool persist <edgelist> <dir>\n"
+      "  snapshot_tool prove <edgelist> <property> <labels-out>\n"
+      "                [--snapshot-dir DIR] [--require-hit]\n"
+      "  snapshot_tool info <snapshot-file>\n");
+  return 2;
+}
