@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Multi-process verification smoke: the CI dist gate (verify.sh --ci exit
+# class 11 and the dist-smoke workflow job both run this script).
+#
+#   1. Byte-identity run: coordinator + K forked workers over an n-vertex
+#      bounded-pathwidth workload.  dist_verify proves once, then runs the
+#      full sweep and several incremental edit rounds (boundary-straddling
+#      batches included) through BOTH the distributed verifier and the
+#      single-process VerifySession, failing on any field divergence.
+#   2. Worker-kill run: the same workload with one worker armed to SIGKILL
+#      itself mid-sweep.  The coordinator must detect the death, re-fork
+#      the partition, replay the edit journal, and still match the
+#      single-process results byte for byte; dist_verify fails if no death
+#      was actually observed, so the drill can never pass vacuously.
+#
+# Usage: scripts/dist_smoke.sh <build-dir> [n] [workers]
+
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: dist_smoke.sh <build-dir> [n] [workers]}"
+N="${2:-65536}"
+WORKERS="${3:-4}"
+DIST_VERIFY="${BUILD_DIR}/dist_verify"
+
+if [ ! -x "${DIST_VERIFY}" ]; then
+  echo "dist_smoke: ${DIST_VERIFY} not found or not executable" >&2
+  exit 1
+fi
+
+echo "dist_smoke: byte-identity, n=${N} workers=${WORKERS}"
+"${DIST_VERIFY}" --n "${N}" --k "${WORKERS}" --threads 2 --rounds 3
+
+# Kill a middle partition deep inside its sweep: late enough that verdict
+# bytes were already written (recovery must overwrite them), early enough
+# that the sweep is still running when the death lands.
+echo "dist_smoke: worker-kill recovery, n=${N} workers=${WORKERS}"
+"${DIST_VERIFY}" --n "${N}" --k "${WORKERS}" --threads 2 --rounds 2 \
+  --die $((WORKERS / 2)) --die-after $((N / WORKERS / 2))
+
+echo "dist_smoke: OK"

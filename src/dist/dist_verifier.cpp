@@ -1,0 +1,357 @@
+#include "dist/dist_verifier.hpp"
+
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "dist/image.hpp"
+#include "dist/worker.hpp"
+#include "mso/properties.hpp"
+#include "pls/codec.hpp"
+#include "runtime/executor.hpp"
+
+namespace lanecert::dist {
+
+namespace {
+
+[[nodiscard]] std::size_t alignUp64(std::size_t x) {
+  return (x + 63) & ~std::size_t{63};
+}
+
+void encodeEdits(Encoder& enc, std::span<const EdgeLabelEdit> edits) {
+  enc.u64(edits.size());
+  for (const EdgeLabelEdit& e : edits) {
+    enc.u64(static_cast<std::uint64_t>(e.edge));
+    enc.bytes(e.bytes);
+  }
+}
+
+}  // namespace
+
+DistVerifier::DistVerifier(Graph g, IdAssignment ids,
+                           const std::vector<std::string>& labels,
+                           std::string property, CoreVerifierParams params,
+                           DistOptions options)
+    : g_(std::move(g)),
+      ids_(std::move(ids)),
+      property_(std::move(property)),
+      params_(params),
+      options_(options) {
+  if (labels.size() != static_cast<std::size_t>(g_.numEdges())) {
+    throw std::invalid_argument("DistVerifier: one label per edge required");
+  }
+  if (!propertyByName(property_)) {
+    throw std::invalid_argument("DistVerifier: unknown property '" +
+                                property_ + "'");
+  }
+  options_.workers = std::max(1, options_.workers);
+  const auto n = static_cast<std::size_t>(g_.numVertices());
+
+  ImageMeta meta;
+  meta.numVertices = n;
+  meta.numEdges = static_cast<std::uint64_t>(g_.numEdges());
+  meta.workers = static_cast<std::uint32_t>(options_.workers);
+  meta.threadsPerWorker = static_cast<std::uint32_t>(
+      resolveThreadCount(options_.threadsPerWorker));
+  meta.params = params_;
+  meta.property = property_;
+
+  imageBytes_ = imageSizeBytes(g_, labels, meta);
+  mapBytes_ = alignUp64(imageBytes_) + n;
+  void* map = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (map == MAP_FAILED) {
+    throw std::runtime_error(std::string("DistVerifier: mmap failed: ") +
+                             std::strerror(errno));
+  }
+  map_ = static_cast<char*>(map);
+  verdicts_ = reinterpret_cast<std::uint8_t*>(map_ + alignUp64(imageBytes_));
+  writeImage(map_, imageBytes_, g_, ids_, labels, meta);
+
+  // Open the image exactly as a worker will: the coordinator's own store is
+  // built over the validated mapping, so a writer bug fails HERE, loudly,
+  // instead of inside a child where it is harder to attribute.
+  const ImageView img = ImageView::open({map_, imageBytes_});
+  store_ = LabelStore(img.labelViews());
+
+  workers_.resize(static_cast<std::size_t>(options_.workers));
+  for (int k = 0; k < options_.workers; ++k) {
+    const auto [begin, end] = ParallelExecutor::shardRange(
+        n, static_cast<std::size_t>(options_.workers),
+        static_cast<std::size_t>(k));
+    workers_[static_cast<std::size_t>(k)].begin = begin;
+    workers_[static_cast<std::size_t>(k)].end = end;
+    spawn(k, /*firstSpawn=*/true);
+  }
+}
+
+DistVerifier::~DistVerifier() {
+  shutdownWorkers();
+  if (map_ != nullptr) ::munmap(map_, mapBytes_);
+}
+
+std::pair<std::size_t, std::size_t> DistVerifier::partitionRange(
+    int k) const {
+  const Worker& w = workers_[static_cast<std::size_t>(k)];
+  return {w.begin, w.end};
+}
+
+void DistVerifier::spawn(int k, bool firstSpawn) {
+  Worker& w = workers_[static_cast<std::size_t>(k)];
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw std::runtime_error(std::string("DistVerifier: socketpair: ") +
+                             std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw std::runtime_error(std::string("DistVerifier: fork: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: drop every coordinator-side fd (ours and the siblings') so a
+    // dead coordinator reads as EOF everywhere, then become the worker.
+    ::close(sv[0]);
+    for (const Worker& other : workers_) {
+      if (other.fd >= 0) ::close(other.fd);
+    }
+    WorkerConfig cfg;
+    cfg.imageBase = map_;
+    cfg.imageBytes = imageBytes_;
+    cfg.verdicts = verdicts_;
+    cfg.partition = static_cast<std::uint32_t>(k);
+    cfg.controlFd = sv[1];
+    cfg.dieAfterVertices = (firstSpawn && k == options_.dieWorker)
+                               ? options_.dieAfterVertices
+                               : -1;
+    runWorker(cfg);  // never returns
+  }
+  ::close(sv[1]);
+  w.pid = pid;
+  w.fd = sv[0];
+}
+
+std::uint64_t DistVerifier::recover(int k) {
+  Worker& w = workers_[static_cast<std::size_t>(k)];
+  while (true) {
+    if (w.fd >= 0) {
+      ::close(w.fd);
+      w.fd = -1;
+    }
+    if (w.pid > 0) {
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+    ++stats_.workerDeaths;
+    if (restartsUsed_ >= options_.maxWorkerRestarts) {
+      throw WorkerFailure("dist: worker partition " + std::to_string(k) +
+                          " died and the restart budget (" +
+                          std::to_string(options_.maxWorkerRestarts) +
+                          ") is exhausted");
+    }
+    ++restartsUsed_;
+    ++stats_.workerRestarts;
+    spawn(k, /*firstSpawn=*/false);
+    // Replay = pristine image + the journal (latest bytes per edited edge,
+    // absolute rewrites) + a whole-partition sweep: subsumes whatever
+    // command the dead worker was running, so the caller just waits for
+    // THIS seq instead of resending the original.
+    Encoder enc;
+    enc.u64(static_cast<std::uint64_t>(WorkerCmd::kReplay));
+    const std::uint64_t seq = ++seq_;
+    enc.u64(seq);
+    enc.u64(journal_.size());
+    for (const auto& [edge, bytes] : journal_) {
+      enc.u64(static_cast<std::uint64_t>(edge));
+      enc.bytes(bytes);
+    }
+    if (sendFrame(w.fd, enc.str())) return seq;
+    // The replacement died before reading its replay; loop (budgeted).
+  }
+}
+
+void DistVerifier::roundTrip(
+    const std::vector<std::pair<int, std::string>>& sends) {
+  std::unordered_map<int, std::uint64_t> pending;  // worker -> expected seq
+  for (const auto& [k, payload] : sends) {
+    Decoder peek{std::string_view(payload)};
+    (void)peek.u64();  // cmd
+    const std::uint64_t seq = peek.u64();
+    if (sendFrame(workers_[static_cast<std::size_t>(k)].fd, payload)) {
+      pending[k] = seq;
+    } else {
+      pending[k] = recover(k);
+    }
+  }
+  while (!pending.empty()) {
+    std::vector<pollfd> fds;
+    std::vector<int> order;
+    fds.reserve(pending.size());
+    for (const auto& [k, seq] : pending) {
+      fds.push_back(pollfd{workers_[static_cast<std::size_t>(k)].fd, POLLIN,
+                           0});
+      order.push_back(k);
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("DistVerifier: poll: ") +
+                               std::strerror(errno));
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const int k = order[i];
+      if ((fds[i].revents & POLLIN) != 0) {
+        // Data may precede the EOF of a worker that replied then died; a
+        // truncated frame (killed mid-write) reads as EOF here too.
+        const std::optional<std::string> frame =
+            recvFrame(workers_[static_cast<std::size_t>(k)].fd);
+        if (!frame) {
+          pending[k] = recover(k);
+          continue;
+        }
+        Decoder dec{std::string_view(*frame)};
+        const std::uint64_t seq = dec.u64();
+        const auto status = static_cast<WorkerStatus>(dec.u64());
+        const std::string message{dec.bytesView()};
+        if (status != WorkerStatus::kOk) {
+          // Permanent: a worker that RESPONDED with an error hit a real
+          // defect (bad image, unknown command), not a crash — retrying
+          // the identical exchange would fail identically.
+          throw std::runtime_error("dist worker " + std::to_string(k) +
+                                   ": " + message);
+        }
+        if (seq != pending[k]) {
+          throw std::runtime_error("dist: protocol error (seq mismatch)");
+        }
+        pending.erase(k);
+      } else if ((fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0) {
+        pending[k] = recover(k);
+      }
+    }
+  }
+}
+
+SimulationResult DistVerifier::verifyAll() {
+  std::vector<std::pair<int, std::string>> sends;
+  sends.reserve(workers_.size());
+  Encoder enc;
+  for (int k = 0; k < workers(); ++k) {
+    enc.u64(static_cast<std::uint64_t>(WorkerCmd::kSweep));
+    enc.u64(++seq_);
+    sends.emplace_back(k, enc.take());
+  }
+  roundTrip(sends);
+  swept_ = true;
+  ++stats_.sweeps;
+  return assemble();
+}
+
+SimulationResult DistVerifier::reverifyEdits(
+    std::span<const EdgeLabelEdit> edits) {
+  if (edits.empty() && swept_) return assemble();
+  // Coordinator first: applyEdits validates the whole batch up front, so a
+  // throwing batch reaches neither the journal nor any worker.
+  const std::vector<VertexId> dirty = store_.applyEdits(g_, edits);
+  for (const EdgeLabelEdit& e : edits) journal_[e.edge] = e.bytes;
+
+  // Route every edit to the partitions owning an endpoint, with its owned
+  // dirty rows.  Partitions are contiguous ascending ranges, so a sorted
+  // dirty set maps to per-worker subranges by binary search.
+  const int count = workers();
+  auto ownerOf = [this, count](VertexId v) {
+    int lo = 0;
+    int hi = count - 1;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (static_cast<std::size_t>(v) <
+          workers_[static_cast<std::size_t>(mid)].end) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+  std::vector<std::vector<EdgeLabelEdit>> editsFor(
+      static_cast<std::size_t>(count));
+  for (const EdgeLabelEdit& e : edits) {
+    const Edge& edge = g_.edge(e.edge);
+    const int a = ownerOf(edge.u);
+    const int b = ownerOf(edge.v);
+    editsFor[static_cast<std::size_t>(a)].push_back(e);
+    if (b != a) editsFor[static_cast<std::size_t>(b)].push_back(e);
+  }
+
+  const bool recheck = swept_;
+  std::vector<std::pair<int, std::string>> sends;
+  Encoder enc;
+  for (int k = 0; k < count; ++k) {
+    const Worker& w = workers_[static_cast<std::size_t>(k)];
+    if (editsFor[static_cast<std::size_t>(k)].empty()) {
+      if (recheck) ++stats_.skippedWorkers;
+      continue;
+    }
+    const auto lo = std::lower_bound(dirty.begin(), dirty.end(),
+                                     static_cast<VertexId>(w.begin));
+    const auto hi = std::lower_bound(lo, dirty.end(),
+                                     static_cast<VertexId>(w.end));
+    enc.u64(static_cast<std::uint64_t>(WorkerCmd::kReverify));
+    enc.u64(++seq_);
+    encodeEdits(enc, editsFor[static_cast<std::size_t>(k)]);
+    enc.u64(static_cast<std::uint64_t>(hi - lo));
+    for (auto it = lo; it != hi; ++it) {
+      enc.u64(static_cast<std::uint64_t>(*it));
+    }
+    enc.boolean(recheck);
+    sends.emplace_back(k, enc.take());
+    if (recheck) ++stats_.routedBatches;
+  }
+  roundTrip(sends);
+  if (!swept_) return verifyAll();  // edits staged; now the initial sweep
+  ++stats_.reverifies;
+  return assemble();
+}
+
+SimulationResult DistVerifier::assemble() const {
+  SimulationResult r;
+  r.maxLabelBits = store_.maxLabelBits();
+  r.totalLabelBits = store_.totalLabelBits();
+  const auto n = static_cast<std::size_t>(g_.numVertices());
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    if (verdicts_[vi] == 0) r.rejecting.push_back(static_cast<VertexId>(vi));
+  }
+  r.allAccept = r.rejecting.empty();
+  return r;
+}
+
+void DistVerifier::shutdownWorkers() {
+  Encoder enc;
+  for (Worker& w : workers_) {
+    if (w.fd < 0) continue;
+    enc.u64(static_cast<std::uint64_t>(WorkerCmd::kExit));
+    enc.u64(++seq_);
+    sendFrame(w.fd, enc.take());  // best-effort; EOF also exits the worker
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  for (Worker& w : workers_) {
+    if (w.pid > 0) {
+      int status = 0;
+      ::waitpid(w.pid, &status, 0);
+      w.pid = -1;
+    }
+  }
+}
+
+}  // namespace lanecert::dist

@@ -1,0 +1,270 @@
+#include "dist/worker.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/verifier.hpp"
+#include "dist/image.hpp"
+#include "mso/properties.hpp"
+#include "pls/codec.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/label_store.hpp"
+
+namespace lanecert::dist {
+
+bool sendFrame(int fd, std::string_view payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  char header[4];
+  std::memcpy(header, &len, 4);
+  struct Piece {
+    const char* data;
+    std::size_t size;
+  };
+  for (const Piece piece : {Piece{header, 4}, Piece{payload.data(),
+                                                    payload.size()}}) {
+    std::size_t sent = 0;
+    while (sent < piece.size) {
+      const ssize_t r = ::send(fd, piece.data + sent, piece.size - sent,
+                               MSG_NOSIGNAL);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(r);
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> recvFrame(int fd) {
+  auto readAll = [fd](char* dst, std::size_t size) -> bool {
+    std::size_t got = 0;
+    while (got < size) {
+      const ssize_t r = ::recv(fd, dst + got, size - got, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      if (r == 0) return false;  // EOF — peer gone (clean or killed)
+      got += static_cast<std::size_t>(r);
+    }
+    return true;
+  };
+  char header[4];
+  if (!readAll(header, 4)) return std::nullopt;
+  std::uint32_t len;
+  std::memcpy(&len, header, 4);
+  std::string payload(len, '\0');
+  if (len > 0 && !readAll(payload.data(), len)) return std::nullopt;
+  return payload;
+}
+
+namespace {
+
+/// The per-process verification state a worker rebuilds from the image on
+/// every spawn.
+struct WorkerState {
+  ImageView img;
+  LabelStore store;
+  std::size_t begin = 0;  ///< owned vertex range [begin, end)
+  std::size_t end = 0;
+  /// Local CSR rows for OWNED vertices only: rowPtr[i] indexes `rows` for
+  /// owned vertex begin + i; each row is the sorted incident label views —
+  /// the same structure VertexLabelIndex holds for the whole graph.
+  std::vector<std::size_t> rowPtr;
+  std::vector<std::string_view> rows;
+  std::unique_ptr<CoreVerifierEngine> engine;
+  std::unique_ptr<ParallelExecutor> exec;
+  std::vector<CoreVerifierEngine::ThreadState> states;
+  std::uint8_t* verdicts = nullptr;
+  /// Death seam: countdown of vertex checks before raise(SIGKILL); -1 off.
+  std::atomic<long long> dieAfter{-1};
+};
+
+void fillRow(WorkerState& ws, std::size_t v) {
+  const std::size_t i = v - ws.begin;
+  const std::uint64_t arcBegin = ws.img.rowPtr(v);
+  const std::uint64_t arcEnd = ws.img.rowPtr(v + 1);
+  std::size_t at = ws.rowPtr[i];
+  for (std::uint64_t s = arcBegin; s < arcEnd; ++s) {
+    ws.rows[at++] = ws.store.view(ws.img.arcEdge(s));
+  }
+  std::sort(ws.rows.begin() + static_cast<std::ptrdiff_t>(ws.rowPtr[i]),
+            ws.rows.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+void buildAllRows(WorkerState& ws) {
+  const std::size_t owned = ws.end - ws.begin;
+  ws.rowPtr.assign(owned + 1, 0);
+  for (std::size_t i = 0; i < owned; ++i) {
+    ws.rowPtr[i + 1] = ws.rowPtr[i] +
+                       static_cast<std::size_t>(ws.img.rowPtr(ws.begin + i + 1) -
+                                                ws.img.rowPtr(ws.begin + i));
+  }
+  ws.rows.assign(ws.rowPtr[owned], {});
+  ws.exec->forShards(owned, [&](std::size_t, std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) fillRow(ws, ws.begin + i);
+  });
+}
+
+void checkVertex(WorkerState& ws, std::size_t v,
+                 CoreVerifierEngine::ThreadState& state) {
+  const std::size_t i = v - ws.begin;
+  EdgeView view;
+  view.selfId = ws.img.vertexIdOf(v);
+  view.incidentLabels = {ws.rows.data() + ws.rowPtr[i],
+                         ws.rowPtr[i + 1] - ws.rowPtr[i]};
+  ws.verdicts[v] = ws.engine->check(view, state) ? 1 : 0;
+  if (ws.dieAfter.load(std::memory_order_relaxed) >= 0 &&
+      ws.dieAfter.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    raise(SIGKILL);  // the drill: vanish mid-sweep with no cleanup at all
+  }
+}
+
+void sweepOwned(WorkerState& ws) {
+  const std::size_t owned = ws.end - ws.begin;
+  ws.exec->forShards(owned, [&](std::size_t shard, std::size_t b,
+                                std::size_t e) {
+    CoreVerifierEngine::ThreadState& state = ws.states[shard];
+    for (std::size_t i = b; i < e; ++i) checkVertex(ws, ws.begin + i, state);
+  });
+}
+
+[[nodiscard]] std::vector<EdgeLabelEdit> decodeEdits(Decoder& dec,
+                                                     std::uint64_t numEdges) {
+  const std::uint64_t count = dec.u64();
+  if (count > dec.remaining()) throw DecodeError{};  // ≥ 1 byte per edit
+  std::vector<EdgeLabelEdit> edits;
+  edits.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EdgeLabelEdit edit;
+    const std::uint64_t e = dec.u64();
+    if (e >= numEdges) throw DecodeError{};
+    edit.edge = static_cast<EdgeId>(e);
+    edit.bytes = dec.bytes();
+    edits.push_back(std::move(edit));
+  }
+  return edits;
+}
+
+}  // namespace
+
+void runWorker(const WorkerConfig& cfg) {
+  auto reply = [&cfg](std::uint64_t seq, WorkerStatus status,
+                      std::string_view message = {}) {
+    Encoder enc;
+    enc.u64(seq);
+    enc.u64(static_cast<std::uint64_t>(status));
+    enc.bytes(message);
+    if (!sendFrame(cfg.controlFd, enc.str())) _exit(0);  // coordinator gone
+  };
+  try {
+    WorkerState ws;
+    ws.img = ImageView::open({cfg.imageBase, cfg.imageBytes});
+    const ImageMeta& meta = ws.img.meta();
+    const PropertyPtr prop = propertyByName(meta.property);
+    if (!prop) {
+      throw std::runtime_error("dist worker: unknown property '" +
+                               meta.property + "'");
+    }
+    ws.store = LabelStore(ws.img.labelViews());
+    const auto [begin, end] = ParallelExecutor::shardRange(
+        static_cast<std::size_t>(meta.numVertices), meta.workers,
+        cfg.partition);
+    ws.begin = begin;
+    ws.end = end;
+    ws.engine = std::make_unique<CoreVerifierEngine>(prop, meta.params);
+    ws.exec = std::make_unique<ParallelExecutor>(
+        static_cast<int>(meta.threadsPerWorker));
+    ws.states.resize(static_cast<std::size_t>(ws.exec->numThreads()));
+    ws.verdicts = cfg.verdicts;
+    buildAllRows(ws);
+
+    while (true) {
+      const std::optional<std::string> frame = recvFrame(cfg.controlFd);
+      if (!frame) _exit(0);  // coordinator closed or died: nothing to serve
+      std::uint64_t seq = 0;
+      try {
+        Decoder dec{std::string_view(*frame)};
+        const auto cmd = static_cast<WorkerCmd>(dec.u64());
+        seq = dec.u64();
+        switch (cmd) {
+          case WorkerCmd::kSweep: {
+            ws.dieAfter.store(cfg.dieAfterVertices,
+                              std::memory_order_relaxed);
+            sweepOwned(ws);
+            break;
+          }
+          case WorkerCmd::kReverify: {
+            std::vector<EdgeLabelEdit> edits =
+                decodeEdits(dec, meta.numEdges);
+            const std::uint64_t dirtyCount = dec.u64();
+            if (dirtyCount > dec.remaining()) throw DecodeError{};
+            std::vector<std::size_t> dirty;
+            dirty.reserve(static_cast<std::size_t>(dirtyCount));
+            for (std::uint64_t i = 0; i < dirtyCount; ++i) {
+              const std::uint64_t v = dec.u64();
+              if (v < ws.begin || v >= ws.end) throw DecodeError{};
+              dirty.push_back(static_cast<std::size_t>(v));
+            }
+            const bool recheck = dec.boolean();
+            ws.store.applyEditsBlind(edits);
+            for (const std::size_t v : dirty) fillRow(ws, v);
+            if (recheck) {
+              ws.exec->forShards(
+                  dirty.size(),
+                  [&](std::size_t shard, std::size_t b, std::size_t e) {
+                    CoreVerifierEngine::ThreadState& state = ws.states[shard];
+                    for (std::size_t i = b; i < e; ++i) {
+                      checkVertex(ws, dirty[i], state);
+                    }
+                  });
+            }
+            break;
+          }
+          case WorkerCmd::kReplay: {
+            std::vector<EdgeLabelEdit> edits =
+                decodeEdits(dec, meta.numEdges);
+            ws.store.applyEditsBlind(edits);
+            // A replacement cannot know which rows its predecessor had
+            // refreshed or which verdict bytes it had written before dying,
+            // so recovery is whole-partition: every owned row rebuilt from
+            // the post-journal store, every owned verdict rewritten.
+            buildAllRows(ws);
+            sweepOwned(ws);
+            break;
+          }
+          case WorkerCmd::kExit: {
+            reply(seq, WorkerStatus::kOk);
+            _exit(0);
+          }
+          default:
+            throw std::runtime_error("dist worker: unknown command");
+        }
+        reply(seq, WorkerStatus::kOk);
+      } catch (const std::exception& e) {
+        reply(seq, WorkerStatus::kError, e.what());
+      }
+    }
+  } catch (const std::exception& e) {
+    // Startup failure (image validation, property resolution): report once
+    // with seq 0 — the coordinator treats any startup-error frame as fatal.
+    Encoder enc;
+    enc.u64(0);
+    enc.u64(static_cast<std::uint64_t>(WorkerStatus::kError));
+    enc.bytes(e.what());
+    sendFrame(cfg.controlFd, enc.str());
+    _exit(1);
+  }
+}
+
+}  // namespace lanecert::dist

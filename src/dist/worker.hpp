@@ -1,0 +1,84 @@
+#pragma once
+// Worker side of multi-process verification (subsystem overview in
+// dist_verifier.hpp).  A worker is a forked child that owns ONE partition
+// of the vertex range — partition k of K is exactly
+// ParallelExecutor::shardRange(n, K, k), the same deterministic contiguous
+// split every sweep in the codebase uses — and serves commands over a
+// socketpair until told to exit or the coordinator's end closes.
+//
+// Startup (and every re-fork after a crash) rebuilds all state from the
+// validated shared image: a LabelStore over zero-copy views into the blob,
+// sorted label rows for the OWNED vertices only, the CoreVerifierEngine
+// resolved from the property's registry name, and a private
+// ParallelExecutor of `threadsPerWorker` threads.  Verdicts are written
+// into the worker's disjoint slice of the shared verdict plane; since the
+// per-vertex verdict is a pure function of (vertex id, sorted multiset of
+// incident label bytes), the merged plane is byte-identical to a
+// single-process sweep for every (K, threads) combination.
+//
+// Control protocol: frames of [u32 LE length | payload], payload a varint
+// stream (pls codec).  Commands carry (cmd, seq, ...); every reply echoes
+// (seq, status, message).  The coordinator never pipelines commands to one
+// worker — a worker is always parked in recv when a frame is sent, so
+// frame writes cannot deadlock against a busy peer.
+//
+//   kSweep    {}                       full sweep of the owned partition
+//   kReverify {edits, dirty, recheck}  applyEditsBlind + refresh the OWNED
+//                                      dirty rows; recheck them when asked
+//                                      (recheck=false = pre-first-sweep
+//                                      edit staging)
+//   kReplay   {edits}                  recovery: apply the coordinator's
+//                                      whole journal, rebuild every owned
+//                                      row, full partition sweep
+//   kExit     {}                       reply, then _exit(0)
+//
+// Fork discipline: the child never returns into the coordinator's stack —
+// every path ends in _exit, so coordinator-side atexit handlers and stream
+// flushes run exactly once, in the parent.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lanecert::dist {
+
+enum class WorkerCmd : std::uint64_t {
+  kSweep = 1,
+  kReverify = 2,
+  kReplay = 3,
+  kExit = 4,
+};
+
+enum class WorkerStatus : std::uint64_t { kOk = 0, kError = 1 };
+
+/// Everything a forked child needs; plain pointers because the mapping and
+/// fds are inherited, not transported.
+struct WorkerConfig {
+  const char* imageBase = nullptr;
+  std::size_t imageBytes = 0;
+  /// The WHOLE shared verdict plane (n bytes); the worker writes only its
+  /// partition's slice.
+  std::uint8_t* verdicts = nullptr;
+  std::uint32_t partition = 0;  ///< k in [0, K)
+  int controlFd = -1;
+  /// Test seam for the worker-death drills: raise(SIGKILL) after this many
+  /// vertex checks of the next sweep (< 0 = never).  The coordinator sets
+  /// it on the FIRST spawn only, so the re-forked replacement survives.
+  long long dieAfterVertices = -1;
+};
+
+/// Child-process entry point after fork; never returns.
+[[noreturn]] void runWorker(const WorkerConfig& cfg);
+
+/// Writes one [u32 LE length | payload] frame, looping over partial sends
+/// with SIGPIPE suppressed; false when the peer is gone (EPIPE/reset) —
+/// the coordinator's death signal on the send path.
+bool sendFrame(int fd, std::string_view payload);
+
+/// Reads one frame; nullopt on EOF (clean close or mid-frame — a killed
+/// peer can vanish anywhere, so both mean "peer is gone").
+std::optional<std::string> recvFrame(int fd);
+
+}  // namespace lanecert::dist

@@ -6,9 +6,26 @@
 // All bundled properties evaluate φ on the subgraph of edges labeled
 // kRealEdge; virtual (completion-only) edges affect nothing.
 
+#include <string>
+
 #include "mso/property.hpp"
 
 namespace lanecert {
+
+/// Resolves a bundled property by its REGISTRY NAME — the stable textual
+/// grammar shared by the wire protocol (net), the snapshot tool, and the
+/// dist workers (which receive the name through the shared-memory image and
+/// must rebuild the identical property in another process):
+///
+///   "forest" | "connectivity" | "bipartite" | "2col" | "3col" |
+///   "is-path" | "is-cycle" | "matching" | "ham-cycle" | "ham-path" |
+///   "triangle-free" | "vc:<c>" | "dom:<c>" | "ind:<c>" | "maxdeg:<d>"
+///
+/// Integer suffixes must be whole non-negative decimals ("vc:", "vc:3x",
+/// "vc:-1" are unknown names).  Returns nullptr for unknown names; equal
+/// names construct behaviourally identical properties, which is what makes
+/// name-based dedup keys and cross-process property transport sound.
+[[nodiscard]] PropertyPtr propertyByName(const std::string& name);
 
 /// χ(G) <= q: proper q-colorability (q = 2 is bipartiteness).
 /// State: the set of boundary colorings extendable to the whole subgraph.

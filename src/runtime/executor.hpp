@@ -131,7 +131,12 @@ class ParallelExecutor {
                                std::size_t end)>& fn);
 
   /// The half-open item range of `shard` out of `shards` over [0, n);
-  /// deterministic in its arguments alone.
+  /// deterministic in its arguments alone.  This is THE partition contract
+  /// of the repository: in-process sweeps shard by it, and the dist layer
+  /// uses the same function for its per-process vertex partitions
+  /// (src/dist/dist_verifier.hpp) — so byte-identity across process counts
+  /// rests on this mapping never depending on anything but (n, shards,
+  /// shard).  Changing it is a cross-layer breaking change.
   [[nodiscard]] static std::pair<std::size_t, std::size_t> shardRange(
       std::size_t n, std::size_t shards, std::size_t shard);
 

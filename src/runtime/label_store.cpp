@@ -17,11 +17,16 @@ LabelStore::LabelStore(const std::vector<std::string>& labels) {
   slot_.assign(labels.size(), -1);
 }
 
-std::vector<VertexId> LabelStore::applyEdits(
-    const Graph& g, std::span<const EdgeLabelEdit> edits) {
-  // An empty batch mutates nothing — same store, same version (the serving
-  // layer uses empty batches as "run the initial sweep" requests).
-  if (edits.empty()) return {};
+LabelStore::LabelStore(std::vector<std::string_view> views)
+    : views_(std::move(views)) {
+  for (const std::string_view v : views_) {
+    maxBits_ = std::max(maxBits_, v.size() * 8);
+    totalBits_ += v.size() * 8;
+  }
+  slot_.assign(views_.size(), -1);
+}
+
+void LabelStore::rewriteLabels(std::span<const EdgeLabelEdit> edits) {
   // Validate BEFORE mutating: the only failure mode is an out-of-range
   // edge id, so checking up front makes the whole batch all-or-nothing (a
   // throw never leaves the store half-edited with stale index rows).
@@ -31,8 +36,6 @@ std::vector<VertexId> LabelStore::applyEdits(
       throw std::out_of_range("LabelStore::applyEdits: edge id out of range");
     }
   }
-  std::vector<VertexId> dirty;
-  dirty.reserve(edits.size() * 2);
   for (const EdgeLabelEdit& edit : edits) {
     const auto i = static_cast<std::size_t>(edit.edge);
     if (slot_[i] >= 0 &&
@@ -51,9 +54,6 @@ std::vector<VertexId> LabelStore::applyEdits(
       slot_[i] = static_cast<std::int32_t>(owned_.size() - 1);
       views_[i] = owned_.back();
     }
-    const Edge& e = g.edge(edit.edge);
-    dirty.push_back(e.u);
-    dirty.push_back(e.v);
   }
   // Exact bit stats: a shrink can retire the previous maximum, so recompute
   // from the views (a size scan — negligible next to any re-verification).
@@ -64,9 +64,29 @@ std::vector<VertexId> LabelStore::applyEdits(
     totalBits_ += v.size() * 8;
   }
   ++version_;
+}
+
+std::vector<VertexId> LabelStore::applyEdits(
+    const Graph& g, std::span<const EdgeLabelEdit> edits) {
+  // An empty batch mutates nothing — same store, same version (the serving
+  // layer uses empty batches as "run the initial sweep" requests).
+  if (edits.empty()) return {};
+  rewriteLabels(edits);
+  std::vector<VertexId> dirty;
+  dirty.reserve(edits.size() * 2);
+  for (const EdgeLabelEdit& edit : edits) {
+    const Edge& e = g.edge(edit.edge);
+    dirty.push_back(e.u);
+    dirty.push_back(e.v);
+  }
   std::sort(dirty.begin(), dirty.end());
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   return dirty;
+}
+
+void LabelStore::applyEditsBlind(std::span<const EdgeLabelEdit> edits) {
+  if (edits.empty()) return;
+  rewriteLabels(edits);
 }
 
 std::size_t LabelStore::ownedLabels() const {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/verifier.hpp"
+#include "dist/dist_verifier.hpp"
 #include "serve/fault.hpp"
 #include "snapshot/snapshot.hpp"
 
@@ -230,6 +231,49 @@ SimulationResult LaneCertService::runVerify(const VerifyJob& job) {
   FaultInjector::fire(FaultSite::kSweep);
   return simulateEdgeScheme(job.graph, job.ids, *job.labels,
                             makeCoreVerifier(job.property, job.params), exec);
+}
+
+SimulationResult LaneCertService::runDistVerify(const DistVerifyJob& job) {
+  FaultInjector::fire(FaultSite::kDecode);
+  dist::DistOptions opts;
+  opts.workers = job.workerProcesses;
+  opts.threadsPerWorker = job.threadsPerWorker;
+  opts.maxWorkerRestarts = job.maxWorkerRestarts;
+  // One ATTEMPT = a whole coordinator lifetime: image build, K forks,
+  // sweep, teardown.  Inside it, worker deaths are absorbed by re-fork +
+  // journal replay up to maxWorkerRestarts; WorkerFailure means that
+  // budget is gone, which maps onto the taxonomy as TransientError — a
+  // fresh attempt re-forks everything from scratch and cannot double-apply
+  // anything (the verdict plane is rebuilt whole).  Permanent errors
+  // (unknown property, label mismatch) fail on the first attempt.
+  const int attempts = std::max(1, job.options.maxAttempts);
+  std::chrono::milliseconds backoff = job.options.retryBackoff;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      bump(&ServiceStats::transientRetries);
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    try {
+      FaultInjector::fire(FaultSite::kSweep);
+      dist::DistVerifier verifier(job.graph, job.ids, *job.labels,
+                                  job.property, job.params, opts);
+      SimulationResult result = verifier.verifyAll();
+      const dist::DistStats& ds = verifier.stats();
+      std::lock_guard<std::mutex> lock(statsMu_);
+      stats_.distWorkerDeaths += ds.workerDeaths;
+      stats_.distWorkerRestarts += ds.workerRestarts;
+      return result;
+    } catch (const dist::WorkerFailure& e) {
+      {
+        std::lock_guard<std::mutex> lock(statsMu_);
+        ++stats_.distWorkerDeaths;  // the unabsorbed death that ended it
+      }
+      if (attempt + 1 >= attempts) throw TransientError(e.what());
+    } catch (const TransientError&) {
+      if (attempt + 1 >= attempts) throw;
+    }
+  }
 }
 
 template <typename T>
@@ -507,6 +551,32 @@ std::shared_future<SimulationResult> LaneCertService::submitVerify(
       [this](const VerifyJob& j) {
         auto result = runVerify(j);
         bump(&ServiceStats::verifyJobsCompleted);
+        return result;
+      });
+}
+
+std::shared_future<SimulationResult> LaneCertService::submitDistVerify(
+    DistVerifyJob job) {
+  admitOrReject();
+  if (!job.labels) {
+    throw std::invalid_argument("DistVerifyJob: null label payload");
+  }
+  // distVerifyJobKey resolves the property and throws invalid_argument for
+  // an unknown name — submit-time, synchronously, like a null payload:
+  // retrying an unresolvable name can never succeed, so it must not burn a
+  // scheduler slot.  Built unconditionally for exactly that validation;
+  // only kept as a cache key when caching applies.
+  std::string key = distVerifyJobKey(job);
+  if (!options_.enableResultCache || job.options.deadline) key.clear();
+  auto jobPtr = std::make_shared<const DistVerifyJob>(std::move(job));
+  // Same identity-keyed payload pinning as submitVerify — and the same
+  // cache: equal keys coalesce dist and in-process verify requests.
+  std::shared_ptr<const void> pin = jobPtr->labels;
+  return submitImpl<SimulationResult>(
+      verifyCache_, std::move(key), std::move(pin), std::move(jobPtr),
+      [this](const DistVerifyJob& j) {
+        auto result = runDistVerify(j);
+        bump(&ServiceStats::distVerifyJobsCompleted);
         return result;
       });
 }

@@ -1,0 +1,220 @@
+// dist_verify — multi-process verification driver and byte-identity checker.
+//
+// Generates a bounded-pathwidth workload, proves it once in-process, then
+// runs the SAME certificate through the multi-process distributed verifier
+// (src/dist) and the single-process VerifySession side by side:
+//
+//   1. full sweep on both, compare every result field;
+//   2. `--rounds` random edit batches (honest rewrites mixed with
+//      corruptions, endpoints deliberately straddling partition
+//      boundaries), incrementally re-verified on both, compared per round.
+//
+// Any divergence — rejected sets, accept bit, label-bit statistics — exits
+// nonzero with a diagnostic.  That makes this binary the CI dist-smoke
+// gate: "dist_verify --n 65536 --k 4" passing IS the byte-identity claim
+// over that workload.
+//
+// Fault drill: `--die W` arms worker W to SIGKILL itself mid-sweep (after
+// `--die-after` vertex checks).  The run must still produce identical
+// results — the coordinator re-forks the partition and replays — and the
+// tool fails if no death was actually observed, so the drill can't pass
+// vacuously.
+//
+// Usage:
+//   dist_verify [--n N] [--k K] [--threads T] [--seed S] [--rounds R]
+//               [--edits-per-round E] [--die W] [--die-after V] [--quiet]
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/prover.hpp"
+#include "core/verify_session.hpp"
+#include "dist/dist_verifier.hpp"
+#include "graph/generators.hpp"
+#include "interval/interval.hpp"
+#include "mso/properties.hpp"
+
+namespace {
+
+using namespace lanecert;
+
+struct ToolOptions {
+  int n = 4096;
+  int k = 4;             // worker processes
+  int threads = 1;       // threads per worker AND reference sweep threads
+  std::uint64_t seed = 42;
+  int rounds = 4;        // incremental edit rounds after the sweep
+  int editsPerRound = 8;
+  int dieWorker = -1;    // arm worker W to SIGKILL itself mid-sweep
+  long long dieAfter = 16;
+  bool quiet = false;
+};
+
+/// Field-by-field comparison of the two result structs; prints the first
+/// divergence and returns false.  `rejecting` is order-significant — both
+/// sides emit ascending vertex ids, so plain vector equality is the
+/// byte-identity check.
+bool sameResult(const SimulationResult& a, const SimulationResult& b,
+                const char* where) {
+  if (a.allAccept != b.allAccept) {
+    std::fprintf(stderr, "dist_verify: %s: allAccept %d vs %d\n", where,
+                 a.allAccept, b.allAccept);
+    return false;
+  }
+  if (a.rejecting != b.rejecting) {
+    std::fprintf(stderr,
+                 "dist_verify: %s: rejecting sets differ (%zu vs %zu)\n",
+                 where, a.rejecting.size(), b.rejecting.size());
+    return false;
+  }
+  if (a.maxLabelBits != b.maxLabelBits ||
+      a.totalLabelBits != b.totalLabelBits) {
+    std::fprintf(stderr, "dist_verify: %s: label-bit stats differ\n", where);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ToolOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    auto needsValue = [&](const char* flag) {
+      if (std::strcmp(argv[i], flag) != 0) return false;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return true;
+    };
+    if (needsValue("--n")) {
+      opts.n = std::atoi(argv[++i]);
+    } else if (needsValue("--k")) {
+      opts.k = std::atoi(argv[++i]);
+    } else if (needsValue("--threads")) {
+      opts.threads = std::atoi(argv[++i]);
+    } else if (needsValue("--seed")) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (needsValue("--rounds")) {
+      opts.rounds = std::atoi(argv[++i]);
+    } else if (needsValue("--edits-per-round")) {
+      opts.editsPerRound = std::atoi(argv[++i]);
+    } else if (needsValue("--die")) {
+      opts.dieWorker = std::atoi(argv[++i]);
+    } else if (needsValue("--die-after")) {
+      opts.dieAfter = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      opts.quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: dist_verify [--n N] [--k K] [--threads T] "
+                   "[--seed S] [--rounds R] [--edits-per-round E] [--die W] "
+                   "[--die-after V] [--quiet]\n");
+      return 2;
+    }
+  }
+
+  try {
+    // Workload: bounded-pathwidth graph with its generator-supplied
+    // representation, proved once — both verifiers then consume the same
+    // honest certificate.
+    Rng rng(opts.seed);
+    const BoundedPathwidthGraph bp =
+        randomBoundedPathwidth(opts.n, 2, 0.4, rng);
+    const IntervalRepresentation rep =
+        IntervalRepresentation::fromPairs(bp.intervals);
+    const IdAssignment ids =
+        IdAssignment::random(bp.graph.numVertices(), opts.seed + 1);
+    const PropertyPtr prop = makeConnectivity();
+    const CoreProveResult proved =
+        proveCore(bp.graph, ids, *prop, &rep, opts.threads);
+
+    dist::DistOptions dopt;
+    dopt.workers = opts.k;
+    dopt.threadsPerWorker = opts.threads;
+    dopt.dieWorker = opts.dieWorker;
+    dopt.dieAfterVertices = opts.dieAfter;
+    dist::DistVerifier dv(bp.graph, ids, proved.labels, "connectivity", {},
+                          dopt);
+    VerifySession ref(bp.graph, ids, proved.labels, makeConnectivity());
+
+    const SimulationResult sweepDist = dv.verifyAll();
+    const SimulationResult sweepRef = ref.verifyAll(opts.threads);
+    if (!sameResult(sweepRef, sweepDist, "sweep")) return 1;
+    if (proved.propertyHolds != sweepDist.allAccept) {
+      std::fprintf(stderr, "dist_verify: sweep disagrees with the prover\n");
+      return 1;
+    }
+
+    // Edit rounds: each batch mixes honest rewrites with single-byte
+    // corruptions and deliberately includes one edge crossing a partition
+    // boundary when K > 1, so the dirty set routes to two owners.
+    std::mt19937_64 ed(opts.seed ^ 0x9e3779b97f4a7c15ULL);
+    for (int round = 0; round < opts.rounds; ++round) {
+      std::vector<EdgeLabelEdit> edits;
+      for (int j = 0; j < opts.editsPerRound; ++j) {
+        const auto e =
+            static_cast<EdgeId>(ed() % static_cast<std::uint64_t>(
+                                           bp.graph.numEdges()));
+        EdgeLabelEdit el;
+        el.edge = e;
+        el.bytes = proved.labels[static_cast<std::size_t>(e)];
+        if (ed() % 2 && !el.bytes.empty()) el.bytes[0] ^= 0x5a;
+        edits.push_back(std::move(el));
+      }
+      if (dv.workers() > 1) {
+        // One edge whose endpoints live in different partitions, if any
+        // exists: the routing path worth exercising every round.
+        const auto [b1, e1] = dv.partitionRange(1);
+        for (EdgeId e = 0; e < bp.graph.numEdges(); ++e) {
+          const Edge& eg = bp.graph.edge(e);
+          const auto u = static_cast<std::size_t>(eg.u);
+          const auto v = static_cast<std::size_t>(eg.v);
+          if ((u < b1) != (v < b1)) {
+            EdgeLabelEdit el;
+            el.edge = e;
+            el.bytes = proved.labels[static_cast<std::size_t>(e)];
+            edits.push_back(std::move(el));
+            break;
+          }
+        }
+        (void)e1;
+      }
+      const SimulationResult rDist = dv.reverifyEdits(edits);
+      const SimulationResult rRef = ref.reverifyEdits(edits, opts.threads);
+      char where[32];
+      std::snprintf(where, sizeof where, "round %d", round);
+      if (!sameResult(rRef, rDist, where)) return 1;
+    }
+
+    const dist::DistStats& ds = dv.stats();
+    if (opts.dieWorker >= 0 && ds.workerDeaths == 0) {
+      std::fprintf(stderr,
+                   "dist_verify: --die %d armed but no worker death was "
+                   "observed\n",
+                   opts.dieWorker);
+      return 1;
+    }
+    if (!opts.quiet) {
+      std::printf(
+          "dist_verify: ok  n=%d k=%d threads=%d rounds=%d  "
+          "sweeps=%llu reverifies=%llu deaths=%llu restarts=%llu "
+          "routed=%llu skipped=%llu\n",
+          opts.n, opts.k, opts.threads, opts.rounds,
+          static_cast<unsigned long long>(ds.sweeps),
+          static_cast<unsigned long long>(ds.reverifies),
+          static_cast<unsigned long long>(ds.workerDeaths),
+          static_cast<unsigned long long>(ds.workerRestarts),
+          static_cast<unsigned long long>(ds.routedBatches),
+          static_cast<unsigned long long>(ds.skippedWorkers));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist_verify: %s\n", e.what());
+    return 1;
+  }
+}
